@@ -1,0 +1,72 @@
+"""Figure 9(B): peak memory of TM vs MOP vs RV.
+
+The paper reports process peak MB; the Python-faithful metric is the peak
+number of simultaneously live monitor instances (exactly the quantity the
+monitor-GC technique controls) plus ``tracemalloc`` peak bytes.
+
+Expected shape (paper, bloat/UNSAFEITER row): MOP 146.8MB vs RV 79.0MB vs
+TM 7.7MB — i.e. MOP retains the most, RV collects most of it, and the
+more-precise state-indexed TM analog retains the least.  The benchmarks
+below reproduce that ordering on monitor populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_cell
+
+from conftest import BENCH_SCALE, make_monitored_runner
+
+MEMORY_WORKLOADS = ("bloat", "h2", "sunflow")
+
+
+@pytest.mark.parametrize("workload", MEMORY_WORKLOADS)
+@pytest.mark.parametrize("system", ("tm", "mop", "rv"))
+def test_fig9b_monitored_run_with_peak(benchmark, workload, system):
+    """Times the monitored run and records the peak monitor population."""
+    run, engine, teardown = make_monitored_runner(workload, "unsafeiter", system)
+    try:
+        benchmark(run)
+        benchmark.extra_info["peak_live_monitors"] = sum(
+            stats.peak_live_monitors for stats in engine.stats().values()
+        )
+    finally:
+        teardown()
+
+
+# -- shape assertions -----------------------------------------------------------
+
+
+def _peaks(workload: str, scale: float) -> dict[str, int]:
+    return {
+        system: run_cell(workload, "unsafeiter", system, scale=scale).peak_live_monitors
+        for system in ("tm", "mop", "rv")
+    }
+
+
+def test_fig9b_shape_ordering_on_bloat():
+    """TM <= RV << MOP on the leak-heavy workload."""
+    peaks = _peaks("bloat", scale=0.4)
+    assert peaks["rv"] < peaks["mop"] / 2
+    assert peaks["tm"] <= peaks["rv"]
+
+
+def test_fig9b_shape_h2_is_flat_everywhere():
+    """Short-lived monitors: no strategy accumulates garbage on h2."""
+    peaks = _peaks("h2", scale=0.4)
+    assert max(peaks.values()) <= 16
+
+
+def test_fig9b_shape_sunflow_mop_retains():
+    """sunflow: few distinct iterators but one immortal collection — MOP
+    can never free its monitors; RV frees nearly all."""
+    peaks = _peaks("sunflow", scale=0.4)
+    assert peaks["rv"] < peaks["mop"] / 4
+
+
+def test_fig9b_tracemalloc_confirms_monitor_counts():
+    """tracemalloc peak for RV must not exceed MOP's (same workload)."""
+    rv = run_cell("bloat", "unsafeiter", "rv", scale=BENCH_SCALE, measure_tracemalloc=True)
+    mop = run_cell("bloat", "unsafeiter", "mop", scale=BENCH_SCALE, measure_tracemalloc=True)
+    assert rv.tracemalloc_monitored <= mop.tracemalloc_monitored * 1.1

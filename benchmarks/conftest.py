@@ -1,0 +1,64 @@
+"""Shared benchmark helpers.
+
+Benchmarks mirror the paper's evaluation protocol (Section 5.1): each cell
+weaves a property onto the substrate, runs a DaCapo-analog workload, and
+compares against the unwoven baseline.  ``BENCH_SCALE`` keeps a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range; raise it
+(environment variable ``REPRO_BENCH_SCALE``) for fuller tables.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.bench.workloads import WORKLOADS, run_workload
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import SYSTEMS, MonitoringEngine
+
+#: Scale factor applied to every workload in the benchmark suite.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def make_monitored_runner(workload: str, property_keys, system: str, scale: float = None):
+    """Build (run_callable, engine, teardown) for one monitored cell."""
+    if isinstance(property_keys, str):
+        property_keys = [property_keys]
+    profile = WORKLOADS[workload].scaled(scale if scale is not None else BENCH_SCALE)
+    props = [ALL_PROPERTIES[key] for key in property_keys]
+    specs = [prop.make().silence() for prop in props]
+    gc_kind, propagation = SYSTEMS[system]
+    engine = MonitoringEngine(specs, gc=gc_kind, propagation=propagation)
+    from repro.instrument.aspects import Weaver
+
+    weaver = Weaver(engine)
+    for prop in props:
+        prop.instrument(engine, weaver)
+
+    def run():
+        gc.collect()
+        run_workload(profile)
+
+    def teardown():
+        weaver.unweave()
+        gc.collect()
+        engine.flush_gc()
+
+    return run, engine, teardown
+
+
+def make_baseline_runner(workload: str, scale: float = None):
+    profile = WORKLOADS[workload].scaled(scale if scale is not None else BENCH_SCALE)
+
+    def run():
+        gc.collect()
+        run_workload(profile)
+
+    return run
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE

@@ -1,0 +1,47 @@
+"""Side-by-side GC strategy comparison on a DaCapo-analog workload.
+
+Runs the bloat analog under all four configurations and prints a
+Figure 9/10-shaped mini-table: runtime, peak live monitors, and the
+E/M/FM/CM statistics.  This is the `python -m repro.bench` machinery in
+about thirty lines — use it as the template for your own experiments.
+
+Run:  python examples/gc_comparison.py  [scale]
+"""
+
+import sys
+
+from repro.bench.harness import run_cell
+
+SYSTEMS = (
+    ("none", "no monitor GC at all"),
+    ("mop", "JavaMOP: all parameters dead"),
+    ("rv", "RV: coenable sets, lazy (this paper)"),
+    ("tm", "Tracematches analog: state-indexed, eager"),
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    print(f"workload: bloat analog at scale {scale}; property: UNSAFEITER\n")
+    header = f"{'system':8s} {'time':>8s} {'overhead':>9s} {'peak':>7s} " \
+             f"{'E':>7s} {'M':>6s} {'FM':>6s} {'CM':>6s}"
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for system, _blurb in SYSTEMS:
+        cell = run_cell("bloat", "unsafeiter", system, scale=scale,
+                        original_seconds=baseline)
+        baseline = cell.original_seconds
+        totals = cell.totals()
+        print(
+            f"{system:8s} {cell.monitored_seconds:7.3f}s {cell.overhead_pct:8.0f}% "
+            f"{cell.peak_live_monitors:7d} {totals['E']:7d} {totals['M']:6d} "
+            f"{totals['FM']:6d} {totals['CM']:6d}"
+        )
+    print()
+    for system, blurb in SYSTEMS:
+        print(f"  {system:5s} — {blurb}")
+
+
+if __name__ == "__main__":
+    main()

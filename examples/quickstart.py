@@ -1,0 +1,66 @@
+"""Quickstart: monitor the HASNEXT typestate on a real iterator.
+
+Reproduces Figures 1 and 2 of the paper end to end:
+
+1. write the HASNEXT property in the RV specification language, with both
+   the FSM and the LTL formalisms side by side (as the paper does for
+   demonstration);
+2. weave its events onto the Java-style collection substrate;
+3. misuse an iterator and watch both handlers fire.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MonitoringEngine, compile_spec
+from repro.instrument import MonitoredCollection, MonitoredIterator, Weaver, after_returning, before
+
+HASNEXT = """
+HasNext(i) {
+  event hasnexttrue(i)
+  event hasnextfalse(i)
+  event next(i)
+
+  fsm:
+    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+    more    [ hasnexttrue -> more  next -> unknown ]
+    none    [ hasnextfalse -> none  next -> error ]
+    error   [ ]
+  @error "FSM: improper Iterator use found!"
+
+  ltl: [](next => (*)hasnexttrue)
+  @violation "LTL: improper Iterator use found!"
+}
+"""
+
+
+def main() -> None:
+    spec = compile_spec(HASNEXT)
+    engine = MonitoringEngine(spec, system="rv")
+
+    pointcuts = [
+        after_returning(MonitoredIterator, "has_next", event="hasnexttrue",
+                        bind={"i": "target"},
+                        condition=lambda ctx: ctx.result is True),
+        after_returning(MonitoredIterator, "has_next", event="hasnextfalse",
+                        bind={"i": "target"},
+                        condition=lambda ctx: ctx.result is False),
+        before(MonitoredIterator, "next", event="next", bind={"i": "target"}),
+    ]
+
+    with Weaver(engine).weave(pointcuts):
+        print("-- well-behaved iteration (no output expected) --")
+        collection = MonitoredCollection(["a", "b", "c"])
+        iterator = collection.iterator()
+        while iterator.has_next():
+            iterator.next()
+
+        print("-- calling next() without checking hasNext() --")
+        reckless = collection.iterator()
+        reckless.next()  # both the FSM and the LTL handler fire here
+
+    stats = engine.stats_for("HasNext", "fsm")
+    print(f"\nFSM property statistics: {stats}")
+
+
+if __name__ == "__main__":
+    main()

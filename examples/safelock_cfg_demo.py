@@ -1,0 +1,60 @@
+"""SAFELOCK: a context-free property over (Lock, Thread) pairs (Figure 4).
+
+Balanced ``acquire``/``release`` nesting inside method ``begin``/``end``
+boundaries is not a regular language — this is the property that motivates
+RV's formalism independence: the coenable technique still applies (the
+grammar-level fixpoint of Section 3), while a state-indexed technique like
+Tracematches' cannot, because the monitor state space is unbounded.
+
+Run:  python examples/safelock_cfg_demo.py
+"""
+
+from repro import MonitoringEngine
+from repro.core.errors import UnsupportedFormalismError
+from repro.instrument import MethodBody, MonitoredLock
+from repro.properties import SAFELOCK
+
+
+def balanced_usage() -> None:
+    lock = MonitoredLock("db")
+    with MethodBody():
+        lock.acquire()
+        with MethodBody():        # nested method holding the lock again
+            lock.acquire()
+            lock.release()
+        lock.release()
+
+
+def leaky_usage() -> None:
+    lock = MonitoredLock("db")
+    body = MethodBody()
+    body.enter()
+    lock.acquire()
+    body.exit()                   # method ends while the lock is held!
+    lock.release()
+
+
+def main() -> None:
+    spec = SAFELOCK.make()
+    engine = MonitoringEngine(spec, gc="coenable")
+    weaver = SAFELOCK.instrument(engine)
+    try:
+        print("-- balanced nesting (no output expected) --")
+        balanced_usage()
+        print("-- method exits while holding the lock --")
+        leaky_usage()             # the @fail handler fires
+    finally:
+        weaver.unweave()
+
+    print(f"\nstatistics: {engine.stats_for('SafeLock')}")
+
+    # The paper's Section 3 point, demonstrated: a Tracematches-style
+    # state-indexed GC cannot host a context-free property.
+    try:
+        MonitoringEngine(SAFELOCK.make(), system="tm")
+    except UnsupportedFormalismError as exc:
+        print(f"\nstate-based GC refused the CFG property, as expected:\n  {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a Python reproduction of *Garbage Collection for Monitoring
+Parametric Properties* (Jin, Meredith, Griffith, Roșu; PLDI 2011).
+
+The library implements the full RV-system stack from scratch:
+
+* parametric trace slicing and the abstract monitoring algorithm
+  (:mod:`repro.core`);
+* four specification formalisms — FSM, extended regular expressions,
+  past-time LTL, and context-free grammars (:mod:`repro.formalism`);
+* the coenable/enable-set static analyses and ALIVENESS formula
+  compilation (:mod:`repro.core.coenable`, :mod:`repro.core.aliveness`);
+* the RV specification language (:mod:`repro.spec`);
+* a monitoring runtime with weak-keyed indexing trees and lazy monitor
+  garbage collection (:mod:`repro.runtime`);
+* aspect-weaving instrumentation and a Java-collections substrate
+  (:mod:`repro.instrument`);
+* the paper's ten properties (:mod:`repro.properties`) and the
+  DaCapo-analog benchmark harness (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import MonitoringEngine, compile_spec
+
+    spec = compile_spec('''
+        HasNext(i) {
+          event hasnexttrue(i)
+          event hasnextfalse(i)
+          event next(i)
+          ltl: [](next => (*)hasnexttrue)
+          @violation "improper Iterator use found!"
+        }
+    ''')
+    engine = MonitoringEngine(spec, system="rv")
+    engine.emit("next", i=some_iterator)      # fires the violation handler
+
+See README.md and ``examples/`` for more.
+"""
+
+from .core.events import EventDefinition, ParametricEvent
+from .core.params import EMPTY_BINDING, Binding
+from .core.errors import ReproError
+from .core import verdicts
+from .runtime.engine import SYSTEMS, MonitoringEngine
+from .runtime.statistics import MonitorStats
+from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
+from .instrument.aspects import Pointcut, Weaver, after_returning, before
+from .properties import ALL_PROPERTIES, EVALUATED_PROPERTIES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EventDefinition",
+    "ParametricEvent",
+    "EMPTY_BINDING",
+    "Binding",
+    "ReproError",
+    "verdicts",
+    "SYSTEMS",
+    "MonitoringEngine",
+    "MonitorStats",
+    "CompiledProperty",
+    "CompiledSpec",
+    "compile_spec",
+    "load_spec",
+    "Pointcut",
+    "Weaver",
+    "after_returning",
+    "before",
+    "ALL_PROPERTIES",
+    "EVALUATED_PROPERTIES",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark harness: DaCapo-analog workloads and the Figure 9/10 tables."""
+
+from .harness import CellResult, GridResult, baseline_time, run_cell, run_grid
+from .report import render_fig9a, render_fig9b, render_fig10
+from .workloads import WORKLOAD_ORDER, WORKLOADS, WorkloadProfile, run_workload
+
+__all__ = [
+    "CellResult",
+    "GridResult",
+    "baseline_time",
+    "run_cell",
+    "run_grid",
+    "render_fig9a",
+    "render_fig9b",
+    "render_fig10",
+    "WORKLOAD_ORDER",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "run_workload",
+]

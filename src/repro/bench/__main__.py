@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.bench fig9a [--scale 0.5] [--workloads bloat,avrora,h2]
+    python -m repro.bench fig9b [--tracemalloc]
+    python -m repro.bench fig10
+    python -m repro.bench all
+
+At scale 1.0 the full grid takes a few minutes; the EXPERIMENTS.md numbers
+were produced with the flags recorded there.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..properties import EVALUATED_PROPERTIES
+from .harness import run_grid
+from .report import render_fig9a, render_fig9b, render_fig10
+from .workloads import WORKLOAD_ORDER
+
+_DEFAULT_PROPERTIES = tuple(prop.key for prop in EVALUATED_PROPERTIES)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument("figure", choices=("fig9a", "fig9b", "fig10", "all"))
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (1.0 = calibrated size)")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--workloads", default=",".join(WORKLOAD_ORDER),
+                        help="comma-separated DaCapo-analog names")
+    parser.add_argument("--properties", default=",".join(_DEFAULT_PROPERTIES))
+    parser.add_argument("--systems", default="tm,mop,rv")
+    parser.add_argument("--all-column", action="store_true",
+                        help="add the simultaneous-monitoring ALL column (RV)")
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads.split(",")
+    properties = args.properties.split(",")
+    systems = args.systems.split(",")
+
+    grid = run_grid(
+        workloads,
+        properties,
+        systems,
+        scale=args.scale,
+        repeats=args.repeats,
+        include_all_column=args.all_column,
+    )
+    if args.figure in ("fig9a", "all"):
+        print("\n== Figure 9(A): percent runtime overhead ==")
+        print(render_fig9a(grid, workloads, properties, systems,
+                           include_all_column=args.all_column))
+    if args.figure in ("fig9b", "all"):
+        print("\n== Figure 9(B): peak live monitor instances ==")
+        print(render_fig9b(grid, workloads, properties, systems))
+    if args.figure in ("fig10", "all"):
+        print("\n== Figure 10: monitoring statistics (RV) ==")
+        print(render_fig10(grid, workloads, properties, system="rv"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,221 @@
+"""Benchmark harness: the machinery behind Figures 9(A), 9(B) and 10.
+
+A *cell* of the paper's tables is (workload, property-set, system):
+
+* the workload runs once **unwoven** (the ORIG column of Figure 9) and once
+  **woven** with the property's pointcuts feeding a
+  :class:`~repro.runtime.engine.MonitoringEngine` configured as one of the
+  three systems — ``tm`` (Tracematches analog: state-based GC, eager
+  propagation), ``mop`` (JavaMOP analog: all-parameters-dead GC, lazy) and
+  ``rv`` (the paper's system: coenable GC, lazy);
+* runtime overhead is ``(monitored - original) / original`` in percent
+  (Figure 9A);
+* memory is both the peak count of simultaneously live monitor instances
+  and, optionally, ``tracemalloc`` peak bytes (Figure 9B);
+* the engine's E/M/FM/CM counters are Figure 10.
+
+Absolute numbers are not comparable with the paper's (different host, VM,
+and substituted workloads); the *shape* — which system wins, roughly by how
+much, and where nothing happens — is what the benchmark suite asserts.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.errors import UnsupportedFormalismError
+from ..properties import ALL_PROPERTIES, PaperProperty
+from ..runtime.engine import SYSTEMS, MonitoringEngine
+from ..runtime.statistics import MonitorStats
+from .workloads import WORKLOADS, WorkloadProfile, run_workload
+
+__all__ = ["CellResult", "run_cell", "run_grid", "GridResult", "baseline_time"]
+
+
+@dataclass
+class CellResult:
+    """One (workload, properties, system) measurement."""
+
+    workload: str
+    properties: tuple[str, ...]
+    system: str
+    original_seconds: float
+    monitored_seconds: float
+    #: (spec name, formalism) -> statistics (Figure 10 counters).
+    stats: dict[tuple[str, str], MonitorStats] = field(default_factory=dict)
+    peak_live_monitors: int = 0
+    tracemalloc_monitored: int | None = None
+    tracemalloc_original: int | None = None
+    unsupported: bool = False
+
+    @property
+    def overhead_pct(self) -> float:
+        """Figure 9(A)'s number: percent slowdown over the unwoven run."""
+        if self.original_seconds <= 0:
+            return 0.0
+        return 100.0 * (self.monitored_seconds - self.original_seconds) / self.original_seconds
+
+    def totals(self) -> dict[str, int]:
+        """Summed E/M/FM/CM over the cell's properties (the Figure 10 row)."""
+        total = {"E": 0, "M": 0, "FM": 0, "CM": 0}
+        for stats in self.stats.values():
+            row = stats.as_row()
+            for key in total:
+                total[key] += row[key]
+        return total
+
+
+def _timed_run(profile: WorkloadProfile) -> float:
+    gc.collect()
+    start = time.perf_counter()
+    run_workload(profile)
+    return time.perf_counter() - start
+
+
+def baseline_time(workload: str, scale: float = 1.0, repeats: int = 1) -> float:
+    """Best-of-N unwoven runtime for a workload (the ORIG column)."""
+    profile = WORKLOADS[workload].scaled(scale)
+    return min(_timed_run(profile) for _ in range(max(1, repeats)))
+
+
+def run_cell(
+    workload: str,
+    properties: "str | PaperProperty | Sequence[str | PaperProperty]",
+    system: str,
+    scale: float = 1.0,
+    repeats: int = 1,
+    measure_tracemalloc: bool = False,
+    original_seconds: float | None = None,
+) -> CellResult:
+    """Measure one cell; ``properties`` may be one key or several ("ALL")."""
+    if isinstance(properties, (str, PaperProperty)):
+        properties = [properties]
+    props: list[PaperProperty] = [
+        ALL_PROPERTIES[item] if isinstance(item, str) else item for item in properties
+    ]
+    profile = WORKLOADS[workload].scaled(scale)
+    result = CellResult(
+        workload=workload,
+        properties=tuple(prop.key for prop in props),
+        system=system,
+        original_seconds=0.0,
+        monitored_seconds=0.0,
+    )
+
+    result.original_seconds = (
+        original_seconds
+        if original_seconds is not None
+        else min(_timed_run(profile) for _ in range(max(1, repeats)))
+    )
+
+    gc_kind, propagation = SYSTEMS[system]
+    specs = [prop.make().silence() for prop in props]
+    try:
+        engine = MonitoringEngine(specs, gc=gc_kind, propagation=propagation)
+    except UnsupportedFormalismError:
+        # The Tracematches analog cannot host CFG properties (Section 3).
+        result.unsupported = True
+        return result
+
+    from ..instrument.aspects import Weaver
+
+    weaver = Weaver(engine)
+    for prop in props:
+        prop.instrument(engine, weaver)
+    try:
+        if measure_tracemalloc:
+            tracemalloc.start()
+        best = None
+        for _ in range(max(1, repeats)):
+            elapsed = _timed_run(profile)
+            best = elapsed if best is None else min(best, elapsed)
+        result.monitored_seconds = best or 0.0
+        if measure_tracemalloc:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            result.tracemalloc_monitored = peak
+    finally:
+        weaver.unweave()
+    gc.collect()
+    engine.flush_gc()
+    result.stats = engine.stats()
+    result.peak_live_monitors = sum(
+        stats.peak_live_monitors for stats in result.stats.values()
+    )
+
+    if measure_tracemalloc:
+        tracemalloc.start()
+        run_workload(profile)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result.tracemalloc_original = peak
+    return result
+
+
+@dataclass
+class GridResult:
+    """A full table: workloads x properties x systems."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    def cell(self, workload: str, prop_keys: tuple[str, ...], system: str) -> CellResult:
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.properties == prop_keys
+                and cell.system == system
+            ):
+                return cell
+        raise KeyError((workload, prop_keys, system))
+
+
+def run_grid(
+    workloads: Iterable[str],
+    property_keys: Iterable[str],
+    systems: Iterable[str],
+    scale: float = 1.0,
+    repeats: int = 1,
+    include_all_column: bool = False,
+) -> GridResult:
+    """Run the full Figure 9/10 grid.
+
+    The unwoven baseline is measured once per workload and shared across
+    that workload's cells, as in the paper's per-benchmark ORIG column.
+    With ``include_all_column`` the simultaneous-monitoring "ALL" cells are
+    added for the ``rv`` system (the only configuration the paper could run
+    them on).
+    """
+    workloads = list(workloads)
+    property_keys = list(property_keys)
+    systems = list(systems)
+    grid = GridResult()
+    for workload in workloads:
+        baseline = baseline_time(workload, scale=scale, repeats=repeats)
+        for key in property_keys:
+            for system in systems:
+                grid.cells.append(
+                    run_cell(
+                        workload,
+                        key,
+                        system,
+                        scale=scale,
+                        repeats=repeats,
+                        original_seconds=baseline,
+                    )
+                )
+        if include_all_column:
+            grid.cells.append(
+                run_cell(
+                    workload,
+                    property_keys,
+                    "rv",
+                    scale=scale,
+                    repeats=repeats,
+                    original_seconds=baseline,
+                )
+            )
+    return grid

@@ -1,0 +1,113 @@
+"""Table rendering in the shape of the paper's Figures 9 and 10."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .harness import GridResult
+
+__all__ = ["render_fig9a", "render_fig9b", "render_fig10"]
+
+_SYSTEM_LABEL = {"tm": "TM", "mop": "MOP", "rv": "RV"}
+
+
+def _format_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_fig9a(
+    grid: GridResult,
+    workloads: Sequence[str],
+    property_keys: Sequence[str],
+    systems: Sequence[str] = ("tm", "mop", "rv"),
+    include_all_column: bool = False,
+) -> str:
+    """Figure 9(A): percent runtime overhead per workload x property x system."""
+    header = ["bench"]
+    for key in property_keys:
+        for system in systems:
+            header.append(f"{key[:10]}/{_SYSTEM_LABEL.get(system, system)}")
+    if include_all_column:
+        header.append("ALL/RV")
+    rows = []
+    for workload in workloads:
+        row: list[str] = [workload]
+        for key in property_keys:
+            for system in systems:
+                cell = grid.cell(workload, (key,), system)
+                row.append("n/a" if cell.unsupported else f"{cell.overhead_pct:.0f}%")
+        if include_all_column:
+            cell = grid.cell(workload, tuple(property_keys), "rv")
+            row.append(f"{cell.overhead_pct:.0f}%")
+        rows.append(row)
+    return _format_table(header, rows)
+
+
+def render_fig9b(
+    grid: GridResult,
+    workloads: Sequence[str],
+    property_keys: Sequence[str],
+    systems: Sequence[str] = ("tm", "mop", "rv"),
+) -> str:
+    """Figure 9(B): peak simultaneously-live monitor instances.
+
+    The paper reports process peak MB; host-process RSS is meaningless for a
+    Python reproduction, so the primary metric is the peak count of live
+    monitor instances (the quantity the GC technique actually controls),
+    with optional tracemalloc bytes when the harness measured them.
+    """
+    header = ["bench"]
+    for key in property_keys:
+        for system in systems:
+            header.append(f"{key[:10]}/{_SYSTEM_LABEL.get(system, system)}")
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for key in property_keys:
+            for system in systems:
+                cell = grid.cell(workload, (key,), system)
+                if cell.unsupported:
+                    row.append("n/a")
+                elif cell.tracemalloc_monitored is not None:
+                    row.append(
+                        f"{cell.peak_live_monitors} ({cell.tracemalloc_monitored // 1024}KiB)"
+                    )
+                else:
+                    row.append(str(cell.peak_live_monitors))
+        rows.append(row)
+    return _format_table(header, rows)
+
+
+def render_fig10(
+    grid: GridResult,
+    workloads: Sequence[str],
+    property_keys: Sequence[str],
+    system: str = "rv",
+) -> str:
+    """Figure 10: E / M / FM / CM per workload x property (for one system)."""
+    header = ["bench"]
+    for key in property_keys:
+        for column in ("E", "M", "FM", "CM"):
+            header.append(f"{key[:10]}.{column}")
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for key in property_keys:
+            cell = grid.cell(workload, (key,), system)
+            totals = cell.totals()
+            for column in ("E", "M", "FM", "CM"):
+                row.append(str(totals[column]))
+        rows.append(row)
+    return _format_table(header, rows)

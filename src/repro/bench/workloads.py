@@ -1,0 +1,253 @@
+"""DaCapo-analog synthetic workloads.
+
+The paper evaluates on DaCapo 9.12 (plus bloat/jython from 2006-10).  We
+cannot run Java benchmarks, so each DaCapo program is substituted by a
+synthetic workload over the monitored-program substrate
+(:mod:`repro.instrument.collections_shim`), calibrated to the *relative*
+characteristics the paper reports (Section 5.2 and Figure 10):
+
+* **bloat** — the pathological case: huge numbers of long-lived collections
+  spawning short-lived iterators with heavy ``hasNext``/``next`` traffic
+  (1.6M collections / 941K iterators / 78M ``hasNext`` calls in the paper);
+* **avrora**, **pmd** — many collections and iterators, heavy traffic;
+* **h2** — many events but *short-lived* monitors: collections die together
+  with their iterators, so no strategy accumulates garbage ("monitor
+  instances in h2 have shorter lifetimes");
+* **sunflow** — millions of events over very few iterators ("has millions
+  of events but does not create as many monitor instances");
+* **jython**, **batik**, **fop**, **eclipse**, **luindex**, **lusearch** —
+  light-to-moderate activity;
+* **tomcat**, **tradebeans**, **tradesoap**, **xalan** — near-zero
+  iterator activity (tens of events in the paper).
+
+Workloads know nothing about monitoring: they call the shim APIs exactly
+like the benchmarked Java programs call ``java.util``.  Overhead is then
+the ratio of woven to unwoven runtime (Figure 9A's methodology).
+
+All randomness is seeded per run — workloads are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..instrument.collections_shim import (
+    MonitoredCollection,
+    MonitoredIterator,
+    MonitoredMap,
+    SynchronizedCollection,
+    SynchronizedMap,
+)
+
+__all__ = ["WorkloadProfile", "WORKLOADS", "run_workload", "IteratorChurnResult"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs of one synthetic DaCapo analog.
+
+    ``collections`` collections are created over the run, but only
+    ``live_window`` of them coexist: when the window slides, the oldest
+    collection (and all its iterators) becomes garbage — this is the
+    lifetime structure that separates the GC strategies.  Iterators die as
+    soon as they are used unless ``leak_iterators`` keeps them alive (never
+    used by the shipped profiles; exists for experiments).
+    """
+
+    name: str
+    collections: int
+    live_window: int
+    collection_size: int
+    iterators_per_collection: int
+    steps_per_iterator: int
+    #: Probability that the collection is updated after an iterator was
+    #: created from it (the UNSAFEITER-interesting interleaving).
+    update_probability: float
+    #: Fraction of the collections that are map key/value views.
+    map_fraction: float = 0.0
+    #: Fraction of the collections that are synchronized wrappers.
+    sync_fraction: float = 0.0
+    #: Extra hasNext-heavy loops over one shared long-lived collection
+    #: (sunflow's shape: events without new monitors).
+    shared_sweeps: int = 0
+    seed: int = 12061
+
+    def scaled(self, scale: float) -> "WorkloadProfile":
+        """A proportionally smaller/larger copy (at least one of each)."""
+
+        def s(value: int) -> int:
+            return max(1, round(value * scale)) if value else 0
+
+        return WorkloadProfile(
+            name=self.name,
+            collections=s(self.collections),
+            live_window=max(1, min(s(self.collections), self.live_window)),
+            collection_size=self.collection_size,
+            iterators_per_collection=self.iterators_per_collection,
+            steps_per_iterator=self.steps_per_iterator,
+            update_probability=self.update_probability,
+            map_fraction=self.map_fraction,
+            sync_fraction=self.sync_fraction,
+            shared_sweeps=s(self.shared_sweeps),
+            seed=self.seed,
+        )
+
+
+@dataclass
+class IteratorChurnResult:
+    """What a run did (sanity numbers for tests, not monitoring stats)."""
+
+    collections_created: int = 0
+    iterators_created: int = 0
+    next_calls: int = 0
+    hasnext_calls: int = 0
+    updates: int = 0
+
+
+def run_workload(profile: WorkloadProfile) -> IteratorChurnResult:
+    """Execute one workload over the (possibly woven) shim classes."""
+    rng = random.Random(profile.seed)
+    result = IteratorChurnResult()
+    window: list[MonitoredCollection] = []
+
+    def new_collection() -> MonitoredCollection:
+        roll = rng.random()
+        if roll < profile.map_fraction:
+            backing: MonitoredMap = (
+                SynchronizedMap()
+                if rng.random() < profile.sync_fraction
+                else MonitoredMap()
+            )
+            for index in range(profile.collection_size):
+                backing.put(index, index)
+            collection = backing.key_set() if rng.random() < 0.5 else backing.values()
+        elif roll < profile.map_fraction + profile.sync_fraction:
+            collection = SynchronizedCollection(range(profile.collection_size))
+        else:
+            collection = MonitoredCollection(range(profile.collection_size))
+        result.collections_created += 1
+        return collection
+
+    def drive(iterator: MonitoredIterator, budget: int) -> None:
+        for _step in range(budget):
+            result.hasnext_calls += 1
+            if not iterator.has_next():
+                break
+            result.next_calls += 1
+            iterator.next()
+
+    for serial in range(profile.collections):
+        collection = new_collection()
+        window.append(collection)
+        if len(window) > profile.live_window:
+            # The oldest collection (and everything hanging off it) dies here.
+            window.pop(0)
+        for _it in range(profile.iterators_per_collection):
+            # Programs keep iterating collections for as long as they live —
+            # this is what makes retained dead-iterator monitors *costly* at
+            # runtime, not just in memory: every touch of an old collection
+            # has to wade through whatever monitors still hang off it.
+            target = window[rng.randrange(len(window))]
+            iterator = target.iterator()
+            result.iterators_created += 1
+            drive(iterator, profile.steps_per_iterator)
+            if rng.random() < profile.update_probability:
+                if hasattr(target, "backing_map"):
+                    target.backing_map.put(serial, serial)
+                else:
+                    target.add(serial)
+                result.updates += 1
+                # One more access after the update: the UNSAFEITER ending.
+                result.hasnext_calls += 1
+                if iterator.has_next():
+                    result.next_calls += 1
+                    iterator.next()
+            del iterator  # iterators die young (the paper's leak driver)
+    # sunflow-style sweeps: one long-lived collection, very many events.
+    if profile.shared_sweeps:
+        shared = MonitoredCollection(range(max(8, profile.collection_size)))
+        result.collections_created += 1
+        for _sweep in range(profile.shared_sweeps):
+            iterator = shared.iterator()
+            result.iterators_created += 1
+            drive(iterator, shared.size() + 1)
+            del iterator
+    window.clear()
+    return result
+
+
+def _profiles() -> dict[str, WorkloadProfile]:
+    """The fifteen DaCapo analogs, calibrated to the paper's proportions.
+
+    Absolute sizes are chosen so the full Figure 9/10 grid runs in minutes
+    on a laptop at scale 1.0; what matters — and what the benchmarks
+    assert — are the relative magnitudes across workloads and the lifetime
+    shapes within each.
+    """
+    P = WorkloadProfile
+    return {
+        profile.name: profile
+        for profile in (
+            # The leak monster: collections far outlive their iterators.
+            P("bloat", collections=250, live_window=100, collection_size=6,
+              iterators_per_collection=50, steps_per_iterator=2,
+              update_probability=0.6),
+            # Heavy, with map traffic.
+            P("avrora", collections=900, live_window=200, collection_size=5,
+              iterators_per_collection=3, steps_per_iterator=6,
+              update_probability=0.15, map_fraction=0.3),
+            P("pmd", collections=1000, live_window=300, collection_size=5,
+              iterators_per_collection=4, steps_per_iterator=6,
+              update_probability=0.20, map_fraction=0.2, sync_fraction=0.1),
+            # Many events, short-lived everything: window of 1.
+            P("h2", collections=1200, live_window=1, collection_size=8,
+              iterators_per_collection=4, steps_per_iterator=9,
+              update_probability=0.10),
+            # Millions of events, hardly any monitors.
+            P("sunflow", collections=30, live_window=10, collection_size=12,
+              iterators_per_collection=2, steps_per_iterator=6,
+              update_probability=0.0, shared_sweeps=2500),
+            P("jython", collections=120, live_window=40, collection_size=4,
+              iterators_per_collection=2, steps_per_iterator=4,
+              update_probability=0.02),
+            P("batik", collections=150, live_window=50, collection_size=4,
+              iterators_per_collection=2, steps_per_iterator=5,
+              update_probability=0.02, map_fraction=0.2),
+            P("eclipse", collections=80, live_window=30, collection_size=4,
+              iterators_per_collection=1, steps_per_iterator=3,
+              update_probability=0.01),
+            P("fop", collections=400, live_window=150, collection_size=5,
+              iterators_per_collection=3, steps_per_iterator=5,
+              update_probability=0.10, map_fraction=0.25),
+            P("luindex", collections=60, live_window=20, collection_size=4,
+              iterators_per_collection=1, steps_per_iterator=3,
+              update_probability=0.0),
+            P("lusearch", collections=90, live_window=30, collection_size=4,
+              iterators_per_collection=1, steps_per_iterator=4,
+              update_probability=0.01),
+            # The near-zero-activity quartet.
+            P("tomcat", collections=6, live_window=3, collection_size=3,
+              iterators_per_collection=1, steps_per_iterator=2,
+              update_probability=0.0),
+            P("tradebeans", collections=4, live_window=2, collection_size=3,
+              iterators_per_collection=1, steps_per_iterator=2,
+              update_probability=0.0),
+            P("tradesoap", collections=4, live_window=2, collection_size=3,
+              iterators_per_collection=1, steps_per_iterator=2,
+              update_probability=0.0),
+            P("xalan", collections=10, live_window=4, collection_size=3,
+              iterators_per_collection=1, steps_per_iterator=2,
+              update_probability=0.0, map_fraction=0.3),
+        )
+    }
+
+
+#: The fifteen DaCapo-analog workloads, in the paper's table order.
+WORKLOADS: dict[str, WorkloadProfile] = _profiles()
+
+#: Paper table order (Figure 9/10 row order).
+WORKLOAD_ORDER: tuple[str, ...] = (
+    "bloat", "jython", "avrora", "batik", "eclipse", "fop", "h2", "luindex",
+    "lusearch", "pmd", "sunflow", "tomcat", "tradebeans", "tradesoap", "xalan",
+)

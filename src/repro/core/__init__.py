@@ -1,0 +1,68 @@
+"""Core theory: parameters, events, slicing, monitors, coenable/enable sets.
+
+This package is self-contained (imports nothing from the rest of the
+library) and implements the definitions of Sections 2 and 3 of the paper.
+"""
+
+from .aliveness import AlivenessFormula, compile_aliveness
+from .coenable import (
+    brute_force_coenable,
+    brute_force_enable,
+    drop_empty_sets,
+    lift_to_params,
+    param_coenable_sets,
+    occurrence_coenable_sets,
+    occurrence_enable_sets,
+)
+from .errors import (
+    EngineStateError,
+    FormalismError,
+    InconsistentEventError,
+    IncompatibleBindingError,
+    ReproError,
+    SpecCompileError,
+    SpecSyntaxError,
+    UnknownEventError,
+    UnknownParameterError,
+    UnsupportedFormalismError,
+)
+from .events import EventDefinition, ParametricEvent
+from .monitor import BaseMonitor, MonitorTemplate, run_monitor
+from .parametric import AbstractParametricMonitor
+from .params import EMPTY_BINDING, Binding
+from .slicing import all_slices, informative_bindings, slice_trace
+from . import verdicts
+
+__all__ = [
+    "AlivenessFormula",
+    "compile_aliveness",
+    "brute_force_coenable",
+    "brute_force_enable",
+    "drop_empty_sets",
+    "lift_to_params",
+    "param_coenable_sets",
+    "occurrence_coenable_sets",
+    "occurrence_enable_sets",
+    "EngineStateError",
+    "FormalismError",
+    "InconsistentEventError",
+    "IncompatibleBindingError",
+    "ReproError",
+    "SpecCompileError",
+    "SpecSyntaxError",
+    "UnknownEventError",
+    "UnknownParameterError",
+    "UnsupportedFormalismError",
+    "EventDefinition",
+    "ParametricEvent",
+    "BaseMonitor",
+    "MonitorTemplate",
+    "run_monitor",
+    "AbstractParametricMonitor",
+    "EMPTY_BINDING",
+    "Binding",
+    "all_slices",
+    "informative_bindings",
+    "slice_trace",
+    "verdicts",
+]

@@ -1,0 +1,135 @@
+"""Coenable sets — Definitions 10 and 11 and their brute-force references.
+
+The *property coenable set* ``COENABLE_{P,G}(e)`` is the family of event
+sets that can still follow ``e`` in some trace the property classifies into
+the goal ``G``.  Lifted through the event definition ``D`` it becomes the
+*parameter coenable set* ``COENABLE^X_{P,G}(e)`` (Definition 11): the
+families of parameters that must still be alive after ``e`` for a goal
+verdict to remain reachable (Theorem 1).
+
+Occurrence semantics.  The paper's fixpoint equations for FSMs and CFGs
+(Section 3) generate one suffix set per *occurrence* of ``e`` in a goal
+trace — ``{events(w2) | w1 e w2 in goal}`` — so the brute-force oracles
+here use the same per-occurrence reading, for both coenable and its ENABLE
+dual (Chen et al., ASE'09): ``{events(w1) | w1 e w2 in goal}``.  On the
+paper's worked UNSAFEITER example the per-occurrence and the existential
+(Definition 10 literal) readings coincide; Theorem 1 is naturally a
+per-occurrence statement (it speaks about the suffix ``w'`` after a given
+occurrence of ``e``).
+
+Efficient per-formalism computations (fixpoints over FSMs and CFGs) live in
+:mod:`repro.formalism`; this module provides the formalism-independent
+pieces: the parameter lift, empty-set dropping, and exhaustive brute-force
+computations used as test oracles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from .events import EventDefinition
+from .monitor import MonitorTemplate, SetOfEventSets, run_monitor
+
+__all__ = [
+    "drop_empty_sets",
+    "occurrence_coenable_sets",
+    "occurrence_enable_sets",
+    "lift_to_params",
+    "param_coenable_sets",
+    "brute_force_coenable",
+    "brute_force_enable",
+]
+
+
+def drop_empty_sets(family: SetOfEventSets) -> SetOfEventSets:
+    """Remove ``∅`` from a family of event sets.
+
+    The paper drops empty coenable sets: an ``∅`` only says the trace may
+    *end* in the goal at ``e`` itself, not that the goal is reachable again
+    in the future, and keeping it would retain unnecessary monitors.
+    """
+    return frozenset(s for s in family if s)
+
+
+def occurrence_coenable_sets(trace: Sequence[str], event: str) -> SetOfEventSets:
+    """``{events(w2) | trace = w1 e w2}``: one suffix set per occurrence of ``e``."""
+    sets = {
+        frozenset(trace[index + 1 :])
+        for index, name in enumerate(trace)
+        if name == event
+    }
+    if not sets:
+        raise ValueError(f"event {event!r} does not occur in trace {trace!r}")
+    return frozenset(sets)
+
+
+def occurrence_enable_sets(trace: Sequence[str], event: str) -> SetOfEventSets:
+    """``{events(w1) | trace = w1 e w2}``: one prefix set per occurrence of ``e``."""
+    sets = {
+        frozenset(trace[:index]) for index, name in enumerate(trace) if name == event
+    }
+    if not sets:
+        raise ValueError(f"event {event!r} does not occur in trace {trace!r}")
+    return frozenset(sets)
+
+
+def lift_to_params(
+    family: SetOfEventSets, definition: EventDefinition
+) -> frozenset[frozenset[str]]:
+    """Apply ``D`` to every event set in the family (Definition 11)."""
+    return frozenset(definition.params_of_set(events) for events in family)
+
+
+def param_coenable_sets(
+    coenable: dict[str, SetOfEventSets], definition: EventDefinition
+) -> dict[str, frozenset[frozenset[str]]]:
+    """``COENABLE^X_{P,G}``: the parameter lift of a full coenable map."""
+    return {event: lift_to_params(family, definition) for event, family in coenable.items()}
+
+
+def _all_traces(alphabet: Sequence[str], max_length: int) -> Iterable[tuple[str, ...]]:
+    for length in range(max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+def brute_force_coenable(
+    template: MonitorTemplate,
+    goal: frozenset[str],
+    max_length: int,
+) -> dict[str, SetOfEventSets]:
+    """``COENABLE_{P,G}`` by exhaustive trace enumeration (test oracle).
+
+    Enumerates every trace up to ``max_length`` over the template's alphabet,
+    keeps those whose verdict lands in ``goal``, and collects the per-
+    occurrence coenable sets, dropping ``∅``.  Exponential — only usable for
+    the small alphabets of unit tests, which is exactly its purpose.
+    """
+    alphabet = sorted(template.alphabet)
+    result: dict[str, set[frozenset[str]]] = {event: set() for event in alphabet}
+    for trace in _all_traces(alphabet, max_length):
+        if run_monitor(template, trace) not in goal:
+            continue
+        for event in set(trace):
+            result[event].update(s for s in occurrence_coenable_sets(trace, event) if s)
+    return {event: frozenset(sets) for event, sets in result.items()}
+
+
+def brute_force_enable(
+    template: MonitorTemplate,
+    goal: frozenset[str],
+    max_length: int,
+) -> dict[str, SetOfEventSets]:
+    """ENABLE sets by exhaustive trace enumeration (test oracle).
+
+    Unlike coenable sets, ``∅`` is *kept*: it marks events that can open a
+    goal trace, i.e. the monitor-creation events of the runtime.
+    """
+    alphabet = sorted(template.alphabet)
+    result: dict[str, set[frozenset[str]]] = {event: set() for event in alphabet}
+    for trace in _all_traces(alphabet, max_length):
+        if run_monitor(template, trace) not in goal:
+            continue
+        for event in set(trace):
+            result[event].update(occurrence_enable_sets(trace, event))
+    return {event: frozenset(sets) for event, sets in result.items()}

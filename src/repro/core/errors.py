@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IncompatibleBindingError(ReproError):
+    """Raised when joining two parameter bindings that disagree on a value."""
+
+
+class UnknownEventError(ReproError):
+    """Raised when an event outside the declared alphabet is processed."""
+
+
+class UnknownParameterError(ReproError):
+    """Raised when an event binds a parameter the specification never declared."""
+
+
+class InconsistentEventError(ReproError):
+    """Raised when a parametric event's binding domain differs from ``D(e)``.
+
+    See Definition 4 of the paper: a parametric event ``e<theta>`` is
+    D-consistent only when ``dom(theta) == D(e)``.
+    """
+
+
+class SpecSyntaxError(ReproError):
+    """Raised by the spec-language lexer/parser on malformed input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SpecCompileError(ReproError):
+    """Raised when a parsed specification cannot be compiled to a monitor."""
+
+
+class FormalismError(ReproError):
+    """Raised for ill-formed formalism-level objects (FSMs, EREs, CFGs, ...)."""
+
+
+class UnsupportedFormalismError(ReproError):
+    """Raised when a GC strategy cannot support a formalism.
+
+    The Tracematches-analog state-based strategy raises this for
+    context-free properties, mirroring the paper's Section 3 discussion:
+    "A static state-based technique ... could not be used for context-free
+    properties because the state space is unbounded."
+    """
+
+
+class EngineStateError(ReproError):
+    """Raised when the monitoring engine is driven through an invalid sequence."""

@@ -1,0 +1,139 @@
+"""Events, parametric events, and event definitions.
+
+Implements Definitions 1, 3 and 4 of the paper.  Base events are plain
+strings (their name); a :class:`ParametricEvent` pairs a base event with a
+parameter :class:`~repro.core.params.Binding`; an :class:`EventDefinition`
+is the static map ``D : E -> P(X)`` declaring which parameters each event
+instantiates at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from .errors import InconsistentEventError, UnknownEventError, UnknownParameterError
+from .params import Binding
+
+__all__ = ["ParametricEvent", "EventDefinition"]
+
+
+class ParametricEvent:
+    """A parametric event ``e<theta>`` (Definition 3)."""
+
+    __slots__ = ("name", "binding")
+
+    def __init__(self, name: str, binding: Binding | Mapping[str, Any] | None = None):
+        if binding is None:
+            binding = Binding()
+        elif not isinstance(binding, Binding):
+            binding = Binding.from_mapping(binding)
+        self.name = name
+        self.binding = binding
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "ParametricEvent":
+        """Build an event from keyword bindings: ``ParametricEvent.of("next", i=i1)``."""
+        return cls(name, Binding.of(**params))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParametricEvent):
+            return NotImplemented
+        return self.name == other.name and self.binding == other.binding
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.binding))
+
+    def __repr__(self) -> str:
+        return f"{self.name}{self.binding!r}"
+
+
+class EventDefinition:
+    """The parametric event definition ``D : E -> P(X)`` (Definition 4).
+
+    Also records the full parameter set ``X`` of the specification, which may
+    be larger than the union of the per-event parameter sets (though for all
+    the paper's properties it is exactly that union).
+    """
+
+    def __init__(
+        self,
+        params_by_event: Mapping[str, Iterable[str]],
+        all_params: Iterable[str] | None = None,
+    ):
+        self._params_by_event: dict[str, frozenset[str]] = {
+            event: frozenset(params) for event, params in params_by_event.items()
+        }
+        union: set[str] = set()
+        for params in self._params_by_event.values():
+            union |= params
+        self._all_params = frozenset(all_params) if all_params is not None else frozenset(union)
+        undeclared = union - self._all_params
+        if undeclared:
+            raise UnknownParameterError(
+                f"events bind parameters not in the specification's parameter set: "
+                f"{sorted(undeclared)}"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """The base event set ``E``."""
+        return frozenset(self._params_by_event)
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        """The parameter set ``X``."""
+        return self._all_params
+
+    def params_of(self, event: str) -> frozenset[str]:
+        """``D(e)`` — raises :class:`UnknownEventError` for undeclared events."""
+        try:
+            return self._params_by_event[event]
+        except KeyError:
+            raise UnknownEventError(f"event {event!r} is not declared") from None
+
+    def params_of_trace(self, events: Iterable[str]) -> frozenset[str]:
+        """``D`` extended to traces: the union of ``D(e)`` over the trace."""
+        result: set[str] = set()
+        for event in events:
+            result |= self.params_of(event)
+        return frozenset(result)
+
+    def params_of_set(self, events: Iterable[str]) -> frozenset[str]:
+        """``D`` extended to event sets — identical to the trace extension."""
+        return self.params_of_trace(events)
+
+    def __contains__(self, event: str) -> bool:
+        return event in self._params_by_event
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._params_by_event)
+
+    def __len__(self) -> int:
+        return len(self._params_by_event)
+
+    # -- consistency (Definition 4) -------------------------------------------
+
+    def is_consistent(self, event: ParametricEvent) -> bool:
+        """True when ``dom(theta) == D(e)`` for the parametric event ``e<theta>``."""
+        return event.name in self._params_by_event and (
+            event.binding.domain == self._params_by_event[event.name]
+        )
+
+    def check_consistent(self, event: ParametricEvent) -> None:
+        """Raise unless the parametric event is D-consistent."""
+        expected = self.params_of(event.name)
+        actual = event.binding.domain
+        if actual != expected:
+            raise InconsistentEventError(
+                f"event {event.name!r} must bind parameters {sorted(expected)}, "
+                f"got {sorted(actual)}"
+            )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{event}->{{{', '.join(sorted(params))}}}"
+            for event, params in sorted(self._params_by_event.items())
+        )
+        return f"EventDefinition({inner})"

@@ -1,0 +1,115 @@
+"""Base (non-parametric) monitors — Definition 8 of the paper.
+
+A monitor ``M = (S, E, C, ı, σ, γ)`` consumes base events and yields a
+verdict category after every step.  Formalism plugins provide concrete
+monitors (FSM, ERE-compiled DFA, past-LTL valuation automata, Earley-based
+CFG recognizers) behind two small interfaces:
+
+* :class:`BaseMonitor` — one running monitor instance (mutable state);
+* :class:`MonitorTemplate` — the immutable, shareable description of a
+  property: it creates fresh monitor instances and exposes the static
+  analyses the runtime needs (coenable and enable sets).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from .verdicts import UNKNOWN
+
+__all__ = ["BaseMonitor", "MonitorTemplate", "SetOfEventSets", "run_monitor"]
+
+#: A family of event sets, e.g. a coenable set ``{{next}, {next, update}}``.
+SetOfEventSets = frozenset[frozenset[str]]
+
+
+class BaseMonitor(abc.ABC):
+    """One running non-parametric monitor instance.
+
+    Subclasses keep whatever mutable state they need (an FSM state, a
+    subformula valuation vector, an Earley chart) and implement
+    :meth:`step` / :meth:`verdict` / :meth:`clone`.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def step(self, event: str) -> str:
+        """Consume one base event and return the verdict category after it."""
+
+    @abc.abstractmethod
+    def verdict(self) -> str:
+        """The verdict category ``γ(current state)`` without consuming input."""
+
+    @abc.abstractmethod
+    def clone(self) -> "BaseMonitor":
+        """An independent copy sharing no mutable state.
+
+        The parametric algorithms need this for *defineTo*: a new monitor
+        instance for binding ``theta`` starts from the state of the monitor
+        of the maximal defined sub-instance of ``theta`` (Figure 5, line 4).
+        """
+
+    def is_dead(self) -> bool:
+        """True when no future input can change the verdict.
+
+        Dead monitors let the runtime short-circuit updates; the default
+        (``False``) is always safe.
+        """
+        return False
+
+
+class MonitorTemplate(abc.ABC):
+    """The immutable description of a base property ``P : E* -> C``."""
+
+    @property
+    @abc.abstractmethod
+    def alphabet(self) -> frozenset[str]:
+        """The base event set ``E``."""
+
+    @property
+    @abc.abstractmethod
+    def categories(self) -> frozenset[str]:
+        """Every verdict category this property can emit (including ``?``)."""
+
+    @abc.abstractmethod
+    def create(self) -> BaseMonitor:
+        """A fresh monitor instance in the initial state ``ı``."""
+
+    @abc.abstractmethod
+    def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        """``COENABLE_{P,G}`` (Definition 10) for every event, with ∅s dropped."""
+
+    @abc.abstractmethod
+    def enable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        """ENABLE sets (Chen et al., ASE'09): for each event ``e``, the sets of
+        events that occur strictly before ``e`` in some goal-reaching trace.
+        Unlike coenable sets, the empty set is *kept* — it marks creation
+        events (``e`` can be the first relevant event of a goal trace)."""
+
+    @property
+    def supports_state_gc(self) -> bool:
+        """Whether the Tracematches-analog state-indexed GC applies.
+
+        True only for finite-state formalisms; the CFG plugin returns False
+        (its state space is unbounded — Section 3 of the paper).
+        """
+        return True
+
+    def state_coenable_sets(self, goal: frozenset[str]):  # pragma: no cover - interface
+        """Per-*state* coenable sets for the state-based strategy, or None."""
+        return None
+
+
+def run_monitor(template: MonitorTemplate, trace: Iterable[str]) -> str:
+    """Run a fresh monitor over ``trace`` and return the final verdict.
+
+    Convenience used pervasively by tests: this is the property
+    ``P_M(w) = γ(σ(ı, w))`` of Definition 8.
+    """
+    monitor = template.create()
+    verdict = monitor.verdict()
+    for event in trace:
+        verdict = monitor.step(event)
+    return verdict if verdict is not None else UNKNOWN

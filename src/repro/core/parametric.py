@@ -1,0 +1,127 @@
+"""Algorithm MONITOR — the abstract parametric monitoring algorithm (Figure 5).
+
+This is a direct, unoptimized transcription of the paper's Figure 5: it
+maintains the tables ``Delta`` (monitor state per parameter instance),
+``Gamma`` (verdict category per parameter instance) and the set ``Theta``
+of known parameter instances, and on each parametric event updates every
+compatible combination.
+
+It is deliberately simple and quadratic — its role in this library is to be
+the trusted executable semantics.  The production engine
+(:mod:`repro.runtime.engine`) with indexing trees, enable-set creation
+pruning and monitor garbage collection is validated against this class on
+randomized traces (see ``tests/runtime/test_engine_vs_abstract.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .errors import EngineStateError
+from .events import EventDefinition, ParametricEvent
+from .monitor import BaseMonitor, MonitorTemplate
+from .params import EMPTY_BINDING, Binding
+
+__all__ = ["AbstractParametricMonitor"]
+
+
+class AbstractParametricMonitor:
+    """A monitor for the parametric property ``ΛX.P`` (Definitions 7 and 9)."""
+
+    def __init__(
+        self,
+        template: MonitorTemplate,
+        definition: EventDefinition,
+        check_consistency: bool = True,
+    ):
+        self._template = template
+        self._definition = definition
+        self._check = check_consistency
+        # Line 1 of Figure 5: Delta is cleared, Delta(⊥) <- ı, Theta <- {⊥}.
+        self._delta: dict[Binding, BaseMonitor] = {EMPTY_BINDING: template.create()}
+        self._gamma: dict[Binding, str] = {}
+        self._theta: set[Binding] = {EMPTY_BINDING}
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def known_instances(self) -> frozenset[Binding]:
+        """The current contents of ``Theta`` (always contains ``⊥``)."""
+        return frozenset(self._theta)
+
+    def gamma(self) -> Mapping[str, str]:
+        """A read-only view of the ``Gamma`` table (verdicts per instance)."""
+        return dict(self._gamma)
+
+    def verdict(self, theta: Binding) -> str:
+        """``(ΛX.γ)(delta)(theta)``: the verdict for parameter instance ``theta``.
+
+        Works for *any* instance, known or not: the state consulted is that
+        of the maximal known instance less informative than ``theta``
+        (whose slice ``theta`` shares — Definition 6).
+        """
+        best = self._max_known_sub_instance(theta)
+        return self._delta[best].verdict()
+
+    # -- the algorithm -----------------------------------------------------
+
+    def process(self, event: ParametricEvent) -> dict[Binding, str]:
+        """Lines 2-7 of Figure 5 for one parametric event ``e<theta>``.
+
+        Returns the ``Gamma`` entries updated by this event: a map from each
+        affected parameter instance to its new verdict category.
+        """
+        if self._check:
+            self._definition.check_consistent(event)
+        theta = event.binding
+        # Line 3: every theta' in {theta} ⊔ Theta (the set of joins of theta
+        # with each compatible known instance; includes theta itself via ⊥).
+        targets: set[Binding] = set()
+        for known in self._theta:
+            joined = theta.try_join(known)
+            if joined is not None:
+                targets.add(joined)
+        # Line 4: all new states are computed from the *pre-event* tables,
+        # so stage them and merge after the loop.
+        staged: dict[Binding, BaseMonitor] = {}
+        updates: dict[Binding, str] = {}
+        for target in targets:
+            source = self._max_known_sub_instance(target)
+            monitor = self._delta[source].clone()
+            updates[target] = monitor.step(event.name)  # line 5: Gamma(theta')
+            staged[target] = monitor
+        self._delta.update(staged)
+        self._gamma.update(updates)
+        # Line 7: Theta <- {⊥, theta} ⊔ Theta.  Joining with ⊥ keeps all old
+        # members; joining with theta adds exactly the targets above.
+        self._theta |= targets
+        return updates
+
+    def process_trace(self, trace: Iterable[ParametricEvent]) -> dict[Binding, str]:
+        """Process a whole trace; returns the final ``Gamma`` table."""
+        for event in trace:
+            self.process(event)
+        return dict(self._gamma)
+
+    # -- internals ---------------------------------------------------------
+
+    def _max_known_sub_instance(self, theta: Binding) -> Binding:
+        """``max {theta'' in Theta | theta'' ⊑ theta}`` (Figure 5, line 4).
+
+        The maximum exists because ``Theta`` contains ``⊥`` and is closed
+        under joins of compatible members (all candidates are ⊑ theta, hence
+        pairwise compatible, and their join is again a candidate).
+        """
+        best = EMPTY_BINDING
+        for candidate in self._theta:
+            if candidate.is_less_informative(theta) and len(candidate) > len(best):
+                best = candidate
+        # Sanity: 'best' must dominate every other candidate, otherwise the
+        # closure invariant of Theta was broken somewhere.
+        for candidate in self._theta:
+            if candidate.is_less_informative(theta) and not candidate.is_less_informative(best):
+                raise EngineStateError(
+                    f"Theta lost join-closure: {candidate!r} and {best!r} are "
+                    f"incomparable maximal sub-instances of {theta!r}"
+                )
+        return best

@@ -1,0 +1,178 @@
+"""Parameter instances (partial bindings) and their algebra.
+
+This module implements Definitions 3 and 5 of the paper:
+
+* a *parameter instance* ``theta`` is a partial function from parameters to
+  parameter values — here a :class:`Binding`;
+* two instances are *compatible* when they agree on their shared domain;
+* compatible instances combine with the least upper bound ``theta ⊔ theta'``
+  (:meth:`Binding.join`);
+* ``theta ⊑ theta'`` ("less informative than") holds when ``theta'`` extends
+  ``theta`` (:meth:`Binding.is_less_informative`).
+
+Parameter *values* are program objects, so — as in Java — they are compared
+by **identity** (``is``), never by ``==``.  Two distinct but equal-looking
+objects bound to the same parameter make two bindings incompatible.  This
+matters for monitoring: the events of two distinct iterators must never be
+merged into one trace slice just because the iterators compare equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from .errors import IncompatibleBindingError
+
+__all__ = ["Binding", "EMPTY_BINDING"]
+
+
+class Binding:
+    """An immutable partial map from parameter names to parameter values.
+
+    Bindings are hashable (on parameter names and value identities) so they
+    can key the ``Delta``/``Theta`` tables of the abstract monitoring
+    algorithm (Figure 5) and the indexing trees of the runtime.
+    """
+
+    __slots__ = ("_pairs", "_lookup", "_hash")
+
+    def __init__(self, pairs: Iterable[tuple[str, Any]] = ()):
+        items = sorted(dict(pairs).items())
+        self._pairs: tuple[tuple[str, Any], ...] = tuple(items)
+        self._lookup: dict[str, Any] = dict(items)
+        self._hash = hash(tuple((name, id(value)) for name, value in self._pairs))
+
+    @classmethod
+    def of(cls, **params: Any) -> "Binding":
+        """Build a binding from keyword arguments: ``Binding.of(c=c1, i=i1)``."""
+        return cls(params.items())
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Binding":
+        return cls(mapping.items())
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def domain(self) -> frozenset[str]:
+        """``dom(theta)``: the set of parameters this binding defines."""
+        return frozenset(self._lookup)
+
+    def items(self) -> tuple[tuple[str, Any], ...]:
+        return self._pairs
+
+    def values(self) -> tuple[Any, ...]:
+        return tuple(value for _, value in self._pairs)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._lookup.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._lookup[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lookup
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lookup)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    # -- identity-based equality -------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Binding):
+            return NotImplemented
+        if len(self._pairs) != len(other._pairs):
+            return False
+        return all(
+            a_name == b_name and a_value is b_value
+            for (a_name, a_value), (b_name, b_value) in zip(self._pairs, other._pairs)
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    # -- the partial-function algebra of Definition 5 -----------------------
+
+    def is_compatible(self, other: "Binding") -> bool:
+        """True when the two bindings agree on every shared parameter."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return all(
+            name not in large._lookup or large._lookup[name] is value
+            for name, value in small._pairs
+        )
+
+    def join(self, other: "Binding") -> "Binding":
+        """``theta ⊔ theta'`` — least upper bound of compatible bindings.
+
+        Raises :class:`IncompatibleBindingError` when the bindings disagree.
+        """
+        joined = self.try_join(other)
+        if joined is None:
+            raise IncompatibleBindingError(f"cannot join {self!r} with {other!r}")
+        return joined
+
+    def try_join(self, other: "Binding") -> "Binding | None":
+        """Like :meth:`join` but returns ``None`` on incompatibility."""
+        if not self.is_compatible(other):
+            return None
+        if self.is_less_informative(other):
+            return other
+        if other.is_less_informative(self):
+            return self
+        merged = dict(self._pairs)
+        merged.update(other._pairs)
+        return Binding(merged.items())
+
+    def is_less_informative(self, other: "Binding") -> bool:
+        """``self ⊑ other``: ``other`` defines everything ``self`` does, equally."""
+        if len(self) > len(other):
+            return False
+        return all(
+            name in other._lookup and other._lookup[name] is value
+            for name, value in self._pairs
+        )
+
+    def is_strictly_less_informative(self, other: "Binding") -> bool:
+        return len(self) < len(other) and self.is_less_informative(other)
+
+    def restrict(self, params: Iterable[str]) -> "Binding":
+        """The sub-binding defined only on ``params ∩ dom(self)``."""
+        wanted = set(params)
+        return Binding((name, value) for name, value in self._pairs if name in wanted)
+
+    def sub_bindings(self, proper: bool = False) -> Iterator["Binding"]:
+        """Yield every sub-binding (every restriction to a subset of the domain).
+
+        With ``proper=True`` the binding itself is omitted.  The empty binding
+        is always yielded first.  The number of sub-bindings is ``2**len(self)``,
+        which is fine: specifications bind at most a handful of parameters.
+        """
+        names = [name for name, _ in self._pairs]
+        total = 1 << len(names)
+        limit = total - 1 if proper else total
+        for mask in range(limit):
+            yield Binding(
+                (names[bit], self._lookup[names[bit]])
+                for bit in range(len(names))
+                if mask >> bit & 1
+            )
+
+    def __repr__(self) -> str:
+        if not self._pairs:
+            return "<⊥>"
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._pairs)
+        return f"<{inner}>"
+
+
+#: The empty parameter instance ``⊥`` (the everywhere-undefined partial map).
+EMPTY_BINDING = Binding()

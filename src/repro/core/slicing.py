@@ -1,0 +1,83 @@
+"""Trace slicing (Definition 6) — the reference semantics of the paper.
+
+Given a parametric trace ``tau`` and a parameter instance ``theta``, the
+slice ``tau ↾ theta`` keeps exactly the events whose binding is less
+informative than ``theta`` (``theta' ⊑ theta``) and forgets their bindings.
+
+This module is the executable specification against which both the abstract
+algorithm of Figure 5 (:mod:`repro.core.parametric`) and the indexing-tree
+runtime (:mod:`repro.runtime.engine`) are validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .events import EventDefinition, ParametricEvent
+from .params import EMPTY_BINDING, Binding
+
+__all__ = ["slice_trace", "informative_bindings", "all_slices"]
+
+
+def slice_trace(trace: Iterable[ParametricEvent], theta: Binding) -> list[str]:
+    """``tau ↾ theta``: the non-parametric slice of ``trace`` for ``theta``.
+
+    An event ``e<theta'>`` survives iff ``theta' ⊑ theta``; surviving events
+    are stripped of their bindings.  Note that events *more* informative than
+    ``theta`` are discarded too — the paper stresses this (the slice for
+    ``<c1>`` of a trace containing ``create<c1, i1>`` does **not** contain
+    ``create``).
+    """
+    return [
+        event.name for event in trace if event.binding.is_less_informative(theta)
+    ]
+
+
+def informative_bindings(trace: Sequence[ParametricEvent]) -> set[Binding]:
+    """All bindings a monitoring algorithm must know about for ``trace``.
+
+    This is the least set containing ``⊥`` and the binding of every event,
+    closed under least upper bounds of compatible members — the limit of the
+    ``Theta`` table maintained by Algorithm MONITOR (Figure 5, line 7).
+    """
+    known: set[Binding] = {EMPTY_BINDING}
+    for event in trace:
+        additions = {event.binding}
+        for binding in known:
+            joined = binding.try_join(event.binding)
+            if joined is not None:
+                additions.add(joined)
+        known |= additions
+        # Close under joins among the new members as well (the lub of two
+        # earlier joins can be new when parameter domains overlap partially).
+        changed = True
+        while changed:
+            changed = False
+            fresh: set[Binding] = set()
+            for a in known:
+                for b in known:
+                    joined = a.try_join(b)
+                    if joined is not None and joined not in known:
+                        fresh.add(joined)
+            if fresh:
+                known |= fresh
+                changed = True
+    return known
+
+
+def all_slices(
+    trace: Sequence[ParametricEvent],
+    definition: EventDefinition | None = None,
+) -> dict[Binding, list[str]]:
+    """Map every informative binding of ``trace`` to its slice.
+
+    This is ``(ΛX.P)(tau)`` computed by brute force (Definition 7): the
+    verdict for parameter instance ``theta`` is the base property applied to
+    ``all_slices(tau)[theta]`` (or to ``slice_trace(tau, theta)`` for a
+    ``theta`` outside the informative set, whose slice equals that of its
+    maximal informative sub-binding).
+    """
+    if definition is not None:
+        for event in trace:
+            definition.check_consistent(event)
+    return {theta: slice_trace(trace, theta) for theta in informative_bindings(trace)}

@@ -1,0 +1,49 @@
+"""Verdict categories for (parametric) properties.
+
+Definition 2 of the paper lets the category set ``C`` be *any* set; in
+practice each formalism plugin uses a small conventional vocabulary:
+
+* ERE / CFG:  ``match`` / ``fail`` / ``?``
+* LTL:        ``violation`` / ``?``
+* FSM:        the state names themselves (the paper's FSM handlers fire on
+  *entering a named state*, e.g. ``@error`` in Figure 2), plus an implicit
+  ``fail`` sink for undefined transitions.
+
+Categories are plain strings so user-defined formalisms can introduce their
+own without touching this module; the constants below only name the
+conventional ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Trace matched the pattern (ERE/CFG goal verdict).
+MATCH = "match"
+
+#: Trace can no longer match / FSM took an undefined transition.
+FAIL = "fail"
+
+#: Verdict still open ("?" in the paper).
+UNKNOWN = "?"
+
+#: LTL formula violated.
+VIOLATION = "violation"
+
+#: Conventional FSM error-state name used throughout the paper's examples.
+ERROR = "error"
+
+#: Categories conventionally used as monitoring *goals* ``G`` (Definition 10)
+#: when the user does not specify one explicitly.
+DEFAULT_GOALS: frozenset[str] = frozenset({MATCH, VIOLATION, ERROR, FAIL})
+
+
+def normalize_goal(goal: str | Iterable[str]) -> frozenset[str]:
+    """Return ``goal`` as a frozenset of category names.
+
+    Accepts a single category name or any iterable of names; a bare string
+    is treated as one category, not as an iterable of characters.
+    """
+    if isinstance(goal, str):
+        return frozenset({goal})
+    return frozenset(goal)

@@ -1,0 +1,50 @@
+"""Formalism plugins: FSM, ERE, past-LTL, and CFG.
+
+Each plugin compiles its concrete syntax into a
+:class:`~repro.core.monitor.MonitorTemplate`; the finite-state plugins (FSM,
+ERE, LTL) share the FSM coenable/enable fixpoints of Section 3, while the
+CFG plugin implements the grammar-level G/C fixpoint.
+"""
+
+from .cfg import CFGMonitor, CFGTemplate, Grammar, compile_cfg, parse_cfg
+from .earley import EarleyRecognizer
+from .ere import compile_ere, ere_to_fsm, minimize_fsm, parse_ere
+from .fsm import (
+    FSM,
+    FSMMonitor,
+    FSMTemplate,
+    compile_fsm,
+    fsm_coenable,
+    fsm_enable,
+    parse_fsm,
+    seeable_sets,
+)
+from .ltl import compile_ltl, ltl_to_fsm, parse_ltl
+from .raw import RawMonitor, RawTemplate, functional_template
+
+__all__ = [
+    "CFGMonitor",
+    "CFGTemplate",
+    "Grammar",
+    "compile_cfg",
+    "parse_cfg",
+    "EarleyRecognizer",
+    "compile_ere",
+    "ere_to_fsm",
+    "minimize_fsm",
+    "parse_ere",
+    "FSM",
+    "FSMMonitor",
+    "FSMTemplate",
+    "compile_fsm",
+    "fsm_coenable",
+    "fsm_enable",
+    "parse_fsm",
+    "seeable_sets",
+    "compile_ltl",
+    "ltl_to_fsm",
+    "parse_ltl",
+    "RawMonitor",
+    "RawTemplate",
+    "functional_template",
+]

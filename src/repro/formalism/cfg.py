@@ -1,0 +1,419 @@
+"""Context-free grammars (the ``cfg`` plugin of Figure 4).
+
+A CFG monitor classifies traces *in* the language into ``match``; prefixes
+that no extension can complete into ``fail``; everything else is ``?``.
+Monitoring is done with an incremental Earley recognizer
+(:mod:`repro.formalism.earley`).
+
+Coenable sets are the paper's Section 3 CFG fixpoint::
+
+    G(ε)     = {∅}          G(e) = {{e}}         G(A) = ∪_{A→β} G(β)
+    G(β1 β2) = {T1 ∪ T2 | T1 in G(β1), T2 in G(β2)}
+    C(x)     = {T1 ∪ T2 | A → β1 x β2, T1 in C(A), T2 in G(β2)}
+    COENABLE_{P,{match}}(e) = C(e)
+
+seeded with ``∅ in C(start)`` and iterated to the least fixpoint over the
+(finite) lattice ``P(P(E))``.  The ENABLE dual used for monitor-creation
+pruning mirrors ``C`` with *prefix* families ``G(β1)``.
+
+This plugin deliberately reports ``supports_state_gc = False``: the paper
+points out that a Tracematches-style state-indexed technique cannot apply to
+context-free properties (the state space is unbounded), while coenable sets
+— a function of events, not states — still work.  The engine raises
+:class:`~repro.core.errors.UnsupportedFormalismError` when the state-based
+strategy meets a CFG property, reproducing that limitation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.errors import FormalismError, SpecSyntaxError, UnknownEventError
+from ..core.monitor import BaseMonitor, MonitorTemplate, SetOfEventSets
+from ..core.coenable import drop_empty_sets
+from ..core.verdicts import FAIL, MATCH, UNKNOWN
+from .earley import EarleyRecognizer
+
+__all__ = ["Grammar", "parse_cfg", "CFGMonitor", "CFGTemplate", "compile_cfg"]
+
+#: Spelling of the empty word in the concrete syntax (Figure 4).
+EPSILON_NAME = "epsilon"
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """An immutable CFG ``(N, E, S, Π)``.
+
+    ``productions`` maps each nonterminal to a tuple of alternatives, each an
+    (possibly empty) tuple of symbols.  Symbols not in ``productions`` are
+    terminals.
+    """
+
+    productions: Mapping[str, tuple[tuple[str, ...], ...]]
+    start: str
+
+    def __post_init__(self) -> None:
+        if self.start not in self.productions:
+            raise FormalismError(f"start symbol {self.start!r} has no productions")
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return frozenset(self.productions)
+
+    @property
+    def terminals(self) -> frozenset[str]:
+        result: set[str] = set()
+        for alternatives in self.productions.values():
+            for rhs in alternatives:
+                result.update(symbol for symbol in rhs if symbol not in self.productions)
+        return frozenset(result)
+
+    def reduced(self) -> "Grammar":
+        """Remove unproductive and unreachable symbols.
+
+        Required for the Earley fail check to be exact (see
+        :mod:`repro.formalism.earley`); also tightens the coenable fixpoint.
+        A grammar whose start symbol is unproductive denotes the empty
+        language, which is rejected — monitoring it would be pointless.
+        """
+        # Productive: derives some terminal string.
+        productive: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for lhs, alternatives in self.productions.items():
+                if lhs in productive:
+                    continue
+                for rhs in alternatives:
+                    if all(s in productive or s not in self.productions for s in rhs):
+                        productive.add(lhs)
+                        changed = True
+                        break
+        if self.start not in productive:
+            raise FormalismError(
+                f"grammar generates the empty language (start symbol "
+                f"{self.start!r} is unproductive)"
+            )
+        # Reachable (through productive productions only).
+        reachable = {self.start}
+        frontier = [self.start]
+        pruned: dict[str, tuple[tuple[str, ...], ...]] = {}
+        while frontier:
+            symbol = frontier.pop()
+            keep = tuple(
+                rhs
+                for rhs in self.productions[symbol]
+                if all(s not in self.productions or s in productive for s in rhs)
+            )
+            pruned[symbol] = keep
+            for rhs in keep:
+                for child in rhs:
+                    if child in self.productions and child not in reachable:
+                        reachable.add(child)
+                        frontier.append(child)
+        return Grammar(productions=pruned, start=self.start)
+
+    def generate(self, max_length: int) -> set[tuple[str, ...]]:
+        """All words of the language up to ``max_length`` (test oracle).
+
+        Breadth-first expansion of sentential forms; exponential, intended
+        only for the tiny grammars of unit tests.
+        """
+        words: set[tuple[str, ...]] = set()
+        seen: set[tuple[str, ...]] = set()
+        frontier: list[tuple[str, ...]] = [(self.start,)]
+        while frontier:
+            form = frontier.pop()
+            terminal_prefix = sum(1 for s in form if s not in self.productions)
+            if terminal_prefix > max_length or len([s for s in form if s not in self.productions]) > max_length:
+                continue
+            expansion_point = next(
+                (i for i, s in enumerate(form) if s in self.productions), None
+            )
+            if expansion_point is None:
+                if len(form) <= max_length:
+                    words.add(form)
+                continue
+            for rhs in self.productions[form[expansion_point]]:
+                candidate = form[:expansion_point] + rhs + form[expansion_point + 1 :]
+                if len([s for s in candidate if s not in self.productions]) <= max_length and candidate not in seen:
+                    seen.add(candidate)
+                    frontier.append(candidate)
+        return words
+
+
+def parse_cfg(text: str) -> Grammar:
+    """Parse the concrete syntax of Figure 4.
+
+    One or more productions separated by newlines or by the next
+    ``Name ->`` head; alternatives separated by ``|``; ``epsilon`` is the
+    empty word.  The first left-hand side is the start symbol ("the first
+    symbol seen is always assumed the start symbol").
+    """
+    tokens: list[str] = []
+    for raw in text.replace("->", " -> ").replace("|", " | ").split():
+        tokens.append(raw)
+    if "->" not in tokens:
+        raise SpecSyntaxError(f"no productions in CFG {text!r}")
+    productions: dict[str, list[tuple[str, ...]]] = {}
+    start: str | None = None
+    index = 0
+    while index < len(tokens):
+        if index + 1 >= len(tokens) or tokens[index + 1] != "->":
+            raise SpecSyntaxError(f"expected 'Name ->' at token {tokens[index]!r}")
+        lhs = tokens[index]
+        if start is None:
+            start = lhs
+        index += 2
+        current: list[str] = []
+        alternatives = productions.setdefault(lhs, [])
+
+        def flush() -> None:
+            if current == [EPSILON_NAME]:
+                alternatives.append(())
+            elif EPSILON_NAME in current:
+                raise SpecSyntaxError(
+                    f"'epsilon' cannot be mixed with other symbols in {lhs!r}"
+                )
+            else:
+                alternatives.append(tuple(current))
+
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "|":
+                flush()
+                current = []
+                index += 1
+            elif index + 1 < len(tokens) and tokens[index + 1] == "->":
+                break
+            elif token == "->":
+                raise SpecSyntaxError("misplaced '->' in CFG")
+            else:
+                current.append(token)
+                index += 1
+        flush()
+    assert start is not None
+    return Grammar(
+        productions={lhs: tuple(alts) for lhs, alts in productions.items()},
+        start=start,
+    )
+
+
+class CFGMonitor(BaseMonitor):
+    """A running CFG monitor instance wrapping an Earley chart.
+
+    The chart grows with the slice length (Earley needs origin sets for
+    completion), so per-monitor memory is O(slice length x grammar); the
+    paper's CFG property (SAFELOCK) produces slices bounded by lock-nesting
+    depth, which keeps this small in practice.
+    """
+
+    __slots__ = ("_template", "_recognizer", "_verdict")
+
+    def __init__(self, template: "CFGTemplate", recognizer: EarleyRecognizer | None = None):
+        self._template = template
+        self._recognizer = (
+            recognizer if recognizer is not None else template._fresh_recognizer()
+        )
+        self._verdict = MATCH if self._recognizer.accepts() else UNKNOWN
+
+    def step(self, event: str) -> str:
+        if event not in self._template.alphabet:
+            raise UnknownEventError(f"event {event!r} not in CFG alphabet")
+        if self._verdict != FAIL:
+            if event in self._template.grammar.terminals:
+                self._recognizer.feed(event)
+                if self._recognizer.is_dead():
+                    self._verdict = FAIL
+                else:
+                    self._verdict = MATCH if self._recognizer.accepts() else UNKNOWN
+            else:
+                # An alphabet event that the grammar never mentions can only
+                # break the derivation, exactly like an undefined FSM move.
+                self._verdict = FAIL
+        return self._verdict
+
+    def verdict(self) -> str:
+        return self._verdict
+
+    def clone(self) -> "CFGMonitor":
+        copy = CFGMonitor(self._template, self._recognizer.clone())
+        copy._verdict = self._verdict
+        return copy
+
+    def is_dead(self) -> bool:
+        return self._verdict == FAIL
+
+
+class CFGTemplate(MonitorTemplate):
+    """Monitor template for a context-free property."""
+
+    def __init__(self, grammar: Grammar, alphabet: Iterable[str] | None = None):
+        self.grammar = grammar.reduced()
+        terminals = self.grammar.terminals
+        self._alphabet = frozenset(alphabet) if alphabet is not None else terminals
+        extra = terminals - self._alphabet
+        if extra:
+            raise FormalismError(
+                f"grammar mentions events outside the declared alphabet: {sorted(extra)}"
+            )
+        self._coenable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
+        self._enable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
+
+    def _fresh_recognizer(self) -> EarleyRecognizer:
+        return EarleyRecognizer(
+            productions=dict(self.grammar.productions),
+            start=self.grammar.start,
+            terminals=self.grammar.terminals,
+        )
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._alphabet
+
+    @property
+    def categories(self) -> frozenset[str]:
+        return frozenset({MATCH, FAIL, UNKNOWN})
+
+    def create(self) -> CFGMonitor:
+        return CFGMonitor(self)
+
+    @property
+    def supports_state_gc(self) -> bool:
+        return False
+
+    def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        """Coenable families for ``goal``.
+
+        The paper's G/C fixpoint covers exactly the goal ``{match}``.  For any
+        other goal (e.g. SAFELOCK's ``@fail`` handler: a *fail* can be caused
+        by events binding only a subset of the parameters, so no event-based
+        liveness requirement is sound) this returns the conservative family
+        ``{∅}`` per event — its ALIVENESS formula is constant *true*, so the
+        coenable strategy never prunes and collection falls back to the
+        all-parameters-dead rule.
+        """
+        if goal != frozenset({MATCH}):
+            conservative = frozenset({frozenset()})
+            return {event: conservative for event in self._alphabet}
+        if goal not in self._coenable_cache:
+            self._coenable_cache[goal] = self._suffix_families()
+        return self._coenable_cache[goal]
+
+    def enable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        """ENABLE families for ``goal``; conservative for goals other than
+        ``{match}``: the full powerset of the alphabet per event, so every
+        event may create monitors and may extend any defined sub-instance."""
+        if goal != frozenset({MATCH}):
+            alphabet = sorted(self._alphabet)
+            conservative = frozenset(
+                frozenset(subset)
+                for mask in range(1 << len(alphabet))
+                for subset in [
+                    [alphabet[bit] for bit in range(len(alphabet)) if mask >> bit & 1]
+                ]
+            )
+            return {event: conservative for event in self._alphabet}
+        if goal not in self._enable_cache:
+            self._enable_cache[goal] = self._prefix_families()
+        return self._enable_cache[goal]
+
+    # -- the Section 3 fixpoints -------------------------------------------
+
+    def _generated_families(self) -> dict[str, SetOfEventSets]:
+        """``G(A)`` for every nonterminal: event-set families of derivations."""
+        grammar = self.grammar
+        families: dict[str, set[frozenset[str]]] = {
+            nonterminal: set() for nonterminal in grammar.nonterminals
+        }
+
+        def of_sequence(
+            rhs: Sequence[str], table: dict[str, set[frozenset[str]]]
+        ) -> set[frozenset[str]]:
+            result: set[frozenset[str]] = {frozenset()}
+            for symbol in rhs:
+                part = (
+                    table[symbol]
+                    if symbol in grammar.nonterminals
+                    else {frozenset({symbol})}
+                )
+                result = {t1 | t2 for t1, t2 in itertools.product(result, part)}
+                if not result:
+                    return set()
+            return result
+
+        changed = True
+        while changed:
+            changed = False
+            for lhs, alternatives in grammar.productions.items():
+                for rhs in alternatives:
+                    for family in of_sequence(rhs, families):
+                        if family not in families[lhs]:
+                            families[lhs].add(family)
+                            changed = True
+        return {
+            nonterminal: frozenset(family) for nonterminal, family in families.items()
+        }
+
+    def _context_families(self, suffix: bool) -> dict[str, SetOfEventSets]:
+        """``C(x)`` for every symbol: the paper's coenable fixpoint.
+
+        With ``suffix=True`` this is the coenable direction (what can follow
+        an occurrence of ``x``); with ``suffix=False`` the ENABLE dual (what
+        can precede it).
+        """
+        grammar = self.grammar
+        generated = self._generated_families()
+
+        def sequence_family(rhs: Sequence[str]) -> SetOfEventSets:
+            result: set[frozenset[str]] = {frozenset()}
+            for symbol in rhs:
+                part = (
+                    generated[symbol]
+                    if symbol in grammar.nonterminals
+                    else frozenset({frozenset({symbol})})
+                )
+                result = {t1 | t2 for t1, t2 in itertools.product(result, part)}
+            return frozenset(result)
+
+        symbols = set(grammar.nonterminals) | set(grammar.terminals)
+        context: dict[str, set[frozenset[str]]] = {symbol: set() for symbol in symbols}
+        context[grammar.start].add(frozenset())
+        changed = True
+        while changed:
+            changed = False
+            for lhs, alternatives in grammar.productions.items():
+                for rhs in alternatives:
+                    for position, symbol in enumerate(rhs):
+                        rest = rhs[position + 1 :] if suffix else rhs[:position]
+                        rest_family = sequence_family(rest)
+                        for t1 in list(context[lhs]):
+                            for t2 in rest_family:
+                                combined = t1 | t2
+                                if combined not in context[symbol]:
+                                    context[symbol].add(combined)
+                                    changed = True
+        return {symbol: frozenset(family) for symbol, family in context.items()}
+
+    def _suffix_families(self) -> dict[str, SetOfEventSets]:
+        context = self._context_families(suffix=True)
+        result: dict[str, SetOfEventSets] = {}
+        for event in self._alphabet:
+            family = context.get(event, frozenset())
+            result[event] = drop_empty_sets(family)
+        return result
+
+    def _prefix_families(self) -> dict[str, SetOfEventSets]:
+        context = self._context_families(suffix=False)
+        return {
+            event: context.get(event, frozenset()) for event in self._alphabet
+        }
+
+
+def compile_cfg(grammar: Grammar | str, alphabet: Iterable[str] | None = None) -> CFGTemplate:
+    """Compile a grammar (or its concrete syntax) into a monitor template."""
+    if isinstance(grammar, str):
+        grammar = parse_cfg(grammar)
+    return CFGTemplate(grammar, alphabet)

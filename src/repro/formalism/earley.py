@@ -1,0 +1,174 @@
+"""An incremental Earley recognizer — the CFG plugin's monitoring engine.
+
+The CFG monitor must classify every *prefix* of the event stream into
+``match`` (prefix in the language), ``fail`` (no extension can ever match),
+or ``?``.  An Earley chart fed one token at a time supports exactly this:
+
+* ``match``  — a completed start item spanning the whole prefix exists;
+* ``fail``   — the current item set is empty after closure.
+
+The fail check is *exact* — not merely conservative — because grammars are
+normalized first (:func:`repro.formalism.cfg.Grammar.reduced`): with every
+unproductive and unreachable symbol removed, any item surviving closure can
+be extended to a full parse, so a viable prefix always leaves a non-empty
+item set.
+
+Epsilon productions are handled by running prediction and completion to a
+joint fixpoint within each state set (this subsumes the Aycock–Horspool
+nullable-prediction special case at a small constant cost, which is fine at
+monitoring scale: the paper's grammars have a handful of productions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["EarleyItem", "EarleyRecognizer"]
+
+
+class EarleyItem:
+    """A dotted production ``A -> α · β`` with an origin state-set index."""
+
+    __slots__ = ("lhs", "rhs", "dot", "origin")
+
+    def __init__(self, lhs: str, rhs: tuple[str, ...], dot: int, origin: int):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dot = dot
+        self.origin = origin
+
+    @property
+    def next_symbol(self) -> str | None:
+        return self.rhs[self.dot] if self.dot < len(self.rhs) else None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.dot >= len(self.rhs)
+
+    def advanced(self) -> "EarleyItem":
+        return EarleyItem(self.lhs, self.rhs, self.dot + 1, self.origin)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EarleyItem):
+            return NotImplemented
+        return (self.lhs, self.rhs, self.dot, self.origin) == (
+            other.lhs,
+            other.rhs,
+            other.dot,
+            other.origin,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.dot, self.origin))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        before = " ".join(self.rhs[: self.dot])
+        after = " ".join(self.rhs[self.dot :])
+        return f"[{self.lhs} -> {before} · {after}, {self.origin}]"
+
+
+class EarleyRecognizer:
+    """An Earley chart driven one terminal at a time.
+
+    ``productions`` maps each nonterminal to its alternatives (tuples of
+    symbols); ``start`` is the start nonterminal; ``terminals`` the terminal
+    alphabet.  The grammar is assumed reduced (see module docstring) for the
+    fail check to be exact.
+    """
+
+    def __init__(
+        self,
+        productions: dict[str, tuple[tuple[str, ...], ...]],
+        start: str,
+        terminals: frozenset[str],
+    ):
+        self._productions = productions
+        self._start = start
+        self._terminals = terminals
+        initial = {
+            EarleyItem(start, rhs, 0, 0) for rhs in productions.get(start, ())
+        }
+        self._sets: list[set[EarleyItem]] = [initial]
+        self._close(0)
+
+    # -- public protocol ------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Number of terminals consumed so far."""
+        return len(self._sets) - 1
+
+    def feed(self, terminal: str) -> None:
+        """Scan one terminal, building the next state set."""
+        current = self._sets[-1]
+        advanced = {
+            item.advanced()
+            for item in current
+            if item.next_symbol == terminal
+        }
+        self._sets.append(advanced)
+        self._close(len(self._sets) - 1)
+
+    def accepts(self) -> bool:
+        """Whether the prefix consumed so far is in the language."""
+        position = len(self._sets) - 1
+        return any(
+            item.is_complete and item.lhs == self._start and item.origin == 0
+            for item in self._sets[position]
+        )
+
+    def is_dead(self) -> bool:
+        """Whether no extension of the consumed prefix can ever be accepted."""
+        return not self._sets[-1]
+
+    def clone(self) -> "EarleyRecognizer":
+        """An independent copy (the chart's item sets are copied; items are
+        immutable and safely shared)."""
+        other = object.__new__(EarleyRecognizer)
+        other._productions = self._productions
+        other._start = self._start
+        other._terminals = self._terminals
+        other._sets = [set(state_set) for state_set in self._sets]
+        return other
+
+    def recognize(self, word: Sequence[str]) -> bool:
+        """Convenience: feed a whole word and report acceptance."""
+        for terminal in word:
+            self.feed(terminal)
+        return self.accepts()
+
+    # -- internals --------------------------------------------------------------
+
+    def _close(self, position: int) -> None:
+        """Run prediction + completion to fixpoint on state set ``position``."""
+        state_set = self._sets[position]
+        worklist = list(state_set)
+        while worklist:
+            item = worklist.pop()
+            symbol = item.next_symbol
+            if symbol is None:
+                # Completion: advance items in the origin set waiting on lhs.
+                for parent in list(self._sets[item.origin]):
+                    if parent.next_symbol == item.lhs:
+                        advanced = parent.advanced()
+                        if advanced not in state_set:
+                            state_set.add(advanced)
+                            worklist.append(advanced)
+            elif symbol not in self._terminals:
+                # Prediction.
+                for rhs in self._productions.get(symbol, ()):
+                    predicted = EarleyItem(symbol, rhs, 0, position)
+                    if predicted not in state_set:
+                        state_set.add(predicted)
+                        worklist.append(predicted)
+                # Nullable completion: ``symbol`` may already have completed
+                # within this very set (epsilon derivation), in which case the
+                # usual completion pass ran before this item existed.
+                if any(
+                    other.is_complete and other.lhs == symbol and other.origin == position
+                    for other in list(state_set)
+                ):
+                    advanced = item.advanced()
+                    if advanced not in state_set:
+                        state_set.add(advanced)
+                        worklist.append(advanced)

@@ -1,0 +1,575 @@
+"""Extended regular expressions (the ``ere`` plugin of Figure 3).
+
+"Extended" as in JavaMOP/RV: besides union, concatenation and repetition,
+patterns may use intersection (``&``) and complement (``~``).  Expressions
+are compiled to deterministic finite state machines with **Brzozowski
+derivatives** — complement and intersection fall out for free, and the
+similarity normalization applied by the smart constructors guarantees the
+derivative closure is finite, so DFA construction terminates.
+
+The resulting :class:`~repro.formalism.fsm.FSMTemplate` reuses the FSM
+coenable/enable fixpoints, which is how the paper's worked UNSAFEITER
+coenable sets are reproduced (see ``tests/core/test_coenable_paper_examples``).
+
+Verdicts: ``match`` for accepting states, ``fail`` for states from which no
+accepting state is reachable, ``?`` otherwise — exactly the three-way
+classification of Section 2 (``P_UNSAFEITER``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import FormalismError, SpecSyntaxError
+from ..core.verdicts import FAIL, MATCH, UNKNOWN
+from .fsm import FSM, FSMTemplate
+
+__all__ = [
+    "Ere",
+    "EMPTY",
+    "EPSILON",
+    "symbol",
+    "concat",
+    "union",
+    "intersect",
+    "complement",
+    "star",
+    "plus",
+    "optional",
+    "nullable",
+    "derivative",
+    "parse_ere",
+    "ere_to_fsm",
+    "compile_ere",
+]
+
+
+class Ere:
+    """Base class for ERE abstract-syntax nodes.
+
+    Nodes are immutable, hashable, and built only through the smart
+    constructors below, which apply the similarity rules (associativity,
+    commutativity and idempotence of ``|`` and ``&``, unit/absorbing
+    elements, ``r** = r*``) needed for derivative-closure finiteness.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ere[{format_ere(self)}]"
+
+
+class _Empty(Ere):
+    __slots__ = ()
+    _instance: "_Empty | None" = None
+
+    def __new__(cls) -> "_Empty":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+class _Epsilon(Ere):
+    __slots__ = ()
+    _instance: "_Epsilon | None" = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+class _Symbol(Ere):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Symbol) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name))
+
+
+class _Concat(Ere):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple[Ere, ...]):
+        self.parts = parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Concat) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("concat", self.parts))
+
+
+class _Union(Ere):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: frozenset[Ere]):
+        self.parts = parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Union) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("union", self.parts))
+
+
+class _Intersect(Ere):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: frozenset[Ere]):
+        self.parts = parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Intersect) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("intersect", self.parts))
+
+
+class _Star(Ere):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Ere):
+        self.body = body
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Star) and other.body == self.body
+
+    def __hash__(self) -> int:
+        return hash(("star", self.body))
+
+
+class _Complement(Ere):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Ere):
+        self.body = body
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Complement) and other.body == self.body
+
+    def __hash__(self) -> int:
+        return hash(("complement", self.body))
+
+
+#: The empty language ``∅``.
+EMPTY: Ere = _Empty()
+
+#: The empty word ``ε`` (spelled ``epsilon`` in the concrete syntax).
+EPSILON: Ere = _Epsilon()
+
+
+def symbol(name: str) -> Ere:
+    """A single-event pattern."""
+    return _Symbol(name)
+
+
+def concat(*parts: Ere) -> Ere:
+    """Concatenation with unit ``ε`` and absorbing ``∅``, flattened."""
+    flat: list[Ere] = []
+    for part in parts:
+        if part is EMPTY:
+            return EMPTY
+        if part is EPSILON:
+            continue
+        if isinstance(part, _Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return _Concat(tuple(flat))
+
+
+def union(*parts: Ere) -> Ere:
+    """Union, flattened and deduplicated, with unit ``∅``."""
+    flat: set[Ere] = set()
+    for part in parts:
+        if part is EMPTY:
+            continue
+        if isinstance(part, _Union):
+            flat |= part.parts
+        else:
+            flat.add(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return next(iter(flat))
+    return _Union(frozenset(flat))
+
+
+def intersect(*parts: Ere) -> Ere:
+    """Intersection, flattened and deduplicated, with absorbing ``∅``."""
+    flat: set[Ere] = set()
+    for part in parts:
+        if part is EMPTY:
+            return EMPTY
+        if isinstance(part, _Intersect):
+            flat |= part.parts
+        else:
+            flat.add(part)
+    if not flat:
+        raise FormalismError("intersection of zero patterns is the universal language; spell it ~empty")
+    if len(flat) == 1:
+        return next(iter(flat))
+    return _Intersect(frozenset(flat))
+
+
+def star(body: Ere) -> Ere:
+    """Kleene star with ``∅* = ε* = ε`` and ``r** = r*``."""
+    if body is EMPTY or body is EPSILON:
+        return EPSILON
+    if isinstance(body, _Star):
+        return body
+    return _Star(body)
+
+
+def plus(body: Ere) -> Ere:
+    """``r+  =  r r*``."""
+    return concat(body, star(body))
+
+
+def optional(body: Ere) -> Ere:
+    """``r?  =  ε | r``."""
+    return union(EPSILON, body)
+
+
+def complement(body: Ere) -> Ere:
+    """Language complement with double-negation elimination."""
+    if isinstance(body, _Complement):
+        return body.body
+    return _Complement(body)
+
+
+def symbols_of(expr: Ere) -> frozenset[str]:
+    """Every event name mentioned by the expression."""
+    if isinstance(expr, _Symbol):
+        return frozenset({expr.name})
+    if isinstance(expr, _Concat):
+        return frozenset().union(*(symbols_of(p) for p in expr.parts))
+    if isinstance(expr, (_Union, _Intersect)):
+        return frozenset().union(*(symbols_of(p) for p in expr.parts))
+    if isinstance(expr, (_Star, _Complement)):
+        return symbols_of(expr.body)
+    return frozenset()
+
+
+def nullable(expr: Ere) -> bool:
+    """Whether ``ε`` is in the language of ``expr``."""
+    if expr is EPSILON:
+        return True
+    if expr is EMPTY or isinstance(expr, _Symbol):
+        return False
+    if isinstance(expr, _Star):
+        return True
+    if isinstance(expr, _Concat):
+        return all(nullable(part) for part in expr.parts)
+    if isinstance(expr, _Union):
+        return any(nullable(part) for part in expr.parts)
+    if isinstance(expr, _Intersect):
+        return all(nullable(part) for part in expr.parts)
+    if isinstance(expr, _Complement):
+        return not nullable(expr.body)
+    raise FormalismError(f"unknown ERE node {expr!r}")
+
+
+def derivative(expr: Ere, event: str) -> Ere:
+    """The Brzozowski derivative ``d_event(expr)``."""
+    if expr is EMPTY or expr is EPSILON:
+        return EMPTY
+    if isinstance(expr, _Symbol):
+        return EPSILON if expr.name == event else EMPTY
+    if isinstance(expr, _Concat):
+        head, tail = expr.parts[0], concat(*expr.parts[1:])
+        result = concat(derivative(head, event), tail)
+        if nullable(head):
+            result = union(result, derivative(tail, event))
+        return result
+    if isinstance(expr, _Union):
+        return union(*(derivative(part, event) for part in expr.parts))
+    if isinstance(expr, _Intersect):
+        return intersect(*(derivative(part, event) for part in expr.parts))
+    if isinstance(expr, _Star):
+        return concat(derivative(expr.body, event), expr)
+    if isinstance(expr, _Complement):
+        return complement(derivative(expr.body, event))
+    raise FormalismError(f"unknown ERE node {expr!r}")
+
+
+def format_ere(expr: Ere) -> str:
+    """Render an expression back to the concrete syntax."""
+    if expr is EMPTY:
+        return "empty"
+    if expr is EPSILON:
+        return "epsilon"
+    if isinstance(expr, _Symbol):
+        return expr.name
+    if isinstance(expr, _Concat):
+        return " ".join(_format_tight(part) for part in expr.parts)
+    if isinstance(expr, _Union):
+        return " | ".join(sorted(format_ere(part) for part in expr.parts))
+    if isinstance(expr, _Intersect):
+        return " & ".join(sorted(_format_tight(part) for part in expr.parts))
+    if isinstance(expr, _Star):
+        return f"{_format_tight(expr.body)}*"
+    if isinstance(expr, _Complement):
+        return f"~{_format_tight(expr.body)}"
+    raise FormalismError(f"unknown ERE node {expr!r}")
+
+
+def _format_tight(expr: Ere) -> str:
+    text = format_ere(expr)
+    if isinstance(expr, (_Union, _Concat, _Intersect)):
+        return f"({text})"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Concrete-syntax parser
+# ---------------------------------------------------------------------------
+
+_PUNCT = {"(", ")", "|", "&", "~", "*", "+", "?"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+        elif char in _PUNCT:
+            tokens.append(char)
+            index += 1
+        elif char.isalpha() or char == "_":
+            start = index
+            while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            tokens.append(text[start:index])
+        else:
+            raise SpecSyntaxError(f"unexpected character {char!r} in ERE {text!r}")
+    return tokens
+
+
+class _EreParser:
+    """Recursive-descent parser for the concrete ERE syntax.
+
+    Grammar (loosest to tightest binding)::
+
+        union   := inter ('|' inter)*
+        inter   := cat ('&' cat)*
+        cat     := repeat+
+        repeat  := atom ('*' | '+' | '?')*
+        atom    := EVENT | 'epsilon' | 'empty' | '~' atom | '(' union ')'
+    """
+
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self) -> Ere:
+        expr = self._union()
+        if self._pos != len(self._tokens):
+            raise SpecSyntaxError(f"trailing tokens in ERE: {self._tokens[self._pos:]!r}")
+        return expr
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of ERE")
+        self._pos += 1
+        return token
+
+    def _union(self) -> Ere:
+        parts = [self._inter()]
+        while self._peek() == "|":
+            self._take()
+            parts.append(self._inter())
+        return union(*parts)
+
+    def _inter(self) -> Ere:
+        parts = [self._cat()]
+        while self._peek() == "&":
+            self._take()
+            parts.append(self._cat())
+        return intersect(*parts) if len(parts) > 1 else parts[0]
+
+    def _cat(self) -> Ere:
+        parts = [self._repeat()]
+        while True:
+            token = self._peek()
+            if token is None or token in {")", "|", "&"}:
+                break
+            parts.append(self._repeat())
+        return concat(*parts)
+
+    def _repeat(self) -> Ere:
+        expr = self._atom()
+        while self._peek() in {"*", "+", "?"}:
+            token = self._take()
+            if token == "*":
+                expr = star(expr)
+            elif token == "+":
+                expr = plus(expr)
+            else:
+                expr = optional(expr)
+        return expr
+
+    def _atom(self) -> Ere:
+        token = self._take()
+        if token == "(":
+            expr = self._union()
+            if self._take() != ")":
+                raise SpecSyntaxError("expected ')' in ERE")
+            return expr
+        if token == "~":
+            return complement(self._atom())
+        if token == "epsilon":
+            return EPSILON
+        if token == "empty":
+            return EMPTY
+        if token in _PUNCT:
+            raise SpecSyntaxError(f"unexpected token {token!r} in ERE")
+        return symbol(token)
+
+
+def parse_ere(text: str) -> Ere:
+    """Parse the concrete ERE syntax, e.g. ``update* create next* update+ next``."""
+    return _EreParser(_tokenize(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# DFA construction
+# ---------------------------------------------------------------------------
+
+
+def ere_to_fsm(expr: Ere | str, alphabet: Iterable[str]) -> FSM:
+    """Compile an ERE to a DFA via the derivative closure, Moore-minimized.
+
+    ``alphabet`` must cover every symbol of the pattern; events of the
+    specification that do not occur in the pattern still drive transitions
+    (their derivative is ``∅`` wherever they cannot extend a match, which is
+    what makes them *fail* the pattern, per ERE plugin semantics).
+    """
+    if isinstance(expr, str):
+        expr = parse_ere(expr)
+    alphabet = frozenset(alphabet)
+    missing = symbols_of(expr) - alphabet
+    if missing:
+        raise FormalismError(
+            f"pattern mentions events outside the declared alphabet: {sorted(missing)}"
+        )
+    order = sorted(alphabet)
+    states: dict[Ere, int] = {expr: 0}
+    worklist = [expr]
+    transitions: dict[tuple[int, str], int] = {}
+    while worklist:
+        source = worklist.pop()
+        for event in order:
+            target = derivative(source, event)
+            if target not in states:
+                states[target] = len(states)
+                worklist.append(target)
+            transitions[(states[source], event)] = states[target]
+    verdicts: dict[int, str] = {}
+    for state_expr, index in states.items():
+        verdicts[index] = MATCH if nullable(state_expr) else UNKNOWN
+    # States that cannot reach a match verdict are fails (dead).
+    verdicts = _mark_dead_states(len(states), transitions, verdicts, order)
+    fsm = FSM(
+        states=tuple(f"s{i}" for i in range(len(states))),
+        alphabet=alphabet,
+        initial="s0",
+        transitions={
+            (f"s{src}", event): f"s{dst}" for (src, event), dst in transitions.items()
+        },
+        verdicts={f"s{i}": verdict for i, verdict in verdicts.items()},
+    )
+    return minimize_fsm(fsm)
+
+
+def _mark_dead_states(
+    count: int,
+    transitions: dict[tuple[int, str], int],
+    verdicts: dict[int, str],
+    order: list[str],
+) -> dict[int, str]:
+    predecessors: dict[int, set[int]] = {i: set() for i in range(count)}
+    for (src, _event), dst in transitions.items():
+        predecessors[dst].add(src)
+    alive = {i for i in range(count) if verdicts[i] == MATCH}
+    frontier = list(alive)
+    while frontier:
+        state = frontier.pop()
+        for pred in predecessors[state]:
+            if pred not in alive:
+                alive.add(pred)
+                frontier.append(pred)
+    return {
+        i: (verdicts[i] if i in alive else FAIL) for i in range(count)
+    }
+
+
+def minimize_fsm(fsm: FSM) -> FSM:
+    """Moore partition refinement, seeded by the verdict categories.
+
+    The minimized machine is observationally equivalent (same verdict after
+    every trace), which is all any analysis in this library depends on.
+    """
+    order = sorted(fsm.alphabet)
+    # Initial partition: group by verdict category.
+    block_of: dict[str, int] = {}
+    categories: dict[str, int] = {}
+    for state in fsm.states:
+        category = fsm.verdict_of(state)
+        block_of[state] = categories.setdefault(category, len(categories))
+    changed = True
+    while changed:
+        changed = False
+        signature: dict[str, tuple] = {}
+        for state in fsm.states:
+            successors = tuple(
+                block_of.get(fsm.successor(state, event), -1) for event in order
+            )
+            signature[state] = (block_of[state], successors)
+        remap: dict[tuple, int] = {}
+        new_block_of: dict[str, int] = {}
+        for state in fsm.states:
+            new_block_of[state] = remap.setdefault(signature[state], len(remap))
+        if new_block_of != block_of:
+            block_of = new_block_of
+            changed = True
+    representatives: dict[int, str] = {}
+    for state in fsm.states:
+        representatives.setdefault(block_of[state], state)
+    new_states = tuple(f"s{block}" for block in sorted(representatives))
+    new_transitions: dict[tuple[str, str], str] = {}
+    new_verdicts: dict[str, str] = {}
+    for block, representative in representatives.items():
+        new_verdicts[f"s{block}"] = fsm.verdict_of(representative)
+        for event in order:
+            successor = fsm.successor(representative, event)
+            if successor is not None:
+                new_transitions[(f"s{block}", event)] = f"s{block_of[successor]}"
+    return FSM(
+        states=new_states,
+        alphabet=fsm.alphabet,
+        initial=f"s{block_of[fsm.initial]}",
+        transitions=new_transitions,
+        verdicts=new_verdicts,
+    )
+
+
+def compile_ere(pattern: Ere | str, alphabet: Iterable[str]) -> FSMTemplate:
+    """Compile an ERE pattern into a ready-to-run monitor template."""
+    return FSMTemplate(ere_to_fsm(pattern, alphabet))

@@ -1,0 +1,382 @@
+"""Finite state machines: the FSM plugin and its static analyses.
+
+Implements the FSM formalism of the paper (Figure 2) in the spirit of
+Definition 8, plus the Section 3 least-fixpoint computations:
+
+* ``SEEABLE(s)`` — the family of event sets occurring along paths from ``s``
+  to a goal state;
+* ``COENABLE_{P,G}(e) = ∪_{σ(s,e)=s'} SEEABLE(s')`` with ``∅`` dropped;
+* the dual ``BEFORE``/``ENABLE`` fixpoint used for monitor-creation pruning
+  (Chen et al., ASE'09).
+
+FSM semantics follow the RV system: the verdict of a state is its category
+under ``γ`` (by default the state's own name, which is how the paper's FSM
+handlers like ``@error`` address states), and an *undefined* transition
+sends the monitor to an implicit absorbing sink with category ``fail``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.errors import FormalismError
+from ..core.monitor import BaseMonitor, MonitorTemplate, SetOfEventSets
+from ..core.verdicts import FAIL
+from ..core.coenable import drop_empty_sets
+
+__all__ = ["FSM", "FSMMonitor", "FSMTemplate", "seeable_sets", "fsm_coenable", "fsm_enable"]
+
+#: Name of the implicit absorbing sink reached by undefined transitions.
+FAIL_SINK = "<fail>"
+
+
+@dataclass(frozen=True)
+class FSM:
+    """An explicit finite state machine ``(S, E, C, ı, σ, γ)``.
+
+    ``transitions`` maps ``(state, event)`` to the successor state;
+    ``verdicts`` is ``γ`` — states absent from it verdict as their own name.
+    The implicit fail sink is *not* listed in ``states``; it is synthesized
+    by the monitor and the analyses.
+    """
+
+    states: tuple[str, ...]
+    alphabet: frozenset[str]
+    initial: str
+    transitions: Mapping[tuple[str, str], str]
+    verdicts: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        known = set(self.states)
+        if self.initial not in known:
+            raise FormalismError(f"initial state {self.initial!r} is not a state")
+        for (state, event), successor in self.transitions.items():
+            if state not in known:
+                raise FormalismError(f"transition from unknown state {state!r}")
+            if successor not in known:
+                raise FormalismError(f"transition to unknown state {successor!r}")
+            if event not in self.alphabet:
+                raise FormalismError(f"transition on unknown event {event!r}")
+        for state in self.verdicts:
+            if state not in known:
+                raise FormalismError(f"verdict for unknown state {state!r}")
+
+    def verdict_of(self, state: str | None) -> str:
+        """``γ(state)``; the sink (``None``/``FAIL_SINK``) verdicts ``fail``."""
+        if state is None or state == FAIL_SINK:
+            return FAIL
+        return self.verdicts.get(state, state)
+
+    def successor(self, state: str, event: str) -> str | None:
+        """``σ(state, event)`` or ``None`` for the implicit fail sink."""
+        return self.transitions.get((state, event))
+
+    def goal_states(self, goal: frozenset[str]) -> frozenset[str]:
+        """States whose verdict category lies in ``goal`` (may include the sink)."""
+        result = {state for state in self.states if self.verdict_of(state) in goal}
+        if FAIL in goal:
+            result.add(FAIL_SINK)
+        return frozenset(result)
+
+    def reachable_states(self) -> frozenset[str]:
+        """States reachable from the initial state (sink excluded)."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for event in self.alphabet:
+                successor = self.successor(state, event)
+                if successor is not None and successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return frozenset(seen)
+
+    def inert_states(self, include_sink_paths: bool = True) -> frozenset[str]:
+        """States from which the verdict can never change again.
+
+        A state is inert when every state reachable from it (through the
+        sink, if ``include_sink_paths``) verdicts the same category.  Used by
+        :meth:`FSMMonitor.is_dead` so the runtime can skip pointless updates.
+        """
+        inert: set[str] = set()
+        for origin in self.states:
+            category = self.verdict_of(origin)
+            seen = {origin}
+            frontier = [origin]
+            uniform = True
+            while frontier and uniform:
+                state = frontier.pop()
+                for event in self.alphabet:
+                    if state == FAIL_SINK:
+                        continue
+                    successor = self.successor(state, event)
+                    if successor is None:
+                        if not include_sink_paths:
+                            continue
+                        successor = FAIL_SINK
+                    if self.verdict_of(successor) != category:
+                        uniform = False
+                        break
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)
+            if uniform:
+                inert.add(origin)
+        return frozenset(inert)
+
+
+class FSMMonitor(BaseMonitor):
+    """A running FSM monitor instance."""
+
+    __slots__ = ("_fsm", "_state", "_inert")
+
+    def __init__(self, fsm: FSM, state: str | None = None, inert: frozenset[str] | None = None):
+        self._fsm = fsm
+        self._state = fsm.initial if state is None else state
+        self._inert = inert
+
+    @property
+    def state(self) -> str:
+        """The current state (``FAIL_SINK`` once an undefined transition fired)."""
+        return self._state
+
+    def step(self, event: str) -> str:
+        if self._state != FAIL_SINK:
+            successor = self._fsm.successor(self._state, event)
+            self._state = FAIL_SINK if successor is None else successor
+        return self._fsm.verdict_of(self._state)
+
+    def verdict(self) -> str:
+        return self._fsm.verdict_of(self._state)
+
+    def clone(self) -> "FSMMonitor":
+        return FSMMonitor(self._fsm, self._state, self._inert)
+
+    def is_dead(self) -> bool:
+        if self._state == FAIL_SINK:
+            return True
+        return self._inert is not None and self._state in self._inert
+
+
+class FSMTemplate(MonitorTemplate):
+    """Monitor template backed by an explicit FSM.
+
+    Besides the FSM plugin proper, this class hosts every formalism that
+    compiles to finite state (ERE via derivatives, past-LTL via valuation
+    exploration), so the coenable/enable fixpoints are implemented once.
+    """
+
+    def __init__(self, fsm: FSM):
+        self.fsm = fsm
+        self._inert = fsm.inert_states()
+        self._coenable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
+        self._enable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
+        self._state_coenable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self.fsm.alphabet
+
+    @property
+    def categories(self) -> frozenset[str]:
+        return frozenset(self.fsm.verdict_of(state) for state in self.fsm.states) | {FAIL}
+
+    def create(self) -> FSMMonitor:
+        return FSMMonitor(self.fsm, inert=self._inert)
+
+    def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        if goal not in self._coenable_cache:
+            self._coenable_cache[goal] = fsm_coenable(self.fsm, goal)
+        return self._coenable_cache[goal]
+
+    def enable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        if goal not in self._enable_cache:
+            self._enable_cache[goal] = fsm_enable(self.fsm, goal)
+        return self._enable_cache[goal]
+
+    @property
+    def supports_state_gc(self) -> bool:
+        return True
+
+    def state_coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        """``SEEABLE`` indexed by state — the Tracematches-analog analysis.
+
+        The paper characterizes the Tracematches GC as "coenable sets indexed
+        by state rather than events"; this is exactly ``SEEABLE`` (∅ dropped,
+        same rationale as for event coenable sets).
+        """
+        if goal not in self._state_coenable_cache:
+            seeable = seeable_sets(self.fsm, goal)
+            self._state_coenable_cache[goal] = {
+                state: drop_empty_sets(family) for state, family in seeable.items()
+            }
+        return self._state_coenable_cache[goal]
+
+
+# ---------------------------------------------------------------------------
+# Least-fixpoint analyses (Section 3)
+# ---------------------------------------------------------------------------
+
+
+def _transition_items(fsm: FSM) -> Iterable[tuple[str, str, str]]:
+    for (state, event), successor in fsm.transitions.items():
+        yield state, event, successor
+    # Undefined transitions go to the implicit fail sink, which matters only
+    # when the goal includes ``fail``; it has no outgoing transitions.
+    for state, event in itertools.product(fsm.states, sorted(fsm.alphabet)):
+        if (state, event) not in fsm.transitions:
+            yield state, event, FAIL_SINK
+
+
+def seeable_sets(fsm: FSM, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+    """``SEEABLE(s)``: families of event sets seen on paths from ``s`` to goal.
+
+    Least fixpoint of
+    ``SEEABLE(s) ⊇ {∅}`` when ``γ(s) in goal`` and
+    ``SEEABLE(s) ⊇ {{e} ∪ T | T in SEEABLE(s')}`` for each ``σ(s, e) = s'``.
+    Terminates because the lattice ``P(P(E))`` is finite.
+    """
+    all_states = list(fsm.states) + [FAIL_SINK]
+    seeable: dict[str, set[frozenset[str]]] = {state: set() for state in all_states}
+    for state in fsm.goal_states(goal):
+        seeable[state].add(frozenset())
+    edges = list(_transition_items(fsm))
+    changed = True
+    while changed:
+        changed = False
+        for state, event, successor in edges:
+            for suffix in list(seeable[successor]):
+                extended = suffix | {event}
+                if extended not in seeable[state]:
+                    seeable[state].add(extended)
+                    changed = True
+    return {state: frozenset(family) for state, family in seeable.items()}
+
+
+def fsm_coenable(fsm: FSM, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+    """``COENABLE_{P,G}(e) = ∪_{σ(s,e)=s'} SEEABLE(s')``, ∅s dropped.
+
+    Only transitions reachable from the initial state contribute: an
+    occurrence of ``e`` in a goal trace necessarily fires a reachable
+    transition.
+    """
+    seeable = seeable_sets(fsm, goal)
+    before = before_sets(fsm)
+    reachable = {state for state, family in before.items() if family}
+    result: dict[str, set[frozenset[str]]] = {event: set() for event in fsm.alphabet}
+    for state, event, successor in _transition_items(fsm):
+        if state in reachable:
+            result[event].update(seeable[successor])
+    return {
+        event: drop_empty_sets(frozenset(family)) for event, family in result.items()
+    }
+
+
+def before_sets(fsm: FSM) -> dict[str, SetOfEventSets]:
+    """``BEFORE(s)``: families of event sets seen on paths from ``ı`` to ``s``.
+
+    The dual of :func:`seeable_sets`; the empty set marks the initial state.
+    """
+    all_states = list(fsm.states) + [FAIL_SINK]
+    before: dict[str, set[frozenset[str]]] = {state: set() for state in all_states}
+    before[fsm.initial].add(frozenset())
+    edges = list(_transition_items(fsm))
+    changed = True
+    while changed:
+        changed = False
+        for state, event, successor in edges:
+            for prefix in list(before[state]):
+                extended = prefix | {event}
+                if extended not in before[successor]:
+                    before[successor].add(extended)
+                    changed = True
+    return {state: frozenset(family) for state, family in before.items()}
+
+
+def fsm_enable(fsm: FSM, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+    """``ENABLE_{P,G}(e)``: prefix event-set families over goal traces.
+
+    ``ENABLE(e) = {T in BEFORE(s) | σ(s,e)=s', goal reachable from s'}``.
+    The empty set is kept — it marks creation events.
+    """
+    before = before_sets(fsm)
+    seeable = seeable_sets(fsm, goal)
+    goal_reachable = {state for state, family in seeable.items() if family}
+    result: dict[str, set[frozenset[str]]] = {event: set() for event in fsm.alphabet}
+    for state, event, successor in _transition_items(fsm):
+        if successor in goal_reachable:
+            result[event].update(before[state])
+    return {event: frozenset(family) for event, family in result.items()}
+
+
+# ---------------------------------------------------------------------------
+# Concrete syntax (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def parse_fsm(text: str, alphabet: Iterable[str] | None = None) -> FSM:
+    """Parse the FSM syntax of Figure 2.
+
+    Each state is a name followed by its outgoing transitions in brackets
+    (``event -> state``), separated by commas or whitespace; the first state
+    is the initial state.  The alphabet defaults to the set of mentioned
+    events but can be widened (events of the specification that the FSM does
+    not mention fail the property via the implicit sink).
+    """
+    from ..core.errors import SpecSyntaxError
+
+    tokens: list[str] = []
+    for raw in text.replace("[", " [ ").replace("]", " ] ").replace(",", " ").replace("->", " -> ").split():
+        tokens.append(raw)
+    states: list[str] = []
+    transitions: dict[tuple[str, str], str] = {}
+    events: set[str] = set()
+    index = 0
+    while index < len(tokens):
+        state = tokens[index]
+        if state in {"[", "]", "->"}:
+            raise SpecSyntaxError(f"expected state name, got {state!r}")
+        if state in states:
+            raise SpecSyntaxError(f"state {state!r} declared twice")
+        states.append(state)
+        index += 1
+        if index >= len(tokens) or tokens[index] != "[":
+            raise SpecSyntaxError(f"expected '[' after state {state!r}")
+        index += 1
+        while index < len(tokens) and tokens[index] != "]":
+            event = tokens[index]
+            if index + 2 >= len(tokens) or tokens[index + 1] != "->":
+                raise SpecSyntaxError(f"expected 'event -> state' in state {state!r}")
+            successor = tokens[index + 2]
+            if (state, event) in transitions:
+                raise SpecSyntaxError(
+                    f"duplicate transition on {event!r} from state {state!r}"
+                )
+            transitions[(state, event)] = successor
+            events.add(event)
+            index += 3
+        if index >= len(tokens):
+            raise SpecSyntaxError(f"unterminated state block for {state!r}")
+        index += 1  # the ']'
+    if not states:
+        raise SpecSyntaxError("empty FSM")
+    full_alphabet = frozenset(alphabet) if alphabet is not None else frozenset(events)
+    missing = events - full_alphabet
+    if missing:
+        raise FormalismError(
+            f"FSM mentions events outside the declared alphabet: {sorted(missing)}"
+        )
+    return FSM(
+        states=tuple(states),
+        alphabet=full_alphabet,
+        initial=states[0],
+        transitions=transitions,
+    )
+
+
+def compile_fsm(text: "str | FSM", alphabet: Iterable[str] | None = None) -> FSMTemplate:
+    """Compile FSM concrete syntax (or an FSM value) into a monitor template."""
+    fsm = parse_fsm(text, alphabet) if isinstance(text, str) else text
+    return FSMTemplate(fsm)

@@ -1,0 +1,457 @@
+"""Past-time linear temporal logic (the ``ltl`` plugin of Figure 2).
+
+The paper's LTL example — ``[](next => (*)hasnexttrue)`` — uses the
+past-time fragment: ``(*)`` (previously), ``<*>`` (eventually in the past),
+``[*]`` (always in the past) and ``S`` (since), under a top-level ``[]``.
+Over finite monitored prefixes, the top-level ``[]`` coincides with
+``[*]`` ("at every step so far"), which is how it is compiled here.
+
+Atomic propositions are event names: proposition ``e`` holds at a step iff
+the step's event is ``e`` (trace slices deliver exactly one event per step).
+
+Monitoring past-time LTL needs one bit of memory per temporal subformula
+(Havelund & Roșu's classic recurrences), so the monitor's reachable state
+space is finite.  We compile it to an *explicit* :class:`~repro.formalism.fsm.FSM`
+by breadth-first exploration of the memory vectors — the point of doing so
+is that the FSM coenable/enable machinery then applies unchanged, which is
+precisely the formalism-independence the paper claims for its technique.
+
+Verdicts: ``violation`` once the formula goes false (absorbing), ``?``
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import FormalismError, SpecSyntaxError
+from ..core.verdicts import UNKNOWN, VIOLATION
+from .ere import minimize_fsm
+from .fsm import FSM, FSMTemplate
+
+__all__ = [
+    "LtlFormula",
+    "Prop",
+    "TrueConst",
+    "FalseConst",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Prev",
+    "OncePast",
+    "AlwaysPast",
+    "Since",
+    "parse_ltl",
+    "ltl_to_fsm",
+    "compile_ltl",
+]
+
+
+class LtlFormula:
+    """Base class for past-time LTL abstract syntax nodes (immutable)."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["LtlFormula", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ltl[{format_ltl(self)}]"
+
+
+class Prop(LtlFormula):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Prop) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("prop", self.name))
+
+
+class TrueConst(LtlFormula):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, TrueConst)
+
+    def __hash__(self):
+        return hash("true")
+
+
+class FalseConst(LtlFormula):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, FalseConst)
+
+    def __hash__(self):
+        return hash("false")
+
+
+class _Unary(LtlFormula):
+    __slots__ = ("body",)
+    _tag = ""
+
+    def __init__(self, body: LtlFormula):
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.body == self.body
+
+    def __hash__(self):
+        return hash((self._tag, self.body))
+
+
+class _Binary(LtlFormula):
+    __slots__ = ("left", "right")
+    _tag = ""
+
+    def __init__(self, left: LtlFormula, right: LtlFormula):
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __eq__(self, other):
+        return type(other) is type(self) and (other.left, other.right) == (self.left, self.right)
+
+    def __hash__(self):
+        return hash((self._tag, self.left, self.right))
+
+
+class Not(_Unary):
+    __slots__ = ()
+    _tag = "not"
+
+
+class And(_Binary):
+    __slots__ = ()
+    _tag = "and"
+
+
+class Or(_Binary):
+    __slots__ = ()
+    _tag = "or"
+
+
+class Implies(_Binary):
+    __slots__ = ()
+    _tag = "implies"
+
+
+class Prev(_Unary):
+    """``(*) φ`` — φ held at the immediately preceding step (false initially)."""
+
+    __slots__ = ()
+    _tag = "prev"
+
+
+class OncePast(_Unary):
+    """``<*> φ`` — φ held at some step so far."""
+
+    __slots__ = ()
+    _tag = "once"
+
+
+class AlwaysPast(_Unary):
+    """``[*] φ`` (and top-level ``[] φ``) — φ held at every step so far."""
+
+    __slots__ = ()
+    _tag = "always"
+
+
+class Since(_Binary):
+    """``φ S ψ`` — ψ held at some step so far and φ has held ever since."""
+
+    __slots__ = ()
+    _tag = "since"
+
+
+def propositions_of(formula: LtlFormula) -> frozenset[str]:
+    if isinstance(formula, Prop):
+        return frozenset({formula.name})
+    result: frozenset[str] = frozenset()
+    for child in formula.children():
+        result |= propositions_of(child)
+    return result
+
+
+def format_ltl(formula: LtlFormula) -> str:
+    """Render a formula back to the concrete syntax."""
+    if isinstance(formula, Prop):
+        return formula.name
+    if isinstance(formula, TrueConst):
+        return "true"
+    if isinstance(formula, FalseConst):
+        return "false"
+    if isinstance(formula, Not):
+        return f"!({format_ltl(formula.body)})"
+    if isinstance(formula, Prev):
+        return f"(*)({format_ltl(formula.body)})"
+    if isinstance(formula, OncePast):
+        return f"<*>({format_ltl(formula.body)})"
+    if isinstance(formula, AlwaysPast):
+        return f"[*]({format_ltl(formula.body)})"
+    if isinstance(formula, And):
+        return f"({format_ltl(formula.left)} && {format_ltl(formula.right)})"
+    if isinstance(formula, Or):
+        return f"({format_ltl(formula.left)} || {format_ltl(formula.right)})"
+    if isinstance(formula, Implies):
+        return f"({format_ltl(formula.left)} => {format_ltl(formula.right)})"
+    if isinstance(formula, Since):
+        return f"({format_ltl(formula.left)} S {format_ltl(formula.right)})"
+    raise FormalismError(f"unknown LTL node {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_MULTI_TOKENS = ["[]", "[*]", "<*>", "(*)", "=>", "&&", "||"]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        for multi in _MULTI_TOKENS:
+            if text.startswith(multi, index):
+                tokens.append(multi)
+                index += len(multi)
+                break
+        else:
+            if char in "()!":
+                tokens.append(char)
+                index += 1
+            elif char.isalpha() or char == "_":
+                start = index
+                while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+                    index += 1
+                tokens.append(text[start:index])
+            else:
+                raise SpecSyntaxError(f"unexpected character {char!r} in LTL {text!r}")
+    return tokens
+
+
+class _LtlParser:
+    """Recursive descent; precedence (loosest first): ``=>``, ``||``, ``&&``,
+    ``S``, unary (``!``, ``(*)``, ``<*>``, ``[*]``, ``[]``)."""
+
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self) -> LtlFormula:
+        formula = self._implies()
+        if self._pos != len(self._tokens):
+            raise SpecSyntaxError(f"trailing tokens in LTL: {self._tokens[self._pos:]!r}")
+        return formula
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of LTL formula")
+        self._pos += 1
+        return token
+
+    def _implies(self) -> LtlFormula:
+        left = self._or()
+        if self._peek() == "=>":
+            self._take()
+            return Implies(left, self._implies())  # right-associative
+        return left
+
+    def _or(self) -> LtlFormula:
+        left = self._and()
+        while self._peek() in {"||", "or"}:
+            self._take()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> LtlFormula:
+        left = self._since()
+        while self._peek() in {"&&", "and"}:
+            self._take()
+            left = And(left, self._since())
+        return left
+
+    def _since(self) -> LtlFormula:
+        left = self._unary()
+        while self._peek() == "S":
+            self._take()
+            left = Since(left, self._unary())
+        return left
+
+    def _unary(self) -> LtlFormula:
+        token = self._peek()
+        if token in {"!", "not"}:
+            self._take()
+            return Not(self._unary())
+        if token == "(*)":
+            self._take()
+            return Prev(self._unary())
+        if token == "<*>":
+            self._take()
+            return OncePast(self._unary())
+        if token in {"[*]", "[]"}:
+            self._take()
+            return AlwaysPast(self._unary())
+        return self._atom()
+
+    def _atom(self) -> LtlFormula:
+        token = self._take()
+        if token == "(":
+            formula = self._implies()
+            if self._take() != ")":
+                raise SpecSyntaxError("expected ')' in LTL formula")
+            return formula
+        if token == "true":
+            return TrueConst()
+        if token == "false":
+            return FalseConst()
+        if token in {"S", "=>", "&&", "||", ")", "!", "not", "and", "or"}:
+            raise SpecSyntaxError(f"unexpected token {token!r} in LTL formula")
+        return Prop(token)
+
+
+def parse_ltl(text: str) -> LtlFormula:
+    """Parse e.g. ``[](next => (*)hasnexttrue)``."""
+    return _LtlParser(_tokenize(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Compilation to an explicit FSM
+# ---------------------------------------------------------------------------
+
+
+def _subformulas(formula: LtlFormula) -> list[LtlFormula]:
+    """All distinct subformulas, children before parents."""
+    ordered: list[LtlFormula] = []
+    seen: set[LtlFormula] = set()
+
+    def visit(node: LtlFormula) -> None:
+        if node in seen:
+            return
+        for child in node.children():
+            visit(child)
+        seen.add(node)
+        ordered.append(node)
+
+    visit(formula)
+    return ordered
+
+
+_TEMPORAL = (Prev, OncePast, AlwaysPast, Since)
+
+
+def ltl_to_fsm(formula: LtlFormula | str, alphabet: Iterable[str]) -> FSM:
+    """Compile a past-LTL formula to a DFA over its memory vectors.
+
+    Each temporal subformula owns one memory bit (its value — or for ``(*)``
+    its operand's value — at the previous step); the monitor state is the
+    memory vector plus the sticky violation bit.  States are explored
+    breadth-first from the initial vector, so only reachable vectors
+    materialize; the result is Moore-minimized.
+    """
+    if isinstance(formula, str):
+        formula = parse_ltl(formula)
+    alphabet = frozenset(alphabet)
+    missing = propositions_of(formula) - alphabet
+    if missing:
+        raise FormalismError(
+            f"formula mentions events outside the declared alphabet: {sorted(missing)}"
+        )
+    ordered = _subformulas(formula)
+    temporal = [node for node in ordered if isinstance(node, _TEMPORAL)]
+    slot = {node: index for index, node in enumerate(temporal)}
+
+    def initial_memory() -> tuple[bool, ...]:
+        # (*)φ: no previous step, so false.  <*>φ: nothing held yet, false.
+        # [*]φ: vacuously true.  φ S ψ: ψ never held, false.
+        return tuple(isinstance(node, AlwaysPast) for node in temporal)
+
+    def step(memory: tuple[bool, ...], event: str) -> tuple[tuple[bool, ...], bool]:
+        value: dict[LtlFormula, bool] = {}
+        for node in ordered:
+            if isinstance(node, Prop):
+                value[node] = node.name == event
+            elif isinstance(node, TrueConst):
+                value[node] = True
+            elif isinstance(node, FalseConst):
+                value[node] = False
+            elif isinstance(node, Not):
+                value[node] = not value[node.body]
+            elif isinstance(node, And):
+                value[node] = value[node.left] and value[node.right]
+            elif isinstance(node, Or):
+                value[node] = value[node.left] or value[node.right]
+            elif isinstance(node, Implies):
+                value[node] = (not value[node.left]) or value[node.right]
+            elif isinstance(node, Prev):
+                value[node] = memory[slot[node]]
+            elif isinstance(node, OncePast):
+                value[node] = value[node.body] or memory[slot[node]]
+            elif isinstance(node, AlwaysPast):
+                value[node] = value[node.body] and memory[slot[node]]
+            elif isinstance(node, Since):
+                value[node] = value[node.right] or (value[node.left] and memory[slot[node]])
+            else:  # pragma: no cover - exhaustive
+                raise FormalismError(f"unknown LTL node {node!r}")
+        new_memory = tuple(
+            value[node.body] if isinstance(node, Prev) else value[node]
+            for node in temporal
+        )
+        return new_memory, value[formula]
+
+    order = sorted(alphabet)
+    initial = (initial_memory(), False)
+    states: dict[tuple[tuple[bool, ...], bool], int] = {initial: 0}
+    worklist = [initial]
+    transitions: dict[tuple[int, str], int] = {}
+    while worklist:
+        source = worklist.pop()
+        memory, violated = source
+        for event in order:
+            if violated:
+                target = source  # violation is absorbing
+            else:
+                new_memory, holds = step(memory, event)
+                target = (new_memory, violated or not holds)
+            if target not in states:
+                states[target] = len(states)
+                worklist.append(target)
+            transitions[(states[source], event)] = states[target]
+    fsm = FSM(
+        states=tuple(f"q{i}" for i in range(len(states))),
+        alphabet=alphabet,
+        initial="q0",
+        transitions={
+            (f"q{src}", event): f"q{dst}" for (src, event), dst in transitions.items()
+        },
+        verdicts={
+            f"q{index}": (VIOLATION if violated else UNKNOWN)
+            for (_memory, violated), index in states.items()
+        },
+    )
+    return minimize_fsm(fsm)
+
+
+def compile_ltl(formula: LtlFormula | str, alphabet: Iterable[str]) -> FSMTemplate:
+    """Compile a past-LTL formula into a ready-to-run monitor template."""
+    return FSMTemplate(ltl_to_fsm(formula, alphabet))

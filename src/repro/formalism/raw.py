@@ -1,0 +1,169 @@
+"""User-defined monitors as a formalism plugin.
+
+The paper's central claim is formalism independence: the runtime only needs
+a base monitor (Definition 8) plus coenable/enable sets for the goal.  This
+module makes that concrete for *library users*: wrap any Python object with
+``step``/``verdict``/``clone`` (or just a per-trace transition function)
+into a :class:`RawTemplate` and monitor it parametrically, with either
+user-supplied static analyses or safe conservative defaults:
+
+* conservative coenable — every event's family contains ``∅``, i.e. the
+  ALIVENESS formula is constant true: no monitor is ever pruned by the
+  coenable strategy (collection falls back to structure death);
+* conservative enable — the full powerset of the alphabet: every event may
+  create monitors and extend any defined sub-instance.
+
+Supplying tighter families (when you know your property) re-enables the
+paper's pruning; the families are validated for alphabet consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.errors import FormalismError
+from ..core.monitor import BaseMonitor, MonitorTemplate, SetOfEventSets
+from ..core.verdicts import UNKNOWN
+
+__all__ = ["RawMonitor", "RawTemplate", "functional_template"]
+
+
+class RawMonitor(BaseMonitor):
+    """Adapter for a user state machine given as a transition function.
+
+    ``transition(state, event) -> state`` and ``verdict(state) -> category``
+    operate on any immutable state value; immutability is what makes
+    :meth:`clone` trivial and safe.
+    """
+
+    __slots__ = ("_transition", "_verdict", "_state")
+
+    def __init__(
+        self,
+        transition: Callable[[Any, str], Any],
+        verdict: Callable[[Any], str],
+        state: Any,
+    ):
+        self._transition = transition
+        self._verdict = verdict
+        self._state = state
+
+    @property
+    def state(self) -> Any:
+        return self._state
+
+    def step(self, event: str) -> str:
+        self._state = self._transition(self._state, event)
+        return self._verdict(self._state)
+
+    def verdict(self) -> str:
+        return self._verdict(self._state)
+
+    def clone(self) -> "RawMonitor":
+        return RawMonitor(self._transition, self._verdict, self._state)
+
+
+class RawTemplate(MonitorTemplate):
+    """A formalism plugin around an arbitrary monitor factory."""
+
+    def __init__(
+        self,
+        factory: Callable[[], BaseMonitor],
+        alphabet: Iterable[str],
+        categories: Iterable[str] = (UNKNOWN,),
+        coenable: Mapping[str, SetOfEventSets] | None = None,
+        enable: Mapping[str, SetOfEventSets] | None = None,
+    ):
+        self._factory = factory
+        self._alphabet = frozenset(alphabet)
+        self._categories = frozenset(categories) | {UNKNOWN}
+        if not self._alphabet:
+            raise FormalismError("a raw template needs a non-empty alphabet")
+        self._coenable = self._validated(coenable) if coenable is not None else None
+        self._enable = self._validated(enable) if enable is not None else None
+
+    def _validated(
+        self, families: Mapping[str, SetOfEventSets]
+    ) -> dict[str, SetOfEventSets]:
+        unknown_events = set(families) - self._alphabet
+        if unknown_events:
+            raise FormalismError(
+                f"families given for undeclared events: {sorted(unknown_events)}"
+            )
+        for event, family in families.items():
+            for inner in family:
+                stray = set(inner) - self._alphabet
+                if stray:
+                    raise FormalismError(
+                        f"family of {event!r} mentions undeclared events: {sorted(stray)}"
+                    )
+        result = {event: frozenset(family) for event, family in families.items()}
+        for event in self._alphabet - set(result):
+            result[event] = frozenset({frozenset()})  # conservative per event
+        return result
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._alphabet
+
+    @property
+    def categories(self) -> frozenset[str]:
+        return self._categories
+
+    def create(self) -> BaseMonitor:
+        monitor = self._factory()
+        if not isinstance(monitor, BaseMonitor):
+            raise FormalismError(
+                f"raw factory returned {type(monitor).__name__}, expected a BaseMonitor"
+            )
+        return monitor
+
+    def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        if self._coenable is not None:
+            return dict(self._coenable)
+        conservative = frozenset({frozenset()})  # ALIVENESS == true
+        return {event: conservative for event in self._alphabet}
+
+    def enable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
+        if self._enable is not None:
+            return dict(self._enable)
+        events = sorted(self._alphabet)
+        powerset = frozenset(
+            frozenset(events[bit] for bit in range(len(events)) if mask >> bit & 1)
+            for mask in range(1 << len(events))
+        )
+        return {event: powerset for event in self._alphabet}
+
+    @property
+    def supports_state_gc(self) -> bool:
+        return False  # arbitrary user state: no static state analysis
+
+
+def functional_template(
+    transition: Callable[[Any, str], Any],
+    verdict: Callable[[Any], str],
+    initial: Any,
+    alphabet: Iterable[str],
+    categories: Iterable[str] = (),
+    coenable: Mapping[str, SetOfEventSets] | None = None,
+    enable: Mapping[str, SetOfEventSets] | None = None,
+) -> RawTemplate:
+    """Build a :class:`RawTemplate` from a pure transition function.
+
+    Example — a counter property "never more releases than acquires"::
+
+        template = functional_template(
+            transition=lambda n, e: n + (1 if e == "acquire" else -1),
+            verdict=lambda n: "violation" if n < 0 else "?",
+            initial=0,
+            alphabet={"acquire", "release"},
+            categories={"violation"},
+        )
+    """
+    return RawTemplate(
+        factory=lambda: RawMonitor(transition, verdict, initial),
+        alphabet=alphabet,
+        categories=categories,
+        coenable=coenable,
+        enable=enable,
+    )

@@ -1,0 +1,41 @@
+"""Instrumentation: aspect weaving and the monitored-program substrate."""
+
+from .aspects import CallContext, Pointcut, Weaver, after_returning, before
+from .collections_shim import (
+    ConcurrentModificationError,
+    HashedObject,
+    MethodBody,
+    MonitoredCollection,
+    MonitoredFile,
+    MonitoredHashSet,
+    MonitoredIterator,
+    MonitoredLock,
+    MonitoredMap,
+    MonitoredMapView,
+    NoSuchElementError,
+    SynchronizedCollection,
+    SynchronizedMap,
+    SynchronizedMapView,
+)
+
+__all__ = [
+    "CallContext",
+    "Pointcut",
+    "Weaver",
+    "after_returning",
+    "before",
+    "ConcurrentModificationError",
+    "HashedObject",
+    "MethodBody",
+    "MonitoredCollection",
+    "MonitoredFile",
+    "MonitoredHashSet",
+    "MonitoredIterator",
+    "MonitoredLock",
+    "MonitoredMap",
+    "MonitoredMapView",
+    "NoSuchElementError",
+    "SynchronizedCollection",
+    "SynchronizedMap",
+    "SynchronizedMapView",
+]

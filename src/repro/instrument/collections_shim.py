@@ -1,0 +1,414 @@
+"""Monitored-program substrate: Java-style collections, maps, locks, files.
+
+The paper's workloads are Java programs exercising ``java.util`` —
+Collections, Iterators, Maps and their synchronized wrappers — plus
+re-entrant locks and file handles for the non-iterator properties.  This
+module is the Python analog: plain classes with Java-shaped APIs that the
+instrumentation layer (:mod:`repro.instrument.aspects`) weaves events onto.
+The classes themselves know nothing about monitoring, exactly like the
+benchmarked programs in the paper.
+
+Lifetimes mirror the Java originals: an iterator holds a strong reference
+to its collection (so a live iterator keeps the collection alive), while a
+collection does *not* reference its iterators — which is why, in most
+programs, "Collections have much longer lifetimes than the Iterators
+created from them" and the JavaMOP leak of Section 1 arises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Iterator
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "NoSuchElementError",
+    "ConcurrentModificationError",
+    "MonitoredCollection",
+    "MonitoredIterator",
+    "MonitoredMap",
+    "MonitoredMapView",
+    "SynchronizedCollection",
+    "SynchronizedMap",
+    "SynchronizedMapView",
+    "MonitoredLock",
+    "MonitoredFile",
+    "MonitoredHashSet",
+    "MethodBody",
+    "HashedObject",
+]
+
+
+class NoSuchElementError(ReproError):
+    """Java's ``NoSuchElementException``: ``next()`` past the end."""
+
+
+class ConcurrentModificationError(ReproError):
+    """Java's ``ConcurrentModificationException`` (fail-fast iterators)."""
+
+
+class MonitoredCollection:
+    """An ``ArrayList``-shaped collection with Java iterator semantics."""
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: list[Any] = list(items)
+        self._mod_count = 0
+        #: When True, iterators raise ConcurrentModificationError themselves
+        #: (the JVM behavior); False lets the violation reach the monitors,
+        #: which is the interesting case for UNSAFEITER.
+        self.fail_fast = False
+
+    # -- java.util.Collection API -------------------------------------------
+
+    def add(self, item: Any) -> bool:
+        self._items.append(item)
+        self._mod_count += 1
+        return True
+
+    def remove(self, item: Any) -> bool:
+        try:
+            self._items.remove(item)
+        except ValueError:
+            return False
+        self._mod_count += 1
+        return True
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._mod_count += 1
+
+    def contains(self, item: Any) -> bool:
+        return item in self._items
+
+    def size(self) -> int:
+        return len(self._items)
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def iterator(self) -> "MonitoredIterator":
+        return MonitoredIterator(self)
+
+    def elements(self) -> "MonitoredIterator":
+        """``Vector.elements()`` analog: an Enumeration over the collection.
+
+        Enumerations are not fail-fast in Java, which is exactly why the
+        SAFEENUM property monitors them.
+        """
+        return MonitoredIterator(self)
+
+    def get(self, index: int) -> Any:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:  # pythonic convenience, unmonitored
+        return iter(list(self._items))
+
+
+class MonitoredIterator:
+    """A Java-style iterator: explicit ``has_next()`` / ``next()``.
+
+    Holds a strong reference to its source collection (as in Java); the
+    collection does not know its iterators.
+    """
+
+    def __init__(self, source: MonitoredCollection):
+        self._source = source
+        self._index = 0
+        self._expected_mod_count = source._mod_count
+
+    def has_next(self) -> bool:
+        return self._index < len(self._source._items)
+
+    def next(self) -> Any:
+        if self._source.fail_fast and self._expected_mod_count != self._source._mod_count:
+            raise ConcurrentModificationError(
+                "collection modified during iteration"
+            )
+        if self._index >= len(self._source._items):
+            raise NoSuchElementError("iterator exhausted")
+        item = self._source._items[self._index]
+        self._index += 1
+        return item
+
+    @property
+    def source(self) -> MonitoredCollection:
+        return self._source
+
+
+class MonitoredMap:
+    """A ``HashMap``-shaped map whose views are :class:`MonitoredMapView`."""
+
+    def __init__(self) -> None:
+        self._data: dict[Any, Any] = {}
+        self._mod_count = 0
+
+    def put(self, key: Any, value: Any) -> Any:
+        previous = self._data.get(key)
+        self._data[key] = value
+        self._mod_count += 1
+        return previous
+
+    def get(self, key: Any) -> Any:
+        return self._data.get(key)
+
+    def remove(self, key: Any) -> Any:
+        previous = self._data.pop(key, None)
+        self._mod_count += 1
+        return previous
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._mod_count += 1
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def key_set(self) -> "MonitoredMapView":
+        return MonitoredMapView(self, kind="keys")
+
+    def values(self) -> "MonitoredMapView":
+        return MonitoredMapView(self, kind="values")
+
+
+class MonitoredMapView(MonitoredCollection):
+    """A key/value view of a map (``Map.keySet()`` / ``Map.values()``).
+
+    Iterating the view reflects the backing map; modifying the *map* while a
+    view iterator is live is the UNSAFEMAPITER violation.
+    """
+
+    def __init__(self, backing: MonitoredMap, kind: str):
+        # Deliberately does NOT call the base __init__: the view owns no
+        # storage; _items and _mod_count are live projections of the map.
+        self._backing = backing
+        self._kind = kind
+        self.fail_fast = False
+
+    @property
+    def backing_map(self) -> MonitoredMap:
+        return self._backing
+
+    @property
+    def _items(self) -> list[Any]:  # type: ignore[override]
+        data = self._backing._data
+        return list(data.keys()) if self._kind == "keys" else list(data.values())
+
+    @property
+    def _mod_count(self) -> int:  # type: ignore[override]
+        return self._backing._mod_count
+
+    def add(self, item: Any) -> bool:
+        raise ReproError("map views are read-through; modify the backing map")
+
+    def remove(self, item: Any) -> bool:
+        raise ReproError("map views are read-through; modify the backing map")
+
+    def clear(self) -> None:
+        raise ReproError("map views are read-through; modify the backing map")
+
+
+class SynchronizedCollection(MonitoredCollection):
+    """``Collections.synchronizedCollection`` analog.
+
+    Carries a lock; ``holds_lock()`` tells whether the current thread is
+    inside a ``with collection.lock:`` block — the UNSAFESYNCCOLL property
+    requires iterator creation and access to happen while it is held.
+    """
+
+    def __init__(self, items: Iterable[Any] = ()):
+        super().__init__(items)
+        self.lock = threading.RLock()
+        self._holder: int | None = None
+        self._depth = 0
+
+    def __enter__(self) -> "SynchronizedCollection":
+        self.lock.acquire()
+        self._holder = threading.get_ident()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self._holder = None
+        self.lock.release()
+
+    def holds_lock(self) -> bool:
+        return self._holder == threading.get_ident() and self._depth > 0
+
+
+class MonitoredLock:
+    """A re-entrant lock with explicit ``acquire``/``release`` (Figure 4)."""
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
+        self._depth = 0
+        self._owner: int | None = None
+
+    def acquire(self) -> None:
+        ident = threading.get_ident()
+        if self._owner is not None and self._owner != ident:
+            raise ReproError(
+                f"lock {self.name!r} is held by another thread (single-threaded shim)"
+            )
+        self._owner = ident
+        self._depth += 1
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident() or self._depth == 0:
+            raise ReproError(f"releasing lock {self.name!r} not held")
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+
+class MonitoredFile:
+    """A file-handle shim for SAFEFILE / SAFEFILEWRITER.
+
+    Deliberately does not touch the real filesystem: the properties are
+    about call *protocols* (open before read/write, no use after close),
+    not about file contents.
+    """
+
+    def __init__(self, name: str = "file"):
+        self.name = name
+        self.is_open = False
+        self.reads = 0
+        self.writes = 0
+
+    def open(self) -> "MonitoredFile":
+        self.is_open = True
+        return self
+
+    def read(self) -> str:
+        self.reads += 1
+        return ""  # protocol shim; contents are irrelevant to the property
+
+    def write(self, _data: str) -> None:
+        self.writes += 1
+
+    def close(self) -> None:
+        self.is_open = False
+
+
+class MonitoredHashSet:
+    """A hash set for the HASHSET property (mutating a stored object's hash).
+
+    Elements provide ``hash_code()``; the set buckets by its value at
+    insertion time, so mutating an element afterwards makes it unfindable —
+    the defect HASHSET detects.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[Any]] = {}
+
+    def add(self, item: Any) -> bool:
+        code = item.hash_code()
+        bucket = self._buckets.setdefault(code, [])
+        if item in bucket:
+            return False
+        bucket.append(item)
+        return True
+
+    def contains(self, item: Any) -> bool:
+        return item in self._buckets.get(item.hash_code(), [])
+
+    def remove(self, item: Any) -> bool:
+        bucket = self._buckets.get(item.hash_code(), [])
+        if item in bucket:
+            bucket.remove(item)
+            return True
+        return False
+
+    def size(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SynchronizedMap(MonitoredMap):
+    """``Collections.synchronizedMap`` analog (for UNSAFESYNCMAP)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lock = threading.RLock()
+        self._holder: int | None = None
+        self._depth = 0
+
+    def __enter__(self) -> "SynchronizedMap":
+        self.lock.acquire()
+        self._holder = threading.get_ident()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self._holder = None
+        self.lock.release()
+
+    def holds_lock(self) -> bool:
+        return self._holder == threading.get_ident() and self._depth > 0
+
+    def key_set(self) -> "SynchronizedMapView":
+        return SynchronizedMapView(self, kind="keys")
+
+    def values(self) -> "SynchronizedMapView":
+        return SynchronizedMapView(self, kind="values")
+
+
+class SynchronizedMapView(MonitoredMapView):
+    """A view of a synchronized map; shares the backing map's lock state."""
+
+    def holds_lock(self) -> bool:
+        backing = self.backing_map
+        assert isinstance(backing, SynchronizedMap)
+        return backing.holds_lock()
+
+
+class MethodBody:
+    """Explicit method-execution boundaries.
+
+    The paper's SAFELOCK events ``begin``/``end`` come from the AspectJ
+    ``execution(* *.*(..))`` pointcut; Python has no weave-every-method
+    facility, so monitored workloads mark method bodies explicitly::
+
+        body = MethodBody()
+        body.enter()
+        ...
+        body.exit()
+
+    (or use it as a context manager).  The instrumentation layer weaves the
+    ``enter``/``exit`` calls, binding the current thread.
+    """
+
+    def enter(self) -> "MethodBody":
+        return self
+
+    def exit(self) -> None:
+        return None
+
+    def __enter__(self) -> "MethodBody":
+        return self.enter()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.exit()
+
+
+class HashedObject:
+    """An element whose hash can be mutated after insertion (HASHSET)."""
+
+    def __init__(self, code: int):
+        self._code = code
+
+    def hash_code(self) -> int:
+        return self._code
+
+    def mutate(self) -> None:
+        self._code += 1

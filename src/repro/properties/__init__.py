@@ -1,0 +1,52 @@
+"""The paper's property library (Section 5.1).
+
+The five iterator-family properties drive the evaluation's tables; the
+five non-iterator properties are the ones the paper reports as producing
+under 5% overhead everywhere.
+"""
+
+from .base import PaperProperty
+from .iterators import HASNEXT, UNSAFEITER, UNSAFEMAPITER, UNSAFESYNCCOLL, UNSAFESYNCMAP
+from .locks_files import HASHSET, SAFEENUM, SAFEFILE, SAFEFILEWRITER, SAFELOCK
+
+#: The properties of Figures 9 and 10, in table order.
+EVALUATED_PROPERTIES: tuple[PaperProperty, ...] = (
+    HASNEXT,
+    UNSAFEITER,
+    UNSAFEMAPITER,
+    UNSAFESYNCCOLL,
+    UNSAFESYNCMAP,
+)
+
+#: Every property shipped with the library, keyed by short name.
+ALL_PROPERTIES: dict[str, PaperProperty] = {
+    prop.key: prop
+    for prop in (
+        HASNEXT,
+        UNSAFEITER,
+        UNSAFEMAPITER,
+        UNSAFESYNCCOLL,
+        UNSAFESYNCMAP,
+        SAFELOCK,
+        SAFEENUM,
+        SAFEFILE,
+        SAFEFILEWRITER,
+        HASHSET,
+    )
+}
+
+__all__ = [
+    "PaperProperty",
+    "HASNEXT",
+    "UNSAFEITER",
+    "UNSAFEMAPITER",
+    "UNSAFESYNCCOLL",
+    "UNSAFESYNCMAP",
+    "SAFELOCK",
+    "SAFEENUM",
+    "SAFEFILE",
+    "SAFEFILEWRITER",
+    "HASHSET",
+    "EVALUATED_PROPERTIES",
+    "ALL_PROPERTIES",
+]

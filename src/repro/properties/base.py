@@ -1,0 +1,61 @@
+"""Property-library plumbing.
+
+Each paper property is a :class:`PaperProperty`: the RV-language
+specification text plus a pointcut factory wiring its events onto the
+monitored-program substrate of
+:mod:`repro.instrument.collections_shim`.  ``make()`` compiles a *fresh*
+:class:`~repro.spec.compiler.CompiledSpec` (so tests and benchmarks never
+share handler registrations), and ``instrument(engine)`` weaves the
+pointcuts and returns the :class:`~repro.instrument.aspects.Weaver` for
+later un-weaving.
+
+Event names are global observations, deliberately shared across
+specifications where the observed program behavior is the same (e.g. the
+``next`` of HASNEXT and of UNSAFEITER): one woven join point feeds every
+specification that declares the event, exactly as one AspectJ advice feeds
+every matching JavaMOP specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..instrument.aspects import Pointcut, Weaver
+from ..runtime.engine import MonitoringEngine
+from ..spec.compiler import CompiledSpec, compile_spec
+
+__all__ = ["PaperProperty"]
+
+
+@dataclass(frozen=True)
+class PaperProperty:
+    """One of the paper's monitored properties, ready to compile and weave."""
+
+    key: str
+    title: str
+    spec_text: str
+    pointcut_factory: Callable[[], list[Pointcut]]
+    description: str
+
+    def make(self) -> CompiledSpec:
+        """Compile a fresh specification instance."""
+        return compile_spec(self.spec_text)
+
+    def pointcuts(self) -> list[Pointcut]:
+        return self.pointcut_factory()
+
+    def instrument(self, engine: MonitoringEngine, weaver: Weaver | None = None) -> Weaver:
+        """Weave this property's events into the shim classes.
+
+        Pass an existing ``weaver`` to co-instrument several properties
+        through one weaver — required when properties share observations
+        (the weaver deduplicates identical pointcuts so shared events are
+        emitted once).
+        """
+        if weaver is None:
+            weaver = Weaver(engine)
+        return weaver.weave(self.pointcuts())
+
+    def __str__(self) -> str:
+        return self.title

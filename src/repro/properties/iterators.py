@@ -1,0 +1,327 @@
+"""The five iterator-family properties of the paper's evaluation (Section 5.1).
+
+HASNEXT, UNSAFEITER, UNSAFEMAPITER, UNSAFESYNCCOLL and UNSAFESYNCMAP —
+"all properties in this evaluation are intended to monitor iterators" and
+they are the ones that stress monitor garbage collection, because
+iterators die young while their collections live on.
+"""
+
+from __future__ import annotations
+
+from ..instrument.aspects import CallContext, Pointcut, after_returning, before
+from ..instrument.collections_shim import (
+    MonitoredCollection,
+    MonitoredIterator,
+    MonitoredMap,
+    SynchronizedCollection,
+    SynchronizedMap,
+    SynchronizedMapView,
+)
+from .base import PaperProperty
+
+__all__ = ["HASNEXT", "UNSAFEITER", "UNSAFEMAPITER", "UNSAFESYNCCOLL", "UNSAFESYNCMAP"]
+
+
+# ---------------------------------------------------------------------------
+# HASNEXT (Figures 1 and 2) — both formalisms, exactly as in the paper.
+# ---------------------------------------------------------------------------
+
+_HASNEXT_SPEC = """
+HasNext(i) {
+  event hasnexttrue(i)
+  event hasnextfalse(i)
+  event next(i)
+
+  fsm:
+    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+    more    [ hasnexttrue -> more  next -> unknown ]
+    none    [ hasnextfalse -> none  next -> error ]
+    error   [ ]
+  @error "improper Iterator use found!"
+
+  ltl: [](next => (*)hasnexttrue)
+  @violation "improper Iterator use found!"
+}
+"""
+
+
+def _hasnext_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            MonitoredIterator,
+            "has_next",
+            event="hasnexttrue",
+            bind={"i": "target"},
+            condition=lambda ctx: ctx.result is True,
+        ),
+        after_returning(
+            MonitoredIterator,
+            "has_next",
+            event="hasnextfalse",
+            bind={"i": "target"},
+            condition=lambda ctx: ctx.result is False,
+        ),
+        before(MonitoredIterator, "next", event="next", bind={"i": "target"}),
+    ]
+
+
+HASNEXT = PaperProperty(
+    key="hasnext",
+    title="HASNEXT",
+    spec_text=_HASNEXT_SPEC,
+    pointcut_factory=_hasnext_pointcuts,
+    description=(
+        "Do not call next() on an Iterator without hasNext() having just "
+        "returned true (the typestate of Figure 1)."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# UNSAFEITER (Figure 3).
+# ---------------------------------------------------------------------------
+
+_UNSAFEITER_SPEC = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+
+  ere: update* create next* update+ next
+  @match "improper Concurrent Modification found!"
+}
+"""
+
+
+def _unsafeiter_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            MonitoredCollection,
+            "iterator",
+            event="create",
+            bind={"c": "target", "i": "result"},
+        ),
+        before(MonitoredCollection, "add", event="update", bind={"c": "target"}),
+        before(MonitoredCollection, "remove", event="update", bind={"c": "target"}),
+        before(MonitoredCollection, "clear", event="update", bind={"c": "target"}),
+        before(MonitoredIterator, "next", event="next", bind={"i": "target"}),
+    ]
+
+
+UNSAFEITER = PaperProperty(
+    key="unsafeiter",
+    title="UNSAFEITER",
+    spec_text=_UNSAFEITER_SPEC,
+    pointcut_factory=_unsafeiter_pointcuts,
+    description=(
+        "Do not update a Collection while iterating it: an Iterator used "
+        "after its Collection changed is a concurrent-modification error."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# UNSAFEMAPITER — iterating a Map view while the Map is updated.
+# ---------------------------------------------------------------------------
+
+_UNSAFEMAPITER_SPEC = """
+UnsafeMapIter(m, c, i) {
+  event createcoll(m, c)
+  event createiter(c, i)
+  event updatemap(m)
+  event useiter(i)
+
+  ere: updatemap* createcoll updatemap* createiter useiter* updatemap+ useiter
+  @match "improper Map iteration found!"
+}
+"""
+
+
+def _unsafemapiter_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            MonitoredMap,
+            "key_set",
+            event="createcoll",
+            bind={"m": "target", "c": "result"},
+        ),
+        after_returning(
+            MonitoredMap,
+            "values",
+            event="createcoll",
+            bind={"m": "target", "c": "result"},
+        ),
+        after_returning(
+            MonitoredCollection,
+            "iterator",
+            event="createiter",
+            bind={"c": "target", "i": "result"},
+        ),
+        before(MonitoredMap, "put", event="updatemap", bind={"m": "target"}),
+        before(MonitoredMap, "remove", event="updatemap", bind={"m": "target"}),
+        before(MonitoredMap, "clear", event="updatemap", bind={"m": "target"}),
+        before(MonitoredIterator, "next", event="useiter", bind={"i": "target"}),
+    ]
+
+
+UNSAFEMAPITER = PaperProperty(
+    key="unsafemapiter",
+    title="UNSAFEMAPITER",
+    spec_text=_UNSAFEMAPITER_SPEC,
+    pointcut_factory=_unsafemapiter_pointcuts,
+    description=(
+        "Do not update a Map while iterating one of its key/value views "
+        "(three parameters: map, view collection, iterator)."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# UNSAFESYNCCOLL — synchronized collections must be iterated under their lock.
+# ---------------------------------------------------------------------------
+
+
+def _is_unsynchronized_view(ctx: CallContext) -> bool:
+    target = ctx.target
+    return hasattr(target, "holds_lock") and not target.holds_lock()
+
+
+def _is_synchronized_view(ctx: CallContext) -> bool:
+    target = ctx.target
+    return hasattr(target, "holds_lock") and target.holds_lock()
+
+
+def _iterator_accessed_unsynchronized(ctx: CallContext) -> bool:
+    source = ctx.target.source
+    return hasattr(source, "holds_lock") and not source.holds_lock()
+
+
+_UNSAFESYNCCOLL_SPEC = """
+UnsafeSyncColl(c, i) {
+  event sync(c)
+  event asynciter(c, i)
+  event synciter(c, i)
+  event access(i)
+
+  ere: sync (asynciter | synciter access)
+  @match "unsynchronized Iterator on synchronized Collection!"
+}
+"""
+
+
+def _unsafesynccoll_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            SynchronizedCollection,
+            "__init__",
+            event="sync",
+            bind={"c": "target"},
+        ),
+        after_returning(
+            SynchronizedCollection,
+            "iterator",
+            event="asynciter",
+            bind={"c": "target", "i": "result"},
+            condition=_is_unsynchronized_view,
+        ),
+        after_returning(
+            SynchronizedCollection,
+            "iterator",
+            event="synciter",
+            bind={"c": "target", "i": "result"},
+            condition=_is_synchronized_view,
+        ),
+        before(
+            MonitoredIterator,
+            "next",
+            event="access",
+            bind={"i": "target"},
+            condition=_iterator_accessed_unsynchronized,
+        ),
+    ]
+
+
+UNSAFESYNCCOLL = PaperProperty(
+    key="unsafesynccoll",
+    title="UNSAFESYNCCOLL",
+    spec_text=_UNSAFESYNCCOLL_SPEC,
+    pointcut_factory=_unsafesynccoll_pointcuts,
+    description=(
+        "If a Collection is synchronized, its iterators must be created and "
+        "accessed while holding the collection's lock."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# UNSAFESYNCMAP — same discipline for synchronized maps' key/value views.
+# ---------------------------------------------------------------------------
+
+_UNSAFESYNCMAP_SPEC = """
+UnsafeSyncMap(m, c, i) {
+  event syncmap(m)
+  event createset(m, c)
+  event asynciter(c, i)
+  event synciter(c, i)
+  event access(i)
+
+  ere: syncmap createset (asynciter | synciter access)
+  @match "unsynchronized Iterator on synchronized Map view!"
+}
+"""
+
+
+def _unsafesyncmap_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            SynchronizedMap,
+            "__init__",
+            event="syncmap",
+            bind={"m": "target"},
+        ),
+        after_returning(
+            SynchronizedMap,
+            "key_set",
+            event="createset",
+            bind={"m": "target", "c": "result"},
+        ),
+        after_returning(
+            SynchronizedMap,
+            "values",
+            event="createset",
+            bind={"m": "target", "c": "result"},
+        ),
+        after_returning(
+            SynchronizedMapView,
+            "iterator",
+            event="asynciter",
+            bind={"c": "target", "i": "result"},
+            condition=_is_unsynchronized_view,
+        ),
+        after_returning(
+            SynchronizedMapView,
+            "iterator",
+            event="synciter",
+            bind={"c": "target", "i": "result"},
+            condition=_is_synchronized_view,
+        ),
+        before(
+            MonitoredIterator,
+            "next",
+            event="access",
+            bind={"i": "target"},
+            condition=_iterator_accessed_unsynchronized,
+        ),
+    ]
+
+
+UNSAFESYNCMAP = PaperProperty(
+    key="unsafesyncmap",
+    title="UNSAFESYNCMAP",
+    spec_text=_UNSAFESYNCMAP_SPEC,
+    pointcut_factory=_unsafesyncmap_pointcuts,
+    description=(
+        "If a Map is synchronized, iterators over its key/value views must "
+        "be created and accessed while holding the map's lock."
+    ),
+)

@@ -1,0 +1,236 @@
+"""The non-iterator properties: SAFELOCK, SAFEENUM, SAFEFILE,
+SAFEFILEWRITER and HASHSET.
+
+SAFELOCK (Figure 4) is the paper's context-free example — balanced
+``acquire``/``release`` nested properly within method ``begin``/``end``
+boundaries, per (Lock, Thread) pair; the others come from the evaluation's
+"several non-Iterator based properties" list (Section 5.1), which the paper
+reports as producing under 5% overhead everywhere.
+"""
+
+from __future__ import annotations
+
+from ..instrument.aspects import Pointcut, after_returning, before
+from ..instrument.collections_shim import (
+    HashedObject,
+    MethodBody,
+    MonitoredCollection,
+    MonitoredFile,
+    MonitoredHashSet,
+    MonitoredIterator,
+    MonitoredLock,
+)
+from .base import PaperProperty
+
+__all__ = ["SAFELOCK", "SAFEENUM", "SAFEFILE", "SAFEFILEWRITER", "HASHSET"]
+
+
+# ---------------------------------------------------------------------------
+# SAFELOCK (Figure 4) — the CFG plugin.
+# ---------------------------------------------------------------------------
+
+_SAFELOCK_SPEC = """
+SafeLock(l, t) {
+  event acquire(l, t)
+  event release(l, t)
+  event begin(t)
+  event end(t)
+
+  cfg: S -> S begin S end | S acquire S release | epsilon
+  @fail "improper Lock use found!"
+}
+"""
+
+
+def _safelock_pointcuts() -> list[Pointcut]:
+    return [
+        before(
+            MonitoredLock,
+            "acquire",
+            event="acquire",
+            bind={"l": "target", "t": "thread"},
+        ),
+        before(
+            MonitoredLock,
+            "release",
+            event="release",
+            bind={"l": "target", "t": "thread"},
+        ),
+        before(MethodBody, "enter", event="begin", bind={"t": "thread"}),
+        before(MethodBody, "exit", event="end", bind={"t": "thread"}),
+    ]
+
+
+SAFELOCK = PaperProperty(
+    key="safelock",
+    title="SAFELOCK",
+    spec_text=_SAFELOCK_SPEC,
+    pointcut_factory=_safelock_pointcuts,
+    description=(
+        "acquire()/release() calls on each Lock must balance and nest "
+        "properly within method begin/end boundaries, per thread (CFG)."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# SAFEENUM — do not use an Enumeration after its Vector changed.
+# ---------------------------------------------------------------------------
+
+_SAFEENUM_SPEC = """
+SafeEnum(v, e) {
+  event createenum(v, e)
+  event updatesource(v)
+  event nextelem(e)
+
+  ere: createenum nextelem* updatesource+ nextelem
+  @match "Enumeration used after Vector update!"
+}
+"""
+
+
+def _safeenum_pointcuts() -> list[Pointcut]:
+    return [
+        after_returning(
+            MonitoredCollection,
+            "elements",
+            event="createenum",
+            bind={"v": "target", "e": "result"},
+        ),
+        before(MonitoredCollection, "add", event="updatesource", bind={"v": "target"}),
+        before(MonitoredCollection, "remove", event="updatesource", bind={"v": "target"}),
+        before(MonitoredCollection, "clear", event="updatesource", bind={"v": "target"}),
+        before(MonitoredIterator, "next", event="nextelem", bind={"e": "target"}),
+    ]
+
+
+SAFEENUM = PaperProperty(
+    key="safeenum",
+    title="SAFEENUM",
+    spec_text=_SAFEENUM_SPEC,
+    pointcut_factory=_safeenum_pointcuts,
+    description="Do not advance an Enumeration after its Vector was updated.",
+)
+
+
+# ---------------------------------------------------------------------------
+# SAFEFILE — open before read/write, never touch a closed file.
+# ---------------------------------------------------------------------------
+
+_SAFEFILE_SPEC = """
+SafeFile(f) {
+  event open(f)
+  event read(f)
+  event write(f)
+  event close(f)
+
+  ere: (open (read | write)* close)*
+  @fail "improper File use found!"
+}
+"""
+
+
+def _safefile_pointcuts() -> list[Pointcut]:
+    return [
+        before(MonitoredFile, "open", event="open", bind={"f": "target"}),
+        before(MonitoredFile, "read", event="read", bind={"f": "target"}),
+        before(MonitoredFile, "write", event="write", bind={"f": "target"}),
+        before(MonitoredFile, "close", event="close", bind={"f": "target"}),
+    ]
+
+
+SAFEFILE = PaperProperty(
+    key="safefile",
+    title="SAFEFILE",
+    spec_text=_SAFEFILE_SPEC,
+    pointcut_factory=_safefile_pointcuts,
+    description=(
+        "Every read/write must happen between open and close; the verdict "
+        "fails on use-after-close or use-before-open."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# SAFEFILEWRITER — writes only between open and close.
+# ---------------------------------------------------------------------------
+
+_SAFEFILEWRITER_SPEC = """
+SafeFileWriter(w) {
+  event open(w)
+  event write(w)
+  event close(w)
+
+  ere: (open write* close)*
+  @fail "improper FileWriter use found!"
+}
+"""
+
+
+def _safefilewriter_pointcuts() -> list[Pointcut]:
+    return [
+        before(MonitoredFile, "open", event="open", bind={"w": "target"}),
+        before(MonitoredFile, "write", event="write", bind={"w": "target"}),
+        before(MonitoredFile, "close", event="close", bind={"w": "target"}),
+    ]
+
+
+SAFEFILEWRITER = PaperProperty(
+    key="safefilewriter",
+    title="SAFEFILEWRITER",
+    spec_text=_SAFEFILEWRITER_SPEC,
+    pointcut_factory=_safefilewriter_pointcuts,
+    description="A FileWriter may only write between open and close.",
+)
+
+
+# ---------------------------------------------------------------------------
+# HASHSET — do not mutate an object's hash while it sits in a hash set.
+# ---------------------------------------------------------------------------
+
+_HASHSET_SPEC = """
+HashSet(s, o) {
+  event add(s, o)
+  event mutate(o)
+  event find(s, o)
+
+  ere: add mutate+ find
+  @match "object mutated while in HashSet!"
+}
+"""
+
+
+def _hashset_pointcuts() -> list[Pointcut]:
+    return [
+        before(
+            MonitoredHashSet,
+            "add",
+            event="add",
+            bind={"s": "target", "o": "arg0"},
+        ),
+        before(HashedObject, "mutate", event="mutate", bind={"o": "target"}),
+        before(
+            MonitoredHashSet,
+            "contains",
+            event="find",
+            bind={"s": "target", "o": "arg0"},
+        ),
+        before(
+            MonitoredHashSet,
+            "remove",
+            event="find",
+            bind={"s": "target", "o": "arg0"},
+        ),
+    ]
+
+
+HASHSET = PaperProperty(
+    key="hashset",
+    title="HASHSET",
+    spec_text=_HASHSET_SPEC,
+    pointcut_factory=_hashset_pointcuts,
+    description=(
+        "Looking up an object whose hash changed after insertion will miss "
+        "it; flags add → mutate → find sequences."
+    ),
+)

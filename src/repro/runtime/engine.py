@@ -1,0 +1,498 @@
+"""The monitoring engine: event dispatch, monitor creation, and lazy GC.
+
+This is the production counterpart of the abstract Algorithm MONITOR
+(Figure 5), engineered as in Section 4 of the paper:
+
+* **Indexing trees** (Figure 6): per event-parameter-subset trees locate, in
+  a couple of weak-map lookups, every monitor instance more informative
+  than the event's binding.
+* **Enable-set creation pruning** (Chen et al., ASE'09; the companion of
+  coenable sets): a monitor for a new parameter instance is created only if
+  the *knowledge* it would start from — the maximal defined sub-instance,
+  or a compatible instance found through a join index — has a parameter
+  domain in the event's ENABLE set.  A "touched bindings" record (the
+  role JavaMOP's disable timestamps play) makes skipping sound: a creation
+  that would silently lose previously-skipped events is suppressed, because
+  such a slice provably cannot reach the goal.
+* **Lazy monitor GC** (Section 4.2): RVMaps detect dead parameter keys
+  while being accessed, notify the monitors below, the GC strategy decides
+  necessity via ALIVENESS/state formulas, unnecessary monitors are flagged,
+  and flagged monitors are physically dropped when the structures holding
+  them are next touched.  A monitor is reclaimed by the host GC when the
+  last structure lets go — counted via ``weakref.finalize`` as the paper's
+  CM column.
+
+``propagation="eager"`` switches to the eager scheme the paper warns about
+(Section 4.2: "eager garbage collection ... introduces a very large amount
+of runtime overhead"): every parameter death triggers a full scan of every
+tree at the next event boundary.  It exists for the ablation benchmark and
+as part of the Tracematches cost profile.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.errors import InconsistentEventError, UnknownEventError
+from ..core.params import Binding
+from ..spec.compiler import CompiledProperty, CompiledSpec
+from .gc_strategies import GcStrategy, make_strategy
+from .indexing import IndexingTree, JoinIndex, Leaf
+from .instance import MonitorInstance
+from .refs import ParamRef
+from .statistics import MonitorStats
+
+__all__ = ["MonitoringEngine", "PropertyRuntime", "SYSTEMS"]
+
+#: Named system presets mapping to (gc strategy, propagation) — the three
+#: systems of the paper's evaluation (Section 5).
+SYSTEMS: dict[str, tuple[str, str]] = {
+    "rv": ("coenable", "lazy"),
+    "mop": ("alldead", "lazy"),
+    "tm": ("statebased", "eager"),
+    "none": ("none", "lazy"),
+}
+
+#: Verdict callback signature: (property, category, monitor instance).
+VerdictCallback = Callable[[CompiledProperty, str, MonitorInstance], None]
+
+
+class _CreationPlan:
+    """Static per-event creation strategy (computed once per property).
+
+    ``self_domains`` — enable domains ``K ⊊ D(e)``, largest first: the
+    defineTo sources among sub-instances of the event binding.
+    ``allows_fresh`` — whether ``∅`` is an enable domain (the event can open
+    a goal trace, so it may create a monitor from scratch).
+    ``joins`` — ``(K, key_domain, index)`` triples for enable domains
+    incomparable with ``D(e)``: instances of domain ``K`` compatible with
+    the event join into instances of domain ``K ∪ D(e)``.
+    """
+
+    __slots__ = ("self_domains", "allows_fresh", "joins")
+
+    def __init__(self) -> None:
+        self.self_domains: list[frozenset[str]] = []
+        self.allows_fresh = False
+        self.joins: list[tuple[frozenset[str], tuple[str, ...], JoinIndex]] = []
+
+
+class PropertyRuntime:
+    """Everything the engine maintains for one compiled property."""
+
+    def __init__(
+        self,
+        prop: CompiledProperty,
+        gc: str,
+        scan_budget: int,
+        on_verdict: VerdictCallback | None,
+        on_param_registered: Callable[[Any], None] | None,
+    ):
+        self.prop = prop
+        self.stats = MonitorStats()
+        self.strategy: GcStrategy = make_strategy(gc, prop)
+        self._on_verdict = on_verdict
+        self._on_param_registered = on_param_registered
+        self._serial = 0
+        self._event_serial = 0
+
+        definition = prop.definition
+        self.event_domains: dict[str, frozenset[str]] = {
+            event: definition.params_of(event) for event in definition.alphabet
+        }
+        self._enable_domains: dict[str, frozenset[frozenset[str]]] = dict(
+            prop.param_enable
+        )
+        self.monitor_domains = self._realizable_domains()
+        # One tree per domain of interest; extensions are tracked only where
+        # dispatch needs them (domains that are some event's D(e)).
+        event_domain_set = set(self.event_domains.values())
+        self.trees: dict[frozenset[str], IndexingTree] = {}
+        for domain in self.monitor_domains | event_domain_set:
+            self.trees[domain] = IndexingTree(
+                params=tuple(sorted(domain)),
+                tracks_extensions=domain in event_domain_set,
+                notify=self._notify_monitor,
+                scan_budget=scan_budget,
+            )
+        self._join_indices: dict[tuple[frozenset[str], frozenset[str]], JoinIndex] = {}
+        self._plans: dict[str, _CreationPlan] = {
+            event: self._build_plan(event) for event in definition.alphabet
+        }
+
+    # -- static precomputation ---------------------------------------------
+
+    def _realizable_domains(self) -> frozenset[frozenset[str]]:
+        """Domains monitor instances can actually have: the closure of
+        creation targets ``K ∪ D(e)`` over realizable enable domains ``K``."""
+        realizable: set[frozenset[str]] = set()
+        changed = True
+        while changed:
+            changed = False
+            for event, event_domain in self.event_domains.items():
+                for enable_domain in self._enable_domains.get(event, ()):  # K
+                    if enable_domain and enable_domain not in realizable:
+                        continue
+                    target = enable_domain | event_domain
+                    if target not in realizable:
+                        realizable.add(target)
+                        changed = True
+        return frozenset(realizable)
+
+    def _build_plan(self, event: str) -> _CreationPlan:
+        plan = _CreationPlan()
+        event_domain = self.event_domains[event]
+        seen_self: set[frozenset[str]] = set()
+        for enable_domain in self._enable_domains.get(event, ()):
+            if not enable_domain:
+                plan.allows_fresh = True
+            elif enable_domain < event_domain:
+                seen_self.add(enable_domain)
+            elif enable_domain <= event_domain or event_domain <= enable_domain:
+                # K == D(e): the exact instance already exists if it ever will;
+                # K ⊃ D(e): instances of domain K are updated, never created here.
+                continue
+            elif enable_domain in self.monitor_domains:
+                key_domain = enable_domain & event_domain
+                index_key = (enable_domain, key_domain)
+                if index_key not in self._join_indices:
+                    self._join_indices[index_key] = JoinIndex(
+                        key_params=tuple(sorted(key_domain)),
+                        notify=self._notify_monitor,
+                    )
+                plan.joins.append(
+                    (enable_domain, tuple(sorted(key_domain)), self._join_indices[index_key])
+                )
+        plan.self_domains = sorted(seen_self, key=len, reverse=True)
+        plan.joins.sort(key=lambda item: len(item[0]), reverse=True)
+        return plan
+
+    # -- GC plumbing -----------------------------------------------------------
+
+    def _notify_monitor(self, monitor: MonitorInstance) -> None:
+        """Figure 7A notification: a parameter object below died."""
+        if monitor.flagged:
+            return
+        if self.strategy.is_unnecessary(monitor):
+            monitor.flagged = True
+            self.stats.record_flag()
+
+    def scan_all(self) -> None:
+        """Full dead-key scan of every structure (eager mode / flush)."""
+        for tree in self.trees.values():
+            tree.scan_all()
+        for index in self._join_indices.values():
+            index.scan_all()
+
+    # -- event processing --------------------------------------------------------
+
+    def handle(self, event: str, values: Mapping[str, Any]) -> None:
+        """Process one parametric event ``event<values>``."""
+        self.stats.record_event()
+        self._event_serial += 1
+        event_domain = self.event_domains[event]
+        try:
+            jvalues = {param: values[param] for param in event_domain}
+        except KeyError as exc:
+            raise InconsistentEventError(
+                f"event {event!r} of {self.prop.spec_name} requires parameter "
+                f"{exc.args[0]!r}"
+            ) from None
+        tree = self.trees[event_domain]
+        leaf = tree.lookup(jvalues, create=True)
+        # Record that this exact binding has seen an event — the disable
+        # knowledge used by the creation-validity check.  Stamping the
+        # *first* touch serial up front also pins the fresh leaf against
+        # concurrent lazy reclamation (see Leaf.touched).
+        if leaf.touched is None:
+            leaf.touched = self._event_serial
+        # 1. Update every instance more informative than the event binding.
+        if leaf.extensions is not None:
+            for monitor in leaf.extensions.iter_active():
+                self._step(monitor, event)
+        # 2. Create newly-relevant instances (enable-pruned defineTo / joins).
+        self._create_instances(event, event_domain, jvalues, leaf)
+
+    def _step(self, monitor: MonitorInstance, event: str) -> None:
+        verdict = monitor.base.step(event)
+        monitor.last_event = event
+        if verdict in self.prop.goal:
+            self.stats.record_verdict(verdict)
+            self.stats.record_handler()
+            self.prop.fire(verdict, monitor.binding())
+            if self._on_verdict is not None:
+                self._on_verdict(self.prop, verdict, monitor)
+
+    # -- creation ---------------------------------------------------------------
+
+    def _create_instances(
+        self,
+        event: str,
+        event_domain: frozenset[str],
+        jvalues: dict[str, Any],
+        leaf: Leaf,
+    ) -> None:
+        plan = self._plans[event]
+        # Target = the event binding itself (defineTo from a sub-instance or
+        # from scratch).
+        own_alive = leaf.own is not None and not leaf.own.flagged
+        if not own_alive and (plan.self_domains or plan.allows_fresh):
+            source: MonitorInstance | None = None
+            source_domain: frozenset[str] = frozenset()
+            found = False
+            for domain in plan.self_domains:
+                sub_leaf = self.trees[domain].lookup(
+                    {param: jvalues[param] for param in domain}, create=False
+                )
+                if sub_leaf is not None and sub_leaf.own is not None and not sub_leaf.own.flagged:
+                    source, source_domain, found = sub_leaf.own, domain, True
+                    break
+            if found or plan.allows_fresh:
+                if self._creation_is_valid(jvalues, source_domain):
+                    self._create(event, jvalues, source)
+        # Join targets: compatible instances of incomparable enable domains.
+        for join_domain, key_params, index in plan.joins:
+            key_values = {param: jvalues[param] for param in key_params}
+            for candidate in index.candidates(key_values):
+                candidate_values: dict[str, Any] = {}
+                dead = False
+                for name, ref in candidate.params.items():
+                    value = ref.get()
+                    if value is None:
+                        dead = True
+                        break
+                    candidate_values[name] = value
+                if dead or candidate.domain != join_domain:
+                    continue
+                target_values = {**candidate_values, **jvalues}
+                target_domain = frozenset(target_values)
+                target_leaf = self.trees[target_domain].lookup(target_values, create=False)
+                if (
+                    target_leaf is not None
+                    and target_leaf.own is not None
+                    and not target_leaf.own.flagged
+                ):
+                    continue
+                if self._creation_is_valid(target_values, join_domain):
+                    self._create(event, target_values, candidate)
+
+    def _creation_is_valid(
+        self, target_values: Mapping[str, Any], source_domain: frozenset[str]
+    ) -> bool:
+        """No past event would be silently lost by creating from the source.
+
+        Invalid when some event binding ``theta_d ⊑ target`` with
+        ``dom(theta_d) ⊄ source`` was *touched before the current event*:
+        the target's true slice then contains events the source never saw,
+        and — by the enable-set theorem — such a slice cannot reach the
+        goal, so the instance must not be created at all (JavaMOP's
+        disable-timestamp rule).  A touch stamped by the current event does
+        not invalidate: the new monitor receives that event itself.
+        """
+        target_domain = frozenset(target_values)
+        for event_domain in set(self.event_domains.values()):
+            if not event_domain or not event_domain <= target_domain:
+                continue
+            if event_domain <= source_domain:
+                continue
+            sub_leaf = self.trees[event_domain].lookup(
+                {param: target_values[param] for param in event_domain}, create=False
+            )
+            if (
+                sub_leaf is not None
+                and sub_leaf.touched is not None
+                and sub_leaf.touched < self._event_serial
+            ):
+                return False
+        return True
+
+    def _create(
+        self,
+        event: str,
+        target_values: Mapping[str, Any],
+        source: MonitorInstance | None,
+    ) -> None:
+        base = source.base.clone() if source is not None else self.prop.template.create()
+        params = {name: ParamRef(value) for name, value in target_values.items()}
+        self._serial += 1
+        monitor = MonitorInstance(self.prop, base, params, self._serial)
+        self._insert(monitor, target_values)
+        self.stats.record_creation()
+        weakref.finalize(monitor, self.stats.record_collection)
+        if self._on_param_registered is not None:
+            for value in target_values.values():
+                self._on_param_registered(value)
+        self._step(monitor, event)
+
+    def _insert(self, monitor: MonitorInstance, values: Mapping[str, Any]) -> None:
+        domain = frozenset(values)
+        own_leaf = self.trees[domain].lookup(values, create=True)
+        own_leaf.own = monitor
+        for event_domain in set(self.event_domains.values()):
+            if event_domain <= domain:
+                leaf = self.trees[event_domain].lookup(
+                    {param: values[param] for param in event_domain}, create=True
+                )
+                if leaf.extensions is not None:
+                    leaf.extensions.add(monitor)
+        for (join_domain, key_domain), index in self._join_indices.items():
+            if join_domain == domain:
+                index.add(
+                    {param: values[param] for param in key_domain}, monitor
+                )
+
+    # -- introspection -------------------------------------------------------------
+
+    def live_instances(self) -> list[MonitorInstance]:
+        """Unflagged instances currently reachable through the trees."""
+        seen: dict[int, MonitorInstance] = {}
+        for tree in self.trees.values():
+            for leaf in tree.walk_leaves():
+                for monitor in leaf.monitors():
+                    if not monitor.flagged:
+                        seen[id(monitor)] = monitor
+        return list(seen.values())
+
+
+class MonitoringEngine:
+    """Hosts any number of compiled specifications over one event stream.
+
+    ``gc`` selects the monitor-collection strategy (``none`` / ``alldead`` /
+    ``coenable`` / ``statebased``), ``propagation`` is ``lazy`` (the paper's
+    design) or ``eager`` (the ablation); ``system`` is a convenience preset:
+    ``rv`` / ``mop`` / ``tm`` / ``none`` (see :data:`SYSTEMS`).
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[CompiledSpec | CompiledProperty] | CompiledSpec | CompiledProperty,
+        gc: str | None = None,
+        propagation: str | None = None,
+        system: str | None = None,
+        scan_budget: int = 2,
+        on_verdict: VerdictCallback | None = None,
+    ):
+        if system is not None:
+            if gc is not None or propagation is not None:
+                raise ValueError("pass either system= or gc=/propagation=, not both")
+            gc, propagation = SYSTEMS[system]
+        gc = gc if gc is not None else "coenable"
+        propagation = propagation if propagation is not None else "lazy"
+        if propagation not in ("lazy", "eager"):
+            raise ValueError(f"unknown propagation {propagation!r}")
+        self.gc = gc
+        self.propagation = propagation
+
+        if isinstance(specs, (CompiledSpec, CompiledProperty)):
+            specs = [specs]
+        self.properties: list[CompiledProperty] = []
+        for spec in specs:
+            if isinstance(spec, CompiledSpec):
+                self.properties.extend(spec.properties)
+            else:
+                self.properties.append(spec)
+
+        self._pending_deaths = 0
+        self._death_watchers: set[weakref.ref] = set()
+        self._watched_ids: set[int] = set()
+        #: Optional tap invoked as ``on_emit(event, params)`` for every
+        #: emitted event, before dispatch (used by runtime.tracelog).
+        self.on_emit = None
+        on_param = self._watch_param if propagation == "eager" else None
+        self.runtimes: list[PropertyRuntime] = [
+            PropertyRuntime(
+                prop,
+                gc=gc,
+                scan_budget=scan_budget,
+                on_verdict=on_verdict,
+                on_param_registered=on_param,
+            )
+            for prop in self.properties
+        ]
+        self._by_event: dict[str, list[PropertyRuntime]] = {}
+        for runtime in self.runtimes:
+            for event in runtime.prop.definition.alphabet:
+                self._by_event.setdefault(event, []).append(runtime)
+
+    # -- the public event interface ---------------------------------------------
+
+    def emit(self, event: str, _strict: bool = True, **params: Any) -> None:
+        """Emit one parametric event to every property that declares it.
+
+        Each receiving property restricts the binding to its own ``D(e)``;
+        a property missing a required parameter raises
+        :class:`InconsistentEventError`.  With ``_strict=False`` an event no
+        property declares is silently dropped — the instrumentation layer
+        uses this because a woven program point may produce events for
+        specifications that are not currently monitored.
+        """
+        if self.propagation == "eager" and self._pending_deaths:
+            self.flush_gc()
+        if self.on_emit is not None:
+            self.on_emit(event, params)
+        runtimes = self._by_event.get(event)
+        if not runtimes:
+            if _strict:
+                raise UnknownEventError(
+                    f"no monitored specification declares event {event!r}"
+                )
+            return
+        for runtime in runtimes:
+            runtime.handle(event, params)
+
+    def emit_binding(self, event: str, binding: Binding) -> None:
+        """Emit with an explicit :class:`Binding` (test/bench convenience)."""
+        self.emit(event, **dict(binding.items()))
+
+    # -- GC control -----------------------------------------------------------------
+
+    def _watch_param(self, value: Any) -> None:
+        if id(value) in self._watched_ids:
+            return
+        try:
+            ref = weakref.ref(value, self._on_param_death)
+        except TypeError:
+            return
+        self._watched_ids.add(id(value))
+        self._death_watchers.add(ref)
+
+    def _on_param_death(self, ref: weakref.ref) -> None:
+        self._pending_deaths += 1
+        self._death_watchers.discard(ref)
+
+    def flush_gc(self) -> None:
+        """Fully scan every structure: purge dead keys, notify, compact.
+
+        Lazy mode never needs this (detection happens on access); it exists
+        for eager propagation, for tests, and for end-of-run accounting.
+
+        Two passes, mark-and-sweep style: the first pass may flag a monitor
+        *after* some structure holding it was already scanned (scan order
+        over the weak maps is arbitrary), so a second pass sweeps the
+        now-flagged instances out of every remaining structure.
+        """
+        self._pending_deaths = 0
+        for _pass in range(2):
+            for runtime in self.runtimes:
+                runtime.scan_all()
+
+    # -- results ------------------------------------------------------------------------
+
+    def stats(self) -> dict[tuple[str, str], MonitorStats]:
+        """Per-property statistics keyed by (spec name, formalism)."""
+        return {
+            (runtime.prop.spec_name, runtime.prop.formalism): runtime.stats
+            for runtime in self.runtimes
+        }
+
+    def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
+        for runtime in self.runtimes:
+            if runtime.prop.spec_name == spec_name and (
+                formalism is None or runtime.prop.formalism == formalism
+            ):
+                return runtime.stats
+        raise KeyError(f"no runtime for {spec_name}/{formalism}")
+
+    def total_live_monitors(self) -> int:
+        return sum(runtime.stats.live_monitors for runtime in self.runtimes)

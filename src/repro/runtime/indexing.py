@@ -1,0 +1,217 @@
+"""Indexing trees (Section 4.1, Figure 6).
+
+One tree exists per parameter subset of interest.  A tree for domain
+``<c, i>`` is a two-level nest of :class:`~repro.runtime.rvmap.RVMap`s —
+first keyed by the ``c`` object, then by the ``i`` object — whose leaves
+carry:
+
+* ``own``        — the monitor instance whose binding is *exactly* the leaf's
+  binding (the ``Delta`` table entry);
+* ``extensions`` — an :class:`~repro.runtime.rvset.RVSet` of every monitor
+  *more informative* than the leaf's binding (what event dispatch iterates;
+  only maintained for trees whose domain is some event's ``D(e)``);
+* ``touched``    — whether any event with exactly this binding was ever
+  received (the "disable" knowledge JavaMOP tracks with timestamps, used to
+  keep skipped-creation semantics sound — see
+  :meth:`repro.runtime.engine.PropertyRuntime._creation_is_valid`).
+
+A :class:`JoinIndex` is the auxiliary structure for cross-binding joins: for
+a statically-determined pair (event domain ``J``, enable domain ``K``) with
+``K ⊄ J ⊅ K``, it indexes the domain-``K`` monitor instances by their
+``K ∩ J`` sub-binding so the engine can find join candidates without
+scanning ``Theta``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from .instance import MonitorInstance
+from .rvmap import DROP, KEEP, RVMap
+from .rvset import RVSet
+
+__all__ = ["Leaf", "IndexingTree", "JoinIndex"]
+
+
+class Leaf:
+    """The record at the bottom of an indexing tree.
+
+    ``touched`` is the serial number of the *first* event that carried
+    exactly this leaf's binding, or ``None``.  The engine stamps it at the
+    start of event processing, which both records the disable knowledge
+    (validity checks compare serials: only strictly-earlier touches
+    invalidate a creation) and keeps the fresh leaf non-empty so a
+    concurrent lazy scan cannot reclaim it mid-dispatch.
+    """
+
+    __slots__ = ("own", "extensions", "touched")
+
+    def __init__(self, tracks_extensions: bool):
+        self.own: MonitorInstance | None = None
+        self.extensions: RVSet | None = RVSet() if tracks_extensions else None
+        self.touched: int | None = None
+
+    def is_empty(self) -> bool:
+        no_own = self.own is None or self.own.flagged
+        no_extensions = not self.extensions or not any(
+            not monitor.flagged for monitor in self.extensions
+        )
+        return no_own and no_extensions and self.touched is None
+
+    def monitors(self) -> Iterator[MonitorInstance]:
+        if self.own is not None:
+            yield self.own
+        if self.extensions is not None:
+            yield from self.extensions
+
+
+class _TreeBase:
+    """Shared machinery: nested RVMap levels with notification plumbing."""
+
+    def __init__(
+        self,
+        params: tuple[str, ...],
+        notify: Callable[[MonitorInstance], None],
+        scan_budget: int = 2,
+    ):
+        self.params = params
+        self._notify = notify
+        self._scan_budget = scan_budget
+        self._root: Any = self._new_node(depth=0)
+
+    # -- node construction ---------------------------------------------------
+
+    def _new_node(self, depth: int) -> Any:
+        if depth == len(self.params):
+            return self._new_leaf()
+        return RVMap(
+            on_dead_value=self._notify_subtree,
+            inspect_value=self._inspect,
+            scan_budget=self._scan_budget,
+        )
+
+    def _new_leaf(self) -> Any:
+        raise NotImplementedError
+
+    # -- GC plumbing -----------------------------------------------------------
+
+    def _notify_subtree(self, node: Any) -> None:
+        """Figure 7A: a key died — notify every monitor under ``node``."""
+        if isinstance(node, RVMap):
+            for value in node.all_values():
+                self._notify_subtree(value)
+        elif isinstance(node, Leaf):
+            for monitor in node.monitors():
+                self._notify(monitor)
+        elif isinstance(node, RVSet):
+            for monitor in node:
+                self._notify(monitor)
+
+    def _inspect(self, node: Any) -> bool:
+        """Section 5.1.1: clean live entries' values during scans."""
+        if isinstance(node, RVMap):
+            return KEEP if node else DROP
+        if isinstance(node, Leaf):
+            if node.own is not None and node.own.flagged:
+                node.own = None
+            if node.extensions is not None:
+                node.extensions.compact()
+            return KEEP if not node.is_empty() else DROP
+        if isinstance(node, RVSet):
+            node.compact()
+            return KEEP if node else DROP
+        return KEEP
+
+    # -- traversal ---------------------------------------------------------------
+
+    def lookup(self, values: Mapping[str, Any], create: bool) -> Any | None:
+        """Walk the levels with the parameter objects in ``values``.
+
+        Returns the leaf (creating the spine if ``create``), or ``None``.
+        Every step performs the RVMap's incremental dead-key scan — this is
+        what makes collection *lazy*: detection happens on access.
+        """
+        node = self._root
+        for depth, param in enumerate(self.params):
+            obj = values[param]
+            child = node.get(obj)
+            if child is None:
+                if not create:
+                    return None
+                child = self._new_node(depth + 1)
+                node.put(obj, child)
+            node = child
+        return node
+
+    def walk_leaves(self) -> Iterator[Any]:
+        """Every leaf currently in the tree (live keys only)."""
+
+        def walk(node: Any) -> Iterator[Any]:
+            if isinstance(node, RVMap):
+                for value in node.values():
+                    yield from walk(value)
+            else:
+                yield node
+
+        yield from walk(self._root)
+
+    def scan_all(self) -> None:
+        """Full dead-key scan of every level (eager propagation / tests)."""
+
+        def walk(node: Any) -> None:
+            if isinstance(node, RVMap):
+                node.scan_all()
+                for value in node.values():
+                    walk(value)
+
+        walk(self._root)
+
+
+class IndexingTree(_TreeBase):
+    """A per-domain tree with :class:`Leaf` bottoms (Figure 6)."""
+
+    def __init__(
+        self,
+        params: tuple[str, ...],
+        tracks_extensions: bool,
+        notify: Callable[[MonitorInstance], None],
+        scan_budget: int = 2,
+    ):
+        self.tracks_extensions = tracks_extensions
+        super().__init__(params, notify, scan_budget)
+
+    def _new_leaf(self) -> Leaf:
+        return Leaf(self.tracks_extensions)
+
+    def lookup_leaf(self, values: Mapping[str, Any], create: bool) -> Leaf | None:
+        leaf = self.lookup(values, create)
+        return leaf  # type: ignore[return-value]
+
+
+class JoinIndex(_TreeBase):
+    """Index of domain-``K`` instances by their ``K ∩ J`` sub-binding.
+
+    With an empty key domain (``K ∩ J = ∅``) the index degenerates to the
+    single set of *all* domain-``K`` instances.
+    """
+
+    def __init__(
+        self,
+        key_params: tuple[str, ...],
+        notify: Callable[[MonitorInstance], None],
+        scan_budget: int = 2,
+    ):
+        super().__init__(key_params, notify, scan_budget)
+
+    def _new_leaf(self) -> RVSet:
+        return RVSet()
+
+    def add(self, values: Mapping[str, Any], monitor: MonitorInstance) -> None:
+        bucket = self.lookup(values, create=True)
+        bucket.add(monitor)
+
+    def candidates(self, values: Mapping[str, Any]) -> Iterator[MonitorInstance]:
+        bucket = self.lookup(values, create=False)
+        if bucket is None:
+            return iter(())
+        return bucket.iter_active()

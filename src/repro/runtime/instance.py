@@ -1,0 +1,92 @@
+"""Runtime monitor instances.
+
+A :class:`MonitorInstance` pairs a base monitor (the formalism-level state)
+with a parameter binding held through weak :class:`~repro.runtime.refs.ParamRef`
+handles — the instance must never keep its parameter objects alive, or the
+entire GC technique would be moot.
+
+Per Section 4.2.2, each instance remembers the *last event* it received so
+that, when a parameter-death notification arrives, the GC strategy can
+evaluate ``ALIVENESS(last event)``.  Instances are *flagged* (not removed)
+when found unnecessary; physical removal is lazy (Section 4.2/5.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..core.params import Binding
+from .refs import ParamRef
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..spec.compiler import CompiledProperty
+
+__all__ = ["MonitorInstance"]
+
+
+class MonitorInstance:
+    """One parametric monitor instance (a row of the ``Delta`` table)."""
+
+    __slots__ = (
+        "prop",
+        "base",
+        "params",
+        "last_event",
+        "flagged",
+        "serial",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        prop: "CompiledProperty",
+        base: Any,
+        params: Mapping[str, ParamRef],
+        serial: int,
+    ):
+        self.prop = prop
+        self.base = base
+        self.params = dict(params)
+        self.last_event: str | None = None
+        self.flagged = False
+        self.serial = serial
+
+    @property
+    def domain(self) -> frozenset[str]:
+        return frozenset(self.params)
+
+    def param_alive(self, name: str) -> bool:
+        """Liveness of one bound parameter; unbound parameters count as alive
+        (they may still be bound by future events — Theorem 1 is about bound
+        objects only)."""
+        ref = self.params.get(name)
+        return True if ref is None else ref.is_alive
+
+    def liveness(self) -> dict[str, bool]:
+        return {name: ref.is_alive for name, ref in self.params.items()}
+
+    def all_params_dead(self) -> bool:
+        """JavaMOP's collectability condition: every bound parameter is gone.
+
+        Immortal (non-weak-referenceable) parameters never die, so an
+        instance binding one is never collectable under this rule — the same
+        would be true of a Java object pinned by a static field.
+        """
+        return all(not ref.is_alive for ref in self.params.values()) and bool(self.params)
+
+    def binding(self) -> Binding:
+        """Rebuild a :class:`Binding` of the still-live parameter objects
+        (dead parameters are omitted) — used when firing handlers."""
+        pairs = []
+        for name, ref in self.params.items():
+            value = ref.get()
+            if value is not None:
+                pairs.append((name, value))
+        return Binding(pairs)
+
+    def __repr__(self) -> str:
+        names = ", ".join(
+            f"{name}{'†' if not ref.is_alive else ''}" for name, ref in sorted(self.params.items())
+        )
+        mark = " FLAGGED" if self.flagged else ""
+        return f"MonitorInstance#{self.serial}<{names}>({self.base.verdict()}){mark}"

@@ -1,0 +1,72 @@
+"""Weak parameter references.
+
+The monitor GC technique hinges on observing the *death* of parameter
+objects without keeping them alive.  Java uses ``WeakReference``; CPython's
+:mod:`weakref` plays the same role here, with one twist: some Python values
+(``int``, ``str``, ``tuple`` ...) are not weak-referenceable.  Such values
+are held strongly and treated as immortal — which is also semantically
+right: an interned value never "dies" in a way a monitor should react to.
+
+CPython's reference counting makes death *deterministic* (the weakref goes
+dead the moment the last strong reference drops), which this reproduction
+exploits for reproducible GC tests; reference cycles additionally need
+``gc.collect()``, which the benchmark harness invokes explicitly.  This is
+the GC-semantics substitution recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any
+
+__all__ = ["ParamRef"]
+
+
+class ParamRef:
+    """A handle to one parameter object that does not keep it alive.
+
+    ``param_id`` is the object's ``id()`` at capture time and is what the
+    weak-keyed maps hash on.  After death an id can be reused by CPython, so
+    equality of a *dead* ref with anything is always ``False`` — dead
+    entries never match lookups (lookups always carry a live object) and are
+    purged lazily, so id reuse at worst leaves a dead entry alongside a live
+    one until the next scan.
+    """
+
+    __slots__ = ("_weak", "_strong", "param_id", "__weakref__")
+
+    def __init__(self, value: Any):
+        self.param_id = id(value)
+        try:
+            self._weak: weakref.ref | None = weakref.ref(value)
+            self._strong = None
+        except TypeError:
+            # Non-weak-referenceable value: hold it strongly; it is immortal
+            # from the monitor GC's point of view.
+            self._weak = None
+            self._strong = value
+
+    def get(self) -> Any | None:
+        """The referent, or ``None`` if it has been garbage collected."""
+        if self._weak is None:
+            return self._strong
+        return self._weak()
+
+    @property
+    def is_alive(self) -> bool:
+        return self.get() is not None
+
+    @property
+    def is_weak(self) -> bool:
+        """Whether the referent can actually die (False for immortal values)."""
+        return self._weak is not None
+
+    def refers_to(self, value: Any) -> bool:
+        """Identity check against a live candidate object."""
+        return self.get() is value
+
+    def __repr__(self) -> str:
+        referent = self.get()
+        if referent is None:
+            return f"ParamRef(<dead:{self.param_id:#x}>)"
+        return f"ParamRef({type(referent).__name__}@{self.param_id:#x})"

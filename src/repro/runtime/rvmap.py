@@ -1,0 +1,172 @@
+"""RVMap — the weak-keyed map of Section 4.2.1.
+
+An ``RVMap`` maps *parameter objects* (weakly, via
+:class:`~repro.runtime.refs.ParamRef`) to indexing-tree values: deeper maps
+or leaves.  Faithful to the paper:
+
+* whenever an operation (``put``/``get``) is performed, the map "looks
+  through a subset of its entries" for dead keys (an incremental rotating
+  scan bounded by ``scan_budget`` buckets per operation);
+* a dead key triggers the ``on_dead_value`` callback — the engine uses it to
+  notify every monitor instance below the broken mapping (Figure 7A) — and
+  the broken mapping is then removed (Figure 7B);
+* while scanning, *live* entries' values are offered to ``inspect_value``,
+  which may clean them up (compact sets, drop flagged monitors, remove
+  empty substructures) and returns whether the mapping should be kept
+  (Section 5.1.1).
+
+Keys are hashed by object identity (``id``); a bucket holds the entries
+sharing an id (id reuse after death can briefly co-locate a dead and a live
+entry — lookups compare identity against the live referent, so this is
+benign; the dead entry is purged by a later scan).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from .refs import ParamRef
+
+__all__ = ["RVMap"]
+
+#: Kept-entry decision returned by ``inspect_value``.
+KEEP, DROP = True, False
+
+
+class RVMap:
+    """A weak-keyed identity map with lazy dead-key scanning."""
+
+    __slots__ = ("_buckets", "_scan_keys", "_scan_pos", "on_dead_value", "inspect_value", "scan_budget")
+
+    def __init__(
+        self,
+        on_dead_value: Callable[[Any], None] | None = None,
+        inspect_value: Callable[[Any], bool] | None = None,
+        scan_budget: int = 2,
+    ):
+        self._buckets: dict[int, list[tuple[ParamRef, Any]]] = {}
+        self._scan_keys: list[int] = []
+        self._scan_pos = 0
+        self.on_dead_value = on_dead_value
+        self.inspect_value = inspect_value
+        self.scan_budget = scan_budget
+
+    # -- basic operations ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    def get(self, obj: Any) -> Any | None:
+        """The value mapped to ``obj`` (by identity), or ``None``."""
+        self.scan_some()
+        bucket = self._buckets.get(id(obj))
+        if bucket:
+            for ref, value in bucket:
+                if ref.refers_to(obj):
+                    return value
+        return None
+
+    def put(self, obj: Any, value: Any) -> None:
+        """Map ``obj`` to ``value``, replacing any existing mapping."""
+        self.scan_some()
+        key = id(obj)
+        bucket = self._buckets.setdefault(key, [])
+        for index, (ref, _old) in enumerate(bucket):
+            if ref.refers_to(obj):
+                bucket[index] = (ref, value)
+                return
+        bucket.append((ParamRef(obj), value))
+
+    def remove(self, obj: Any) -> bool:
+        """Remove the mapping for ``obj``; returns whether one existed."""
+        key = id(obj)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        for index, (ref, _value) in enumerate(bucket):
+            if ref.refers_to(obj):
+                del bucket[index]
+                if not bucket:
+                    del self._buckets[key]
+                return True
+        return False
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate (live referent, value) pairs over a snapshot."""
+        for bucket in tuple(self._buckets.values()):
+            for ref, value in tuple(bucket):
+                referent = ref.get()
+                if referent is not None:
+                    yield referent, value
+
+    def values(self) -> Iterator[Any]:
+        for _referent, value in self.items():
+            yield value
+
+    def all_values(self) -> Iterator[Any]:
+        """Every stored value, including those under already-dead keys."""
+        for bucket in tuple(self._buckets.values()):
+            for _ref, value in tuple(bucket):
+                yield value
+
+    # -- lazy scanning (Sections 4.2.1 and 5.1.1) ----------------------------
+
+    def scan_some(self) -> int:
+        """Scan up to ``scan_budget`` buckets for dead keys; returns how many
+        entries were cleaned."""
+        if not self._buckets:
+            return 0
+        cleaned = 0
+        for _step in range(self.scan_budget):
+            key = self._next_scan_key()
+            if key is None:
+                break
+            cleaned += self._scan_bucket(key)
+        return cleaned
+
+    def scan_all(self) -> int:
+        """Scan every bucket (used by eager propagation and by tests)."""
+        cleaned = 0
+        for key in list(self._buckets):
+            cleaned += self._scan_bucket(key)
+        return cleaned
+
+    def _next_scan_key(self) -> int | None:
+        if self._scan_pos >= len(self._scan_keys):
+            self._scan_keys = list(self._buckets)
+            self._scan_pos = 0
+            if not self._scan_keys:
+                return None
+        key = self._scan_keys[self._scan_pos]
+        self._scan_pos += 1
+        return key
+
+    def _scan_bucket(self, key: int) -> int:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return 0
+        cleaned = 0
+        survivors: list[tuple[ParamRef, Any]] = []
+        for ref, value in bucket:
+            if not ref.is_alive:
+                # Figure 7A: notify the monitors below the broken mapping...
+                if self.on_dead_value is not None:
+                    self.on_dead_value(value)
+                # ...and Figure 7B: remove it.
+                cleaned += 1
+            elif self.inspect_value is not None and self.inspect_value(value) is DROP:
+                cleaned += 1
+            else:
+                survivors.append((ref, value))
+        if cleaned:
+            if survivors:
+                self._buckets[key] = survivors
+            else:
+                del self._buckets[key]
+        return cleaned
+
+    def __repr__(self) -> str:
+        return f"RVMap({len(self)} entries, {len(self._buckets)} buckets)"

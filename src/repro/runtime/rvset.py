@@ -1,0 +1,74 @@
+"""RVSet — monitor sets with one-pass lazy compaction (Figure 8).
+
+The leaves of partial-binding indexing trees hold *sets* of monitor
+instances (every instance more informative than the leaf's binding).
+Instances are flagged in place when found unnecessary (Section 4.2.2); the
+set compacts all flagged instances out in a single pass whenever it is next
+touched — the paper's Figure 8 — instead of eagerly chasing each instance
+through every structure that contains it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .instance import MonitorInstance
+
+__all__ = ["RVSet"]
+
+
+class RVSet:
+    """An insertion-ordered bag of monitor instances with lazy compaction."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[MonitorInstance] = []
+
+    def add(self, monitor: MonitorInstance) -> None:
+        self._items.append(monitor)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def has_flagged(self) -> bool:
+        return any(monitor.flagged for monitor in self._items)
+
+    def compact(self, on_removed: Callable[[MonitorInstance], None] | None = None) -> int:
+        """Remove every flagged instance in one pass; returns how many.
+
+        Flagging happens directly on the instance (the notifying tree does
+        not know which other structures contain it), so compaction rescans;
+        the pass is fused with iteration by :meth:`iter_active`, keeping the
+        touch-time cost linear — the compaction of Figure 8.
+        """
+        removed = 0
+        survivors: list[MonitorInstance] = []
+        for monitor in self._items:
+            if monitor.flagged:
+                removed += 1
+                if on_removed is not None:
+                    on_removed(monitor)
+            else:
+                survivors.append(monitor)
+        if removed:
+            self._items = survivors
+        return removed
+
+    def iter_active(self) -> Iterator[MonitorInstance]:
+        """Compact, then iterate a snapshot of the surviving instances.
+
+        The snapshot keeps the traversal valid if monitor updates (or the
+        handlers they fire) add instances to this set reentrantly.
+        """
+        self.compact()
+        return iter(tuple(self._items))
+
+    def __iter__(self) -> Iterator[MonitorInstance]:
+        return iter(tuple(self._items))
+
+    def __repr__(self) -> str:
+        return f"RVSet({len(self._items)} monitors)"

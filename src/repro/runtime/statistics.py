@@ -1,0 +1,76 @@
+"""Monitoring statistics — the quantities of Figure 10.
+
+The paper reports, per benchmark x property:
+
+* **E**  — number of triggered events;
+* **M**  — number of created monitor instances;
+* **FM** — number of monitors *flagged* as unnecessary by the coenable
+  technique;
+* **CM** — number of monitors actually *collected* by the JVM.
+
+``MonitorStats`` tracks all four (CM via ``weakref.finalize`` on monitor
+instances, i.e. genuinely-reclaimed Python objects), plus the peak number
+of simultaneously live monitors (the memory proxy for Figure 9B) and
+handler activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MonitorStats"]
+
+
+@dataclass
+class MonitorStats:
+    """Counters for one property runtime."""
+
+    events: int = 0
+    monitors_created: int = 0
+    monitors_flagged: int = 0
+    monitors_collected: int = 0
+    handler_fires: int = 0
+    peak_live_monitors: int = 0
+    #: Verdict-category tallies (how many times each category was reported).
+    verdicts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def live_monitors(self) -> int:
+        """Monitors created and not yet reclaimed by the host GC."""
+        return self.monitors_created - self.monitors_collected
+
+    def record_event(self) -> None:
+        self.events += 1
+
+    def record_creation(self) -> None:
+        self.monitors_created += 1
+        if self.live_monitors > self.peak_live_monitors:
+            self.peak_live_monitors = self.live_monitors
+
+    def record_flag(self) -> None:
+        self.monitors_flagged += 1
+
+    def record_collection(self) -> None:
+        self.monitors_collected += 1
+
+    def record_verdict(self, category: str) -> None:
+        self.verdicts[category] = self.verdicts.get(category, 0) + 1
+
+    def record_handler(self) -> None:
+        self.handler_fires += 1
+
+    def as_row(self) -> dict[str, int]:
+        """The Figure 10 row: E / M / FM / CM."""
+        return {
+            "E": self.events,
+            "M": self.monitors_created,
+            "FM": self.monitors_flagged,
+            "CM": self.monitors_collected,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorStats(E={self.events}, M={self.monitors_created}, "
+            f"FM={self.monitors_flagged}, CM={self.monitors_collected}, "
+            f"live={self.live_monitors}, peak={self.peak_live_monitors})"
+        )

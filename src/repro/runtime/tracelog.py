@@ -1,0 +1,128 @@
+"""Recording and replaying parametric event traces.
+
+A :class:`TraceRecorder` taps a :class:`~repro.runtime.engine.MonitoringEngine`
+and writes every emitted parametric event as one JSON line — the event name
+plus a *symbolic identity* per parameter object (``c0``, ``i17``, ...).
+Identities preserve the aliasing structure of the run (two events binding
+the same object record the same symbol) without holding the objects alive:
+the registry is an id-keyed weak table.
+
+:func:`replay` reads the log back, materializes one fresh token object per
+symbol, and re-emits the events into a new engine — so a production trace
+can be re-monitored offline under a different property, GC strategy, or
+engine configuration.
+
+Caveat (documented, inherent): the log records *events*, not object
+deaths.  A replay keeps all tokens alive until the end unless
+``retire_after_last_use=True``, which drops each token right after its
+final occurrence — a faithful stand-in for the common pattern where
+objects die as soon as the program stops mentioning them (the paper's
+short-lived iterators), though not a reconstruction of the original
+collection points.
+"""
+
+from __future__ import annotations
+
+import json
+import weakref
+from typing import Any, Iterable, TextIO
+
+from .engine import MonitoringEngine
+
+__all__ = ["TraceRecorder", "replay", "ReplayToken"]
+
+
+class ReplayToken:
+    """A fresh weak-referenceable stand-in for one recorded object."""
+
+    __slots__ = ("symbol", "__weakref__")
+
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+
+    def __repr__(self) -> str:
+        return f"ReplayToken({self.symbol})"
+
+
+class TraceRecorder:
+    """Tap an engine and write its parametric events as JSON lines."""
+
+    def __init__(self, sink: TextIO):
+        self._sink = sink
+        self._symbols: dict[int, str] = {}
+        self._guards: dict[int, weakref.ref] = {}
+        self._counter = 0
+        self.events_recorded = 0
+
+    def attach(self, engine: MonitoringEngine) -> "TraceRecorder":
+        """Register as the engine's emission tap (one tap per engine)."""
+        engine.on_emit = self.record
+        return self
+
+    def record(self, event: str, params: dict[str, Any]) -> None:
+        entry = {
+            "event": event,
+            "params": {name: self._symbol_for(value) for name, value in params.items()},
+        }
+        self._sink.write(json.dumps(entry) + "\n")
+        self.events_recorded += 1
+
+    def _symbol_for(self, value: Any) -> str:
+        key = id(value)
+        guard = self._guards.get(key)
+        if guard is not None and guard() is value:
+            return self._symbols[key]
+        # New object (or a dead object's id was recycled): mint a symbol.
+        self._counter += 1
+        symbol = f"o{self._counter}"
+        self._symbols[key] = symbol
+        try:
+            self._guards[key] = weakref.ref(value)
+        except TypeError:
+            # Non-weakrefable (immortal) value: key it by its repr so equal
+            # immortals share a symbol across the run.
+            symbol = f"v:{value!r}"
+            self._symbols[key] = symbol
+            self._guards.pop(key, None)
+        return self._symbols[key]
+
+
+def read_trace(lines: Iterable[str]) -> list[dict]:
+    """Parse a recorded trace (skipping blank lines)."""
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def replay(
+    lines: Iterable[str],
+    engine: MonitoringEngine,
+    retire_after_last_use: bool = False,
+) -> dict[str, ReplayToken]:
+    """Re-emit a recorded trace into ``engine``.
+
+    Returns the symbol -> token table of objects still alive at the end
+    (with ``retire_after_last_use`` the retired ones are absent).
+    """
+    entries = read_trace(lines)
+    last_use: dict[str, int] = {}
+    for index, entry in enumerate(entries):
+        for symbol in entry["params"].values():
+            last_use[symbol] = index
+    tokens: dict[str, ReplayToken] = {}
+    for index, entry in enumerate(entries):
+        params: dict[str, Any] = {}
+        for name, symbol in entry["params"].items():
+            if symbol.startswith("v:"):
+                params[name] = symbol  # immortal literal, identity irrelevant
+                continue
+            token = tokens.get(symbol)
+            if token is None:
+                token = ReplayToken(symbol)
+                tokens[symbol] = token
+            params[name] = token
+        entry_event = entry["event"]
+        engine.emit(entry_event, _strict=False, **params)
+        if retire_after_last_use:
+            for symbol in list(entry["params"].values()):
+                if not symbol.startswith("v:") and last_use.get(symbol) == index:
+                    tokens.pop(symbol, None)
+    return tokens

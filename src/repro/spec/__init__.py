@@ -1,0 +1,23 @@
+"""The RV specification language: parser and compiler.
+
+See Figures 2-4 of the paper for the original syntax; this reproduction
+keeps the event/formalism/handler structure and replaces the AspectJ
+pointcut declarations with the instrumentation API of
+:mod:`repro.instrument`.
+"""
+
+from .ast import EventDecl, HandlerDecl, LogicBlock, SpecAst
+from .compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
+from .parser import parse_spec
+
+__all__ = [
+    "EventDecl",
+    "HandlerDecl",
+    "LogicBlock",
+    "SpecAst",
+    "CompiledProperty",
+    "CompiledSpec",
+    "compile_spec",
+    "load_spec",
+    "parse_spec",
+]

@@ -1,0 +1,61 @@
+"""Abstract syntax of the RV specification language (Figures 2-4).
+
+A specification declares a name, a parameter list, a set of parametric
+events, one or more logic blocks (``fsm:``, ``ere:``, ``ltl:``, ``cfg:``),
+and handlers (``@category``) attached to the preceding logic block.
+
+The AspectJ pointcut part of the paper's event declarations (``call``,
+``target``, ``returning`` ...) does not exist at this level in the Python
+reproduction: an event declaration names only the parameters it binds, and
+binding events to program points is the job of the instrumentation layer
+(:mod:`repro.instrument`), which plays the role of the AspectJ weaver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventDecl", "HandlerDecl", "LogicBlock", "SpecAst", "FORMALISMS"]
+
+#: The formalism keywords the parser recognizes.
+FORMALISMS = ("fsm", "ere", "ltl", "cfg")
+
+
+@dataclass(frozen=True)
+class EventDecl:
+    """``event update(c)`` — an event and the parameters it binds."""
+
+    name: str
+    params: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HandlerDecl:
+    """``@match "message"`` — fire when the verdict enters ``category``.
+
+    ``message`` is an optional diagnostic string (the analog of the paper's
+    ``System.out.println`` handler bodies); arbitrary Python callables are
+    attached post-compilation via :meth:`repro.spec.compiler.CompiledProperty.on`.
+    """
+
+    category: str
+    message: str | None = None
+
+
+@dataclass(frozen=True)
+class LogicBlock:
+    """One ``formalism: body`` block with its trailing handlers."""
+
+    formalism: str
+    body: str
+    handlers: tuple[HandlerDecl, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class SpecAst:
+    """A full parsed specification."""
+
+    name: str
+    parameters: tuple[str, ...]
+    events: tuple[EventDecl, ...]
+    logics: tuple[LogicBlock, ...]

@@ -1,0 +1,189 @@
+"""Parser for the RV specification language.
+
+The concrete syntax is a Pythonic rendering of Figures 2-4::
+
+    UnsafeIter(c, i) {
+      event create(c, i)
+      event update(c)
+      event next(i)
+
+      ere: update* create next* update+ next
+
+      @match "improper Concurrent Modification found!"
+    }
+
+The grammar is line-oriented: a header line, ``event`` declarations, logic
+blocks introduced by a formalism keyword (whose raw body extends to the next
+directive — the formalism-specific sub-parsers in :mod:`repro.formalism`
+take it from there), and ``@category`` handler lines that attach to the
+preceding logic block.  ``//`` and ``#`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.errors import SpecSyntaxError
+from .ast import FORMALISMS, EventDecl, HandlerDecl, LogicBlock, SpecAst
+
+__all__ = ["parse_spec"]
+
+_HEADER = re.compile(r"^\s*(?P<name>[A-Za-z_]\w*)\s*\((?P<params>[^)]*)\)\s*\{\s*$")
+_EVENT = re.compile(r"^\s*event\s+(?P<name>[A-Za-z_]\w*)\s*\((?P<params>[^)]*)\)\s*$")
+_LOGIC = re.compile(
+    r"^\s*(?P<formalism>" + "|".join(FORMALISMS) + r")\s*:\s*(?P<rest>.*)$"
+)
+_HANDLER = re.compile(
+    r"^\s*@(?P<category>[A-Za-z_?][\w?]*)\s*(?:\"(?P<message>[^\"]*)\")?\s*$"
+)
+_COMMENT = re.compile(r"(//|#).*$")
+
+
+def _strip(line: str) -> str:
+    return _COMMENT.sub("", line).rstrip()
+
+
+def _split_params(raw: str, context: str, line_number: int) -> tuple[str, ...]:
+    raw = raw.strip()
+    if not raw:
+        return ()
+    params = tuple(part.strip() for part in raw.split(","))
+    for param in params:
+        if not re.fullmatch(r"[A-Za-z_]\w*", param):
+            raise SpecSyntaxError(
+                f"bad parameter name {param!r} in {context}", line=line_number
+            )
+    if len(set(params)) != len(params):
+        raise SpecSyntaxError(f"duplicate parameter in {context}", line=line_number)
+    return params
+
+
+def parse_spec(text: str) -> SpecAst:
+    """Parse one specification; raises :class:`SpecSyntaxError` on bad input."""
+    lines = text.splitlines()
+    index = 0
+
+    # Header.
+    name = None
+    parameters: tuple[str, ...] = ()
+    while index < len(lines):
+        line = _strip(lines[index])
+        index += 1
+        if not line.strip():
+            continue
+        header = _HEADER.match(line)
+        if not header:
+            raise SpecSyntaxError(
+                f"expected 'Name(params) {{' header, got {line.strip()!r}", line=index
+            )
+        name = header.group("name")
+        parameters = _split_params(header.group("params"), "specification header", index)
+        break
+    if name is None:
+        raise SpecSyntaxError("empty specification")
+
+    events: list[EventDecl] = []
+    logics: list[LogicBlock] = []
+    current_formalism: str | None = None
+    current_body: list[str] = []
+    current_handlers: list[HandlerDecl] = []
+    closed = False
+
+    def flush_logic() -> None:
+        nonlocal current_formalism, current_body, current_handlers
+        if current_formalism is None:
+            if current_handlers:
+                raise SpecSyntaxError(
+                    f"handler @{current_handlers[0].category} appears before any "
+                    f"logic block in {name!r}"
+                )
+            return
+        body = "\n".join(current_body).strip()
+        if not body:
+            raise SpecSyntaxError(f"empty {current_formalism!r} block in {name!r}")
+        logics.append(
+            LogicBlock(current_formalism, body, tuple(current_handlers))
+        )
+        current_formalism = None
+        current_body = []
+        current_handlers = []
+
+    while index < len(lines):
+        raw = lines[index]
+        index += 1
+        line = _strip(raw)
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped == "}":
+            flush_logic()
+            closed = True
+            break
+
+        event = _EVENT.match(line)
+        if event:
+            flush_logic()
+            events.append(
+                EventDecl(
+                    event.group("name"),
+                    _split_params(
+                        event.group("params"), f"event {event.group('name')!r}", index
+                    ),
+                )
+            )
+            continue
+
+        logic = _LOGIC.match(line)
+        if logic:
+            flush_logic()
+            current_formalism = logic.group("formalism")
+            current_body = [logic.group("rest")]
+            continue
+
+        handler = _HANDLER.match(line)
+        if handler:
+            if current_formalism is None:
+                raise SpecSyntaxError(
+                    f"handler {stripped!r} appears before any logic block", line=index
+                )
+            if current_handlers and current_body == []:
+                pass  # consecutive handlers are fine
+            current_handlers.append(
+                HandlerDecl(handler.group("category"), handler.group("message"))
+            )
+            continue
+
+        if current_formalism is not None and not current_handlers:
+            # Continuation of the raw logic body (multi-line fsm/cfg blocks).
+            current_body.append(line)
+            continue
+
+        raise SpecSyntaxError(f"cannot parse line {stripped!r}", line=index)
+
+    if not closed:
+        raise SpecSyntaxError(f"missing closing '}}' in specification {name!r}")
+    if not events:
+        raise SpecSyntaxError(f"specification {name!r} declares no events")
+    if not logics:
+        raise SpecSyntaxError(f"specification {name!r} has no logic block")
+
+    seen_events = set()
+    for event_decl in events:
+        if event_decl.name in seen_events:
+            raise SpecSyntaxError(
+                f"event {event_decl.name!r} declared twice in {name!r}"
+            )
+        seen_events.add(event_decl.name)
+        undeclared = set(event_decl.params) - set(parameters)
+        if undeclared:
+            raise SpecSyntaxError(
+                f"event {event_decl.name!r} binds undeclared parameters "
+                f"{sorted(undeclared)} in {name!r}"
+            )
+
+    return SpecAst(
+        name=name,
+        parameters=parameters,
+        events=tuple(events),
+        logics=tuple(logics),
+    )

@@ -1,0 +1,60 @@
+"""CLI tests: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_fig9a_tiny_grid(self, capsys):
+        code = main(
+            [
+                "fig9a",
+                "--scale", "1.0",
+                "--workloads", "tradebeans",
+                "--properties", "hasnext",
+                "--systems", "rv",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9(A)" in out
+        assert "tradebeans" in out
+        assert "%" in out
+
+    def test_all_figures_with_all_column(self, capsys):
+        code = main(
+            [
+                "all",
+                "--scale", "1.0",
+                "--workloads", "tradebeans,tomcat",
+                "--properties", "hasnext,unsafeiter",
+                "--systems", "mop,rv",
+                "--all-column",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9(A)" in out
+        assert "Figure 9(B)" in out
+        assert "Figure 10" in out
+        assert "ALL/RV" in out
+
+    def test_fig10_only(self, capsys):
+        main(
+            [
+                "fig10",
+                "--workloads", "tradebeans",
+                "--properties", "unsafeiter",
+                "--systems", "rv",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Figure 9(A)" not in out
+        assert ".FM" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,128 @@
+"""Harness tests: cell mechanics and the qualitative table shapes.
+
+These run tiny scales — the full-size shape assertions live in
+``benchmarks/`` — but they still verify the *mechanisms* behind Figures 9
+and 10: overhead is computed against an unwoven baseline, statistics come
+from the engine, the TM-analog refuses CFG cells, and the memory ordering
+(MOP retains most, RV flags most) already shows at small scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import baseline_time, run_cell, run_grid
+from repro.bench.report import render_fig9a, render_fig9b, render_fig10
+
+
+class TestRunCell:
+    def test_basic_cell(self):
+        cell = run_cell("tomcat", "hasnext", "rv")
+        assert cell.workload == "tomcat"
+        assert cell.properties == ("hasnext",)
+        assert cell.monitored_seconds > 0
+        assert cell.original_seconds > 0
+        stats = cell.totals()
+        assert stats["E"] > 0
+        assert stats["M"] > 0
+
+    def test_overhead_computation(self):
+        cell = run_cell("tomcat", "hasnext", "rv")
+        expected = 100.0 * (cell.monitored_seconds - cell.original_seconds) / cell.original_seconds
+        assert cell.overhead_pct == pytest.approx(expected)
+
+    def test_shared_baseline(self):
+        baseline = baseline_time("tomcat")
+        cell = run_cell("tomcat", "hasnext", "rv", original_seconds=baseline)
+        assert cell.original_seconds == baseline
+
+    def test_all_cell_hosts_multiple_properties(self):
+        cell = run_cell("tomcat", ["hasnext", "unsafeiter"], "rv")
+        names = {spec for spec, _formalism in cell.stats}
+        assert names == {"HasNext", "UnsafeIter"}
+
+    def test_tm_refuses_cfg(self):
+        cell = run_cell("tomcat", "safelock", "tm")
+        assert cell.unsupported
+
+    def test_tracemalloc_measurement(self):
+        cell = run_cell("tomcat", "hasnext", "rv", measure_tracemalloc=True)
+        assert cell.tracemalloc_monitored is not None
+        assert cell.tracemalloc_original is not None
+
+    def test_unweaving_leaves_no_residue(self):
+        from repro.instrument.collections_shim import MonitoredCollection, MonitoredIterator
+
+        before_iter = MonitoredIterator.next
+        before_coll = MonitoredCollection.iterator
+        run_cell("tomcat", "unsafeiter", "rv")
+        assert MonitoredIterator.next is before_iter
+        assert MonitoredCollection.iterator is before_coll
+
+
+class TestShapes:
+    """Small-scale versions of the paper's qualitative claims."""
+
+    def test_memory_ordering_mop_retains_rv_flags(self):
+        """RV flags dead-iterator monitors *while the run is going* and so
+        keeps its live population small; MOP can only flag once the whole
+        binding (collection included) has died, so its peak tracks M.
+        (End-of-run flush flags MOP's all-dead monitors too, which is why
+        the comparison is on peaks, not final FM.)"""
+        scale = 0.15
+        rv = run_cell("bloat", "unsafeiter", "rv", scale=scale)
+        mop = run_cell("bloat", "unsafeiter", "mop", scale=scale)
+        assert rv.totals()["FM"] > 0
+        assert rv.peak_live_monitors < mop.peak_live_monitors
+
+    def test_rv_flags_most_monitors_on_iterator_heavy_workload(self):
+        cell = run_cell("bloat", "unsafeiter", "rv", scale=0.15)
+        totals = cell.totals()
+        assert totals["FM"] >= 0.7 * totals["M"]
+
+    def test_quiet_workloads_produce_few_events(self):
+        loud = run_cell("bloat", "hasnext", "rv", scale=0.1).totals()["E"]
+        quiet = run_cell("tradebeans", "hasnext", "rv").totals()["E"]
+        assert quiet * 50 < loud
+
+
+class TestGridAndReports:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(
+            ["tomcat", "xalan"],
+            ["hasnext", "unsafeiter"],
+            ["tm", "mop", "rv"],
+            include_all_column=True,
+        )
+
+    def test_grid_covers_all_cells(self, grid):
+        assert len(grid.cells) == 2 * (2 * 3 + 1)
+        cell = grid.cell("tomcat", ("hasnext",), "rv")
+        assert cell.system == "rv"
+
+    def test_grid_missing_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.cell("bloat", ("hasnext",), "rv")
+
+    def test_render_fig9a(self, grid):
+        table = render_fig9a(
+            grid, ["tomcat", "xalan"], ["hasnext", "unsafeiter"],
+            include_all_column=True,
+        )
+        assert "ALL/RV" in table
+        assert "tomcat" in table and "%" in table
+
+    def test_render_fig9b(self, grid):
+        table = render_fig9b(grid, ["tomcat", "xalan"], ["hasnext", "unsafeiter"])
+        assert "hasnext/MOP" in table
+
+    def test_render_fig10(self, grid):
+        table = render_fig10(grid, ["tomcat", "xalan"], ["hasnext", "unsafeiter"])
+        for column in (".E", ".M", ".FM", ".CM"):
+            assert column in table
+
+    def test_unsupported_cells_render_na(self):
+        grid = run_grid(["tomcat"], ["safelock"], ["tm"])
+        table = render_fig9a(grid, ["tomcat"], ["safelock"], systems=["tm"])
+        assert "n/a" in table

@@ -1,0 +1,66 @@
+"""Workload generator tests: determinism, scaling, calibrated shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import WORKLOAD_ORDER, WORKLOADS, run_workload
+
+
+class TestCatalog:
+    def test_fifteen_dacapo_analogs(self):
+        assert len(WORKLOADS) == 15
+        assert set(WORKLOAD_ORDER) == set(WORKLOADS)
+
+    def test_paper_table_order(self):
+        assert WORKLOAD_ORDER[0] == "bloat"
+        assert WORKLOAD_ORDER[-1] == "xalan"
+
+    def test_bloat_is_the_heavyweight(self):
+        bloat = run_workload(WORKLOADS["bloat"].scaled(0.05))
+        tomcat = run_workload(WORKLOADS["tomcat"])
+        assert bloat.iterators_created > 50 * tomcat.iterators_created
+
+    def test_h2_window_is_one(self):
+        assert WORKLOADS["h2"].live_window == 1
+
+    def test_sunflow_many_events_few_monitors(self):
+        result = run_workload(WORKLOADS["sunflow"].scaled(0.2))
+        assert result.hasnext_calls > 2 * result.iterators_created
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["bloat", "avrora", "pmd", "xalan"])
+    def test_same_seed_same_run(self, name):
+        profile = WORKLOADS[name].scaled(0.05)
+        assert run_workload(profile) == run_workload(profile)
+
+
+class TestScaling:
+    def test_scaled_reduces_proportionally(self):
+        full = WORKLOADS["bloat"]
+        half = full.scaled(0.5)
+        assert half.collections == round(full.collections * 0.5)
+        assert half.live_window <= full.live_window
+
+    def test_scaled_never_zero(self):
+        tiny = WORKLOADS["bloat"].scaled(0.0001)
+        assert tiny.collections >= 1
+        assert tiny.live_window >= 1
+
+    def test_counts_track_scale(self):
+        small = run_workload(WORKLOADS["avrora"].scaled(0.05))
+        large = run_workload(WORKLOADS["avrora"].scaled(0.1))
+        assert large.iterators_created > small.iterators_created
+
+
+class TestMixes:
+    def test_map_fraction_produces_map_traffic(self):
+        result = run_workload(WORKLOADS["avrora"].scaled(0.1))
+        assert result.collections_created > 0
+
+    def test_updates_follow_probability(self):
+        never = run_workload(WORKLOADS["luindex"])
+        assert never.updates == 0
+        often = run_workload(WORKLOADS["bloat"].scaled(0.1))
+        assert often.updates > 0

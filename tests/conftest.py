@@ -1,0 +1,32 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Obj:
+    """A weak-referenceable identity token used as a parameter object.
+
+    Parameter values are compared by identity throughout the library (as in
+    Java), so tests must create explicit objects rather than rely on interned
+    strings or small ints.
+    """
+
+    __slots__ = ("name", "__weakref__")
+
+    def __init__(self, name: str = "o"):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Obj({self.name})"
+
+
+@pytest.fixture
+def obj():
+    """Factory fixture: ``obj("c1")`` makes a fresh parameter object."""
+    return Obj
+
+
+def make_objs(*names: str) -> list[Obj]:
+    return [Obj(name) for name in names]

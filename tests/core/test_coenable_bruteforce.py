@@ -1,0 +1,187 @@
+"""Fixpoint coenable/enable computations vs exhaustive trace enumeration.
+
+For small alphabets the brute-force oracles of :mod:`repro.core.coenable`
+enumerate every trace up to a length bound; the FSM and CFG fixpoints must
+agree on every event — restricted to the sets reachable within the bound,
+the fixpoint families must be supersets, and for long-enough bounds equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coenable import brute_force_coenable, brute_force_enable
+from repro.formalism.cfg import compile_cfg
+from repro.formalism.ere import compile_ere
+from repro.formalism.fsm import FSM, FSMTemplate
+from repro.formalism.ltl import compile_ltl
+
+MATCH = frozenset({"match"})
+
+
+def assert_family_equal(fixpoint, brute, bounded=False):
+    for event, family in brute.items():
+        if bounded:
+            # Every brute-force set must be produced by the fixpoint.
+            assert family <= fixpoint[event], event
+        else:
+            assert family == fixpoint[event], event
+
+
+class TestEreAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "pattern,alphabet,depth",
+        [
+            ("a b", {"a", "b"}, 5),
+            ("a* b", {"a", "b"}, 6),
+            ("(a | b)* c", {"a", "b", "c"}, 5),
+            ("a+ b+", {"a", "b"}, 6),
+            ("update* create next* update+ next", {"update", "create", "next"}, 6),
+        ],
+    )
+    def test_coenable_superset_of_bounded_enumeration(self, pattern, alphabet, depth):
+        template = compile_ere(pattern, alphabet)
+        fixpoint = template.coenable_sets(MATCH)
+        brute = brute_force_coenable(template, MATCH, depth)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+    @pytest.mark.parametrize(
+        "pattern,alphabet,depth",
+        [
+            ("a b", {"a", "b"}, 6),
+            ("a? b", {"a", "b"}, 6),
+        ],
+    )
+    def test_exact_for_finite_languages(self, pattern, alphabet, depth):
+        """For patterns whose goal traces are all short, fixpoint == brute."""
+        template = compile_ere(pattern, alphabet)
+        assert_family_equal(
+            template.coenable_sets(MATCH),
+            brute_force_coenable(template, MATCH, depth),
+        )
+        assert_family_equal(
+            template.enable_sets(MATCH),
+            brute_force_enable(template, MATCH, depth),
+        )
+
+    def test_enable_superset_of_bounded_enumeration(self):
+        template = compile_ere(
+            "update* create next* update+ next", {"update", "create", "next"}
+        )
+        fixpoint = template.enable_sets(MATCH)
+        brute = brute_force_enable(template, MATCH, 6)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+
+class TestFsmAgainstBruteForce:
+    def hasnext(self) -> FSMTemplate:
+        return FSMTemplate(
+            FSM(
+                states=("unknown", "more", "none", "error"),
+                alphabet=frozenset({"hasnexttrue", "hasnextfalse", "next"}),
+                initial="unknown",
+                transitions={
+                    ("unknown", "hasnexttrue"): "more",
+                    ("unknown", "hasnextfalse"): "none",
+                    ("unknown", "next"): "error",
+                    ("more", "hasnexttrue"): "more",
+                    ("more", "next"): "unknown",
+                    ("none", "hasnextfalse"): "none",
+                    ("none", "next"): "error",
+                },
+            )
+        )
+
+    def test_hasnext_error_goal(self):
+        template = self.hasnext()
+        goal = frozenset({"error"})
+        fixpoint = template.coenable_sets(goal)
+        brute = brute_force_coenable(template, goal, 5)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+    def test_hasnext_enable(self):
+        template = self.hasnext()
+        goal = frozenset({"error"})
+        fixpoint = template.enable_sets(goal)
+        brute = brute_force_enable(template, goal, 5)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+
+class TestLtlAgainstBruteForce:
+    def test_paper_formula(self):
+        template = compile_ltl(
+            "[](next => (*)hasnexttrue)", {"hasnexttrue", "hasnextfalse", "next"}
+        )
+        goal = frozenset({"violation"})
+        fixpoint = template.coenable_sets(goal)
+        brute = brute_force_coenable(template, goal, 4)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+
+class TestCfgAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "grammar,depth",
+        [
+            ("S -> a S b | epsilon", 6),
+            ("S -> S begin S end | S acquire S release | epsilon", 4),
+            ("S -> a | S S", 5),
+        ],
+    )
+    def test_coenable_superset_of_bounded_enumeration(self, grammar, depth):
+        template = compile_cfg(grammar)
+        fixpoint = template.coenable_sets(MATCH)
+        brute = brute_force_coenable(template, MATCH, depth)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+    @pytest.mark.parametrize(
+        "grammar,depth",
+        [
+            ("S -> a S b | epsilon", 6),
+            ("S -> S begin S end | S acquire S release | epsilon", 4),
+        ],
+    )
+    def test_enable_superset_of_bounded_enumeration(self, grammar, depth):
+        template = compile_cfg(grammar)
+        fixpoint = template.enable_sets(MATCH)
+        brute = brute_force_enable(template, MATCH, depth)
+        assert_family_equal(fixpoint, brute, bounded=True)
+
+    def test_finite_language_exact(self):
+        template = compile_cfg("S -> a b | b a")
+        assert_family_equal(
+            template.coenable_sets(MATCH), brute_force_coenable(template, MATCH, 4)
+        )
+        assert_family_equal(
+            template.enable_sets(MATCH), brute_force_enable(template, MATCH, 4)
+        )
+
+
+class TestTheorem1:
+    """Soundness: once an event's coenable requirement is unmeetable, no goal.
+
+    For every goal trace ``w e w'`` (enumerated exhaustively), the suffix
+    ``w'`` must cover at least one coenable set of ``e`` *unless* the trace
+    ends at ``e`` (the dropped-∅ case, which the paper excludes because it
+    speaks of reaching the goal again in the future).
+    """
+
+    def test_unsafeiter(self):
+        from repro.core.monitor import run_monitor
+        import itertools
+
+        template = compile_ere(
+            "update* create next* update+ next", {"update", "create", "next"}
+        )
+        coenable = template.coenable_sets(MATCH)
+        alphabet = sorted(template.alphabet)
+        for length in range(1, 7):
+            for trace in itertools.product(alphabet, repeat=length):
+                if run_monitor(template, trace) != "match":
+                    continue
+                for position, event in enumerate(trace):
+                    suffix = set(trace[position + 1 :])
+                    if not suffix:
+                        continue
+                    assert any(
+                        inner <= suffix for inner in coenable[event]
+                    ), f"{trace} at {position}"

@@ -1,0 +1,140 @@
+"""The exact coenable sets the paper works out in Section 3.
+
+These are the strongest oracle tests in the suite: the fixpoint
+implementations must reproduce, symbol for symbol, the UNSAFEITER coenable
+sets, the parameter coenable sets of Definition 11's example, and the
+ALIVENESS consequences discussed in Sections 3 and 4.2.2.
+"""
+
+from __future__ import annotations
+
+from repro.core.coenable import param_coenable_sets
+from repro.core.events import EventDefinition
+from repro.formalism.ere import compile_ere
+from repro.spec import compile_spec
+
+MATCH_GOAL = frozenset({"match"})
+
+
+def family(*sets):
+    return frozenset(frozenset(s) for s in sets)
+
+
+def unsafeiter_template():
+    return compile_ere("update* create next* update+ next", {"create", "update", "next"})
+
+
+class TestUnsafeIterCoenable:
+    """COENABLE_{P,G} for P = UNSAFEITER, G = {match} (Section 3)."""
+
+    def test_create(self):
+        coenable = unsafeiter_template().coenable_sets(MATCH_GOAL)
+        assert coenable["create"] == family({"next", "update"})
+
+    def test_update(self):
+        coenable = unsafeiter_template().coenable_sets(MATCH_GOAL)
+        assert coenable["update"] == family(
+            {"next"},
+            {"next", "update"},
+            {"next", "create", "update"},
+        )
+
+    def test_next_has_empty_set_dropped(self):
+        """Without dropping ∅s, COENABLE(next) would contain ∅ (the paper
+        notes this explicitly)."""
+        coenable = unsafeiter_template().coenable_sets(MATCH_GOAL)
+        assert coenable["next"] == family({"next", "update"})
+        assert frozenset() not in coenable["next"]
+
+
+class TestUnsafeIterParamCoenable:
+    """COENABLE^X_{P,G} for X = {c, i} (Definition 11's worked example)."""
+
+    definition = EventDefinition({"create": {"c", "i"}, "update": {"c"}, "next": {"i"}})
+
+    def lifted(self):
+        coenable = unsafeiter_template().coenable_sets(MATCH_GOAL)
+        return param_coenable_sets(coenable, self.definition)
+
+    def test_create(self):
+        assert self.lifted()["create"] == family({"c", "i"})
+
+    def test_update(self):
+        assert self.lifted()["update"] == family({"i"}, {"c", "i"})
+
+    def test_next(self):
+        assert self.lifted()["next"] == family({"c", "i"})
+
+    def test_i_occurs_in_every_inner_set(self):
+        """The paper's key observation: i occurs in every inner set, so a
+        dead Iterator makes every UNSAFEITER monitor collectable."""
+        for sets in self.lifted().values():
+            for inner in sets:
+                assert "i" in inner
+
+
+class TestAlivenessConsequences:
+    """Section 4.2.2: the compiled ALIVENESS formulas."""
+
+    def spec(self):
+        return compile_spec(
+            """
+            UnsafeIter(c, i) {
+              event create(c, i)
+              event update(c)
+              event next(i)
+              ere: update* create next* update+ next
+              @match
+            }
+            """
+        )
+
+    def test_update_formula_is_live_i(self):
+        """{i} absorbs {c,i}: after an update, only the iterator must live."""
+        aliveness = self.spec().properties[0].aliveness
+        assert aliveness["update"].disjuncts == frozenset({frozenset({"i"})})
+
+    def test_create_and_next_need_both(self):
+        aliveness = self.spec().properties[0].aliveness
+        for event in ("create", "next"):
+            assert aliveness[event].disjuncts == frozenset({frozenset({"c", "i"})})
+
+    def test_dead_iterator_falsifies_everything(self):
+        aliveness = self.spec().properties[0].aliveness
+        liveness = {"c": True, "i": False}
+        for event in ("create", "update", "next"):
+            assert not aliveness[event].evaluate(liveness)
+
+    def test_dead_collection_keeps_update_monitors(self):
+        """After update, {i} suffices — a dead collection alone does not
+        make the monitor collectable (the match can still happen... only it
+        cannot: update is needed again.  The formula is conservative exactly
+        as Theorem 1 allows)."""
+        aliveness = self.spec().properties[0].aliveness
+        assert aliveness["update"].evaluate({"c": False, "i": True})
+
+
+class TestHasNextCoenable:
+    """HASNEXT (one parameter): every inner set needs the iterator alive."""
+
+    def spec(self):
+        return compile_spec(
+            """
+            HasNext(i) {
+              event hasnexttrue(i)
+              event hasnextfalse(i)
+              event next(i)
+              fsm:
+                unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+                more    [ hasnexttrue -> more  next -> unknown ]
+                none    [ hasnextfalse -> none  next -> error ]
+                error   [ ]
+              @error
+            }
+            """
+        )
+
+    def test_all_formulas_are_live_i(self):
+        aliveness = self.spec().properties[0].aliveness
+        for event in ("hasnexttrue", "hasnextfalse", "next"):
+            assert aliveness[event].disjuncts == frozenset({frozenset({"i"})})

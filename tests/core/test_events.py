@@ -1,0 +1,111 @@
+"""Event and event-definition tests (Definitions 1, 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    InconsistentEventError,
+    UnknownEventError,
+    UnknownParameterError,
+)
+from repro.core.events import EventDefinition, ParametricEvent
+from repro.core.params import Binding
+
+from ..conftest import Obj, make_objs
+
+UNSAFEITER_D = {"create": {"c", "i"}, "update": {"c"}, "next": {"i"}}
+
+
+class TestParametricEvent:
+    def test_of_builds_binding(self):
+        i1 = Obj("i1")
+        event = ParametricEvent.of("next", i=i1)
+        assert event.name == "next"
+        assert event.binding == Binding.of(i=i1)
+
+    def test_default_empty_binding(self):
+        event = ParametricEvent("tick")
+        assert event.binding.domain == frozenset()
+
+    def test_mapping_binding(self):
+        c1 = Obj("c1")
+        event = ParametricEvent("update", {"c": c1})
+        assert event.binding["c"] is c1
+
+    def test_equality_and_hash(self):
+        i1 = Obj("i1")
+        assert ParametricEvent.of("next", i=i1) == ParametricEvent.of("next", i=i1)
+        assert hash(ParametricEvent.of("next", i=i1)) == hash(
+            ParametricEvent.of("next", i=i1)
+        )
+        assert ParametricEvent.of("next", i=i1) != ParametricEvent.of("next", i=Obj("i1"))
+        assert ParametricEvent.of("next", i=i1) != "next"
+
+    def test_repr(self):
+        i1 = Obj("i1")
+        assert "next" in repr(ParametricEvent.of("next", i=i1))
+
+
+class TestEventDefinition:
+    def test_paper_example(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        assert definition.params_of("create") == {"c", "i"}
+        assert definition.params_of("update") == {"c"}
+        assert definition.alphabet == {"create", "update", "next"}
+        assert definition.parameters == {"c", "i"}
+
+    def test_d_extended_to_traces(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        assert definition.params_of_trace([]) == frozenset()
+        assert definition.params_of_trace(["update"]) == {"c"}
+        assert definition.params_of_trace(["create", "update"]) == {"c", "i"}
+        assert definition.params_of_set({"next", "update"}) == {"c", "i"}
+
+    def test_unknown_event_raises(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        with pytest.raises(UnknownEventError):
+            definition.params_of("nope")
+
+    def test_explicit_parameter_superset_allowed(self):
+        definition = EventDefinition({"e": {"x"}}, all_params={"x", "y"})
+        assert definition.parameters == {"x", "y"}
+
+    def test_undeclared_parameter_rejected(self):
+        with pytest.raises(UnknownParameterError):
+            EventDefinition({"e": {"x", "z"}}, all_params={"x"})
+
+    def test_container_protocol(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        assert "create" in definition
+        assert "nope" not in definition
+        assert len(definition) == 3
+        assert sorted(definition) == ["create", "next", "update"]
+
+
+class TestConsistency:
+    def test_consistent_event(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        c1, i1 = make_objs("c1", "i1")
+        event = ParametricEvent.of("create", c=c1, i=i1)
+        assert definition.is_consistent(event)
+        definition.check_consistent(event)  # no raise
+
+    def test_missing_parameter_inconsistent(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        event = ParametricEvent.of("create", c=Obj("c1"))
+        assert not definition.is_consistent(event)
+        with pytest.raises(InconsistentEventError):
+            definition.check_consistent(event)
+
+    def test_extra_parameter_inconsistent(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        c1, i1 = make_objs("c1", "i1")
+        event = ParametricEvent.of("update", c=c1, i=i1)
+        assert not definition.is_consistent(event)
+        with pytest.raises(InconsistentEventError):
+            definition.check_consistent(event)
+
+    def test_unknown_event_name_inconsistent(self):
+        definition = EventDefinition(UNSAFEITER_D)
+        assert not definition.is_consistent(ParametricEvent.of("nope", c=Obj("c")))

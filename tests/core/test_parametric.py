@@ -1,0 +1,119 @@
+"""Algorithm MONITOR (Figure 5) against the slicing semantics (Definition 7).
+
+The theorem from [Chen & Roșu, TACAS'09] that the paper relies on: if M is
+a monitor for P, then MONITOR(M) is a monitor for ΛX.P, i.e. for every
+parameter instance theta the verdict equals P applied to the theta-slice.
+These tests check that statement exhaustively on the paper's UNSAFEITER
+property, both on the worked example and on randomized parametric traces.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import EventDefinition, ParametricEvent
+from repro.core.monitor import run_monitor
+from repro.core.parametric import AbstractParametricMonitor
+from repro.core.params import Binding
+from repro.core.slicing import informative_bindings, slice_trace
+from repro.formalism.ere import compile_ere
+
+from ..conftest import Obj
+
+UNSAFEITER_DEF = EventDefinition({"create": {"c", "i"}, "update": {"c"}, "next": {"i"}})
+
+
+def unsafeiter_template():
+    return compile_ere(
+        "update* create next* update+ next", {"create", "update", "next"}
+    )
+
+
+class TestPaperScenario:
+    def test_match_reported_for_the_offending_instance(self):
+        template = unsafeiter_template()
+        monitor = AbstractParametricMonitor(template, UNSAFEITER_DEF)
+        c1, i1 = Obj("c1"), Obj("i1")
+        monitor.process(ParametricEvent.of("create", c=c1, i=i1))
+        monitor.process(ParametricEvent.of("update", c=c1))
+        updates = monitor.process(ParametricEvent.of("next", i=i1))
+        assert updates[Binding.of(c=c1, i=i1)] == "match"
+
+    def test_unrelated_iterator_not_matched(self):
+        template = unsafeiter_template()
+        monitor = AbstractParametricMonitor(template, UNSAFEITER_DEF)
+        c1, i1, i2 = Obj("c1"), Obj("i1"), Obj("i2")
+        monitor.process(ParametricEvent.of("create", c=c1, i=i1))
+        monitor.process(ParametricEvent.of("update", c=c1))
+        updates = monitor.process(ParametricEvent.of("next", i=i2))
+        assert updates.get(Binding.of(c=c1, i=i1)) is None
+        assert monitor.verdict(Binding.of(c=c1, i=i2)) != "match"
+
+    def test_verdict_of_unknown_instance_uses_max_sub_instance(self):
+        template = unsafeiter_template()
+        monitor = AbstractParametricMonitor(template, UNSAFEITER_DEF)
+        c1 = Obj("c1")
+        monitor.process(ParametricEvent.of("update", c=c1))
+        # <c1, fresh-iterator> was never seen; its slice equals <c1>'s.
+        fresh = Obj("fresh")
+        assert monitor.verdict(Binding.of(c=c1, i=fresh)) == monitor.verdict(
+            Binding.of(c=c1)
+        )
+
+    def test_theta_table_grows_with_joins(self):
+        template = unsafeiter_template()
+        monitor = AbstractParametricMonitor(template, UNSAFEITER_DEF)
+        c1, i1 = Obj("c1"), Obj("i1")
+        monitor.process(ParametricEvent.of("update", c=c1))
+        monitor.process(ParametricEvent.of("next", i=i1))
+        # Theta must contain the join of the two compatible instances.
+        assert Binding.of(c=c1, i=i1) in monitor.known_instances
+
+    def test_consistency_checked(self):
+        import pytest
+        from repro.core.errors import InconsistentEventError
+
+        template = unsafeiter_template()
+        monitor = AbstractParametricMonitor(template, UNSAFEITER_DEF)
+        with pytest.raises(InconsistentEventError):
+            monitor.process(ParametricEvent.of("create", c=Obj("c1")))
+
+
+# -- randomized equivalence with Definition 7 --------------------------------------
+
+_OBJECTS = [Obj(f"v{i}") for i in range(3)]
+
+
+@st.composite
+def unsafeiter_traces(draw):
+    length = draw(st.integers(min_value=0, max_value=7))
+    trace = []
+    for _ in range(length):
+        kind = draw(st.sampled_from(["update", "next", "create"]))
+        if kind == "update":
+            trace.append(ParametricEvent.of("update", c=draw(st.sampled_from(_OBJECTS))))
+        elif kind == "next":
+            trace.append(ParametricEvent.of("next", i=draw(st.sampled_from(_OBJECTS))))
+        else:
+            trace.append(
+                ParametricEvent.of(
+                    "create",
+                    c=draw(st.sampled_from(_OBJECTS)),
+                    i=draw(st.sampled_from(_OBJECTS)),
+                )
+            )
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(unsafeiter_traces())
+def test_figure5_equals_slice_then_monitor(trace):
+    """(ΛX.P)(tau)(theta) == P(tau ↾ theta) for every informative theta."""
+    template = unsafeiter_template()
+    parametric = AbstractParametricMonitor(template, UNSAFEITER_DEF, check_consistency=False)
+    parametric.process_trace(trace)
+    for theta in informative_bindings(trace):
+        expected = run_monitor(template, slice_trace(trace, theta))
+        assert parametric.verdict(theta) == expected, (
+            f"verdict mismatch for {theta!r} on {trace!r}"
+        )

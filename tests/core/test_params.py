@@ -1,0 +1,204 @@
+"""Binding algebra tests (Definitions 3 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import IncompatibleBindingError
+from repro.core.params import EMPTY_BINDING, Binding
+
+from ..conftest import Obj, make_objs
+
+
+class TestBasics:
+    def test_empty_binding_is_bottom(self):
+        assert len(EMPTY_BINDING) == 0
+        assert not EMPTY_BINDING
+        assert EMPTY_BINDING.domain == frozenset()
+
+    def test_of_and_lookup(self):
+        c1 = Obj("c1")
+        binding = Binding.of(c=c1)
+        assert binding["c"] is c1
+        assert binding.get("c") is c1
+        assert binding.get("missing") is None
+        assert "c" in binding
+        assert "i" not in binding
+        assert list(binding) == ["c"]
+
+    def test_domain_and_items_sorted_by_name(self):
+        c1, i1 = make_objs("c1", "i1")
+        binding = Binding.of(i=i1, c=c1)
+        assert binding.domain == {"c", "i"}
+        assert [name for name, _ in binding.items()] == ["c", "i"]
+
+    def test_from_mapping(self):
+        c1 = Obj("c1")
+        assert Binding.from_mapping({"c": c1}) == Binding.of(c=c1)
+
+    def test_repr_mentions_bottom(self):
+        assert repr(EMPTY_BINDING) == "<⊥>"
+
+
+class TestIdentitySemantics:
+    def test_equal_bindings_same_objects(self):
+        c1 = Obj("c1")
+        assert Binding.of(c=c1) == Binding.of(c=c1)
+        assert hash(Binding.of(c=c1)) == hash(Binding.of(c=c1))
+
+    def test_distinct_objects_unequal_even_if_lookalike(self):
+        assert Binding.of(c=Obj("same")) != Binding.of(c=Obj("same"))
+
+    def test_different_domain_unequal(self):
+        c1, i1 = make_objs("c1", "i1")
+        assert Binding.of(c=c1) != Binding.of(c=c1, i=i1)
+
+    def test_not_equal_to_other_types(self):
+        assert Binding.of(c=Obj("c")) != "not a binding"
+
+
+class TestCompatibilityAndJoin:
+    def test_disjoint_domains_compatible(self):
+        c1, i1 = make_objs("c1", "i1")
+        a, b = Binding.of(c=c1), Binding.of(i=i1)
+        assert a.is_compatible(b) and b.is_compatible(a)
+        joined = a.join(b)
+        assert joined == Binding.of(c=c1, i=i1)
+
+    def test_agreeing_overlap_compatible(self):
+        c1, i1 = make_objs("c1", "i1")
+        a = Binding.of(c=c1)
+        b = Binding.of(c=c1, i=i1)
+        assert a.is_compatible(b)
+        assert a.join(b) == b
+
+    def test_disagreeing_overlap_incompatible(self):
+        c1, c2 = make_objs("c1", "c2")
+        a, b = Binding.of(c=c1), Binding.of(c=c2)
+        assert not a.is_compatible(b)
+        assert a.try_join(b) is None
+        with pytest.raises(IncompatibleBindingError):
+            a.join(b)
+
+    def test_join_with_bottom_is_identity(self):
+        c1 = Obj("c1")
+        binding = Binding.of(c=c1)
+        assert binding.join(EMPTY_BINDING) == binding
+        assert EMPTY_BINDING.join(binding) == binding
+
+    def test_join_is_least_upper_bound(self):
+        c1, i1, m1 = make_objs("c1", "i1", "m1")
+        a = Binding.of(c=c1, m=m1)
+        b = Binding.of(c=c1, i=i1)
+        joined = a.join(b)
+        assert a.is_less_informative(joined)
+        assert b.is_less_informative(joined)
+        assert joined.domain == {"c", "i", "m"}
+
+
+class TestInformativeness:
+    def test_bottom_below_everything(self):
+        binding = Binding.of(c=Obj("c1"))
+        assert EMPTY_BINDING.is_less_informative(binding)
+        assert not binding.is_less_informative(EMPTY_BINDING)
+
+    def test_reflexive(self):
+        binding = Binding.of(c=Obj("c1"))
+        assert binding.is_less_informative(binding)
+        assert not binding.is_strictly_less_informative(binding)
+
+    def test_strictness(self):
+        c1, i1 = make_objs("c1", "i1")
+        small = Binding.of(c=c1)
+        large = Binding.of(c=c1, i=i1)
+        assert small.is_strictly_less_informative(large)
+        assert not large.is_strictly_less_informative(small)
+
+    def test_value_mismatch_not_less_informative(self):
+        c1, c2 = make_objs("c1", "c2")
+        assert not Binding.of(c=c1).is_less_informative(Binding.of(c=c2))
+
+
+class TestRestrictAndSubBindings:
+    def test_restrict(self):
+        c1, i1 = make_objs("c1", "i1")
+        binding = Binding.of(c=c1, i=i1)
+        assert binding.restrict({"c"}) == Binding.of(c=c1)
+        assert binding.restrict({"c", "zzz"}) == Binding.of(c=c1)
+        assert binding.restrict(()) == EMPTY_BINDING
+
+    def test_sub_bindings_count(self):
+        c1, i1 = make_objs("c1", "i1")
+        binding = Binding.of(c=c1, i=i1)
+        subs = list(binding.sub_bindings())
+        assert len(subs) == 4
+        assert subs[0] == EMPTY_BINDING
+        assert binding in subs
+
+    def test_proper_sub_bindings_exclude_self(self):
+        c1, i1 = make_objs("c1", "i1")
+        binding = Binding.of(c=c1, i=i1)
+        subs = list(binding.sub_bindings(proper=True))
+        assert binding not in subs
+        assert len(subs) == 3
+
+
+# -- property-based lattice laws ------------------------------------------------
+
+_NAMES = ("a", "b", "c")
+_OBJECTS = [Obj(f"v{i}") for i in range(4)]
+
+
+@st.composite
+def bindings(draw):
+    pairs = {}
+    for name in _NAMES:
+        if draw(st.booleans()):
+            pairs[name] = draw(st.sampled_from(_OBJECTS))
+    return Binding(pairs.items())
+
+
+@given(bindings(), bindings())
+def test_compatibility_is_symmetric(a, b):
+    assert a.is_compatible(b) == b.is_compatible(a)
+
+
+@given(bindings(), bindings())
+def test_join_is_commutative(a, b):
+    assert a.try_join(b) == b.try_join(a)
+
+
+@given(bindings())
+def test_join_is_idempotent(a):
+    assert a.try_join(a) == a
+
+
+@given(bindings(), bindings(), bindings())
+def test_join_is_associative_when_defined(a, b, c):
+    ab = a.try_join(b)
+    bc = b.try_join(c)
+    if ab is not None and bc is not None:
+        left = ab.try_join(c)
+        right = a.try_join(bc)
+        assert left == right
+
+
+@given(bindings(), bindings())
+def test_join_dominates_both_operands(a, b):
+    joined = a.try_join(b)
+    if joined is not None:
+        assert a.is_less_informative(joined)
+        assert b.is_less_informative(joined)
+
+
+@given(bindings(), bindings())
+def test_less_informative_antisymmetric(a, b):
+    if a.is_less_informative(b) and b.is_less_informative(a):
+        assert a == b
+
+
+@given(bindings(), bindings(), bindings())
+def test_less_informative_transitive(a, b, c):
+    if a.is_less_informative(b) and b.is_less_informative(c):
+        assert a.is_less_informative(c)

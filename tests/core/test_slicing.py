@@ -1,0 +1,135 @@
+"""Trace slicing tests (Definition 6) including the paper's worked example."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import EventDefinition, ParametricEvent
+from repro.core.params import EMPTY_BINDING, Binding
+from repro.core.slicing import all_slices, informative_bindings, slice_trace
+
+from ..conftest import Obj
+
+
+def paper_trace():
+    """"update<c1> update<c2> create<c1,i1> next<i1>" from Section 2."""
+    c1, c2, i1 = Obj("c1"), Obj("c2"), Obj("i1")
+    trace = [
+        ParametricEvent.of("update", c=c1),
+        ParametricEvent.of("update", c=c2),
+        ParametricEvent.of("create", c=c1, i=i1),
+        ParametricEvent.of("next", i=i1),
+    ]
+    return trace, c1, c2, i1
+
+
+class TestPaperExample:
+    """The slices worked out below Definition 6."""
+
+    def test_slice_for_c2(self):
+        trace, c1, c2, i1 = paper_trace()
+        assert slice_trace(trace, Binding.of(c=c2)) == ["update"]
+
+    def test_slice_for_c1(self):
+        trace, c1, c2, i1 = paper_trace()
+        assert slice_trace(trace, Binding.of(c=c1)) == ["update"]
+
+    def test_slice_for_c1_i1(self):
+        trace, c1, c2, i1 = paper_trace()
+        assert slice_trace(trace, Binding.of(c=c1, i=i1)) == ["update", "create", "next"]
+
+    def test_slice_for_i1(self):
+        trace, c1, c2, i1 = paper_trace()
+        assert slice_trace(trace, Binding.of(i=i1)) == ["next"]
+
+    def test_slice_for_bottom_is_empty(self):
+        trace, *_ = paper_trace()
+        assert slice_trace(trace, EMPTY_BINDING) == []
+
+    def test_more_informative_events_are_discarded(self):
+        """Crucial per the paper: the slice for <c1> must NOT contain create."""
+        trace, c1, c2, i1 = paper_trace()
+        assert "create" not in slice_trace(trace, Binding.of(c=c1))
+
+
+class TestInformativeBindings:
+    def test_contains_bottom_and_event_bindings(self):
+        trace, c1, c2, i1 = paper_trace()
+        known = informative_bindings(trace)
+        assert EMPTY_BINDING in known
+        assert Binding.of(c=c1) in known
+        assert Binding.of(c=c2) in known
+        assert Binding.of(i=i1) in known
+        assert Binding.of(c=c1, i=i1) in known
+
+    def test_closed_under_compatible_joins(self):
+        trace, c1, c2, i1 = paper_trace()
+        known = informative_bindings(trace)
+        # <c2> and <i1> are compatible (disjoint), so their join must appear.
+        assert Binding.of(c=c2, i=i1) in known
+
+    def test_all_slices_covers_informative_set(self):
+        trace, *_ = paper_trace()
+        definition = EventDefinition({"create": {"c", "i"}, "update": {"c"}, "next": {"i"}})
+        table = all_slices(trace, definition)
+        assert set(table) == informative_bindings(trace)
+
+
+# -- property-based laws -----------------------------------------------------------
+
+_OBJECTS = [Obj(f"v{i}") for i in range(3)]
+_EVENTS = [("update", ("c",)), ("next", ("i",)), ("create", ("c", "i"))]
+
+
+@st.composite
+def parametric_traces(draw):
+    length = draw(st.integers(min_value=0, max_value=6))
+    trace = []
+    for _ in range(length):
+        name, params = draw(st.sampled_from(_EVENTS))
+        binding = {param: draw(st.sampled_from(_OBJECTS)) for param in params}
+        trace.append(ParametricEvent(name, binding))
+    return trace
+
+
+@st.composite
+def theta_bindings(draw):
+    pairs = {}
+    for name in ("c", "i"):
+        if draw(st.booleans()):
+            pairs[name] = draw(st.sampled_from(_OBJECTS))
+    return Binding(pairs.items())
+
+
+@given(parametric_traces(), theta_bindings())
+def test_slice_events_all_less_informative(trace, theta):
+    sliced = slice_trace(trace, theta)
+    relevant = [e.name for e in trace if e.binding.is_less_informative(theta)]
+    assert sliced == relevant
+
+
+@given(parametric_traces(), theta_bindings(), theta_bindings())
+def test_slice_monotone_in_theta(trace, small, large):
+    """theta ⊑ theta' implies slice(theta) is a subsequence of slice(theta')."""
+    if not small.is_less_informative(large):
+        return
+    small_slice = slice_trace(trace, small)
+    large_slice = iter(slice_trace(trace, large))
+    # subsequence check
+    for event in small_slice:
+        for candidate in large_slice:
+            if candidate == event:
+                break
+        else:
+            raise AssertionError(f"{small_slice} not a subsequence for {large!r}")
+
+
+@given(parametric_traces())
+def test_slicing_distributes_over_concatenation(trace):
+    """tau1 tau2 ↾ theta == (tau1 ↾ theta)(tau2 ↾ theta) for every theta."""
+    split = len(trace) // 2
+    head, tail = trace[:split], trace[split:]
+    for theta in informative_bindings(trace):
+        assert slice_trace(trace, theta) == slice_trace(head, theta) + slice_trace(
+            tail, theta
+        )

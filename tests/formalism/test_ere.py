@@ -1,0 +1,203 @@
+"""ERE plugin tests: parsing, derivatives, DFA construction, minimization."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import FormalismError, SpecSyntaxError
+from repro.core.monitor import run_monitor
+from repro.formalism.ere import (
+    EMPTY,
+    EPSILON,
+    complement,
+    compile_ere,
+    concat,
+    derivative,
+    ere_to_fsm,
+    format_ere,
+    intersect,
+    nullable,
+    optional,
+    parse_ere,
+    plus,
+    star,
+    symbol,
+    symbols_of,
+)
+
+
+def accepts(expr, word) -> bool:
+    """Reference semantics: iterated derivatives + nullability."""
+    for event in word:
+        expr = derivative(expr, event)
+    return nullable(expr)
+
+
+class TestSmartConstructors:
+    def test_concat_unit_and_absorber(self):
+        a = symbol("a")
+        assert concat(a, EPSILON) is a
+        assert concat(EPSILON, a) is a
+        assert concat(a, EMPTY) is EMPTY
+        assert concat() is EPSILON
+
+    def test_union_dedup_and_unit(self):
+        a, b = symbol("a"), symbol("b")
+        assert union_size(parse_ere("a | a")) == 0  # collapses to the symbol
+        assert parse_ere("a | b") == parse_ere("b | a")
+        assert parse_ere("a | a") == a
+        del b
+
+    def test_star_laws(self):
+        a = symbol("a")
+        assert star(star(a)) == star(a)
+        assert star(EPSILON) is EPSILON
+        assert star(EMPTY) is EPSILON
+
+    def test_double_complement(self):
+        a = symbol("a")
+        assert complement(complement(a)) is a
+
+    def test_plus_and_optional_desugar(self):
+        a = symbol("a")
+        assert plus(a) == concat(a, star(a))
+        assert optional(a) == parse_ere("epsilon | a")
+
+    def test_intersect_absorber(self):
+        assert intersect(symbol("a"), EMPTY) is EMPTY
+        assert intersect(symbol("a")) == symbol("a")
+
+
+def union_size(expr) -> int:
+    parts = getattr(expr, "parts", None)
+    return len(parts) if isinstance(parts, frozenset) else 0
+
+
+class TestParser:
+    def test_paper_pattern(self):
+        expr = parse_ere("update* create next* update+ next")
+        assert symbols_of(expr) == {"update", "create", "next"}
+
+    def test_precedence_star_tighter_than_concat(self):
+        assert parse_ere("a b*") == concat(symbol("a"), star(symbol("b")))
+
+    def test_precedence_concat_tighter_than_union(self):
+        assert parse_ere("a b | c") == parse_ere("(a b) | c")
+
+    def test_intersection_between_union_and_concat(self):
+        assert parse_ere("a | b & c") == parse_ere("a | (b & c)")
+
+    def test_parentheses(self):
+        assert parse_ere("(a | b) c") != parse_ere("a | (b c)")
+
+    def test_roundtrip_through_format(self):
+        for text in ("a b* (c | d)+", "~(a b) & c*", "epsilon | a?"):
+            expr = parse_ere(text)
+            assert parse_ere(format_ere(expr)) == expr
+
+    @pytest.mark.parametrize("bad", ["", "(a", "a)", "a |", "| a", "*", "a @ b", "~"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SpecSyntaxError):
+            parse_ere(bad)
+
+
+class TestDerivativeSemantics:
+    def test_basic_words(self):
+        expr = parse_ere("a b")
+        assert accepts(expr, ["a", "b"])
+        assert not accepts(expr, ["a"])
+        assert not accepts(expr, ["b", "a"])
+
+    def test_complement_flips_membership(self):
+        expr = parse_ere("~(a b)")
+        assert not accepts(expr, ["a", "b"])
+        assert accepts(expr, ["a"])
+        assert accepts(expr, [])
+
+    def test_intersection(self):
+        expr = parse_ere("(a | b)* & ~(b (a|b)*)")  # strings not starting with b
+        assert accepts(expr, ["a", "b"])
+        assert not accepts(expr, ["b", "a"])
+
+
+class TestDfaConstruction:
+    def test_dfa_equals_derivative_semantics_exhaustively(self):
+        pattern = "update* create next* update+ next"
+        alphabet = ("create", "next", "update")
+        expr = parse_ere(pattern)
+        template = compile_ere(pattern, alphabet)
+        for length in range(6):
+            for word in itertools.product(alphabet, repeat=length):
+                expected = "match" if accepts(expr, word) else None
+                verdict = run_monitor(template, word)
+                if expected == "match":
+                    assert verdict == "match", word
+                else:
+                    assert verdict in ("?", "fail"), word
+
+    def test_dead_states_marked_fail(self):
+        template = compile_ere("a b", {"a", "b"})
+        assert run_monitor(template, ["b"]) == "fail"
+        assert run_monitor(template, ["a", "b", "a"]) == "fail"
+
+    def test_alphabet_must_cover_pattern(self):
+        with pytest.raises(FormalismError):
+            ere_to_fsm("a b", {"a"})
+
+    def test_events_not_in_pattern_fail_the_match(self):
+        template = compile_ere("a b", {"a", "b", "z"})
+        assert run_monitor(template, ["a", "z"]) == "fail"
+
+    def test_minimization_produces_small_machine(self):
+        fsm = ere_to_fsm("a a | a a", {"a"})
+        # match needs exactly two a's: states = start, one-a, match, dead.
+        assert len(fsm.states) <= 4
+
+
+# -- property-based: DFA vs derivative reference on random patterns ---------------
+
+_ALPHABET = ("a", "b", "c")
+
+
+@st.composite
+def ere_exprs(draw, depth=0):
+    if depth > 3:
+        return symbol(draw(st.sampled_from(_ALPHABET)))
+    kind = draw(
+        st.sampled_from(
+            ["sym", "sym", "eps", "concat", "union", "star", "plus", "opt", "inter", "compl"]
+        )
+    )
+    if kind == "sym":
+        return symbol(draw(st.sampled_from(_ALPHABET)))
+    if kind == "eps":
+        return EPSILON
+    if kind == "concat":
+        return concat(draw(ere_exprs(depth=depth + 1)), draw(ere_exprs(depth=depth + 1)))
+    if kind == "union":
+        return parse_ere(
+            f"({format_ere(draw(ere_exprs(depth=depth + 1)))}) | "
+            f"({format_ere(draw(ere_exprs(depth=depth + 1)))})"
+        )
+    if kind == "star":
+        return star(draw(ere_exprs(depth=depth + 1)))
+    if kind == "plus":
+        return plus(draw(ere_exprs(depth=depth + 1)))
+    if kind == "opt":
+        return optional(draw(ere_exprs(depth=depth + 1)))
+    if kind == "inter":
+        return intersect(
+            draw(ere_exprs(depth=depth + 1)), draw(ere_exprs(depth=depth + 1))
+        )
+    return complement(draw(ere_exprs(depth=depth + 1)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(ere_exprs(), st.lists(st.sampled_from(_ALPHABET), max_size=6))
+def test_dfa_agrees_with_derivatives(expr, word):
+    template = compile_ere(expr, _ALPHABET)
+    verdict = run_monitor(template, word)
+    assert (verdict == "match") == accepts(expr, word)

@@ -1,0 +1,180 @@
+"""FSM plugin tests: validation, monitor semantics, analyses, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FormalismError, SpecSyntaxError
+from repro.core.monitor import run_monitor
+from repro.formalism.fsm import (
+    FAIL_SINK,
+    FSM,
+    FSMTemplate,
+    before_sets,
+    compile_fsm,
+    parse_fsm,
+    seeable_sets,
+)
+
+HASNEXT_TEXT = """
+unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+more    [ hasnexttrue -> more  next -> unknown ]
+none    [ hasnextfalse -> none  next -> error ]
+error   [ ]
+"""
+
+
+def hasnext() -> FSMTemplate:
+    return compile_fsm(HASNEXT_TEXT)
+
+
+class TestValidation:
+    def test_unknown_initial(self):
+        with pytest.raises(FormalismError):
+            FSM(states=("a",), alphabet=frozenset({"e"}), initial="b", transitions={})
+
+    def test_transition_from_unknown_state(self):
+        with pytest.raises(FormalismError):
+            FSM(
+                states=("a",),
+                alphabet=frozenset({"e"}),
+                initial="a",
+                transitions={("b", "e"): "a"},
+            )
+
+    def test_transition_to_unknown_state(self):
+        with pytest.raises(FormalismError):
+            FSM(
+                states=("a",),
+                alphabet=frozenset({"e"}),
+                initial="a",
+                transitions={("a", "e"): "b"},
+            )
+
+    def test_transition_on_unknown_event(self):
+        with pytest.raises(FormalismError):
+            FSM(
+                states=("a",),
+                alphabet=frozenset({"e"}),
+                initial="a",
+                transitions={("a", "x"): "a"},
+            )
+
+    def test_verdict_for_unknown_state(self):
+        with pytest.raises(FormalismError):
+            FSM(
+                states=("a",),
+                alphabet=frozenset({"e"}),
+                initial="a",
+                transitions={},
+                verdicts={"zzz": "match"},
+            )
+
+
+class TestMonitorSemantics:
+    def test_figure1_walk(self):
+        template = hasnext()
+        assert run_monitor(template, []) == "unknown"
+        assert run_monitor(template, ["hasnexttrue"]) == "more"
+        assert run_monitor(template, ["hasnexttrue", "next"]) == "unknown"
+        assert run_monitor(template, ["hasnextfalse"]) == "none"
+        assert run_monitor(template, ["next"]) == "error"
+        assert run_monitor(template, ["hasnextfalse", "next"]) == "error"
+
+    def test_undefined_transition_goes_to_fail_sink(self):
+        template = hasnext()
+        # 'more' has no hasnextfalse transition in Figure 2.
+        assert run_monitor(template, ["hasnexttrue", "hasnextfalse"]) == "fail"
+
+    def test_fail_sink_is_absorbing_and_dead(self):
+        monitor = hasnext().create()
+        monitor.step("hasnexttrue")
+        monitor.step("hasnextfalse")
+        assert monitor.state == FAIL_SINK
+        assert monitor.is_dead()
+        assert monitor.step("next") == "fail"
+
+    def test_clone_is_independent(self):
+        monitor = hasnext().create()
+        monitor.step("hasnexttrue")
+        copy = monitor.clone()
+        copy.step("next")
+        assert monitor.verdict() == "more"
+        assert copy.verdict() == "unknown"
+
+    def test_error_state_is_inert(self):
+        """error has no outgoing transitions: the verdict can only become
+        fail — with goal semantics that makes it dead for monitoring."""
+        fsm = parse_fsm(HASNEXT_TEXT)
+        # error only reaches the sink; its verdicts differ (error vs fail) so
+        # it is NOT inert, but the sink is.
+        assert FAIL_SINK not in fsm.inert_states()
+
+
+class TestAnalyses:
+    def test_seeable_of_goal_state_contains_empty(self):
+        fsm = parse_fsm(HASNEXT_TEXT)
+        seeable = seeable_sets(fsm, frozenset({"error"}))
+        assert frozenset() in seeable["error"]
+
+    def test_seeable_of_unreachable_goal_is_empty(self):
+        fsm = parse_fsm("a [ e -> b ]\nb [ ]")
+        seeable = seeable_sets(fsm, frozenset({"nonexistent"}))
+        assert all(not family for family in seeable.values())
+
+    def test_before_sets_initial_contains_empty(self):
+        fsm = parse_fsm(HASNEXT_TEXT)
+        before = before_sets(fsm)
+        assert frozenset() in before["unknown"]
+
+    def test_fail_goal_uses_the_sink(self):
+        fsm = parse_fsm("a [ e -> b ]\nb [ ]")
+        template = FSMTemplate(fsm)
+        coenable = template.coenable_sets(frozenset({"fail"}))
+        # Any event can be followed by a sink-entering event.
+        assert coenable["e"]
+
+    def test_state_coenable_supported(self):
+        template = hasnext()
+        families = template.state_coenable_sets(frozenset({"error"}))
+        assert families["error"] == frozenset()  # ∅ dropped: error is terminal
+        assert families["unknown"]
+
+    def test_categories_include_fail(self):
+        assert "fail" in hasnext().categories
+
+
+class TestParser:
+    def test_first_state_is_initial(self):
+        fsm = parse_fsm(HASNEXT_TEXT)
+        assert fsm.initial == "unknown"
+        assert fsm.states == ("unknown", "more", "none", "error")
+
+    def test_commas_allowed(self):
+        fsm = parse_fsm("a [ x -> b, y -> a ]\nb [ ]")
+        assert fsm.successor("a", "x") == "b"
+        assert fsm.successor("a", "y") == "a"
+
+    def test_alphabet_may_be_widened(self):
+        fsm = parse_fsm("a [ x -> a ]", alphabet={"x", "y"})
+        assert fsm.alphabet == {"x", "y"}
+        assert fsm.successor("a", "y") is None
+
+    def test_alphabet_must_cover_mentioned_events(self):
+        with pytest.raises(FormalismError):
+            parse_fsm("a [ x -> a ]", alphabet={"y"})
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                       # empty
+            "a [ x -> ",              # unterminated arrow
+            "a [ x b ]",              # missing arrow
+            "a x -> b ]",             # missing bracket
+            "a [ x -> b ] a [ ]",     # duplicate state
+            "a [ x -> b  x -> a ]",   # duplicate transition
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(SpecSyntaxError):
+            parse_fsm(text)

@@ -1,0 +1,201 @@
+"""Past-LTL plugin tests: parsing, semantics, FSM compilation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import FormalismError, SpecSyntaxError
+from repro.core.monitor import run_monitor
+from repro.formalism.ltl import (
+    AlwaysPast,
+    And,
+    FalseConst,
+    Implies,
+    Not,
+    OncePast,
+    Or,
+    Prev,
+    Prop,
+    Since,
+    TrueConst,
+    compile_ltl,
+    format_ltl,
+    ltl_to_fsm,
+    parse_ltl,
+    propositions_of,
+)
+
+ALPHABET = ("hasnexttrue", "hasnextfalse", "next")
+
+
+def reference_eval(formula, trace, position):
+    """Textbook recursive past-LTL semantics at ``position`` (0-based)."""
+    if isinstance(formula, Prop):
+        return trace[position] == formula.name
+    if isinstance(formula, TrueConst):
+        return True
+    if isinstance(formula, FalseConst):
+        return False
+    if isinstance(formula, Not):
+        return not reference_eval(formula.body, trace, position)
+    if isinstance(formula, And):
+        return reference_eval(formula.left, trace, position) and reference_eval(
+            formula.right, trace, position
+        )
+    if isinstance(formula, Or):
+        return reference_eval(formula.left, trace, position) or reference_eval(
+            formula.right, trace, position
+        )
+    if isinstance(formula, Implies):
+        return (not reference_eval(formula.left, trace, position)) or reference_eval(
+            formula.right, trace, position
+        )
+    if isinstance(formula, Prev):
+        return position > 0 and reference_eval(formula.body, trace, position - 1)
+    if isinstance(formula, OncePast):
+        return any(reference_eval(formula.body, trace, k) for k in range(position + 1))
+    if isinstance(formula, AlwaysPast):
+        return all(reference_eval(formula.body, trace, k) for k in range(position + 1))
+    if isinstance(formula, Since):
+        return any(
+            reference_eval(formula.right, trace, k)
+            and all(
+                reference_eval(formula.left, trace, j)
+                for j in range(k + 1, position + 1)
+            )
+            for k in range(position + 1)
+        )
+    raise AssertionError(formula)
+
+
+def reference_verdict(formula, trace):
+    """violation iff the formula is false at some step of the prefix."""
+    for position in range(len(trace)):
+        if not reference_eval(formula, trace, position):
+            return "violation"
+    return "?"
+
+
+class TestParser:
+    def test_paper_formula(self):
+        formula = parse_ltl("[](next => (*)hasnexttrue)")
+        assert isinstance(formula, AlwaysPast)
+        assert isinstance(formula.body, Implies)
+        assert isinstance(formula.body.right, Prev)
+        assert propositions_of(formula) == {"next", "hasnexttrue"}
+
+    def test_precedence_implies_weakest(self):
+        formula = parse_ltl("a || b => c && d")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.left, Or)
+        assert isinstance(formula.right, And)
+
+    def test_since_binds_tighter_than_and(self):
+        formula = parse_ltl("a S b && c")
+        assert isinstance(formula, And)
+        assert isinstance(formula.left, Since)
+
+    def test_implies_right_associative(self):
+        formula = parse_ltl("a => b => c")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_word_operators(self):
+        assert parse_ltl("a and b") == parse_ltl("a && b")
+        assert parse_ltl("a or b") == parse_ltl("a || b")
+        assert parse_ltl("not a") == parse_ltl("!a")
+
+    def test_constants(self):
+        assert parse_ltl("true") == TrueConst()
+        assert parse_ltl("false") == FalseConst()
+
+    def test_roundtrip_through_format(self):
+        for text in (
+            "[](next => (*)hasnexttrue)",
+            "<*>(a && b) S !c",
+            "[*](a || (*)b)",
+        ):
+            formula = parse_ltl(text)
+            assert parse_ltl(format_ltl(formula)) == formula
+
+    @pytest.mark.parametrize("bad", ["", "(a", "a )", "=> a", "a &&", "a S", "[] "])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SpecSyntaxError):
+            parse_ltl(bad)
+
+
+class TestPaperSemantics:
+    def template(self):
+        return compile_ltl("[](next => (*)hasnexttrue)", ALPHABET)
+
+    def test_immediate_next_violates(self):
+        assert run_monitor(self.template(), ["next"]) == "violation"
+
+    def test_guarded_next_ok(self):
+        assert run_monitor(self.template(), ["hasnexttrue", "next"]) == "?"
+
+    def test_double_next_violates(self):
+        assert run_monitor(self.template(), ["hasnexttrue", "next", "next"]) == "violation"
+
+    def test_hasnextfalse_then_next_violates(self):
+        assert run_monitor(self.template(), ["hasnextfalse", "next"]) == "violation"
+
+    def test_violation_is_absorbing(self):
+        monitor = self.template().create()
+        monitor.step("next")
+        assert monitor.step("hasnexttrue") == "violation"
+        assert monitor.is_dead()
+
+    def test_empty_trace_is_unknown(self):
+        assert run_monitor(self.template(), []) == "?"
+
+
+class TestCompilation:
+    def test_alphabet_must_cover_propositions(self):
+        with pytest.raises(FormalismError):
+            ltl_to_fsm("[](next => (*)hasnexttrue)", {"next"})
+
+    def test_violation_states_exist(self):
+        fsm = ltl_to_fsm("[] a", {"a", "b"})
+        categories = {fsm.verdict_of(state) for state in fsm.states}
+        assert "violation" in categories
+
+
+# -- property-based: compiled FSM vs reference semantics ---------------------------
+
+
+@st.composite
+def ltl_formulas(draw, depth=0):
+    if depth > 2:
+        return Prop(draw(st.sampled_from(ALPHABET)))
+    kind = draw(
+        st.sampled_from(
+            ["prop", "prop", "not", "and", "or", "implies", "prev", "once", "always", "since"]
+        )
+    )
+    if kind == "prop":
+        return Prop(draw(st.sampled_from(ALPHABET)))
+    if kind == "not":
+        return Not(draw(ltl_formulas(depth=depth + 1)))
+    child = lambda: draw(ltl_formulas(depth=depth + 1))  # noqa: E731
+    if kind == "and":
+        return And(child(), child())
+    if kind == "or":
+        return Or(child(), child())
+    if kind == "implies":
+        return Implies(child(), child())
+    if kind == "prev":
+        return Prev(child())
+    if kind == "once":
+        return OncePast(child())
+    if kind == "always":
+        return AlwaysPast(child())
+    return Since(child(), child())
+
+
+@settings(max_examples=50, deadline=None)
+@given(ltl_formulas(), st.lists(st.sampled_from(ALPHABET), max_size=6))
+def test_compiled_fsm_matches_reference(formula, trace):
+    template = compile_ltl(formula, ALPHABET)
+    assert run_monitor(template, trace) == reference_verdict(formula, trace)

@@ -1,0 +1,150 @@
+"""Raw (user-defined) formalism plugin tests."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.errors import FormalismError
+from repro.core.monitor import run_monitor
+from repro.core.events import EventDefinition
+from repro.core.parametric import AbstractParametricMonitor
+from repro.formalism.raw import RawMonitor, RawTemplate, functional_template
+from repro.runtime.engine import MonitoringEngine
+from repro.spec.compiler import CompiledProperty
+from repro.spec.ast import HandlerDecl
+
+from ..conftest import Obj
+
+
+def counter_template(**kwargs):
+    """"Never more releases than acquires" as a pure transition function."""
+    return functional_template(
+        transition=lambda n, e: n + (1 if e == "acquire" else -1),
+        verdict=lambda n: "violation" if n < 0 else "?",
+        initial=0,
+        alphabet={"acquire", "release"},
+        categories={"violation"},
+        **kwargs,
+    )
+
+
+class TestRawMonitor:
+    def test_step_and_verdict(self):
+        template = counter_template()
+        assert run_monitor(template, ["acquire", "release"]) == "?"
+        assert run_monitor(template, ["release"]) == "violation"
+        assert run_monitor(template, ["acquire", "release", "release"]) == "violation"
+
+    def test_clone_independence(self):
+        monitor = counter_template().create()
+        monitor.step("acquire")
+        copy = monitor.clone()
+        copy.step("release")
+        copy.step("release")
+        assert copy.verdict() == "violation"
+        assert monitor.verdict() == "?"
+        assert isinstance(copy, RawMonitor)
+
+    def test_state_exposed(self):
+        monitor = counter_template().create()
+        monitor.step("acquire")
+        assert monitor.state == 1
+
+
+class TestRawTemplate:
+    def test_categories_include_unknown(self):
+        assert "?" in counter_template().categories
+        assert "violation" in counter_template().categories
+
+    def test_conservative_coenable_is_true_formula(self):
+        families = counter_template().coenable_sets(frozenset({"violation"}))
+        for family in families.values():
+            assert frozenset() in family
+
+    def test_conservative_enable_is_powerset(self):
+        families = counter_template().enable_sets(frozenset({"violation"}))
+        assert frozenset({"acquire", "release"}) in families["acquire"]
+        assert frozenset() in families["acquire"]
+
+    def test_user_supplied_families_win(self):
+        template = counter_template(
+            coenable={"acquire": frozenset({frozenset({"release"})})},
+        )
+        families = template.coenable_sets(frozenset({"violation"}))
+        assert families["acquire"] == frozenset({frozenset({"release"})})
+        # Unspecified events get the conservative default.
+        assert frozenset() in families["release"]
+
+    def test_family_validation(self):
+        with pytest.raises(FormalismError):
+            counter_template(coenable={"bogus": frozenset()})
+        with pytest.raises(FormalismError):
+            counter_template(
+                coenable={"acquire": frozenset({frozenset({"bogus"})})}
+            )
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(FormalismError):
+            RawTemplate(factory=lambda: None, alphabet=())
+
+    def test_factory_type_checked(self):
+        template = RawTemplate(factory=lambda: object(), alphabet={"e"})
+        with pytest.raises(FormalismError):
+            template.create()
+
+    def test_no_state_gc(self):
+        assert counter_template().supports_state_gc is False
+
+
+class TestRawInParametricStack:
+    """Formalism independence end to end: the abstract algorithm and the
+    production engine both host a raw template untouched."""
+
+    def definition(self):
+        return EventDefinition({"acquire": {"l"}, "release": {"l"}})
+
+    def test_abstract_algorithm(self):
+        from repro.core.events import ParametricEvent
+
+        monitor = AbstractParametricMonitor(counter_template(), self.definition())
+        l1, l2 = Obj("l1"), Obj("l2")
+        monitor.process(ParametricEvent.of("acquire", l=l1))
+        updates = monitor.process(ParametricEvent.of("release", l=l2))
+        from repro.core.params import Binding
+
+        assert updates[Binding.of(l=l2)] == "violation"
+        assert monitor.verdict(Binding.of(l=l1)) == "?"
+
+    def prop(self):
+        return CompiledProperty(
+            spec_name="Balance",
+            formalism="raw",
+            template=counter_template(),
+            definition=self.definition(),
+            goal=frozenset({"violation"}),
+            handlers=(HandlerDecl("violation", None),),
+        )
+
+    def test_engine_hosts_raw_property(self):
+        hits = []
+        prop = self.prop()
+        prop.on("violation", lambda n, c, b: hits.append(b))
+        engine = MonitoringEngine(prop, gc="coenable")
+        l1 = Obj("l1")
+        engine.emit("acquire", l=l1)
+        engine.emit("release", l=l1)
+        engine.emit("release", l=l1)
+        assert len(hits) == 1
+
+    def test_conservative_gc_never_prunes(self):
+        prop = self.prop()
+        engine = MonitoringEngine(prop, gc="coenable")
+        l1 = Obj("l1")
+        engine.emit("acquire", l=l1)
+        del l1
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("Balance")
+        assert stats.monitors_flagged == 0  # conservative: never via coenable

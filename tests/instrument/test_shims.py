@@ -1,0 +1,193 @@
+"""Monitored-program substrate tests (the java.util analogs)."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.instrument.collections_shim import (
+    ConcurrentModificationError,
+    HashedObject,
+    MethodBody,
+    MonitoredCollection,
+    MonitoredFile,
+    MonitoredHashSet,
+    MonitoredIterator,
+    MonitoredLock,
+    MonitoredMap,
+    NoSuchElementError,
+    SynchronizedCollection,
+    SynchronizedMap,
+)
+
+
+class TestMonitoredCollection:
+    def test_java_api(self):
+        coll = MonitoredCollection([1, 2])
+        assert coll.size() == 2
+        assert coll.add(3)
+        assert coll.contains(3)
+        assert coll.remove(3)
+        assert not coll.remove(99)
+        assert coll.get(0) == 1
+        assert not coll.is_empty()
+        coll.clear()
+        assert coll.is_empty()
+        assert len(coll) == 0
+
+    def test_iterator_protocol(self):
+        coll = MonitoredCollection(["a", "b"])
+        iterator = coll.iterator()
+        assert iterator.has_next()
+        assert iterator.next() == "a"
+        assert iterator.next() == "b"
+        assert not iterator.has_next()
+        with pytest.raises(NoSuchElementError):
+            iterator.next()
+
+    def test_enumeration_is_separate(self):
+        coll = MonitoredCollection([1])
+        assert isinstance(coll.elements(), MonitoredIterator)
+
+    def test_iterator_keeps_collection_alive_not_vice_versa(self):
+        coll = MonitoredCollection([1])
+        iterator = coll.iterator()
+        ref = weakref.ref(coll)
+        del coll
+        gc.collect()
+        assert ref() is not None  # the iterator pins the collection
+        assert iterator.source is ref()
+        del iterator
+        gc.collect()
+        assert ref() is None
+
+    def test_fail_fast_mode(self):
+        coll = MonitoredCollection([1, 2])
+        coll.fail_fast = True
+        iterator = coll.iterator()
+        coll.add(3)
+        with pytest.raises(ConcurrentModificationError):
+            iterator.next()
+
+    def test_non_fail_fast_lets_violation_through(self):
+        coll = MonitoredCollection([1, 2])
+        iterator = coll.iterator()
+        coll.add(3)
+        assert iterator.next() == 1  # the monitors, not the JVM, must catch it
+
+
+class TestMonitoredMap:
+    def test_map_api(self):
+        mapping = MonitoredMap()
+        assert mapping.put("k", 1) is None
+        assert mapping.put("k", 2) == 1
+        assert mapping.get("k") == 2
+        assert mapping.size() == 1
+        assert mapping.remove("k") == 2
+        mapping.put("x", 1)
+        mapping.clear()
+        assert mapping.size() == 0
+
+    def test_views_are_live(self):
+        mapping = MonitoredMap()
+        keys = mapping.key_set()
+        values = mapping.values()
+        mapping.put("a", 1)
+        assert keys.contains("a")
+        assert values.contains(1)
+        assert keys.size() == 1
+
+    def test_view_iterator_reflects_map_updates(self):
+        mapping = MonitoredMap()
+        mapping.put("a", 1)
+        iterator = mapping.key_set().iterator()
+        mapping.put("b", 2)
+        assert iterator.next() == "a"
+        assert iterator.next() == "b"
+
+    def test_views_reject_direct_mutation(self):
+        view = MonitoredMap().key_set()
+        for operation in (lambda: view.add("x"), lambda: view.remove("x"), view.clear):
+            with pytest.raises(ReproError):
+                operation()
+
+    def test_view_fail_fast_uses_map_mod_count(self):
+        mapping = MonitoredMap()
+        mapping.put("a", 1)
+        view = mapping.key_set()
+        view.fail_fast = True
+        iterator = view.iterator()
+        mapping.put("b", 2)
+        with pytest.raises(ConcurrentModificationError):
+            iterator.next()
+
+
+class TestSynchronized:
+    def test_collection_lock_tracking(self):
+        coll = SynchronizedCollection([1])
+        assert not coll.holds_lock()
+        with coll:
+            assert coll.holds_lock()
+            with coll:  # re-entrant
+                assert coll.holds_lock()
+            assert coll.holds_lock()
+        assert not coll.holds_lock()
+
+    def test_map_lock_and_views(self):
+        mapping = SynchronizedMap()
+        mapping.put("a", 1)
+        view = mapping.key_set()
+        assert not view.holds_lock()
+        with mapping:
+            assert view.holds_lock()
+        assert not view.holds_lock()
+
+
+class TestMonitoredLock:
+    def test_reentrant_balance(self):
+        lock = MonitoredLock("L")
+        lock.acquire()
+        lock.acquire()
+        assert lock.depth == 2
+        lock.release()
+        lock.release()
+        assert lock.depth == 0
+
+    def test_release_without_acquire(self):
+        with pytest.raises(ReproError):
+            MonitoredLock().release()
+
+
+class TestMethodBody:
+    def test_context_manager(self):
+        body = MethodBody()
+        with body as inner:
+            assert inner is body
+
+
+class TestMonitoredFile:
+    def test_protocol_counters(self):
+        handle = MonitoredFile("f")
+        handle.open()
+        handle.write("x")
+        assert handle.read() == ""
+        handle.close()
+        assert handle.writes == 1 and handle.reads == 1
+        assert not handle.is_open
+
+
+class TestHashSet:
+    def test_mutation_breaks_lookup(self):
+        """The defect HASHSET monitors: mutate after insert => unfindable."""
+        hashset = MonitoredHashSet()
+        item = HashedObject(7)
+        assert hashset.add(item)
+        assert not hashset.add(item)  # no duplicates
+        assert hashset.contains(item)
+        item.mutate()
+        assert not hashset.contains(item)  # lost!
+        assert not hashset.remove(item)
+        assert hashset.size() == 1  # still physically inside

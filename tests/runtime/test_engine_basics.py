@@ -1,0 +1,232 @@
+"""Engine dispatch and creation-semantics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InconsistentEventError, UnknownEventError
+from repro.runtime.engine import MonitoringEngine
+from repro.spec import compile_spec
+
+from ..conftest import Obj
+
+UNSAFEITER = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+  ere: update* create next* update+ next
+  @match
+}
+"""
+
+HASNEXT = """
+HasNext(i) {
+  event hasnexttrue(i)
+  event hasnextfalse(i)
+  event next(i)
+  fsm:
+    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+    more    [ hasnexttrue -> more  next -> unknown ]
+    none    [ hasnextfalse -> none  next -> error ]
+    error   [ ]
+  @error
+}
+"""
+
+
+def collect(spec, category):
+    hits = []
+    for prop in spec.properties:
+        if category in prop.template.categories:
+            prop.on(category, lambda name, cat, binding: hits.append(binding))
+    return hits
+
+
+class TestDispatch:
+    def test_match_on_paper_scenario(self):
+        spec = compile_spec(UNSAFEITER)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        c1, i1 = Obj("c1"), Obj("i1")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("update", c=c1)
+        engine.emit("next", i=i1)
+        assert len(hits) == 1
+        assert hits[0]["c"] is c1 and hits[0]["i"] is i1
+
+    def test_independent_instances_do_not_interfere(self):
+        spec = compile_spec(UNSAFEITER)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        c1, i1, i2 = Obj("c1"), Obj("i1"), Obj("i2")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("create", c=c1, i=i2)
+        engine.emit("update", c=c1)
+        engine.emit("next", i=i2)
+        assert len(hits) == 1
+        assert hits[0]["i"] is i2
+
+    def test_unknown_event_raises_when_strict(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), gc="none")
+        with pytest.raises(UnknownEventError):
+            engine.emit("zzz", c=Obj("c"))
+
+    def test_unknown_event_dropped_when_lenient(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), gc="none")
+        engine.emit("zzz", _strict=False, c=Obj("c"))  # no raise
+
+    def test_missing_parameter_raises(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), gc="none")
+        with pytest.raises(InconsistentEventError):
+            engine.emit("create", c=Obj("c"))
+
+    def test_extra_parameters_restricted_away(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), gc="none")
+        engine.emit("update", c=Obj("c"), i=Obj("ignored"))
+        assert engine.stats_for("UnsafeIter").events == 1
+
+    def test_event_routed_to_all_declaring_specs(self):
+        hasnext, unsafeiter = compile_spec(HASNEXT), compile_spec(UNSAFEITER)
+        engine = MonitoringEngine([hasnext, unsafeiter], gc="none")
+        i1 = Obj("i1")
+        engine.emit("next", i=i1)
+        assert engine.stats_for("HasNext", "fsm").events == 1
+        assert engine.stats_for("UnsafeIter").events == 1
+
+    def test_stats_lookup_errors(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), gc="none")
+        with pytest.raises(KeyError):
+            engine.stats_for("Nonexistent")
+
+
+class TestCreationSemantics:
+    def test_creation_events_create_monitors(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="none")
+        engine.emit("update", c=Obj("c1"))
+        assert engine.stats_for("UnsafeIter").monitors_created == 1
+
+    def test_non_creation_events_do_not(self):
+        """next is not a creation event for UNSAFEITER: its ENABLE set is
+        {{c, i}} — a next with no prior create cannot open a match."""
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="none")
+        engine.emit("next", i=Obj("i1"))
+        assert engine.stats_for("UnsafeIter").monitors_created == 0
+
+    def test_define_to_from_max_sub_instance(self):
+        """A <c1> monitor's state seeds the <c1,i1> monitor (Figure 5 line 4)."""
+        spec = compile_spec(UNSAFEITER)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        c1, i1 = Obj("c1"), Obj("i1")
+        engine.emit("update", c=c1)            # slice(c1) = update
+        engine.emit("create", c=c1, i=i1)      # slice(c1,i1) = update create
+        engine.emit("update", c=c1)
+        engine.emit("next", i=i1)              # update create update next = match
+        assert len(hits) == 1
+
+    def test_skipped_creation_blocks_stale_joins(self):
+        """JavaMOP's disable-timestamp rule: once next<i1> was skipped, a
+        later <c1,i1> creation would silently lose that event, and the true
+        slice (with next before create) can never match — so no monitor may
+        be created and no match may ever be reported for <c1,i1>."""
+        spec = compile_spec(UNSAFEITER)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        c1, i1 = Obj("c1"), Obj("i1")
+        engine.emit("next", i=i1)              # skipped: no monitor
+        engine.emit("update", c=c1)            # creates <c1>
+        engine.emit("create", c=c1, i=i1)      # must NOT create <c1,i1>
+        engine.emit("update", c=c1)
+        engine.emit("next", i=i1)
+        assert hits == []
+
+    def test_repeated_events_do_not_duplicate_monitors(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="none")
+        c1 = Obj("c1")
+        for _ in range(5):
+            engine.emit("update", c=c1)
+        assert engine.stats_for("UnsafeIter").monitors_created == 1
+
+    def test_hasnext_immediate_error_fires_on_creation(self):
+        spec = compile_spec(HASNEXT)
+        hits = collect(spec, "error")
+        engine = MonitoringEngine(spec, gc="none")
+        engine.emit("next", i=Obj("i1"))
+        assert len(hits) == 1
+
+
+class TestCrossJoinCreation:
+    """The a<x> b<y> c<x,y> shape: a join between *incomparable* instances.
+
+    ENABLE(b) = {{a}} lifts to {{x}}, so b<y1> must join with every existing
+    <x?> instance and create <x?, y1> monitors seeded from their states —
+    the paper's {theta} ⊔ Theta joins, pruned by enable sets.
+    """
+
+    SPEC = """
+    AB(x, y) {
+      event a(x)
+      event b(y)
+      event c(x, y)
+      ere: a b c
+      @match
+    }
+    """
+
+    def test_join_produces_match(self):
+        spec = compile_spec(self.SPEC)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        x1, y1 = Obj("x1"), Obj("y1")
+        engine.emit("a", x=x1)
+        engine.emit("b", y=y1)     # joins with <x1> -> creates <x1,y1> at "a b"
+        engine.emit("c", x=x1, y=y1)
+        assert len(hits) == 1
+
+    def test_join_respects_compatibility(self):
+        spec = compile_spec(self.SPEC)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        x1, x2, y1 = Obj("x1"), Obj("x2"), Obj("y1")
+        engine.emit("a", x=x1)
+        engine.emit("a", x=x2)
+        engine.emit("b", y=y1)     # joins with both x instances
+        engine.emit("c", x=x2, y=y1)
+        assert len(hits) == 1
+        stats = engine.stats_for("AB")
+        assert stats.monitors_created == 4  # <x1>, <x2>, <x1,y1>, <x2,y1>
+
+    def test_b_first_never_matches(self):
+        spec = compile_spec(self.SPEC)
+        hits = collect(spec, "match")
+        engine = MonitoringEngine(spec, gc="none")
+        x1, y1 = Obj("x1"), Obj("y1")
+        engine.emit("b", y=y1)     # no <x> exists: nothing to join
+        engine.emit("a", x=x1)
+        engine.emit("c", x=x1, y=y1)
+        assert hits == []
+
+
+class TestEngineConfig:
+    def test_system_presets(self):
+        engine = MonitoringEngine(compile_spec(UNSAFEITER), system="rv")
+        assert engine.gc == "coenable"
+        assert engine.propagation == "lazy"
+
+    def test_system_and_gc_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            MonitoringEngine(compile_spec(UNSAFEITER), system="rv", gc="none")
+
+    def test_bad_propagation_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringEngine(compile_spec(UNSAFEITER), propagation="sometimes")
+
+    def test_accepts_single_property(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec.properties[0], gc="none")
+        engine.emit("update", c=Obj("c1"))
+        assert engine.stats_for("UnsafeIter").events == 1

@@ -1,0 +1,258 @@
+"""Monitor garbage collection behavior — the paper's central claims.
+
+Deterministic object-death scenarios (CPython refcounting makes weakref
+death immediate; ``gc.collect()`` guards against stray cycles) assert who
+flags what under each strategy:
+
+* RV (coenable): a dead Iterator makes every UNSAFEITER monitor bound to it
+  collectable, even while its Collection lives — the Section 1 scenario
+  JavaMOP cannot handle;
+* JavaMOP (alldead): the same monitors are retained until the Collection
+  dies too;
+* Tracematches analog (statebased): at least as precise as coenable;
+* physical reclamation (CM) happens through lazy structure cleanup.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.errors import UnsupportedFormalismError
+from repro.runtime.engine import MonitoringEngine
+from repro.spec import compile_spec
+
+from ..conftest import Obj
+
+UNSAFEITER = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+  ere: update* create next* update+ next
+  @match
+}
+"""
+
+SAFELOCK = """
+SafeLock(l, t) {
+  event acquire(l, t)
+  event release(l, t)
+  event begin(t)
+  event end(t)
+  cfg: S -> S begin S end | S acquire S release | epsilon
+  @fail
+}
+"""
+
+
+def engine_with_dead_iterator(gc_kind: str):
+    """create<c,i>; next<i>; iterator dies; collection stays alive."""
+    spec = compile_spec(UNSAFEITER)
+    engine = MonitoringEngine(spec, gc=gc_kind)
+    c1 = Obj("c1")
+    i1 = Obj("i1")
+    engine.emit("create", c=c1, i=i1)
+    engine.emit("next", i=i1)
+    del i1
+    gc.collect()
+    engine.flush_gc()
+    return engine, spec, c1
+
+
+class TestSection1Scenario:
+    """The UNSAFEITER leak the paper opens with."""
+
+    def test_rv_flags_and_collects_dead_iterator_monitor(self):
+        engine, _spec, _c1 = engine_with_dead_iterator("coenable")
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_created == 1
+        assert stats.monitors_flagged == 1
+        assert stats.monitors_collected == 1
+        assert stats.live_monitors == 0
+
+    def test_mop_retains_while_collection_lives(self):
+        engine, _spec, c1 = engine_with_dead_iterator("alldead")
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged == 0
+        assert stats.live_monitors == 1
+        del c1  # now the collection dies too...
+        gc.collect()
+        engine.flush_gc()
+        # ...and the monitor becomes unreachable through the dead trees.
+        assert engine.stats_for("UnsafeIter").live_monitors == 0
+
+    def test_statebased_flags_dead_iterator_monitor(self):
+        engine, _spec, _c1 = engine_with_dead_iterator("statebased")
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged == 1
+
+    def test_none_strategy_never_flags(self):
+        engine, _spec, _c1 = engine_with_dead_iterator("none")
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged == 0
+        assert stats.live_monitors == 1
+
+
+class TestDeadCollectionAliveIterator:
+    """Dual scenario: collection dies, iterator lives.
+
+    After an update event only {i} is required (the paper's minimized
+    ALIVENESS), so coenable keeps the monitor; after create/next both are
+    required, so coenable flags it.
+    """
+
+    def test_last_event_update_keeps_monitor(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable")
+        c1, i1 = Obj("c1"), Obj("i1")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("update", c=c1)
+        del c1
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        # The <c1,i1> monitor's last event is update: live_i suffices.
+        # (Trees keyed by c died, so reachability drops, but the monitor was
+        # not *flagged* by the coenable check.)
+        assert stats.monitors_flagged <= 1  # the <c1> monitor may be flagged
+        del i1
+
+    def test_last_event_next_flags_monitor(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable")
+        c1, i1 = Obj("c1"), Obj("i1")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("next", i=i1)
+        del c1
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged == 1
+        del i1
+
+
+class TestLazyDiscovery:
+    """Flagging happens on *access*, not at death time (lazy propagation)."""
+
+    def test_death_alone_does_not_flag(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable")
+        c1 = Obj("c1")
+        i1 = Obj("i1")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("next", i=i1)
+        del i1
+        gc.collect()
+        # No structure has been touched since the death: nothing flagged yet.
+        assert engine.stats_for("UnsafeIter").monitors_flagged == 0
+
+    def test_subsequent_activity_discovers_the_death(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable", scan_budget=8)
+        c1 = Obj("c1")
+        for round_number in range(30):
+            iterator = Obj(f"i{round_number}")
+            engine.emit("create", c=c1, i=iterator)
+            engine.emit("next", i=iterator)
+            del iterator
+        gc.collect()
+        # Keep monitoring: ordinary accesses must discover the corpses.
+        for round_number in range(30, 40):
+            iterator = Obj(f"i{round_number}")
+            engine.emit("create", c=c1, i=iterator)
+            engine.emit("next", i=iterator)
+            del iterator
+        gc.collect()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged > 0  # no flush_gc was ever called
+
+    def test_eager_propagation_discovers_at_next_event(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable", propagation="eager")
+        c1, c2 = Obj("c1"), Obj("c2")
+        i1 = Obj("i1")
+        engine.emit("create", c=c1, i=i1)
+        engine.emit("next", i=i1)
+        del i1
+        gc.collect()
+        engine.emit("update", c=c2)  # unrelated event triggers the full scan
+        assert engine.stats_for("UnsafeIter").monitors_flagged == 1
+
+
+class TestChurnAccounting:
+    """E / M / FM / CM bookkeeping over a churny run (Figure 10 shape)."""
+
+    @pytest.mark.parametrize("gc_kind,expect_flagged", [("coenable", True), ("alldead", False)])
+    def test_iterator_churn(self, gc_kind, expect_flagged):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc=gc_kind)
+        c1 = Obj("c1")
+        rounds = 40
+        for round_number in range(rounds):
+            iterator = Obj(f"i{round_number}")
+            engine.emit("create", c=c1, i=iterator)
+            engine.emit("next", i=iterator)
+            del iterator
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.events == 2 * rounds
+        assert stats.monitors_created == rounds
+        if expect_flagged:
+            assert stats.monitors_flagged == rounds
+            assert stats.monitors_collected == rounds
+            assert stats.live_monitors == 0
+        else:
+            assert stats.monitors_flagged == 0
+            assert stats.live_monitors == rounds
+
+    def test_peak_live_monitors_stays_low_under_rv(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable", scan_budget=8)
+        c1 = Obj("c1")
+        for round_number in range(100):
+            iterator = Obj(f"i{round_number}")
+            engine.emit("create", c=c1, i=iterator)
+            engine.emit("next", i=iterator)
+            del iterator
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.peak_live_monitors < 100 / 2  # lazy, but far below M
+
+
+class TestCfgAndStateGc:
+    def test_statebased_rejects_cfg(self):
+        spec = compile_spec(SAFELOCK)
+        with pytest.raises(UnsupportedFormalismError):
+            MonitoringEngine(spec, gc="statebased")
+
+    def test_coenable_handles_cfg_conservatively(self):
+        """SAFELOCK's @fail goal compiles to a constant-true ALIVENESS: the
+        coenable strategy never flags (collection falls back to structure
+        death), mirroring that event-based pruning is unsound for fail."""
+        spec = compile_spec(SAFELOCK)
+        engine = MonitoringEngine(spec, gc="coenable")
+        lock = Obj("lock")
+        thread = Obj("thread")
+        engine.emit("acquire", l=lock, t=thread)
+        engine.emit("release", l=lock, t=thread)
+        del lock
+        gc.collect()
+        engine.flush_gc()
+        assert engine.stats_for("SafeLock").monitors_flagged == 0
+
+
+class TestImmortalParameters:
+    def test_non_weakrefable_params_never_flag(self):
+        spec = compile_spec(UNSAFEITER)
+        engine = MonitoringEngine(spec, gc="coenable")
+        engine.emit("create", c="interned-string", i=42)
+        engine.emit("next", i=42)
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_flagged == 0
+        assert stats.live_monitors == 1

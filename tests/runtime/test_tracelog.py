@@ -1,0 +1,110 @@
+"""Trace recording and replay tests."""
+
+from __future__ import annotations
+
+import gc
+import io
+
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import ReplayToken, TraceRecorder, read_trace, replay
+from repro.spec import compile_spec
+
+from ..conftest import Obj
+
+UNSAFEITER = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+  ere: update* create next* update+ next
+  @match
+}
+"""
+
+
+def record_paper_scenario() -> str:
+    spec = compile_spec(UNSAFEITER).silence()
+    engine = MonitoringEngine(spec, gc="none")
+    sink = io.StringIO()
+    TraceRecorder(sink).attach(engine)
+    c1, i1, i2 = Obj("c1"), Obj("i1"), Obj("i2")
+    engine.emit("create", c=c1, i=i1)
+    engine.emit("create", c=c1, i=i2)
+    engine.emit("update", c=c1)
+    engine.emit("next", i=i1)
+    return sink.getvalue()
+
+
+class TestRecording:
+    def test_one_json_line_per_event(self):
+        log = record_paper_scenario()
+        entries = read_trace(log.splitlines())
+        assert [entry["event"] for entry in entries] == [
+            "create", "create", "update", "next",
+        ]
+
+    def test_identity_structure_preserved(self):
+        entries = read_trace(record_paper_scenario().splitlines())
+        c_first = entries[0]["params"]["c"]
+        c_second = entries[1]["params"]["c"]
+        i_first = entries[0]["params"]["i"]
+        i_second = entries[1]["params"]["i"]
+        assert c_first == c_second            # same collection, same symbol
+        assert i_first != i_second            # distinct iterators
+        assert entries[3]["params"]["i"] == i_first
+
+    def test_recorder_counts(self):
+        spec = compile_spec(UNSAFEITER).silence()
+        engine = MonitoringEngine(spec, gc="none")
+        sink = io.StringIO()
+        recorder = TraceRecorder(sink).attach(engine)
+        engine.emit("update", c=Obj("c"))
+        assert recorder.events_recorded == 1
+
+    def test_immortal_values_share_symbols(self):
+        spec = compile_spec(UNSAFEITER).silence()
+        engine = MonitoringEngine(spec, gc="none")
+        sink = io.StringIO()
+        TraceRecorder(sink).attach(engine)
+        engine.emit("update", c="shared")
+        engine.emit("update", c="shared")
+        entries = read_trace(sink.getvalue().splitlines())
+        assert entries[0]["params"]["c"] == entries[1]["params"]["c"]
+        assert entries[0]["params"]["c"].startswith("v:")
+
+
+class TestReplay:
+    def test_replay_reproduces_goal_verdicts(self):
+        log = record_paper_scenario()
+        spec = compile_spec(UNSAFEITER)
+        hits = []
+        spec.properties[0].on("match", lambda n, c, b: hits.append(c))
+        engine = MonitoringEngine(spec, gc="none")
+        tokens = replay(log.splitlines(), engine)
+        assert hits == ["match"]
+        assert all(isinstance(token, ReplayToken) for token in tokens.values())
+
+    def test_replay_under_different_gc_strategy(self):
+        """The point of the tool: re-monitor a recorded trace offline with a
+        different engine configuration."""
+        log = record_paper_scenario()
+        engine = MonitoringEngine(compile_spec(UNSAFEITER).silence(), system="mop")
+        replay(log.splitlines(), engine)
+        assert engine.stats_for("UnsafeIter").events == 4
+
+    def test_retire_after_last_use_lets_monitors_collect(self):
+        log = record_paper_scenario()
+        engine = MonitoringEngine(compile_spec(UNSAFEITER).silence(), system="rv")
+        tokens = replay(log.splitlines(), engine, retire_after_last_use=True)
+        assert tokens == {}  # every token retired at its last occurrence
+        gc.collect()
+        engine.flush_gc()
+        stats = engine.stats_for("UnsafeIter")
+        assert stats.monitors_collected == stats.monitors_created > 0
+
+    def test_replay_skips_unknown_events(self):
+        spec = compile_spec(UNSAFEITER).silence()
+        engine = MonitoringEngine(spec, gc="none")
+        lines = ['{"event": "nonexistent", "params": {"x": "o1"}}']
+        replay(lines, engine)  # must not raise
+        assert engine.stats_for("UnsafeIter").events == 0

@@ -1,0 +1,125 @@
+"""Spec compiler tests: templates, goals, handlers, static analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SpecCompileError
+from repro.core.monitor import run_monitor
+from repro.spec import compile_spec, load_spec
+
+UNSAFEITER = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+  ere: update* create next* update+ next
+  @match "boom"
+}
+"""
+
+
+class TestCompile:
+    def test_event_definition(self):
+        spec = compile_spec(UNSAFEITER)
+        assert spec.definition.params_of("create") == {"c", "i"}
+        assert spec.alphabet == {"create", "update", "next"}
+        assert spec.parameters == ("c", "i")
+
+    def test_goal_from_handlers(self):
+        spec = compile_spec(UNSAFEITER)
+        assert spec.properties[0].goal == frozenset({"match"})
+
+    def test_default_goal_when_no_handler(self):
+        spec = compile_spec(
+            "P(x) {\n event e(x)\n ere: e\n}"
+        )
+        assert spec.properties[0].goal == frozenset({"match"})
+
+    def test_default_goal_ltl(self):
+        spec = compile_spec(
+            "P(x) {\n event good(x)\n event bad(x)\n ltl: [] good\n}"
+        )
+        assert spec.properties[0].goal == frozenset({"violation"})
+
+    def test_template_runs(self):
+        spec = compile_spec(UNSAFEITER)
+        template = spec.properties[0].template
+        assert run_monitor(template, ["create", "update", "next"]) == "match"
+
+    def test_static_analyses_present(self):
+        prop = compile_spec(UNSAFEITER).properties[0]
+        assert set(prop.coenable) == {"create", "update", "next"}
+        assert set(prop.aliveness) == {"create", "update", "next"}
+        assert set(prop.param_enable) == {"create", "update", "next"}
+
+    def test_property_named(self):
+        spec = compile_spec(UNSAFEITER)
+        assert spec.property_named("ere") is spec.properties[0]
+        with pytest.raises(SpecCompileError):
+            spec.property_named("cfg")
+
+    def test_formalism_error_wrapped(self):
+        with pytest.raises(SpecCompileError):
+            compile_spec("P(x) {\n event e(x)\n ere: e |\n @match\n}")
+
+    def test_goal_category_must_exist(self):
+        with pytest.raises(SpecCompileError):
+            compile_spec("P(x) {\n event e(x)\n ere: e\n @violation\n}")
+
+    def test_load_spec(self, tmp_path):
+        path = tmp_path / "prop.rv"
+        path.write_text(UNSAFEITER, encoding="utf-8")
+        spec = load_spec(str(path))
+        assert spec.name == "UnsafeIter"
+
+
+class TestHandlers:
+    def test_declared_message_prints(self, capsys):
+        spec = compile_spec(UNSAFEITER)
+        from repro.core.params import Binding
+
+        spec.properties[0].fire("match", Binding())
+        assert capsys.readouterr().out.strip() == "boom"
+
+    def test_on_attaches_callable(self):
+        spec = compile_spec(UNSAFEITER)
+        calls = []
+        spec.properties[0].on("match", lambda name, cat, b: calls.append((name, cat)))
+        from repro.core.params import Binding
+
+        spec.properties[0].fire("match", Binding())
+        assert calls == [("UnsafeIter", "match")]
+
+    def test_on_unknown_category_rejected(self):
+        spec = compile_spec(UNSAFEITER)
+        with pytest.raises(SpecCompileError):
+            spec.properties[0].on("nonsense", lambda *a: None)
+
+    def test_spec_level_on_requires_some_property(self):
+        spec = compile_spec(UNSAFEITER)
+        with pytest.raises(SpecCompileError):
+            spec.on("nonsense", lambda *a: None)
+
+    def test_silence_drops_handlers(self, capsys):
+        spec = compile_spec(UNSAFEITER).silence()
+        from repro.core.params import Binding
+
+        spec.properties[0].fire("match", Binding())
+        assert capsys.readouterr().out == ""
+
+    def test_handled_categories(self):
+        spec = compile_spec(UNSAFEITER)
+        assert spec.properties[0].handled_categories == {"match"}
+
+
+class TestAllPaperSpecs:
+    def test_every_shipped_property_compiles_with_analyses(self):
+        from repro.properties import ALL_PROPERTIES
+
+        for key, prop in ALL_PROPERTIES.items():
+            spec = prop.make()
+            for compiled in spec.properties:
+                assert compiled.goal, key
+                assert compiled.aliveness, key
+                assert compiled.param_enable, key

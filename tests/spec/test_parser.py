@@ -1,0 +1,127 @@
+"""Spec-language parser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SpecSyntaxError
+from repro.spec.ast import EventDecl, HandlerDecl
+from repro.spec.parser import parse_spec
+
+HASNEXT = """
+HasNext(i) {
+  event hasnexttrue(i)
+  event hasnextfalse(i)
+  event next(i)
+
+  fsm:
+    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+    more    [ hasnexttrue -> more  next -> unknown ]
+    none    [ hasnextfalse -> none  next -> error ]
+    error   [ ]
+  @error "improper Iterator use found!"
+
+  ltl: [](next => (*)hasnexttrue)
+  @violation "improper Iterator use found!"
+}
+"""
+
+
+class TestHappyPath:
+    def test_header(self):
+        ast = parse_spec(HASNEXT)
+        assert ast.name == "HasNext"
+        assert ast.parameters == ("i",)
+
+    def test_events(self):
+        ast = parse_spec(HASNEXT)
+        assert ast.events == (
+            EventDecl("hasnexttrue", ("i",)),
+            EventDecl("hasnextfalse", ("i",)),
+            EventDecl("next", ("i",)),
+        )
+
+    def test_two_logic_blocks_with_their_handlers(self):
+        ast = parse_spec(HASNEXT)
+        assert [logic.formalism for logic in ast.logics] == ["fsm", "ltl"]
+        fsm, ltl = ast.logics
+        assert fsm.handlers == (HandlerDecl("error", "improper Iterator use found!"),)
+        assert ltl.handlers == (
+            HandlerDecl("violation", "improper Iterator use found!"),
+        )
+
+    def test_multiline_fsm_body_captured(self):
+        ast = parse_spec(HASNEXT)
+        body = ast.logics[0].body
+        assert "unknown [" in body
+        assert "error   [ ]" in body
+
+    def test_handler_without_message(self):
+        ast = parse_spec(
+            "P(x) {\n event e(x)\n ere: e\n @match\n}"
+        )
+        assert ast.logics[0].handlers == (HandlerDecl("match", None),)
+
+    def test_multiple_handlers_per_block(self):
+        ast = parse_spec(
+            'P(x) {\n event e(x)\n ere: e\n @match "m"\n @fail "f"\n}'
+        )
+        assert [h.category for h in ast.logics[0].handlers] == ["match", "fail"]
+
+    def test_comments_stripped(self):
+        ast = parse_spec(
+            """
+            P(x) {          // header comment
+              event e(x)    # trailing comment
+              ere: e e*     // pattern comment
+              @match
+            }
+            """
+        )
+        assert ast.events[0].name == "e"
+        assert "//" not in ast.logics[0].body
+
+    def test_zero_parameter_event_allowed(self):
+        ast = parse_spec("P(x) {\n event tick()\n event e(x)\n ere: tick e\n @match\n}")
+        assert ast.events[0].params == ()
+
+    def test_cfg_body_spans_lines(self):
+        ast = parse_spec(
+            """
+            SafeLock(l, t) {
+              event acquire(l, t)
+              event release(l, t)
+              cfg: S -> S acquire S release
+                 | epsilon
+              @fail
+            }
+            """
+        )
+        assert "|" in ast.logics[0].body
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ("", "empty"),
+            ("P(x) {", "closing"),
+            ("nonsense here", "header"),
+            ("P(x) {\n ere: e\n}", "no events"),
+            ("P(x) {\n event e(x)\n}", "no logic"),
+            ("P(x) {\n event e(y)\n ere: e\n}", "undeclared"),
+            ("P(x) {\n event e(x)\n event e(x)\n ere: e\n}", "twice"),
+            ("P(x) {\n event e(x)\n @match\n ere: e\n}", "before any logic"),
+            ("P(x, x) {\n event e(x)\n ere: e\n}", "duplicate"),
+            ("P(x) {\n event e(x)\n ere:\n @match\n}", "empty"),
+            ("P(x) {\n event e(x)\n ere: e\n @match\n garbage line\n}", "cannot parse"),
+        ],
+    )
+    def test_rejects(self, text, needle):
+        with pytest.raises(SpecSyntaxError) as excinfo:
+            parse_spec(text)
+        assert needle in str(excinfo.value).lower()
+
+    def test_bad_parameter_name(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("P(1x) {\n event e(1x)\n ere: e\n}")
