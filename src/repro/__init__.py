@@ -45,6 +45,7 @@ from .runtime.statistics import MonitorStats
 from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
 from .instrument.aspects import Pointcut, Weaver, after_returning, before
 from .properties import ALL_PROPERTIES, EVALUATED_PROPERTIES
+from .service import MonitorService, VerdictRecord
 
 __version__ = "1.0.0"
 
@@ -68,5 +69,7 @@ __all__ = [
     "before",
     "ALL_PROPERTIES",
     "EVALUATED_PROPERTIES",
+    "MonitorService",
+    "VerdictRecord",
     "__version__",
 ]

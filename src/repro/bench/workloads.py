@@ -40,7 +40,13 @@ from ..instrument.collections_shim import (
     SynchronizedMap,
 )
 
-__all__ = ["WorkloadProfile", "WORKLOADS", "run_workload", "IteratorChurnResult"]
+__all__ = [
+    "WorkloadProfile",
+    "WORKLOADS",
+    "run_workload",
+    "IteratorChurnResult",
+    "record_workload_events",
+]
 
 
 @dataclass(frozen=True)
@@ -175,6 +181,51 @@ def run_workload(profile: WorkloadProfile) -> IteratorChurnResult:
             del iterator
     window.clear()
     return result
+
+
+def record_workload_events(
+    profile: WorkloadProfile,
+    properties: "list",
+) -> list[tuple[str, dict[str, str]]]:
+    """Run ``profile`` woven with ``properties`` and capture its events.
+
+    Returns the symbolic event stream — ``(event, {param: symbol})`` pairs
+    in emission order, identities preserved — that the workload generates
+    for the given properties' pointcuts.  This is the feed for the sharded
+    service benchmarks: the same stream can be ingested by services with
+    different shard counts (via :func:`repro.service.ingest_symbolic`),
+    keeping the monitored traffic bit-identical across configurations.
+
+    ``properties`` holds :class:`~repro.properties.PaperProperty` objects
+    or their keys.
+    """
+    # Local imports: bench.workloads is otherwise independent of the
+    # runtime and property layers (the harness mirrors this pattern).
+    import io
+
+    from ..instrument.aspects import Weaver
+    from ..properties import ALL_PROPERTIES
+    from ..runtime.engine import MonitoringEngine
+    from ..runtime.tracelog import TraceRecorder, read_trace
+
+    props = [
+        ALL_PROPERTIES[item] if isinstance(item, str) else item for item in properties
+    ]
+    specs = [prop.make().silence() for prop in props]
+    engine = MonitoringEngine(specs, gc="none")
+    sink = io.StringIO()
+    TraceRecorder(sink).attach(engine)
+    weaver = Weaver(engine)
+    for prop in props:
+        prop.instrument(engine, weaver)
+    try:
+        run_workload(profile)
+    finally:
+        weaver.unweave()
+    return [
+        (entry["event"], entry["params"])
+        for entry in read_trace(sink.getvalue().splitlines())
+    ]
 
 
 def _profiles() -> dict[str, WorkloadProfile]:

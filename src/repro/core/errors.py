@@ -64,3 +64,8 @@ class UnsupportedFormalismError(ReproError):
 
 class EngineStateError(ReproError):
     """Raised when the monitoring engine is driven through an invalid sequence."""
+
+
+class ServiceError(ReproError):
+    """Raised for sharded-service lifecycle violations (emit after close,
+    a shard worker that died, invalid shard configuration)."""

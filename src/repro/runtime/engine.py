@@ -104,7 +104,7 @@ class PropertyRuntime:
         self._enable_domains: dict[str, frozenset[frozenset[str]]] = dict(
             prop.param_enable
         )
-        self.monitor_domains = self._realizable_domains()
+        self.monitor_domains = prop.monitor_domains()
         # One tree per domain of interest; extensions are tracked only where
         # dispatch needs them (domains that are some event's D(e)).
         event_domain_set = set(self.event_domains.values())
@@ -122,23 +122,6 @@ class PropertyRuntime:
         }
 
     # -- static precomputation ---------------------------------------------
-
-    def _realizable_domains(self) -> frozenset[frozenset[str]]:
-        """Domains monitor instances can actually have: the closure of
-        creation targets ``K ∪ D(e)`` over realizable enable domains ``K``."""
-        realizable: set[frozenset[str]] = set()
-        changed = True
-        while changed:
-            changed = False
-            for event, event_domain in self.event_domains.items():
-                for enable_domain in self._enable_domains.get(event, ()):  # K
-                    if enable_domain and enable_domain not in realizable:
-                        continue
-                    target = enable_domain | event_domain
-                    if target not in realizable:
-                        realizable.add(target)
-                        changed = True
-        return frozenset(realizable)
 
     def _build_plan(self, event: str) -> _CreationPlan:
         plan = _CreationPlan()
@@ -187,9 +170,27 @@ class PropertyRuntime:
 
     # -- event processing --------------------------------------------------------
 
-    def handle(self, event: str, values: Mapping[str, Any]) -> None:
-        """Process one parametric event ``event<values>``."""
-        self.stats.record_event()
+    def handle(
+        self,
+        event: str,
+        values: Mapping[str, Any],
+        record: bool = True,
+        pretouched: frozenset[frozenset[str]] | None = None,
+    ) -> None:
+        """Process one parametric event ``event<values>``.
+
+        ``record=False`` processes without counting the event in the stats:
+        the sharded service may deliver one event to several shards but
+        designates exactly one to account for it, so merged statistics stay
+        equal to a single engine's.
+
+        ``pretouched`` names event domains whose sub-binding of this event
+        must be treated as *touched before now* even though no local leaf
+        says so — the sharded router's stand-in for touch stamps that were
+        delivered to other shards (see ``repro.service.router``).
+        """
+        if record:
+            self.stats.record_event()
         self._event_serial += 1
         event_domain = self.event_domains[event]
         try:
@@ -212,7 +213,7 @@ class PropertyRuntime:
             for monitor in leaf.extensions.iter_active():
                 self._step(monitor, event)
         # 2. Create newly-relevant instances (enable-pruned defineTo / joins).
-        self._create_instances(event, event_domain, jvalues, leaf)
+        self._create_instances(event, event_domain, jvalues, leaf, pretouched)
 
     def _step(self, monitor: MonitorInstance, event: str) -> None:
         verdict = monitor.base.step(event)
@@ -232,6 +233,7 @@ class PropertyRuntime:
         event_domain: frozenset[str],
         jvalues: dict[str, Any],
         leaf: Leaf,
+        pretouched: frozenset[frozenset[str]] | None = None,
     ) -> None:
         plan = self._plans[event]
         # Target = the event binding itself (defineTo from a sub-instance or
@@ -249,7 +251,7 @@ class PropertyRuntime:
                     source, source_domain, found = sub_leaf.own, domain, True
                     break
             if found or plan.allows_fresh:
-                if self._creation_is_valid(jvalues, source_domain):
+                if self._creation_is_valid(jvalues, source_domain, pretouched):
                     self._create(event, jvalues, source)
         # Join targets: compatible instances of incomparable enable domains.
         for join_domain, key_params, index in plan.joins:
@@ -278,7 +280,10 @@ class PropertyRuntime:
                     self._create(event, target_values, candidate)
 
     def _creation_is_valid(
-        self, target_values: Mapping[str, Any], source_domain: frozenset[str]
+        self,
+        target_values: Mapping[str, Any],
+        source_domain: frozenset[str],
+        pretouched: frozenset[frozenset[str]] | None = None,
     ) -> bool:
         """No past event would be silently lost by creating from the source.
 
@@ -296,6 +301,11 @@ class PropertyRuntime:
                 continue
             if event_domain <= source_domain:
                 continue
+            if pretouched is not None and event_domain in pretouched:
+                # The router vouches that this sub-binding received events
+                # on another shard before now (sticky routing's stand-in
+                # for a local touch stamp).
+                return False
             sub_leaf = self.trees[event_domain].lookup(
                 {param: target_values[param] for param in event_domain}, create=False
             )
@@ -445,6 +455,47 @@ class MonitoringEngine:
         """Emit with an explicit :class:`Binding` (test/bench convenience)."""
         self.emit(event, **dict(binding.items()))
 
+    def emit_selected(
+        self,
+        event: str,
+        params: Mapping[str, Any],
+        prop_indexes: Iterable[int],
+        record_indexes: "frozenset[int] | set[int] | None" = None,
+        pretouched: "Mapping[int, frozenset[frozenset[str]]] | None" = None,
+        count_only: Iterable[int] = (),
+    ) -> None:
+        """External-dispatch hook: deliver ``event`` to a subset of properties.
+
+        The sharded service routes one emitted event to different shards per
+        property (each property has its own anchor parameter), so a shard
+        engine must be able to dispatch to exactly the properties the router
+        selected — never to every property declaring the event, which would
+        double-process slices owned by other shards.
+
+        ``prop_indexes`` index into :attr:`properties`; ``record_indexes``
+        (default: all of them) name the subset for which this engine is the
+        designated event-accountant (see :meth:`PropertyRuntime.handle`).
+        ``pretouched`` maps property indexes to the event domains the
+        router's sticky state flags as touched elsewhere; ``count_only``
+        properties record the event without processing it (the router
+        proved the event can do nothing on any shard).
+        """
+        if self.propagation == "eager" and self._pending_deaths:
+            self.flush_gc()
+        if self.on_emit is not None:
+            self.on_emit(event, params)
+        for index in count_only:
+            self.runtimes[index].stats.record_event()
+        for index in prop_indexes:
+            runtime = self.runtimes[index]
+            if event in runtime.event_domains:
+                runtime.handle(
+                    event,
+                    params,
+                    record=record_indexes is None or index in record_indexes,
+                    pretouched=None if pretouched is None else pretouched.get(index),
+                )
+
     # -- GC control -----------------------------------------------------------------
 
     def _watch_param(self, value: Any) -> None:
@@ -493,6 +544,15 @@ class MonitoringEngine:
             ):
                 return runtime.stats
         raise KeyError(f"no runtime for {spec_name}/{formalism}")
+
+    def stats_snapshot(self) -> dict[str, dict]:
+        """Every property's counters as plain JSON-serializable dicts,
+        keyed ``"<spec name>/<formalism>"`` — the shape shard workers (or
+        operators' metric scrapers) ship across process boundaries."""
+        return {
+            f"{runtime.prop.spec_name}/{runtime.prop.formalism}": runtime.stats.snapshot()
+            for runtime in self.runtimes
+        }
 
     def total_live_monitors(self) -> int:
         return sum(runtime.stats.live_monitors for runtime in self.runtimes)

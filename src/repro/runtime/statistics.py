@@ -12,11 +12,20 @@ The paper reports, per benchmark x property:
 instances, i.e. genuinely-reclaimed Python objects), plus the peak number
 of simultaneously live monitors (the memory proxy for Figure 9B) and
 handler activity.
+
+The sharded monitoring service (:mod:`repro.service`) runs one stats
+record per property *per shard* and aggregates them with :meth:`merge`.
+Every additive counter — including the verdict tallies and handler fires —
+merges exactly; ``peak_live_monitors`` merges as the sum of per-shard
+peaks, an upper bound on the true simultaneous peak (per-shard peaks need
+not coincide in time).  :meth:`snapshot` / :meth:`from_snapshot` move
+records across process or serialization boundaries as plain dicts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
 
 __all__ = ["MonitorStats"]
 
@@ -67,6 +76,58 @@ class MonitorStats:
             "FM": self.monitors_flagged,
             "CM": self.monitors_collected,
         }
+
+    # -- aggregation (the sharded service's merged statistics view) ---------
+
+    def merge(self, *others: "MonitorStats") -> "MonitorStats":
+        """Fold other records into this one in place; returns ``self``.
+
+        Additive counters (E/M/FM/CM, handler fires, per-category verdicts)
+        merge exactly.  ``peak_live_monitors`` becomes the sum of peaks —
+        an upper bound on the true global peak, since the per-shard peaks
+        may have occurred at different times.
+        """
+        for other in others:
+            self.events += other.events
+            self.monitors_created += other.monitors_created
+            self.monitors_flagged += other.monitors_flagged
+            self.monitors_collected += other.monitors_collected
+            self.handler_fires += other.handler_fires
+            self.peak_live_monitors += other.peak_live_monitors
+            for category, count in other.verdicts.items():
+                self.verdicts[category] = self.verdicts.get(category, 0) + count
+        return self
+
+    @classmethod
+    def merged(cls, records: Iterable["MonitorStats"]) -> "MonitorStats":
+        """A fresh record holding the fold of ``records`` (inputs untouched)."""
+        return cls().merge(*records)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every counter as a plain dict (process/JSON-boundary safe)."""
+        return {
+            "events": self.events,
+            "monitors_created": self.monitors_created,
+            "monitors_flagged": self.monitors_flagged,
+            "monitors_collected": self.monitors_collected,
+            "handler_fires": self.handler_fires,
+            "peak_live_monitors": self.peak_live_monitors,
+            "live_monitors": self.live_monitors,
+            "verdicts": dict(self.verdicts),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "MonitorStats":
+        """Rebuild a record from :meth:`snapshot` output."""
+        return cls(
+            events=data["events"],
+            monitors_created=data["monitors_created"],
+            monitors_flagged=data["monitors_flagged"],
+            monitors_collected=data["monitors_collected"],
+            handler_fires=data["handler_fires"],
+            peak_live_monitors=data["peak_live_monitors"],
+            verdicts=dict(data.get("verdicts", {})),
+        )
 
     def __repr__(self) -> str:
         return (

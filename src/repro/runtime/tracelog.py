@@ -29,7 +29,7 @@ from typing import Any, Iterable, TextIO
 
 from .engine import MonitoringEngine
 
-__all__ = ["TraceRecorder", "replay", "ReplayToken"]
+__all__ = ["TraceRecorder", "replay", "replay_entries", "ReplayToken"]
 
 
 class ReplayToken:
@@ -92,25 +92,32 @@ def read_trace(lines: Iterable[str]) -> list[dict]:
     return [json.loads(line) for line in lines if line.strip()]
 
 
-def replay(
-    lines: Iterable[str],
-    engine: MonitoringEngine,
+def replay_entries(
+    entries: "list[tuple[str, dict[str, str]]]",
+    target: Any,
     retire_after_last_use: bool = False,
 ) -> dict[str, ReplayToken]:
-    """Re-emit a recorded trace into ``engine``.
+    """Re-emit pre-parsed ``(event, {param: symbol})`` pairs into ``target``.
+
+    ``target`` is anything with the engine ``emit`` signature — a
+    :class:`MonitoringEngine` or a :class:`~repro.service.MonitorService`.
+    One fresh identity token is materialized per symbol; with
+    ``retire_after_last_use`` each token is dropped right after its final
+    occurrence, so parameter deaths (and the monitor GC they drive) happen
+    during the replay, as in live traffic.
 
     Returns the symbol -> token table of objects still alive at the end
     (with ``retire_after_last_use`` the retired ones are absent).
     """
-    entries = read_trace(lines)
     last_use: dict[str, int] = {}
-    for index, entry in enumerate(entries):
-        for symbol in entry["params"].values():
-            last_use[symbol] = index
+    if retire_after_last_use:
+        for index, (_event, symbols) in enumerate(entries):
+            for symbol in symbols.values():
+                last_use[symbol] = index
     tokens: dict[str, ReplayToken] = {}
-    for index, entry in enumerate(entries):
+    for index, (event, symbols) in enumerate(entries):
         params: dict[str, Any] = {}
-        for name, symbol in entry["params"].items():
+        for name, symbol in symbols.items():
             if symbol.startswith("v:"):
                 params[name] = symbol  # immortal literal, identity irrelevant
                 continue
@@ -119,10 +126,21 @@ def replay(
                 token = ReplayToken(symbol)
                 tokens[symbol] = token
             params[name] = token
-        entry_event = entry["event"]
-        engine.emit(entry_event, _strict=False, **params)
+        target.emit(event, _strict=False, **params)
         if retire_after_last_use:
-            for symbol in list(entry["params"].values()):
+            for symbol in symbols.values():
                 if not symbol.startswith("v:") and last_use.get(symbol) == index:
                     tokens.pop(symbol, None)
     return tokens
+
+
+def replay(
+    lines: Iterable[str],
+    engine: MonitoringEngine,
+    retire_after_last_use: bool = False,
+) -> dict[str, ReplayToken]:
+    """Re-emit a recorded trace into ``engine`` (see :func:`replay_entries`)."""
+    entries = [
+        (entry["event"], entry["params"]) for entry in read_trace(lines)
+    ]
+    return replay_entries(entries, engine, retire_after_last_use)

@@ -1,0 +1,105 @@
+"""Merged verdict streams and aggregate statistics across engine shards.
+
+Each shard engine reports verdicts through its ``on_verdict`` callback and
+keeps per-property :class:`~repro.runtime.statistics.MonitorStats`.  This
+module provides the service-level view:
+
+* :class:`VerdictRecord` / :class:`VerdictLog` — one chronological,
+  thread-safe stream of goal verdicts from every shard, with a multiset
+  projection for determinism checks (the *interleaving* across shards is
+  scheduling-dependent; the multiset is not);
+* :func:`merge_stats` — the exact fold of per-shard statistics into one
+  record per property, built on :meth:`MonitorStats.merge`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..runtime.statistics import MonitorStats
+
+__all__ = ["VerdictRecord", "VerdictLog", "merge_stats", "StatsKey"]
+
+#: Properties are identified across shards by (spec name, formalism).
+StatsKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class VerdictRecord:
+    """One goal verdict, as observed by one shard."""
+
+    shard: int
+    spec_name: str
+    formalism: str
+    category: str
+    #: The (still-live) parameter binding at firing time, as (name, object)
+    #: pairs — objects, not copies: verdicts are consumed online.
+    binding: tuple[tuple[str, Any], ...]
+
+    def key(self) -> tuple:
+        """Shard-independent identity used for multiset comparisons.
+
+        Parameter objects are keyed by ``id`` — the same identity the
+        engine slices on — so a service run and a single-engine run over
+        the *same* parameter objects produce comparable keys.
+        """
+        return (
+            self.spec_name,
+            self.formalism,
+            self.category,
+            tuple(sorted((name, id(value)) for name, value in self.binding)),
+        )
+
+
+@dataclass
+class VerdictLog:
+    """Thread-safe append-only verdict stream."""
+
+    _records: list[VerdictRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def append(self, record: VerdictRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def snapshot(self) -> list[VerdictRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def multiset(self) -> Counter:
+        """Shard- and order-independent projection of the stream."""
+        with self._lock:
+            return Counter(record.key() for record in self._records)
+
+    def clear(self) -> None:
+        """Drop retained records (and their parameter references)."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def merge_stats(
+    per_shard: Iterable[Mapping[StatsKey, MonitorStats]],
+) -> dict[StatsKey, MonitorStats]:
+    """Fold per-shard ``{(spec, formalism): stats}`` maps into one.
+
+    Returns fresh records (inputs untouched).  Additive counters are exact
+    across shards because every event is accounted on exactly one shard
+    (the router designates an accountant for broadcasts) and every monitor
+    lives on exactly one shard; ``peak_live_monitors`` is the sum of
+    per-shard peaks, an upper bound (see :meth:`MonitorStats.merge`).
+    """
+    merged: dict[StatsKey, MonitorStats] = {}
+    for shard_stats in per_shard:
+        for key, stats in shard_stats.items():
+            if key in merged:
+                merged[key].merge(stats)
+            else:
+                merged[key] = MonitorStats.merged([stats])
+    return merged

@@ -1,0 +1,428 @@
+"""`MonitorService` — batched, multi-engine event ingestion.
+
+The service fronts N independent :class:`~repro.runtime.engine.MonitoringEngine`
+shards behind one ``emit()`` interface:
+
+* the :class:`~repro.service.router.ShardRouter` sends each event to the
+  shard(s) owning the slices it belongs to (anchor-parameter routing;
+  anchor-free events broadcast, pinned properties stay whole);
+* **thread mode** (the default) gives each shard a bounded FIFO queue and
+  a dedicated worker thread; ``emit()`` applies backpressure by blocking
+  when a shard's queue is full, and ``emit_batch()`` amortizes routing and
+  queue locking over many events;
+* **inline mode** dispatches synchronously in the caller's thread — fully
+  deterministic, used by the determinism tests and the scaling benchmark
+  (on one core the win of sharding is algorithmic: per-shard state, hence
+  per-shard O(state) GC scans, shrinks by the shard count);
+* verdicts from all shards land in one merged
+  :class:`~repro.service.aggregate.VerdictLog`; statistics aggregate
+  exactly via :func:`~repro.service.aggregate.merge_stats`.
+
+Per-slice event order is preserved: one emitter enqueues to each shard in
+emission order, each shard processes its queue FIFO, and the router
+guarantees a slice never spans shards — so verdict *multisets* equal the
+single-engine run even though cross-shard interleaving is scheduling
+dependent (thread mode) or trivially sequential (inline mode).
+
+Shard engines share the caller's compiled properties: compiled artifacts
+(templates, enable/coenable analyses) are immutable at runtime, and each
+engine builds its own indexing trees and statistics.  Handlers attached to
+the compiled properties fire in shard worker threads under thread mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..core.errors import ServiceError, UnknownEventError
+from ..runtime.engine import MonitoringEngine
+from ..runtime.instance import MonitorInstance
+from ..runtime.statistics import MonitorStats
+from ..spec.compiler import CompiledProperty, CompiledSpec, compile_spec
+from .aggregate import StatsKey, VerdictLog, VerdictRecord, merge_stats
+from .router import ShardRouter
+
+__all__ = ["MonitorService", "ingest_symbolic"]
+
+#: One routed delivery sitting in a shard queue: the event, its binding,
+#: and the router's per-shard :data:`repro.service.router.Delivery` plan.
+_Delivery = tuple[str, Mapping[str, Any], "tuple"]
+
+#: Service-level verdict callback.
+ServiceVerdictCallback = Callable[[VerdictRecord], None]
+
+
+def _as_properties(specs: Any) -> list[CompiledProperty]:
+    """Normalize the accepted spec forms into a flat property list."""
+    if isinstance(specs, (str, CompiledSpec, CompiledProperty)) or hasattr(specs, "make"):
+        specs = [specs]
+    properties: list[CompiledProperty] = []
+    for item in specs:
+        if isinstance(item, str):
+            item = compile_spec(item)
+        elif hasattr(item, "make") and not isinstance(item, (CompiledSpec, CompiledProperty)):
+            item = item.make()  # a PaperProperty-style provider
+        if isinstance(item, CompiledSpec):
+            properties.extend(item.properties)
+        elif isinstance(item, CompiledProperty):
+            properties.append(item)
+        else:
+            raise TypeError(f"cannot monitor {item!r}")
+    if not properties:
+        raise ValueError("MonitorService needs at least one property")
+    return properties
+
+
+class _ShardQueue:
+    """Bounded FIFO of deliveries with drain accounting and backpressure."""
+
+    __slots__ = ("_items", "_capacity", "_pending", "_closed", "_failed", "_lock", "_changed")
+
+    def __init__(self, capacity: int):
+        self._items: list[_Delivery] = []
+        self._capacity = capacity
+        #: Deliveries enqueued but not yet fully processed by the worker.
+        self._pending = 0
+        self._closed = False
+        self._failed = False
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+
+    def put_many(self, deliveries: Sequence[_Delivery]) -> None:
+        start = 0
+        while start < len(deliveries):
+            with self._changed:
+                while (
+                    len(self._items) >= self._capacity
+                    and not self._closed
+                    and not self._failed
+                ):
+                    self._changed.wait()
+                if self._closed:
+                    raise ServiceError("emit on a closed MonitorService")
+                if self._failed:
+                    return  # the service surfaces the worker's error
+                room = max(1, self._capacity - len(self._items))
+                chunk = deliveries[start : start + room]
+                self._items.extend(chunk)
+                self._pending += len(chunk)
+                start += len(chunk)
+                self._changed.notify_all()
+
+    def take(self, limit: int) -> list[_Delivery] | None:
+        """Up to ``limit`` deliveries; ``None`` once closed and empty."""
+        with self._changed:
+            while not self._items and not self._closed:
+                self._changed.wait()
+            if not self._items:
+                return None
+            batch = self._items[:limit]
+            del self._items[:limit]
+            self._changed.notify_all()
+            return batch
+
+    def mark_done(self, count: int) -> None:
+        with self._changed:
+            self._pending -= count
+            self._changed.notify_all()
+
+    def fail(self) -> None:
+        """Worker died: drop queued work, zero accounting, unblock everyone."""
+        with self._changed:
+            self._failed = True
+            self._items.clear()
+            self._pending = 0
+            self._changed.notify_all()
+
+    def close(self) -> None:
+        with self._changed:
+            self._closed = True
+            self._changed.notify_all()
+
+    def wait_idle(self) -> None:
+        with self._changed:
+            while self._pending > 0:
+                self._changed.wait()
+
+
+class MonitorService:
+    """A sharded online monitoring service over N engine shards.
+
+    ``specs`` accepts specification source text, compiled specs/properties,
+    or property providers with a ``make()`` method (the library's
+    ``PaperProperty`` objects), singly or as a sequence.  ``system`` /
+    ``gc`` / ``propagation`` / ``scan_budget`` configure every shard engine
+    exactly as they configure :class:`MonitoringEngine`.
+
+    ``mode`` is ``"thread"`` (queues + workers + backpressure) or
+    ``"inline"`` (synchronous dispatch, deterministic).  ``on_verdict``
+    receives every merged :class:`VerdictRecord` as it happens.
+
+    The verdict log retains every record — including strong references to
+    the verdicts' parameter objects — for the service's lifetime.  For
+    long-running, verdict-heavy deployments pass
+    ``keep_verdict_log=False`` and consume verdicts through
+    ``on_verdict``, or call ``verdict_log.clear()`` periodically.
+    """
+
+    def __init__(
+        self,
+        specs: Any,
+        shards: int = 4,
+        *,
+        system: str | None = None,
+        gc: str | None = None,
+        propagation: str | None = None,
+        scan_budget: int = 2,
+        mode: str = "thread",
+        queue_capacity: int = 4096,
+        batch_size: int = 256,
+        on_verdict: ServiceVerdictCallback | None = None,
+        keep_verdict_log: bool = True,
+    ):
+        if mode not in ("thread", "inline"):
+            raise ValueError(f"unknown service mode {mode!r}")
+        if queue_capacity < 1 or batch_size < 1:
+            raise ValueError("queue_capacity and batch_size must be >= 1")
+        self.properties = _as_properties(specs)
+        self.router = ShardRouter(self.properties, shards)
+        self.shards = shards
+        self.mode = mode
+        self.batch_size = batch_size
+        self.verdict_log = VerdictLog()
+        self._keep_verdict_log = keep_verdict_log
+        self._on_verdict = on_verdict
+        self._closed = False
+        self._failure: BaseException | None = None
+        self._failure_lock = threading.Lock()
+        #: Serializes route+enqueue so per-shard delivery order equals
+        #: routing order even with several emitter threads — the router's
+        #: sticky state and the shard queues must advance in lock step.
+        self._emit_lock = threading.Lock()
+
+        self.engines: list[MonitoringEngine] = [
+            MonitoringEngine(
+                self.properties,
+                system=system,
+                gc=gc,
+                propagation=propagation,
+                scan_budget=scan_budget,
+                on_verdict=self._verdict_callback(shard),
+            )
+            for shard in range(shards)
+        ]
+
+        self._queues: list[_ShardQueue] = []
+        self._workers: list[threading.Thread] = []
+        if mode == "thread":
+            self._queues = [_ShardQueue(queue_capacity) for _ in range(shards)]
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(shard, self._queues[shard], self.engines[shard]),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                for shard in range(shards)
+            ]
+            for worker in self._workers:
+                worker.start()
+
+    # -- verdict plumbing ----------------------------------------------------
+
+    def _verdict_callback(self, shard: int):
+        def on_verdict(
+            prop: CompiledProperty, category: str, monitor: MonitorInstance
+        ) -> None:
+            record = VerdictRecord(
+                shard=shard,
+                spec_name=prop.spec_name,
+                formalism=prop.formalism,
+                category=category,
+                binding=monitor.binding().items(),
+            )
+            if self._keep_verdict_log:
+                self.verdict_log.append(record)
+            if self._on_verdict is not None:
+                self._on_verdict(record)
+
+        return on_verdict
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self, shard: int, queue: _ShardQueue, engine: MonitoringEngine) -> None:
+        while True:
+            batch = queue.take(self.batch_size)
+            if batch is None:
+                return
+            try:
+                for event, params, (props, recording, pretouched, count_only) in batch:
+                    engine.emit_selected(
+                        event, params, props, recording, pretouched, count_only
+                    )
+            except BaseException as exc:  # surface at drain()/close()/emit()
+                with self._failure_lock:
+                    if self._failure is None:
+                        self._failure = exc
+                for other in self._queues:
+                    other.fail()
+                return
+            finally:
+                queue.mark_done(len(batch))
+
+    def _check_failure(self) -> None:
+        with self._failure_lock:
+            failure = self._failure
+        if failure is not None:
+            raise ServiceError(
+                f"a shard worker died while monitoring: {failure!r}"
+            ) from failure
+
+    # -- ingestion -----------------------------------------------------------
+
+    def emit(self, event: str, _strict: bool = True, **params: Any) -> None:
+        """Route one parametric event to its shard(s).
+
+        Mirrors :meth:`MonitoringEngine.emit`: with ``_strict=False`` an
+        event no property declares is dropped silently.  In thread mode the
+        call blocks while every destination shard queue is full
+        (backpressure); processing is asynchronous — use :meth:`drain` for
+        a happens-before edge to the verdict log and statistics.
+        """
+        self.emit_batch([(event, params)], _strict=_strict)
+
+    def emit_batch(
+        self,
+        events: Iterable[tuple[str, Mapping[str, Any]]],
+        _strict: bool = True,
+    ) -> int:
+        """Route a batch of ``(event, params)`` pairs; returns how many were
+        delivered to at least one shard.
+
+        Routing happens up front and deliveries are grouped per shard, so
+        the queue locks are taken once per (shard, batch) rather than once
+        per event.
+        """
+        if self._closed:
+            raise ServiceError("emit on a closed MonitorService")
+        self._check_failure()
+        per_shard: list[list[_Delivery]] = [[] for _ in range(self.shards)]
+        route = self.router.route
+        accepted = 0
+        # Route and enqueue under one lock: per-shard delivery order must
+        # equal routing order (the sticky state assumes it), so concurrent
+        # emitters may not interleave between routing and enqueueing.
+        with self._emit_lock:
+            for event, params in events:
+                if not self.router.declared(event):
+                    if _strict:
+                        raise UnknownEventError(
+                            f"no monitored specification declares event {event!r}"
+                        )
+                    continue
+                accepted += 1
+                for shard, delivery in route(event, params):
+                    per_shard[shard].append((event, params, delivery))
+            if self.mode == "inline":
+                for shard, deliveries in enumerate(per_shard):
+                    engine = self.engines[shard]
+                    for event, params, (props, recording, pretouched, count_only) in deliveries:
+                        engine.emit_selected(
+                            event, params, props, recording, pretouched, count_only
+                        )
+            else:
+                for shard, deliveries in enumerate(per_shard):
+                    if deliveries:
+                        self._queues[shard].put_many(deliveries)
+        if self.mode == "thread":
+            self._check_failure()
+        return accepted
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every enqueued event has been fully processed."""
+        if self.mode == "thread":
+            for queue in self._queues:
+                queue.wait_idle()
+        self._check_failure()
+
+    def close(self) -> None:
+        """Drain, stop the workers, and run end-of-run GC accounting.
+
+        Idempotent.  After closing, :meth:`emit` raises
+        :class:`~repro.core.errors.ServiceError`; statistics and the
+        verdict log remain readable.
+        """
+        if self._closed:
+            return
+        failure_seen = None
+        try:
+            self.drain()
+        except ServiceError as exc:
+            failure_seen = exc
+        self._closed = True
+        for queue in self._queues:
+            queue.close()
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        for engine in self.engines:
+            engine.flush_gc()
+        if failure_seen is not None:
+            raise failure_seen
+
+    def __enter__(self) -> "MonitorService":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- aggregate results ---------------------------------------------------
+
+    def stats(self) -> dict[StatsKey, MonitorStats]:
+        """Merged per-property statistics across every shard."""
+        return merge_stats(engine.stats() for engine in self.engines)
+
+    def per_shard_stats(self) -> list[dict[StatsKey, MonitorStats]]:
+        return [engine.stats() for engine in self.engines]
+
+    def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
+        for (name, form), stats in self.stats().items():
+            if name == spec_name and (formalism is None or form == formalism):
+                return stats
+        raise KeyError(f"no property {spec_name}/{formalism}")
+
+    def verdicts(self) -> list[VerdictRecord]:
+        """Chronological snapshot of the merged verdict stream."""
+        return self.verdict_log.snapshot()
+
+    def verdict_multiset(self) -> Counter:
+        """Order/shard-independent verdict multiset (determinism checks)."""
+        return self.verdict_log.multiset()
+
+    def describe_routing(self) -> list[dict[str, Any]]:
+        """The router's anchor/pinning table for every property."""
+        return self.router.describe()
+
+    def total_live_monitors(self) -> int:
+        return sum(engine.total_live_monitors() for engine in self.engines)
+
+
+def ingest_symbolic(
+    target: Any,
+    entries: Sequence[tuple[str, Mapping[str, str]]],
+    retire_after_last_use: bool = False,
+) -> dict[str, Any]:
+    """Feed a symbolic event stream into a service or engine.
+
+    ``entries`` is a sequence of ``(event, {param: symbol})`` pairs — the
+    shape :func:`repro.bench.workloads.record_workload_events` produces and
+    :mod:`repro.runtime.tracelog` records.  A thin alias for
+    :func:`repro.runtime.tracelog.replay_entries`, re-exported here because
+    it is the service benchmarks' ingestion path.
+    """
+    from ..runtime.tracelog import replay_entries
+
+    return replay_entries(list(entries), target, retire_after_last_use)

@@ -80,6 +80,35 @@ class CompiledProperty:
             event: lift_to_params(family, definition)
             for event, family in self.enable.items()
         }
+        self._monitor_domains: frozenset[frozenset[str]] | None = None
+
+    # -- static shape queries ------------------------------------------------
+
+    def monitor_domains(self) -> frozenset[frozenset[str]]:
+        """Parameter domains monitor instances can actually have.
+
+        The closure of enable-pruned creation targets ``K ∪ D(e)`` over
+        realizable enable domains ``K`` — the set of indexing trees the
+        runtime keeps, and the basis for the sharding router's anchor
+        validity check (a parameter occurring in *every* realizable domain
+        pins each monitor, hence each trace slice, to one shard).
+        """
+        if self._monitor_domains is None:
+            realizable: set[frozenset[str]] = set()
+            changed = True
+            while changed:
+                changed = False
+                for event in self.definition.alphabet:
+                    event_domain = self.definition.params_of(event)
+                    for enable_domain in self.param_enable.get(event, ()):  # K
+                        if enable_domain and enable_domain not in realizable:
+                            continue
+                        target = enable_domain | event_domain
+                        if target not in realizable:
+                            realizable.add(target)
+                            changed = True
+            self._monitor_domains = frozenset(realizable)
+        return self._monitor_domains
 
     # -- handlers -----------------------------------------------------------
 

@@ -1,0 +1,1 @@
+"""Test package marker (enables the relative conftest imports)."""

@@ -108,3 +108,63 @@ class TestReplay:
         lines = ['{"event": "nonexistent", "params": {"x": "o1"}}']
         replay(lines, engine)  # must not raise
         assert engine.stats_for("UnsafeIter").events == 0
+
+
+class TestRoundTrip:
+    """Record → replay must reproduce the live run's verdicts exactly."""
+
+    def _busy_run(self, record_to=None):
+        """A run with many overlapping slices; returns its engine."""
+        spec = compile_spec(UNSAFEITER).silence()
+        engine = MonitoringEngine(spec, system="rv")
+        if record_to is not None:
+            TraceRecorder(record_to).attach(engine)
+        collections = [Obj(f"c{n}") for n in range(4)]
+        for round_no in range(6):
+            for collection in collections:
+                iterators = [Obj(f"i{round_no}") for _ in range(3)]
+                for iterator in iterators:
+                    engine.emit("create", c=collection, i=iterator)
+                    engine.emit("next", i=iterator)
+                if round_no % 2:
+                    engine.emit("update", c=collection)
+                for iterator in iterators:
+                    engine.emit("next", i=iterator)
+        return engine
+
+    def test_replay_verdict_multiset_matches_live_run(self):
+        sink = io.StringIO()
+        live = self._busy_run(record_to=sink)
+        live_stats = live.stats_for("UnsafeIter")
+        assert live_stats.verdicts  # the scenario actually fires
+
+        replayed = MonitoringEngine(compile_spec(UNSAFEITER).silence(), system="rv")
+        replay(sink.getvalue().splitlines(), replayed)
+        replay_stats = replayed.stats_for("UnsafeIter")
+        assert replay_stats.verdicts == live_stats.verdicts
+        assert replay_stats.events == live_stats.events
+        assert replay_stats.monitors_created == live_stats.monitors_created
+
+    def test_retire_after_last_use_changes_collection_counts(self):
+        sink = io.StringIO()
+        self._busy_run(record_to=sink)
+        log = sink.getvalue().splitlines()
+
+        kept = MonitoringEngine(compile_spec(UNSAFEITER).silence(), system="rv")
+        tokens = replay(log, kept, retire_after_last_use=False)
+        gc.collect()
+        kept.flush_gc()
+
+        retired = MonitoringEngine(compile_spec(UNSAFEITER).silence(), system="rv")
+        replay(log, retired, retire_after_last_use=True)
+        gc.collect()
+        retired.flush_gc()
+
+        kept_stats = kept.stats_for("UnsafeIter")
+        retired_stats = retired.stats_for("UnsafeIter")
+        # Same trace, same verdicts — but with tokens retired at last use the
+        # parameter deaths let the GC strategy reclaim monitors.
+        assert retired_stats.verdicts == kept_stats.verdicts
+        assert retired_stats.monitors_collected > kept_stats.monitors_collected
+        del tokens
+        gc.collect()

@@ -1,0 +1,171 @@
+"""Sharding determinism: the service must equal a single engine.
+
+The acceptance property of the sharded service: for every property in the
+library, a :class:`MonitorService` with 4 shards yields the **same verdict
+multiset** as one :class:`MonitoringEngine` over the same trace — anchor
+routing, sticky delivery, pretouch, and pinning must never create, lose,
+or duplicate a verdict.  Traces are synthesized per property from its own
+alphabet with seeded randomness and small object pools, so slices overlap
+heavily and the creation/suppression paths all fire.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+
+import pytest
+
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.service import MonitorService
+
+from ..conftest import Obj
+
+#: Pool sizes chosen so bindings collide (shared parents, reused children).
+POOL = 5
+EVENTS = 400
+
+
+def synth_trace(definition, seed: int):
+    """A random but reproducible trace over a specification's alphabet."""
+    rng = random.Random(seed)
+    pools = {
+        param: [Obj(f"{param}{n}") for n in range(POOL)]
+        for param in definition.parameters
+    }
+    alphabet = sorted(definition.alphabet)
+    trace = []
+    for _ in range(EVENTS):
+        event = rng.choice(alphabet)
+        binding = {
+            param: rng.choice(pools[param]) for param in definition.params_of(event)
+        }
+        trace.append((event, binding))
+    return trace, pools
+
+
+def single_engine_multiset(spec, trace, system: str) -> Counter:
+    verdicts: Counter = Counter()
+
+    def on_verdict(prop, category, monitor):
+        verdicts[
+            (
+                prop.spec_name,
+                prop.formalism,
+                category,
+                tuple(sorted((n, id(v)) for n, v in monitor.binding().items())),
+            )
+        ] += 1
+
+    engine = MonitoringEngine(spec, system=system, on_verdict=on_verdict)
+    for event, params in trace:
+        engine.emit(event, **params)
+    return verdicts
+
+
+@pytest.mark.parametrize("key", sorted(ALL_PROPERTIES))
+def test_four_shards_match_single_engine(key):
+    paper_prop = ALL_PROPERTIES[key]
+    spec = paper_prop.make().silence()
+    trace, pools = synth_trace(spec.definition, seed=zlib.crc32(key.encode()))
+    want = single_engine_multiset(spec, trace, system="rv")
+
+    service_spec = paper_prop.make().silence()
+    with MonitorService(service_spec, shards=4, system="rv", mode="inline") as service:
+        service.emit_batch(trace)
+        got = service.verdict_multiset()
+    assert got == want
+    # Event accounting is exact as well: each property of the spec counted
+    # every trace event declaring it exactly once across all shards.
+    engine = MonitoringEngine(spec, system="rv")
+    for event, params in trace:
+        engine.emit(event, **params)
+    with MonitorService(paper_prop.make().silence(), shards=4, mode="inline") as svc:
+        svc.emit_batch(trace)
+        for (name, formalism), merged in svc.stats().items():
+            single = engine.stats_for(name, formalism)
+            assert merged.events == single.events, (name, formalism)
+            assert merged.monitors_created == single.monitors_created
+
+
+@pytest.mark.parametrize("shards", (1, 2, 3, 7))
+def test_shard_count_never_changes_verdicts(shards):
+    paper_prop = ALL_PROPERTIES["unsafeiter"]
+    spec = paper_prop.make().silence()
+    trace, pools = synth_trace(spec.definition, seed=20110604)
+    want = single_engine_multiset(spec, trace, system="rv")
+    with MonitorService(
+        paper_prop.make().silence(), shards=shards, system="rv", mode="inline"
+    ) as service:
+        service.emit_batch(trace)
+        assert service.verdict_multiset() == want
+
+
+def test_thread_mode_matches_inline_multiset():
+    paper_prop = ALL_PROPERTIES["unsafeiter"]
+    spec = paper_prop.make().silence()
+    trace, pools = synth_trace(spec.definition, seed=411)
+    want = single_engine_multiset(spec, trace, system="rv")
+    with MonitorService(
+        paper_prop.make().silence(), shards=4, system="rv", mode="thread"
+    ) as service:
+        for event, params in trace:
+            service.emit(event, **params)
+        service.drain()
+        assert service.verdict_multiset() == want
+
+
+def test_all_properties_together_under_sharding():
+    """One service hosting every paper property at once (the ALL column)."""
+    specs = [prop.make().silence() for prop in ALL_PROPERTIES.values()]
+    definitionful = [(spec, spec.definition) for spec in specs]
+    rng = random.Random(8128)
+    pools: dict[str, list[Obj]] = {}
+    events = []
+    for spec, definition in definitionful:
+        for param in definition.parameters:
+            pools.setdefault(param, [Obj(f"{param}{n}") for n in range(POOL)])
+    alphabet = sorted({e for _s, d in definitionful for e in d.alphabet})
+    # Several specs may declare one event name with different parameter
+    # lists (SAFEFILE's and SAFEFILEWRITER's ``open``); emit the union and
+    # let each property restrict to its own D(e), as the weaver does.
+    domains: dict[str, frozenset] = {}
+    for _spec, definition in definitionful:
+        for event in definition.alphabet:
+            domains[event] = domains.get(event, frozenset()) | definition.params_of(event)
+    for _ in range(EVENTS):
+        event = rng.choice(alphabet)
+        events.append(
+            (event, {param: rng.choice(pools[param]) for param in domains[event]})
+        )
+
+    want: Counter = Counter()
+    engines = [
+        MonitoringEngine(
+            spec,
+            system="rv",
+            on_verdict=lambda prop, category, monitor: want.update(
+                [
+                    (
+                        prop.spec_name,
+                        prop.formalism,
+                        category,
+                        tuple(
+                            sorted((n, id(v)) for n, v in monitor.binding().items())
+                        ),
+                    )
+                ]
+            ),
+        )
+        for spec in specs
+    ]
+    for event, params in events:
+        for engine in engines:
+            engine.emit(event, _strict=False, **params)
+
+    fresh = [prop.make().silence() for prop in ALL_PROPERTIES.values()]
+    with MonitorService(fresh, shards=4, system="rv", mode="inline") as service:
+        service.emit_batch(events, _strict=False)
+        assert service.verdict_multiset() == want
