@@ -1,0 +1,136 @@
+"""Checkpoint & crash recovery: durable parametric monitoring.
+
+Demonstrates the :mod:`repro.persist` subsystem end to end:
+
+1. wrap an UNSAFEITER engine in a :class:`~repro.persist.DurableEngine` —
+   every event is appended to a segmented write-ahead log *before*
+   dispatch, and :meth:`checkpoint` writes a CRC-guarded snapshot of the
+   full engine state (monitor FSM states, parameter bindings as symbolic
+   ref IDs, disable knowledge, statistics);
+2. kill the process mid-stream (here: simply abandon the engine without
+   closing it — no flush, no goodbye).  The crash takes every live
+   parameter object with it;
+3. recover from disk: last intact snapshot + WAL suffix replay rebuilds
+   the engine (pre-crash objects come back as weak-referenceable stand-in
+   tokens), and the service keeps monitoring *new* traffic with full
+   accounting continuity — the combined run matches an uninterrupted one.
+
+Run:  python examples/checkpoint_restore_demo.py
+"""
+
+import gc
+import tempfile
+
+from repro import MonitoringEngine
+from repro.properties import UNSAFEITER
+from repro.persist import DurableEngine, checkpoint_files, wal_segments
+
+
+class Token:
+    """A weak-referenceable stand-in for a program object."""
+
+    __slots__ = ("name", "__weakref__")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="repro-persist-")
+
+    # Pre-crash objects (these die with the crashed process) ...
+    c1, i1, i2 = Token("c1"), Token("i1"), Token("i2")
+    before_checkpoint = [
+        ("create", {"c": c1, "i": i1}),
+        ("create", {"c": c1, "i": i2}),
+        ("update", {"c": c1}),
+    ]
+    after_checkpoint = [
+        ("next", {"i": i1}),  # -> match: i1 outlived an update (Figure 3)
+    ]
+    # ... and the traffic a restarted service would see afterwards.
+    def fresh_traffic(c, i):
+        return [
+            ("create", {"c": c, "i": i}),
+            ("update", {"c": c}),
+            ("next", {"i": i}),  # -> match: same pattern on the new pair
+        ]
+
+    print("== uninterrupted reference run ==")
+    reference: list[str] = []
+    engine = MonitoringEngine(
+        UNSAFEITER.make().silence(),
+        gc="coenable",
+        on_verdict=lambda p, c, m: reference.append(f"{p.spec_name}:{c}"),
+    )
+    for event, params in before_checkpoint + after_checkpoint:
+        engine.emit(event, **params)
+    for event, params in fresh_traffic(Token("c2"), Token("i3")):
+        engine.emit(event, **params)
+    print(f"  verdicts: {reference}")
+
+    print("\n== durable run, killed mid-stream ==")
+    live: list[str] = []
+    durable = DurableEngine(
+        UNSAFEITER.make().silence(),
+        directory,
+        gc="coenable",
+        fsync_interval=1,  # demo: make every event durable immediately
+        on_verdict=lambda p, c, m: live.append(f"{p.spec_name}:{c}"),
+    )
+    for event, params in before_checkpoint:
+        durable.emit(event, **params)
+    path = durable.checkpoint()
+    print(f"  checkpointed after {len(before_checkpoint)} events -> "
+          f"{path.rsplit('/', 1)[1]}")
+    for event, params in after_checkpoint:
+        durable.emit(event, **params)
+    print(f"  live verdicts so far: {live}")
+    print("  ... crash (no close, no flush; every live object is lost)")
+    del durable, c1, i1, i2  # the process "dies"
+    gc.collect()
+    print(
+        f"  on disk: {len(wal_segments(directory))} WAL segment(s), "
+        f"{len(checkpoint_files(directory))} checkpoint(s)"
+    )
+
+    print("\n== recovery: last snapshot + suffix replay ==")
+    replayed: list[str] = []
+    recovered, tokens = DurableEngine.recover(
+        UNSAFEITER.make().silence(),
+        directory,
+        on_verdict=lambda p, c, m: replayed.append(f"{p.spec_name}:{c}"),
+    )
+    stats = recovered.engine.stats_for("UnsafeIter")
+    print(
+        f"  rebuilt: {stats.events} events accounted, "
+        f"{stats.monitors_created} monitors created, "
+        f"{len(tokens)} pre-crash objects as stand-in tokens, "
+        f"re-fired suffix verdicts: {replayed}"
+    )
+
+    # The restarted service keeps monitoring new traffic seamlessly.
+    suffix_verdicts = len(replayed)
+    for event, params in fresh_traffic(Token("c2"), Token("i3")):
+        recovered.emit(event, **params)
+    recovered.close()
+    continued = replayed[suffix_verdicts:]
+    final = recovered.engine.stats_for("UnsafeIter")
+    print(f"  continued with fresh traffic: E={final.events}, "
+          f"M={final.monitors_created}, new verdicts: {continued}")
+
+    reference_stats = engine.stats_for("UnsafeIter")
+    assert final.events == reference_stats.events
+    assert final.monitors_created == reference_stats.monitors_created
+    # Verdict continuity: what the crashed process saw live, plus what the
+    # recovered process produced on new traffic, equals the uninterrupted
+    # run (the re-fired suffix verdicts are re-deliveries of live ones).
+    assert live + continued == reference
+    print("\nrecovered run matches the uninterrupted run: state survived the crash.")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,11 @@ The library implements the full RV-system stack from scratch:
 * aspect-weaving instrumentation and a Java-collections substrate
   (:mod:`repro.instrument`);
 * the paper's ten properties (:mod:`repro.properties`) and the
-  DaCapo-analog benchmark harness (:mod:`repro.bench`).
+  DaCapo-analog benchmark harness (:mod:`repro.bench`);
+* a sharded monitoring service with thread, inline, and multiprocess
+  shard backends (:mod:`repro.service`);
+* checkpoint & recovery — engine snapshots, a write-ahead tracelog, and
+  crash recovery by snapshot + suffix replay (:mod:`repro.persist`).
 
 Quickstart::
 
@@ -44,6 +48,7 @@ from .runtime.engine import SYSTEMS, MonitoringEngine
 from .runtime.statistics import MonitorStats
 from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
 from .instrument.aspects import Pointcut, Weaver, after_returning, before
+from .persist import DurableEngine, restore_engine, snapshot_engine
 from .properties import ALL_PROPERTIES, EVALUATED_PROPERTIES
 from .service import MonitorService, VerdictRecord
 
@@ -71,5 +76,8 @@ __all__ = [
     "EVALUATED_PROPERTIES",
     "MonitorService",
     "VerdictRecord",
+    "DurableEngine",
+    "snapshot_engine",
+    "restore_engine",
     "__version__",
 ]

@@ -69,3 +69,9 @@ class EngineStateError(ReproError):
 class ServiceError(ReproError):
     """Raised for sharded-service lifecycle violations (emit after close,
     a shard worker that died, invalid shard configuration)."""
+
+
+class PersistError(ReproError):
+    """Raised by the checkpoint/recovery subsystem (:mod:`repro.persist`):
+    unsupported monitor state, format/version mismatches, property
+    fingerprints that do not match a snapshot, corrupt WAL segments."""

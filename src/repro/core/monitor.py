@@ -59,6 +59,22 @@ class BaseMonitor(abc.ABC):
         """
         return False
 
+    def snapshot_state(self):
+        """The monitor's mutable state as a JSON-serializable payload.
+
+        Together with :meth:`MonitorTemplate.monitor_from_state` this is the
+        contract the checkpoint codec (:mod:`repro.persist.codec`) relies
+        on: ``template.monitor_from_state(monitor.snapshot_state())`` must
+        behave exactly like ``monitor`` on every future input.  Formalisms
+        that cannot express their state as data raise
+        :class:`~repro.core.errors.PersistError`.
+        """
+        from .errors import PersistError
+
+        raise PersistError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
 
 class MonitorTemplate(abc.ABC):
     """The immutable description of a base property ``P : E* -> C``."""
@@ -96,6 +112,15 @@ class MonitorTemplate(abc.ABC):
         (its state space is unbounded — Section 3 of the paper).
         """
         return True
+
+    def monitor_from_state(self, payload) -> BaseMonitor:
+        """Rebuild a monitor from a :meth:`BaseMonitor.snapshot_state`
+        payload (the restore half of the checkpoint-codec contract)."""
+        from .errors import PersistError
+
+        raise PersistError(
+            f"{type(self).__name__} does not support state restoration"
+        )
 
     def state_coenable_sets(self, goal: frozenset[str]):  # pragma: no cover - interface
         """Per-*state* coenable sets for the state-based strategy, or None."""

@@ -243,6 +243,9 @@ class CFGMonitor(BaseMonitor):
         copy._verdict = self._verdict
         return copy
 
+    def snapshot_state(self) -> dict:
+        return {"verdict": self._verdict, "chart": self._recognizer.chart_payload()}
+
     def is_dead(self) -> bool:
         return self._verdict == FAIL
 
@@ -279,6 +282,17 @@ class CFGTemplate(MonitorTemplate):
 
     def create(self) -> CFGMonitor:
         return CFGMonitor(self)
+
+    def monitor_from_state(self, payload: dict) -> CFGMonitor:
+        recognizer = EarleyRecognizer.from_chart_payload(
+            payload["chart"],
+            productions=dict(self.grammar.productions),
+            start=self.grammar.start,
+            terminals=self.grammar.terminals,
+        )
+        monitor = CFGMonitor(self, recognizer)
+        monitor._verdict = payload["verdict"]
+        return monitor
 
     @property
     def supports_state_gc(self) -> bool:

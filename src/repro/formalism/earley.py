@@ -137,6 +137,40 @@ class EarleyRecognizer:
             self.feed(terminal)
         return self.accepts()
 
+    def chart_payload(self) -> list[list[list]]:
+        """The chart as JSON-serializable data: one list of
+        ``[lhs, rhs, dot, origin]`` quadruples per state set, sorted for a
+        deterministic encoding (item sets are unordered)."""
+        return [
+            sorted(
+                [item.lhs, list(item.rhs), item.dot, item.origin]
+                for item in state_set
+            )
+            for state_set in self._sets
+        ]
+
+    @classmethod
+    def from_chart_payload(
+        cls,
+        payload: Sequence[Sequence[Sequence]],
+        productions: dict[str, tuple[tuple[str, ...], ...]],
+        start: str,
+        terminals: frozenset[str],
+    ) -> "EarleyRecognizer":
+        """Rebuild a recognizer from :meth:`chart_payload` output."""
+        other = object.__new__(cls)
+        other._productions = productions
+        other._start = start
+        other._terminals = terminals
+        other._sets = [
+            {
+                EarleyItem(lhs, tuple(rhs), dot, origin)
+                for lhs, rhs, dot, origin in state_set
+            }
+            for state_set in payload
+        ]
+        return other
+
     # -- internals --------------------------------------------------------------
 
     def _close(self, position: int) -> None:

@@ -154,6 +154,9 @@ class FSMMonitor(BaseMonitor):
     def clone(self) -> "FSMMonitor":
         return FSMMonitor(self._fsm, self._state, self._inert)
 
+    def snapshot_state(self) -> str:
+        return self._state
+
     def is_dead(self) -> bool:
         if self._state == FAIL_SINK:
             return True
@@ -185,6 +188,13 @@ class FSMTemplate(MonitorTemplate):
 
     def create(self) -> FSMMonitor:
         return FSMMonitor(self.fsm, inert=self._inert)
+
+    def monitor_from_state(self, payload: str) -> FSMMonitor:
+        if payload != FAIL_SINK and payload not in self.fsm.states:
+            from ..core.errors import PersistError
+
+            raise PersistError(f"snapshot names unknown FSM state {payload!r}")
+        return FSMMonitor(self.fsm, payload, self._inert)
 
     def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
         if goal not in self._coenable_cache:

@@ -62,6 +62,15 @@ class RawMonitor(BaseMonitor):
     def clone(self) -> "RawMonitor":
         return RawMonitor(self._transition, self._verdict, self._state)
 
+    def snapshot_state(self) -> Any:
+        """The raw state itself — snapshot-safe only when it is plain data.
+
+        The checkpoint codec JSON-encodes payloads; a raw monitor whose
+        state is not JSON-representable fails at encode time with a
+        :class:`~repro.core.errors.PersistError` naming the monitor.
+        """
+        return self._state
+
 
 class RawTemplate(MonitorTemplate):
     """A formalism plugin around an arbitrary monitor factory."""
@@ -137,6 +146,18 @@ class RawTemplate(MonitorTemplate):
     @property
     def supports_state_gc(self) -> bool:
         return False  # arbitrary user state: no static state analysis
+
+    def monitor_from_state(self, payload: Any) -> BaseMonitor:
+        monitor = self.create()
+        if not isinstance(monitor, RawMonitor):
+            from ..core.errors import PersistError
+
+            raise PersistError(
+                f"{type(monitor).__name__} from a raw factory cannot be "
+                "restored from a state payload"
+            )
+        monitor._state = payload
+        return monitor
 
 
 def functional_template(

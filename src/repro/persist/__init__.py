@@ -1,0 +1,55 @@
+"""Checkpoint & recovery: durable state for long-running monitors.
+
+The paper's GC technique lets parametric monitoring run indefinitely; this
+package lets the *surviving* state outlive a process.  Three layers:
+
+* :mod:`repro.persist.codec` — a versioned snapshot codec for a full
+  :class:`~repro.runtime.engine.MonitoringEngine` (compiled-property
+  fingerprints, monitor instances with symbolic parameter refs, disable
+  knowledge, statistics).  Guarantee: snapshot at event *k*, restore,
+  replay the suffix ⇒ the verdict multiset and E/M/CM accounting equal an
+  uninterrupted run (replay-equivalence, jMT-style record/replay
+  validation);
+* :mod:`repro.persist.wal` — a segmented write-ahead tracelog with fsync
+  points, rotation, and pruning;
+* :mod:`repro.persist.recovery` — :class:`DurableEngine`: WAL + periodic
+  checkpoints; crash recovery = last intact snapshot + suffix replay.
+
+The multiprocess shard backend of :mod:`repro.service` is built on the
+same codec: worker-process engines are checkpointed and migrated as
+snapshots.
+"""
+
+from .codec import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    materialize_tokens,
+    restore_engine,
+    restore_into,
+    snapshot_engine,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+    trace_symbol_of,
+)
+from .recovery import CHECKPOINT_VERSION, DurableEngine, checkpoint_files, latest_checkpoint
+from .wal import WAL_VERSION, WalWriter, read_wal, wal_segments
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "WAL_VERSION",
+    "CHECKPOINT_VERSION",
+    "snapshot_engine",
+    "restore_engine",
+    "restore_into",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "materialize_tokens",
+    "trace_symbol_of",
+    "WalWriter",
+    "read_wal",
+    "wal_segments",
+    "DurableEngine",
+    "latest_checkpoint",
+    "checkpoint_files",
+]

@@ -1,0 +1,287 @@
+"""Durable monitoring: checkpoints + write-ahead log = crash recovery.
+
+:class:`DurableEngine` wraps a :class:`~repro.runtime.engine.MonitoringEngine`
+with the two persistence halves of this package:
+
+* every emitted event is appended to the :class:`~repro.persist.wal.WalWriter`
+  *before* dispatch (write-ahead: a crash mid-dispatch replays the event);
+* :meth:`checkpoint` writes a CRC-guarded snapshot file
+  (``checkpoint-<seq>.ckpt``) of the engine at the current WAL sequence,
+  then prunes fully covered segments.
+
+Recovery (:meth:`DurableEngine.recover`) = **last intact snapshot +
+suffix replay**: load the newest checkpoint whose CRC verifies (a crash
+mid-checkpoint-write leaves a torn file, which is skipped), restore the
+engine, then re-emit every WAL entry after the checkpoint's sequence.  The
+restored parameter objects are fresh
+:class:`~repro.runtime.tracelog.ReplayToken` stand-ins registered under
+their original symbols, so the continued log stays consistent.  By the
+codec's replay-equivalence guarantee, the recovered engine's verdict
+multiset and E/M/CM accounting equal an uninterrupted run over the same
+events (flag counts can differ by lazy-scan phase).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from typing import Any
+
+from ..core.errors import PersistError
+from ..runtime.engine import MonitoringEngine, VerdictCallback
+from ..runtime.refs import SymbolRegistry
+from ..runtime.tracelog import replay_entries
+from .codec import restore_engine, snapshot_engine, trace_symbol_of
+from .wal import WalWriter, iter_wal
+
+__all__ = ["CHECKPOINT_VERSION", "DurableEngine", "latest_checkpoint", "checkpoint_files"]
+
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
+
+
+def _checkpoint_name(seq: int) -> str:
+    return f"checkpoint-{seq:012d}.ckpt"
+
+
+def checkpoint_files(directory: str) -> list[tuple[int, str]]:
+    """Sorted ``(seq, path)`` pairs of the checkpoints in ``directory``."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def _write_checkpoint(path: str, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    record = json.dumps({"crc": zlib.crc32(body)}).encode("utf-8") + b"\n" + body
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(record)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)  # atomic publish: readers see whole files only
+
+
+def _read_checkpoint(path: str) -> dict | None:
+    """The checkpoint payload, or ``None`` when torn/corrupt (skippable)."""
+    try:
+        with open(path, "rb") as handle:
+            header_line = handle.readline()
+            body = handle.read()
+        header = json.loads(header_line)
+        if zlib.crc32(body) != header["crc"]:
+            return None
+        payload = json.loads(body)
+    except (OSError, ValueError, KeyError):
+        return None
+    if payload.get("checkpoint_version") != CHECKPOINT_VERSION:
+        return None
+    return payload
+
+
+def latest_checkpoint(directory: str) -> tuple[int, dict] | None:
+    """The newest *intact* checkpoint as ``(seq, payload)``, or ``None``."""
+    for seq, path in reversed(checkpoint_files(directory)):
+        payload = _read_checkpoint(path)
+        if payload is not None:
+            return seq, payload
+    return None
+
+
+class DurableEngine:
+    """A monitoring engine whose state survives process death.
+
+    ``specs`` is anything :class:`MonitoringEngine` accepts.  All events
+    must flow through :meth:`emit` (or the engine's own ``emit`` — the
+    WAL is attached as the engine's emission tap, so both paths log).
+
+    ``checkpoint_every`` (optional) auto-checkpoints after that many
+    events; explicit :meth:`checkpoint` calls are always allowed.
+    """
+
+    def __init__(
+        self,
+        specs: Any,
+        directory: str,
+        *,
+        gc: str | None = None,
+        propagation: str | None = None,
+        system: str | None = None,
+        scan_budget: int = 2,
+        on_verdict: VerdictCallback | None = None,
+        segment_events: int = 10_000,
+        fsync_interval: int = 256,
+        checkpoint_every: int | None = None,
+        prune_on_checkpoint: bool = True,
+        _engine: MonitoringEngine | None = None,
+        _registry: SymbolRegistry | None = None,
+        _start_seq: int = 0,
+    ):
+        if _engine is not None:
+            self.engine = _engine
+        else:
+            self.engine = MonitoringEngine(
+                specs,
+                gc=gc,
+                propagation=propagation,
+                system=system,
+                scan_budget=scan_budget,
+                on_verdict=on_verdict,
+            )
+        self.directory = directory
+        self.registry = _registry if _registry is not None else SymbolRegistry()
+        self.wal = WalWriter(
+            directory,
+            self.registry,
+            segment_events=segment_events,
+            fsync_interval=fsync_interval,
+            start_seq=_start_seq,
+        )
+        self.checkpoint_every = checkpoint_every
+        self.prune_on_checkpoint = prune_on_checkpoint
+        self._events_since_checkpoint = 0
+        self._closed = False
+        self.engine.on_emit = self._on_emit
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _on_emit(self, event: str, params: dict[str, Any]) -> None:
+        self.wal.append(event, params)
+        self._events_since_checkpoint += 1
+
+    def emit(self, event: str, _strict: bool = True, **params: Any) -> None:
+        """Log, dispatch, and auto-checkpoint when the interval elapses."""
+        if self._closed:
+            raise PersistError("emit on a closed DurableEngine")
+        self.engine.emit(event, _strict=_strict, **params)
+        if (
+            self.checkpoint_every is not None
+            and self._events_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Write a durable snapshot at the current WAL sequence.
+
+        Returns the checkpoint path.  The WAL is fsynced first, so the
+        snapshot never claims a sequence the log has not persisted; crash
+        mid-write leaves a torn ``.tmp`` the recovery scan ignores.
+        """
+        if self._closed:
+            raise PersistError("checkpoint on a closed DurableEngine")
+        self.wal.sync()
+        seq = self.wal.seq
+        payload = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "seq": seq,
+            "registry_counter": self.registry.counter,
+            "engine": snapshot_engine(self.engine, trace_symbol_of(self.registry)),
+        }
+        path = os.path.join(self.directory, _checkpoint_name(seq))
+        _write_checkpoint(path, payload)
+        if self.prune_on_checkpoint:
+            self.wal.prune(seq)
+        self._events_since_checkpoint = 0
+        return path
+
+    def close(self) -> None:
+        """Idempotent: final fsync, then release the log handle."""
+        if not self._closed:
+            self._closed = True
+            self.wal.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        specs: Any,
+        directory: str,
+        *,
+        on_verdict: VerdictCallback | None = None,
+        gc: str | None = None,
+        propagation: str | None = None,
+        system: str | None = None,
+        scan_budget: int = 2,
+        segment_events: int = 10_000,
+        fsync_interval: int = 256,
+        checkpoint_every: int | None = None,
+    ) -> tuple["DurableEngine", dict[str, Any]]:
+        """Rebuild from ``directory``: last intact snapshot + WAL suffix.
+
+        Returns ``(durable, tokens)`` — ``tokens`` maps every symbol that
+        is still live after the replay to its restored stand-in object
+        (callers that keep feeding real traffic can ignore it; callers
+        resuming a symbolic stream route through it).  With no checkpoint
+        on disk the whole log is replayed into a fresh engine built from
+        the ``gc``/``propagation``/``system`` arguments; with a checkpoint
+        the engine configuration comes from the snapshot.
+        """
+        found = latest_checkpoint(directory)
+        registry = SymbolRegistry()
+        if found is None:
+            engine = MonitoringEngine(
+                specs,
+                gc=gc,
+                propagation=propagation,
+                system=system,
+                scan_budget=scan_budget,
+                on_verdict=on_verdict,
+            )
+            tokens: dict[str, Any] = {}
+            after = 0
+        else:
+            seq, payload = found
+            engine, tokens = restore_engine(
+                payload["engine"], specs, on_verdict=on_verdict
+            )
+            after = payload["seq"]
+        # One pass over the log: collect the replay suffix, the last
+        # durable sequence, and the highest numeric symbol ever used (so
+        # post-recovery minting cannot collide with pre-crash names).
+        entries = []
+        last_seq = after
+        highest = registry.counter
+        for seq2, (event, params) in iter_wal(directory, 0):
+            last_seq = max(last_seq, seq2)
+            for symbol in params.values():
+                if symbol.startswith("o") and symbol[1:].isdigit():
+                    highest = max(highest, int(symbol[1:]))
+            if seq2 > after:
+                entries.append((event, params))
+        replay_entries(entries, engine, tokens=tokens)
+        for symbol, token in tokens.items():
+            registry.register(token, symbol)
+        if found is not None:
+            highest = max(highest, int(found[1].get("registry_counter", 0)))
+        registry.ensure_counter(highest)
+        durable = cls(
+            None,
+            directory,
+            _engine=engine,
+            _registry=registry,
+            _start_seq=last_seq,
+            segment_events=segment_events,
+            fsync_interval=fsync_interval,
+            checkpoint_every=checkpoint_every,
+        )
+        return durable, tokens

@@ -1,0 +1,305 @@
+"""A segmented write-ahead tracelog (WAL) for parametric event streams.
+
+Layered on the symbolic trace format of :mod:`repro.runtime.tracelog`: one
+JSON line per event, parameters named by symbolic ref IDs from one
+:class:`~repro.runtime.refs.SymbolRegistry`.  On top of the plain recorder
+the WAL adds what crash recovery needs:
+
+* **global sequence numbers** — every entry carries ``seq``; recovery
+  replays exactly the entries after a checkpoint's sequence;
+* **segment rotation** — ``wal-<n>.log`` files of bounded entry count, so
+  retention is bounded and segments fully covered by a checkpoint can be
+  pruned;
+* **fsync points** — the file is flushed+fsynced every ``fsync_interval``
+  appends and at every :meth:`sync`; a crash loses at most the tail after
+  the last fsync point;
+* **torn-tail tolerance** — a crash can leave a truncated last line; the
+  reader stops at the first undecodable line of the final segment instead
+  of failing (mid-log corruption, by contrast, raises).
+
+The WAL records *events*, not object deaths — the caveat documented by
+:mod:`repro.runtime.tracelog` applies to recovery replays as well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Iterator, Mapping
+
+from ..core.errors import PersistError
+from ..runtime.refs import SymbolRegistry
+
+__all__ = ["WAL_VERSION", "WalWriter", "read_wal", "wal_segments", "repair_tail"]
+
+WAL_VERSION = 1
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:08d}.log"
+
+
+def wal_segments(directory: str) -> list[tuple[int, str]]:
+    """Sorted ``(segment index, path)`` pairs of the WAL segments in
+    ``directory``."""
+    segments = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _SEGMENT_RE.match(name)
+        if match:
+            segments.append((int(match.group(1)), os.path.join(directory, name)))
+    segments.sort()
+    return segments
+
+
+class WalWriter:
+    """Append parametric events durably; rotate; prune behind checkpoints.
+
+    ``registry`` supplies the symbolic ref IDs — share it with the
+    checkpoint codec (see :class:`repro.persist.recovery.DurableEngine`)
+    so snapshots and log entries name objects consistently.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        registry: SymbolRegistry | None = None,
+        *,
+        segment_events: int = 10_000,
+        fsync_interval: int = 256,
+        start_seq: int = 0,
+    ):
+        if segment_events < 1:
+            raise PersistError("segment_events must be >= 1")
+        if fsync_interval < 1:
+            raise PersistError("fsync_interval must be >= 1")
+        os.makedirs(directory, exist_ok=True)
+        # A previous crash may have left a torn trailing line in the last
+        # segment.  Readers tolerate it only while that segment is last —
+        # this writer is about to open a new one, so cut the tear off now
+        # or every future read of the directory would fail on it.
+        repair_tail(directory)
+        self.directory = directory
+        self.registry = registry if registry is not None else SymbolRegistry()
+        self.segment_events = segment_events
+        self.fsync_interval = fsync_interval
+        self.seq = start_seq
+        self._since_fsync = 0
+        self._segment_entries = 0
+        self.fsyncs = 0
+        existing = wal_segments(directory)
+        self._segment_index = existing[-1][0] + 1 if existing else 1
+        #: first_seq per written segment index (prune decisions).
+        self._first_seqs: dict[int, int] = {}
+        self._handle = None
+        self._open_segment()
+
+    # -- the tap side --------------------------------------------------------
+
+    def attach(self, engine: Any) -> "WalWriter":
+        """Register as an engine's emission tap (like a TraceRecorder)."""
+        engine.on_emit = self.append
+        return self
+
+    def append(self, event: str, params: Mapping[str, Any]) -> int:
+        """Durably record one parametric event; returns its sequence number."""
+        if self._handle is None:
+            raise PersistError("append on a closed WalWriter")
+        if self._segment_entries >= self.segment_events:
+            self._rotate()
+        self.seq += 1
+        symbol_for = self.registry.symbol_for
+        entry = {
+            "q": self.seq,
+            "e": event,
+            "p": {name: symbol_for(value) for name, value in params.items()},
+        }
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._segment_entries += 1
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_interval:
+            self.sync()
+        return self.seq
+
+    def sync(self) -> None:
+        """An explicit fsync point: everything appended so far is durable."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_fsync = 0
+        self.fsyncs += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- segments ------------------------------------------------------------
+
+    def _open_segment(self) -> None:
+        index = self._segment_index
+        path = os.path.join(self.directory, _segment_name(index))
+        self._handle = open(path, "a", encoding="utf-8")
+        if self._handle.tell() == 0:
+            header = {"wal": WAL_VERSION, "segment": index, "first_seq": self.seq + 1}
+            self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self._first_seqs[index] = self.seq + 1
+        self._segment_entries = 0
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._handle.close()
+        self._segment_index += 1
+        self._open_segment()
+
+    def prune(self, checkpoint_seq: int) -> list[str]:
+        """Remove segments fully covered by a checkpoint at
+        ``checkpoint_seq``; returns the removed paths.
+
+        A segment is removable when a *later* segment starts at or before
+        ``checkpoint_seq + 1`` — every entry recovery could need lives in
+        the later segments.
+        """
+        segments = wal_segments(self.directory)
+        removed = []
+        for position, (index, path) in enumerate(segments[:-1]):
+            next_index, next_path = segments[position + 1]
+            next_first = self._first_seqs.get(next_index)
+            if next_first is None:
+                next_first = self._first_seq_of(next_path)
+            if next_first is not None and next_first <= checkpoint_seq + 1:
+                os.remove(path)
+                removed.append(path)
+                self._first_seqs.pop(index, None)
+            else:
+                break
+        return removed
+
+    @staticmethod
+    def _first_seq_of(path: str) -> int | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+            return int(header["first_seq"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+def repair_tail(directory: str) -> int:
+    """Truncate a torn trailing line off the *last* WAL segment.
+
+    Keeps **exactly** what :func:`iter_wal` would replay — a final line
+    that decodes to a complete record counts even without its trailing
+    newline (the crash hit between the payload and the ``\\n``); it is
+    kept and the newline is restored.  Anything else past the last intact
+    record is cut.  Returns how many bytes were removed.  Idempotent;
+    called by :class:`WalWriter` before it opens a fresh segment on an
+    existing directory, because readers only tolerate a torn tail while
+    its segment is still the last one.
+    """
+    segments = wal_segments(directory)
+    if not segments:
+        return 0
+    _index, path = segments[-1]
+    good = 0
+    missing_newline = False
+    with open(path, "rb") as handle:
+        for line_number, line in enumerate(handle):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break
+            if line_number == 0:
+                if not (isinstance(record, dict) and "wal" in record):
+                    break
+            elif not (isinstance(record, dict) and {"q", "e", "p"} <= record.keys()):
+                break
+            good += len(line)
+            missing_newline = not line.endswith(b"\n")
+    size = os.path.getsize(path)
+    if good < size or missing_newline:
+        with open(path, "r+b") as handle:
+            handle.truncate(good)
+            if missing_newline:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    return size - good
+
+
+def read_wal(
+    directory: str, after_seq: int = 0
+) -> list[tuple[str, dict[str, str]]]:
+    """Entries with ``seq > after_seq``, ordered — the replay suffix.
+
+    Tolerates a torn tail (truncated/corrupt trailing line of the *last*
+    segment: the crash case); corruption anywhere else raises
+    :class:`~repro.core.errors.PersistError`.
+    """
+    return [entry for _seq, entry in iter_wal(directory, after_seq)]
+
+
+def iter_wal(
+    directory: str, after_seq: int = 0
+) -> Iterator[tuple[int, tuple[str, dict[str, str]]]]:
+    """Like :func:`read_wal` but yielding ``(seq, (event, params))``."""
+    segments = wal_segments(directory)
+    last_index = segments[-1][0] if segments else None
+    expected = None
+    for index, path in segments:
+        with open(path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle):
+                if line_number == 0:
+                    # The final segment's header may itself be the torn
+                    # tail (rotation writes it buffered): treat it as an
+                    # empty tail segment rather than corruption.
+                    header = _decode(line, path, 1, tolerate=index == last_index)
+                    if header is None:
+                        return
+                    if header.get("wal") != WAL_VERSION:
+                        raise PersistError(
+                            f"{path}: unsupported WAL version {header.get('wal')!r}"
+                        )
+                    continue
+                tolerate = index == last_index
+                entry = _decode(line, path, line_number + 1, tolerate)
+                if entry is None:
+                    return  # torn tail: stop cleanly at the last fsynced state
+                try:
+                    seq, event, params = entry["q"], entry["e"], entry["p"]
+                except (KeyError, TypeError):
+                    if tolerate:
+                        return
+                    raise PersistError(f"{path}:{line_number + 1}: malformed entry")
+                if expected is not None and seq != expected:
+                    raise PersistError(
+                        f"{path}:{line_number + 1}: sequence gap (got {seq}, "
+                        f"expected {expected})"
+                    )
+                expected = seq + 1
+                if seq > after_seq:
+                    yield seq, (event, params)
+
+
+def _decode(line: str, path: str, line_number: int, tolerate: bool):
+    try:
+        return json.loads(line)
+    except ValueError:
+        if tolerate:
+            return None
+        raise PersistError(f"{path}:{line_number}: corrupt WAL line") from None

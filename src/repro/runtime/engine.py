@@ -364,6 +364,113 @@ class PropertyRuntime:
                         seen[id(monitor)] = monitor
         return list(seen.values())
 
+    # -- persistence (the checkpoint codec's view) -------------------------------
+
+    def iter_reachable_instances(self) -> Iterable[MonitorInstance]:
+        """Every unflagged instance held by any structure, deduplicated.
+
+        Beyond :meth:`live_instances` this walks the join indices too: an
+        instance whose tree paths all died can survive in a join bucket
+        under its live key sub-binding, and the codec must capture it there
+        or the restored run would under-count its eventual collection.
+        """
+        seen: dict[int, MonitorInstance] = {}
+        for tree in self.trees.values():
+            for leaf in tree.walk_leaves():
+                for monitor in leaf.monitors():
+                    if not monitor.flagged:
+                        seen.setdefault(id(monitor), monitor)
+        for index in self._join_indices.values():
+            for bucket in index.walk_leaves():
+                for monitor in bucket:
+                    if not monitor.flagged:
+                        seen.setdefault(id(monitor), monitor)
+        return list(seen.values())
+
+    def export_persist_state(self, symbol_of: Callable[[Any], str]) -> dict:
+        """Serialize this runtime's dynamic state (codec payload).
+
+        Call only on a freshly flushed engine (see
+        :func:`repro.persist.codec.snapshot_engine`): flushing delivers all
+        pending dead-key notifications and physically removes flagged
+        instances, so the remaining state is exactly the
+        behavior-determining part.
+        """
+        monitors = sorted(
+            self.iter_reachable_instances(), key=lambda monitor: monitor.serial
+        )
+        touched = []
+        for domain, tree in self.trees.items():
+            for values, leaf in tree.walk_items():
+                if leaf.touched is not None:
+                    touched.append(
+                        {
+                            "params": {
+                                name: symbol_of(value) for name, value in values.items()
+                            },
+                            "serial": leaf.touched,
+                        }
+                    )
+        return {
+            "serial": self._serial,
+            "event_serial": self._event_serial,
+            "stats": self.stats.snapshot(),
+            "monitors": [monitor.snapshot_payload(symbol_of) for monitor in monitors],
+            "touched": touched,
+        }
+
+    def import_persist_state(self, payload: Mapping[str, Any], tokens: Mapping[str, Any]) -> None:
+        """Rebuild dynamic state from :meth:`export_persist_state` output.
+
+        Must run on a virgin runtime (no events processed).  ``tokens``
+        maps live symbols to their restored stand-in objects; insertion
+        order follows monitor serials, reproducing the live engine's
+        creation-ordered set contents.
+        """
+        self._serial = payload["serial"]
+        self._event_serial = payload["event_serial"]
+        self.stats = MonitorStats.from_snapshot(payload["stats"])
+        for record in payload["touched"]:
+            values = {name: tokens[symbol] for name, symbol in record["params"].items()}
+            leaf = self.trees[frozenset(values)].lookup(values, create=True)
+            leaf.touched = record["serial"]
+        for monitor_payload in payload["monitors"]:
+            monitor = MonitorInstance.from_payload(self.prop, monitor_payload, tokens)
+            self._restore_insert(monitor)
+            weakref.finalize(monitor, self.stats.record_collection)
+            if self._on_param_registered is not None:
+                for ref in monitor.params.values():
+                    value = ref.get()
+                    if value is not None:
+                        self._on_param_registered(value)
+
+    def _restore_insert(self, monitor: MonitorInstance) -> None:
+        """Dead-aware :meth:`_insert`: entries are re-created only along
+        all-live key paths — the paths a freshly flushed live engine still
+        holds (dead-keyed entries were purged before the snapshot)."""
+        live: dict[str, Any] = {}
+        dead: set[str] = set()
+        for name, ref in monitor.params.items():
+            value = ref.get()
+            if value is None:
+                dead.add(name)
+            else:
+                live[name] = value
+        domain = monitor.domain
+        if not dead:
+            own_leaf = self.trees[domain].lookup(live, create=True)
+            own_leaf.own = monitor
+        for event_domain in set(self.event_domains.values()):
+            if event_domain <= domain and not (event_domain & dead):
+                leaf = self.trees[event_domain].lookup(
+                    {name: live[name] for name in event_domain}, create=True
+                )
+                if leaf.extensions is not None:
+                    leaf.extensions.add(monitor)
+        for (join_domain, key_domain), index in self._join_indices.items():
+            if join_domain == domain and not (key_domain & dead):
+                index.add({name: live[name] for name in key_domain}, monitor)
+
 
 class MonitoringEngine:
     """Hosts any number of compiled specifications over one event stream.
@@ -393,6 +500,7 @@ class MonitoringEngine:
             raise ValueError(f"unknown propagation {propagation!r}")
         self.gc = gc
         self.propagation = propagation
+        self.scan_budget = scan_budget
 
         if isinstance(specs, (CompiledSpec, CompiledProperty)):
             specs = [specs]
@@ -544,6 +652,15 @@ class MonitoringEngine:
             ):
                 return runtime.stats
         raise KeyError(f"no runtime for {spec_name}/{formalism}")
+
+    def config(self) -> dict[str, Any]:
+        """The constructor knobs that must match across a snapshot/restore
+        boundary (the codec records and verifies them)."""
+        return {
+            "gc": self.gc,
+            "propagation": self.propagation,
+            "scan_budget": self.scan_budget,
+        }
 
     def stats_snapshot(self) -> dict[str, dict]:
         """Every property's counters as plain JSON-serializable dicts,

@@ -155,14 +155,44 @@ class _TreeBase:
 
         yield from walk(self._root)
 
+    def walk_items(self) -> Iterator[tuple[dict[str, Any], Any]]:
+        """Every leaf with its (all-live) key path as a ``{param: object}``
+        dict — the checkpoint codec's view of the tree.  Leaves whose spine
+        contains a dead key are unreachable by lookup (lookups always carry
+        live objects) and are skipped, exactly as a lazy scan would
+        eventually purge them."""
+
+        def walk(node: Any, depth: int, values: dict[str, Any]) -> Iterator:
+            if isinstance(node, RVMap):
+                for referent, value in node.items():
+                    yield from walk(
+                        value, depth + 1, {**values, self.params[depth]: referent}
+                    )
+            else:
+                yield values, node
+
+        yield from walk(self._root, 0, {})
+
     def scan_all(self) -> None:
-        """Full dead-key scan of every level (eager propagation / tests)."""
+        """Full dead-key scan of every level (eager propagation / tests).
+
+        A zero-parameter structure degenerates to a bare root leaf (e.g. a
+        join index with an empty key domain); there is no RVMap above it to
+        compact it during scans, so flagged instances are swept here.
+        """
 
         def walk(node: Any) -> None:
             if isinstance(node, RVMap):
                 node.scan_all()
                 for value in node.values():
                     walk(value)
+            elif isinstance(node, RVSet):
+                node.compact()
+            elif isinstance(node, Leaf):
+                if node.own is not None and node.own.flagged:
+                    node.own = None
+                if node.extensions is not None:
+                    node.extensions.compact()
 
         walk(self._root)
 

@@ -13,7 +13,7 @@ when found unnecessary; physical removal is lazy (Section 4.2/5.1.1).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..core.params import Binding
 from .refs import ParamRef
@@ -83,6 +83,51 @@ class MonitorInstance:
             if value is not None:
                 pairs.append((name, value))
         return Binding(pairs)
+
+    def snapshot_payload(self, symbol_of: Callable[[Any], str]) -> dict:
+        """This instance as checkpoint-codec data.
+
+        ``symbol_of`` names live parameter objects (see
+        :class:`~repro.runtime.refs.SymbolRegistry`); dead parameters are
+        recorded as ``!dead:<param_id>`` markers — their identity is gone,
+        but the restored instance must still report them bound-and-dead.
+        """
+        params: dict[str, str] = {}
+        for name, ref in self.params.items():
+            value = ref.get()
+            if value is None:
+                params[name] = f"!dead:{ref.param_id:x}"
+            else:
+                params[name] = symbol_of(value)
+        return {
+            "serial": self.serial,
+            "last_event": self.last_event,
+            "state": self.base.snapshot_state(),
+            "params": params,
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        prop: "CompiledProperty",
+        payload: Mapping[str, Any],
+        tokens: Mapping[str, Any],
+    ) -> "MonitorInstance":
+        """Rebuild an instance from :meth:`snapshot_payload` output.
+
+        ``tokens`` maps live symbols to their restored stand-in objects;
+        ``!dead:`` markers become already-dead refs.
+        """
+        params: dict[str, ParamRef] = {}
+        for name, symbol in payload["params"].items():
+            if symbol.startswith("!dead:"):
+                params[name] = ParamRef.dead(int(symbol[len("!dead:"):], 16))
+            else:
+                params[name] = ParamRef(tokens[symbol])
+        base = prop.template.monitor_from_state(payload["state"])
+        instance = cls(prop, base, params, payload["serial"])
+        instance.last_event = payload["last_event"]
+        return instance
 
     def __repr__(self) -> str:
         names = ", ".join(

@@ -17,9 +17,9 @@ the GC-semantics substitution recorded in DESIGN.md.
 from __future__ import annotations
 
 import weakref
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["ParamRef"]
+__all__ = ["ParamRef", "SymbolRegistry"]
 
 
 class ParamRef:
@@ -46,6 +46,21 @@ class ParamRef:
             self._weak = None
             self._strong = value
 
+    @classmethod
+    def dead(cls, param_id: int = 0) -> "ParamRef":
+        """A reference that was already dead at construction time.
+
+        The checkpoint codec uses this to restore monitor instances whose
+        parameter object died before the snapshot: the restored instance
+        must report the parameter as bound-but-dead (``is_alive`` False,
+        ``get()`` None), exactly like the live instance did.
+        """
+        ref = object.__new__(cls)
+        ref.param_id = param_id
+        ref._weak = None
+        ref._strong = None
+        return ref
+
     def get(self) -> Any | None:
         """The referent, or ``None`` if it has been garbage collected."""
         if self._weak is None:
@@ -70,3 +85,151 @@ class ParamRef:
         if referent is None:
             return f"ParamRef(<dead:{self.param_id:#x}>)"
         return f"ParamRef({type(referent).__name__}@{self.param_id:#x})"
+
+
+class SymbolRegistry:
+    """Stable *symbolic ref IDs* for parameter objects.
+
+    The tracelog, the checkpoint codec, and the multiprocess shard backend
+    all need to name parameter objects across a serialization boundary
+    without keeping them alive.  A registry mints one symbol per object
+    identity (``o1``, ``o2``, ...): the id-keyed table is weak-guarded, so
+    a recycled ``id`` after death mints a fresh symbol instead of
+    inheriting a dead object's name.  Non-weak-referenceable (immortal)
+    values are held strongly and keyed by their ``repr`` (``v:...``), so
+    equal immortals share a symbol for the registry's lifetime.
+
+    ``on_death`` (optional) is invoked with the symbol whenever a
+    registered weak-referenceable object is reclaimed — the process shard
+    backend uses it to propagate parameter deaths to worker processes.
+    The callback runs in whatever thread drops the last reference; it must
+    not block and must tolerate reentrancy.
+    """
+
+    __slots__ = ("_symbols", "_guards", "_by_symbol", "_counter", "on_death")
+
+    def __init__(self, start: int = 0, on_death: Callable[[str], None] | None = None):
+        self._symbols: dict[int, str] = {}
+        #: id -> weakref (weakable objects) or the object itself (immortals).
+        self._guards: dict[int, Any] = {}
+        self._by_symbol: dict[str, int] = {}
+        self._counter = start
+        self.on_death = on_death
+
+    @property
+    def counter(self) -> int:
+        """Highest numeric symbol minted so far (recovery seeds from it)."""
+        return self._counter
+
+    def ensure_counter(self, value: int) -> None:
+        """Never mint ``oN`` with ``N <= value`` from here on.
+
+        Recovery raises the floor past every symbol a write-ahead log has
+        ever used, so post-recovery objects cannot collide with pre-crash
+        names."""
+        if value > self._counter:
+            self._counter = value
+
+    def symbol_for(self, value: Any) -> str:
+        """The symbol naming ``value``, minting one on first sight.
+
+        Values that already carry a trace identity keep it: a
+        :class:`~repro.runtime.tracelog.ReplayToken`-style object (any
+        object exposing a string ``symbol`` attribute) is adopted under
+        its own name, and a canonicalized ``v:`` literal string is its own
+        symbol.  This keeps every consumer of one registry — tracelog,
+        write-ahead log, checkpoint codec, process shard backend —
+        agreeing on one name per object.
+        """
+        key = id(value)
+        guard = self._guards.get(key)
+        if guard is not None:
+            if guard is value or (isinstance(guard, weakref.ref) and guard() is value):
+                return self._symbols[key]
+            self._drop(key)  # stale entry from a recycled id
+        if isinstance(value, str) and value.startswith("v:"):
+            return value
+        existing = getattr(value, "symbol", None)
+        if isinstance(existing, str) and existing:
+            self.register(value, existing)
+            return existing
+        try:
+            self._guards[key] = weakref.ref(
+                value, lambda _ref, key=key: self._on_guard_death(key)
+            )
+        except TypeError:
+            symbol = f"v:{value!r}"
+            self._guards[key] = value  # immortal: hold strongly
+            self._symbols[key] = symbol
+            self._by_symbol[symbol] = key
+            return symbol
+        self._counter += 1
+        symbol = f"o{self._counter}"
+        self._symbols[key] = symbol
+        self._by_symbol[symbol] = key
+        return symbol
+
+    def register(self, value: Any, symbol: str) -> None:
+        """Adopt an externally chosen symbol for ``value``.
+
+        Recovery uses this to re-associate restored tokens with the symbols
+        recorded in a snapshot, so continued tracing reuses their names.
+        Adopting a symbol already naming a *different* live object would
+        silently alias two identities; that is refused loudly.
+        """
+        key = id(value)
+        existing = self._by_symbol.get(symbol)
+        if existing is not None and existing != key:
+            guard = self._guards.get(existing)
+            holder = guard() if isinstance(guard, weakref.ref) else guard
+            if holder is not None and holder is not value:
+                from ..core.errors import PersistError
+
+                raise PersistError(
+                    f"symbol {symbol!r} already names a different live object"
+                )
+        if self._guards.get(key) is not None:
+            self._drop(key)
+        try:
+            self._guards[key] = weakref.ref(
+                value, lambda _ref, key=key: self._on_guard_death(key)
+            )
+        except TypeError:
+            self._guards[key] = value
+        self._symbols[key] = symbol
+        self._by_symbol[symbol] = key
+        match = _NUMERIC_SYMBOL(symbol)
+        if match is not None and match > self._counter:
+            self._counter = match
+
+    def resolve(self, symbol: str) -> Any | None:
+        """The live object a symbol names, or ``None`` (dead or unknown)."""
+        key = self._by_symbol.get(symbol)
+        if key is None:
+            return None
+        guard = self._guards.get(key)
+        if isinstance(guard, weakref.ref):
+            return guard()
+        return guard
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def _on_guard_death(self, key: int) -> None:
+        symbol = self._symbols.get(key)
+        self._drop(key)
+        if symbol is not None and self.on_death is not None:
+            self.on_death(symbol)
+
+    def _drop(self, key: int) -> None:
+        symbol = self._symbols.pop(key, None)
+        self._guards.pop(key, None)
+        if symbol is not None and self._by_symbol.get(symbol) == key:
+            del self._by_symbol[symbol]
+
+
+def _NUMERIC_SYMBOL(symbol: str) -> int | None:
+    """The numeric part of an ``oN`` symbol, or ``None``."""
+    if symbol.startswith("o") and symbol[1:].isdigit():
+        return int(symbol[1:])
+    return None

@@ -118,14 +118,20 @@ class MonitorStats:
 
     @classmethod
     def from_snapshot(cls, data: Mapping[str, Any]) -> "MonitorStats":
-        """Rebuild a record from :meth:`snapshot` output."""
+        """Rebuild a record from :meth:`snapshot` output.
+
+        Tolerates missing counters (older snapshot versions default to 0)
+        and ignores derived fields like ``live_monitors``, so
+        ``from_snapshot(snapshot())`` is an exact round trip and snapshots
+        stay loadable across format revisions.
+        """
         return cls(
-            events=data["events"],
-            monitors_created=data["monitors_created"],
-            monitors_flagged=data["monitors_flagged"],
-            monitors_collected=data["monitors_collected"],
-            handler_fires=data["handler_fires"],
-            peak_live_monitors=data["peak_live_monitors"],
+            events=data.get("events", 0),
+            monitors_created=data.get("monitors_created", 0),
+            monitors_flagged=data.get("monitors_flagged", 0),
+            monitors_collected=data.get("monitors_collected", 0),
+            handler_fires=data.get("handler_fires", 0),
+            peak_live_monitors=data.get("peak_live_monitors", 0),
             verdicts=dict(data.get("verdicts", {})),
         )
 

@@ -24,10 +24,10 @@ collection points.
 from __future__ import annotations
 
 import json
-import weakref
 from typing import Any, Iterable, TextIO
 
 from .engine import MonitoringEngine
+from .refs import SymbolRegistry
 
 __all__ = ["TraceRecorder", "replay", "replay_entries", "ReplayToken"]
 
@@ -45,13 +45,17 @@ class ReplayToken:
 
 
 class TraceRecorder:
-    """Tap an engine and write its parametric events as JSON lines."""
+    """Tap an engine and write its parametric events as JSON lines.
 
-    def __init__(self, sink: TextIO):
+    Symbol minting lives in :class:`~repro.runtime.refs.SymbolRegistry`;
+    pass ``registry`` to share one symbol space with other consumers (the
+    write-ahead log and checkpoint codec of :mod:`repro.persist` do this so
+    snapshots and trace suffixes name objects consistently).
+    """
+
+    def __init__(self, sink: TextIO, registry: SymbolRegistry | None = None):
         self._sink = sink
-        self._symbols: dict[int, str] = {}
-        self._guards: dict[int, weakref.ref] = {}
-        self._counter = 0
+        self.registry = registry if registry is not None else SymbolRegistry()
         self.events_recorded = 0
 
     def attach(self, engine: MonitoringEngine) -> "TraceRecorder":
@@ -60,31 +64,13 @@ class TraceRecorder:
         return self
 
     def record(self, event: str, params: dict[str, Any]) -> None:
+        symbol_for = self.registry.symbol_for
         entry = {
             "event": event,
-            "params": {name: self._symbol_for(value) for name, value in params.items()},
+            "params": {name: symbol_for(value) for name, value in params.items()},
         }
         self._sink.write(json.dumps(entry) + "\n")
         self.events_recorded += 1
-
-    def _symbol_for(self, value: Any) -> str:
-        key = id(value)
-        guard = self._guards.get(key)
-        if guard is not None and guard() is value:
-            return self._symbols[key]
-        # New object (or a dead object's id was recycled): mint a symbol.
-        self._counter += 1
-        symbol = f"o{self._counter}"
-        self._symbols[key] = symbol
-        try:
-            self._guards[key] = weakref.ref(value)
-        except TypeError:
-            # Non-weakrefable (immortal) value: key it by its repr so equal
-            # immortals share a symbol across the run.
-            symbol = f"v:{value!r}"
-            self._symbols[key] = symbol
-            self._guards.pop(key, None)
-        return self._symbols[key]
 
 
 def read_trace(lines: Iterable[str]) -> list[dict]:
@@ -96,7 +82,11 @@ def replay_entries(
     entries: "list[tuple[str, dict[str, str]]]",
     target: Any,
     retire_after_last_use: bool = False,
-) -> dict[str, ReplayToken]:
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    tokens: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
     """Re-emit pre-parsed ``(event, {param: symbol})`` pairs into ``target``.
 
     ``target`` is anything with the engine ``emit`` signature — a
@@ -104,26 +94,38 @@ def replay_entries(
     One fresh identity token is materialized per symbol; with
     ``retire_after_last_use`` each token is dropped right after its final
     occurrence, so parameter deaths (and the monitor GC they drive) happen
-    during the replay, as in live traffic.
+    during the replay, as in live traffic.  Immortal ``v:...`` symbols are
+    canonicalized to one value object per symbol, matching the identity
+    structure a live run would have.
+
+    ``start``/``stop`` replay only the slice ``entries[start:stop]`` while
+    computing retirement points over the *whole* trace — the checkpoint
+    subsystem replays a prefix, snapshots, and later resumes the suffix
+    (passing the restored ``tokens`` table) with retirements landing at
+    exactly the same entries as an uninterrupted replay.
 
     Returns the symbol -> token table of objects still alive at the end
-    (with ``retire_after_last_use`` the retired ones are absent).
+    (with ``retire_after_last_use`` the retired ones are absent).  The
+    ``tokens`` argument, when given, is used as that table and mutated in
+    place.
     """
     last_use: dict[str, int] = {}
     if retire_after_last_use:
         for index, (_event, symbols) in enumerate(entries):
             for symbol in symbols.values():
                 last_use[symbol] = index
-    tokens: dict[str, ReplayToken] = {}
-    for index, (event, symbols) in enumerate(entries):
+    if tokens is None:
+        tokens = {}
+    stop = len(entries) if stop is None else stop
+    for index in range(start, min(stop, len(entries))):
+        event, symbols = entries[index]
         params: dict[str, Any] = {}
         for name, symbol in symbols.items():
-            if symbol.startswith("v:"):
-                params[name] = symbol  # immortal literal, identity irrelevant
-                continue
             token = tokens.get(symbol)
             if token is None:
-                token = ReplayToken(symbol)
+                # Immortal literal: identity is per-symbol, value is the
+                # symbol text itself (canonicalized through the table).
+                token = symbol if symbol.startswith("v:") else ReplayToken(symbol)
                 tokens[symbol] = token
             params[name] = token
         target.emit(event, _strict=False, **params)

@@ -10,11 +10,18 @@ single-engine run by construction.
 
 from .aggregate import VerdictLog, VerdictRecord, merge_stats
 from .router import PropertyRoute, ShardRouter, choose_anchor, valid_anchors
-from .service import MonitorService, ingest_symbolic
+from .service import (
+    SERVICE_CHECKPOINT_FORMAT,
+    SERVICE_CHECKPOINT_VERSION,
+    MonitorService,
+    ingest_symbolic,
+)
 
 __all__ = [
     "MonitorService",
     "ingest_symbolic",
+    "SERVICE_CHECKPOINT_FORMAT",
+    "SERVICE_CHECKPOINT_VERSION",
     "ShardRouter",
     "PropertyRoute",
     "choose_anchor",

@@ -1,0 +1,307 @@
+"""The multiprocess shard backend: one worker *process* per engine shard.
+
+Thread-mode shards interleave on one core under the GIL; CPU-bound
+monitoring (eager propagation, large engine states, CFG charts) gains
+nothing from them.  This backend runs each shard's
+:class:`~repro.runtime.engine.MonitoringEngine` in a forked worker process
+fed **serialized event batches**:
+
+* the parent routes events exactly as in thread mode (the
+  :class:`~repro.service.router.ShardRouter` works on real objects in the
+  parent), then ships ``(event, {param: symbol}, delivery)`` tuples — the
+  symbols come from the service's
+  :class:`~repro.runtime.refs.SymbolRegistry`;
+* each worker materializes one :class:`~repro.runtime.tracelog.ReplayToken`
+  per symbol, so engine-side identity semantics (weak-keyed RVMaps, GC
+  strategies) are preserved across the process boundary;
+* parameter **deaths propagate**: when a parent-side object is reclaimed,
+  the registry reports its symbol and the service broadcasts a retire
+  message; workers drop their token, and the worker-side weakref machinery
+  drives monitor GC exactly as live deaths would;
+* verdicts stream back on a shared queue (bindings as symbols, resolved to
+  the live parent objects on arrival); statistics cross as
+  :meth:`~repro.runtime.engine.MonitoringEngine.stats_snapshot` dicts;
+* workers are **checkpointed and migrated** via the
+  :mod:`repro.persist.codec` snapshot format — a checkpoint request makes
+  the worker serialize its engine under the parent's symbol namespace
+  (worker tokens carry the parent-minted symbols), and a new worker can be
+  spawned from such a snapshot (:meth:`ProcessShardPool.restart_shard`).
+
+Workers are started with the ``fork`` method (compiled properties —
+including registered handler closures — are inherited, never pickled), so
+this backend requires a platform with ``fork`` (Linux; guarded at
+construction).  Handlers attached to compiled properties fire inside the
+worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.errors import ServiceError
+from ..persist.codec import restore_into, snapshot_engine, trace_symbol_of
+from ..runtime.engine import MonitoringEngine
+from ..runtime.tracelog import ReplayToken
+
+__all__ = ["ProcessShardPool"]
+
+#: One routed, symbolized delivery: (event, {param: symbol}, delivery plan).
+SymbolicDelivery = tuple[str, "dict[str, str]", tuple]
+
+_POLL_SECONDS = 0.1
+_CONTROL_TIMEOUT = 60.0
+
+
+def _worker_main(
+    shard: int,
+    properties: Sequence[Any],
+    engine_kwargs: Mapping[str, Any],
+    snapshot: "dict | None",
+    in_q: Any,
+    resp_q: Any,
+    verdict_q: Any,
+) -> None:
+    """The worker process: an engine shard driven by queue messages."""
+    verdicts_sent = 0
+
+    def on_verdict(prop, category, monitor) -> None:
+        nonlocal verdicts_sent
+        binding = tuple(
+            (name, getattr(value, "symbol", value) if not isinstance(value, str) else value)
+            for name, value in monitor.binding().items()
+        )
+        verdict_q.put((shard, prop.spec_name, prop.formalism, category, binding))
+        verdicts_sent += 1
+
+    try:
+        engine = MonitoringEngine(properties, on_verdict=on_verdict, **engine_kwargs)
+        tokens: dict[str, Any] = {}
+        if snapshot is not None:
+            restore_into(engine, snapshot, tokens)
+        while True:
+            message = in_q.get()
+            kind = message[0]
+            if kind == "ev":
+                for event, symbols, delivery in message[1]:
+                    params: dict[str, Any] = {}
+                    for name, symbol in symbols.items():
+                        token = tokens.get(symbol)
+                        if token is None:
+                            token = (
+                                symbol
+                                if symbol.startswith("v:")
+                                else ReplayToken(symbol)
+                            )
+                            tokens[symbol] = token
+                        params[name] = token
+                    props, recording, pretouched, count_only = delivery
+                    engine.emit_selected(
+                        event, params, props, recording, pretouched, count_only
+                    )
+            elif kind == "rt":
+                for symbol in message[1]:
+                    tokens.pop(symbol, None)
+            elif kind == "ba":
+                resp_q.put(("ba", message[1], verdicts_sent))
+            elif kind == "st":
+                resp_q.put(("st", engine.stats_snapshot()))
+            elif kind == "ck":
+                resp_q.put(("ck", snapshot_engine(engine, trace_symbol_of())))
+            elif kind == "cl":
+                engine.flush_gc()
+                resp_q.put(("cl", engine.stats_snapshot(), verdicts_sent))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ServiceError(f"unknown worker message {kind!r}")
+    except BaseException:
+        resp_q.put(("err", traceback.format_exc()))
+
+
+class ProcessShardPool:
+    """Parent-side handle on N shard worker processes.
+
+    All control interactions (barrier / stats / checkpoint / close /
+    restart) are serialized by the caller (:class:`MonitorService` holds a
+    control lock); event and retire sends only require the caller's emit
+    ordering guarantees.
+    """
+
+    def __init__(
+        self,
+        properties: Sequence[Any],
+        shards: int,
+        engine_kwargs: Mapping[str, Any],
+        snapshots: "Sequence[dict | None] | None" = None,
+        queue_capacity: int = 0,
+    ):
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ServiceError(
+                "the process shard backend requires the fork start method "
+                "(POSIX); use mode='thread' on this platform"
+            ) from exc
+        self._properties = tuple(properties)
+        self._engine_kwargs = dict(engine_kwargs)
+        self.shards = shards
+        self._queue_capacity = queue_capacity
+        self.verdict_q = self._ctx.Queue()
+        self._in_qs = []
+        self._resp_qs = []
+        self._procs = []
+        self._barrier_token = 0
+        for shard in range(shards):
+            snapshot = snapshots[shard] if snapshots is not None else None
+            self._spawn(shard, snapshot)
+
+    def _spawn(self, shard: int, snapshot: "dict | None") -> None:
+        # Bounded queues give cross-process backpressure: put() blocks while
+        # a shard is `queue_capacity` message batches behind.
+        in_q = self._ctx.Queue(self._queue_capacity)
+        resp_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard,
+                self._properties,
+                self._engine_kwargs,
+                snapshot,
+                in_q,
+                resp_q,
+                self.verdict_q,
+            ),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        if shard < len(self._procs):
+            self._in_qs[shard] = in_q
+            self._resp_qs[shard] = resp_q
+            self._procs[shard] = process
+        else:
+            self._in_qs.append(in_q)
+            self._resp_qs.append(resp_q)
+            self._procs.append(process)
+
+    # -- sends ---------------------------------------------------------------
+
+    def _put(self, shard: int, message: tuple) -> None:
+        """Enqueue with liveness checks: a dead worker never drains its
+        bounded queue, so a plain blocking put would hang the service."""
+        while True:
+            try:
+                self._in_qs[shard].put(message, timeout=_POLL_SECONDS)
+                return
+            except queue_module.Full:
+                if not self._procs[shard].is_alive():
+                    raise ServiceError(
+                        f"shard worker {shard} died (exitcode "
+                        f"{self._procs[shard].exitcode}) with a full queue"
+                    ) from None
+
+    def send_events(self, shard: int, deliveries: "list[SymbolicDelivery]") -> None:
+        self._put(shard, ("ev", deliveries))
+
+    def send_retires(self, symbols: "list[str]") -> None:
+        for shard in range(self.shards):
+            self._put(shard, ("rt", symbols))
+
+    # -- control round-trips -------------------------------------------------
+
+    def _response(self, shard: int, expected: str):
+        deadline = _CONTROL_TIMEOUT
+        while True:
+            try:
+                message = self._resp_qs[shard].get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                deadline -= _POLL_SECONDS
+                if not self._procs[shard].is_alive():
+                    raise ServiceError(
+                        f"shard worker {shard} died (exitcode "
+                        f"{self._procs[shard].exitcode})"
+                    )
+                if deadline <= 0:
+                    raise ServiceError(
+                        f"shard worker {shard} did not answer a {expected!r} "
+                        "request in time"
+                    )
+                continue
+            if message[0] == "err":
+                raise ServiceError(
+                    f"shard worker {shard} failed:\n{message[1]}"
+                )
+            if message[0] != expected:  # pragma: no cover - protocol misuse
+                raise ServiceError(
+                    f"shard worker {shard}: expected {expected!r} response, "
+                    f"got {message[0]!r}"
+                )
+            return message
+
+    def barrier(self) -> list[int]:
+        """Ack from every shard; returns per-shard verdict send counts.
+
+        Because each shard queue is FIFO with a single consumer, the ack
+        proves every previously sent event batch was fully processed.
+        """
+        self._barrier_token += 1
+        token = self._barrier_token
+        for shard in range(self.shards):
+            self._put(shard, ("ba", token))
+        counts = []
+        for shard in range(self.shards):
+            message = self._response(shard, "ba")
+            if message[1] != token:  # pragma: no cover - protocol misuse
+                raise ServiceError(f"shard {shard}: stale barrier ack")
+            counts.append(message[2])
+        return counts
+
+    def stats_snapshots(self) -> list[dict]:
+        for shard in range(self.shards):
+            self._put(shard, ("st",))
+        return [self._response(shard, "st")[1] for shard in range(self.shards)]
+
+    def checkpoints(self) -> list[dict]:
+        for shard in range(self.shards):
+            self._put(shard, ("ck",))
+        return [self._response(shard, "ck")[1] for shard in range(self.shards)]
+
+    def checkpoint_shard(self, shard: int) -> dict:
+        self._put(shard, ("ck",))
+        return self._response(shard, "ck")[1]
+
+    def restart_shard(self, shard: int, snapshot: "dict | None") -> None:
+        """Migrate one shard: stop its worker, start a fresh one from a
+        snapshot.  The caller must have drained first (queued work on the
+        old worker would be lost)."""
+        self._put(shard, ("cl",))
+        self._response(shard, "cl")
+        self._procs[shard].join(timeout=10.0)
+        self._spawn(shard, snapshot)
+
+    def close(self) -> tuple[list[dict], list[int]]:
+        """Stop all workers; returns (final stats snapshots, verdict counts)."""
+        stats: list[dict] = []
+        counts: list[int] = []
+        for shard in range(self.shards):
+            self._put(shard, ("cl",))
+        for shard in range(self.shards):
+            message = self._response(shard, "cl")
+            stats.append(message[1])
+            counts.append(message[2])
+        for process in self._procs:
+            process.join(timeout=10.0)
+        return stats, counts
+
+    def terminate(self) -> None:
+        """Hard-stop every worker (failure paths)."""
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=5.0)
+
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self._procs)

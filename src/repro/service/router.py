@@ -235,6 +235,9 @@ class ShardRouter:
         self._sticky: dict[int, _StickyState] = {
             route.index: _StickyState() for route in self.routes if route.sticky
         }
+        #: id(obj) -> (shard, guard): restored objects whose monitors already
+        #: live on a specific shard (their new ``id`` would hash elsewhere).
+        self._pins: dict[int, tuple[int, Any]] = {}
         self._plans: dict[str, list[_PropPlan]] = {}
         for route in self.routes:
             definition = route.prop.definition
@@ -311,8 +314,42 @@ class ShardRouter:
     # -- the hot path -------------------------------------------------------
 
     def shard_of(self, value: Any) -> int:
-        """The shard owning slices anchored at ``value`` (by identity)."""
+        """The shard owning slices anchored at ``value`` (by identity).
+
+        Checkpoint-restored objects are *pinned* to the shard whose engine
+        snapshot holds their state (see :meth:`pin_shard`); everything else
+        hashes."""
+        if self._pins:
+            pinned = self._pins.get(id(value))
+            if pinned is not None:
+                shard, guard = pinned
+                if guard is value or (
+                    isinstance(guard, weakref.ref) and guard() is value
+                ):
+                    return shard
         return _mix(id(value)) % self.shards
+
+    def pin_shard(self, value: Any, shard: int) -> None:
+        """Permanently route slices anchored at ``value`` to ``shard``.
+
+        Service restore pins every anchor object named by a checkpoint:
+        its monitors were restored into a specific shard engine, and the
+        identity hash of the fresh stand-in object would send future
+        events elsewhere.  Pins hold weak guards (strong for immortals)
+        and vanish with the object."""
+        key = id(value)
+        try:
+            guard: Any = weakref.ref(
+                value, lambda _ref, key=key: self._unpin(key)
+            )
+        except TypeError:
+            guard = value
+        with self._lock:
+            self._pins[key] = (shard, guard)
+
+    def _unpin(self, key: int) -> None:
+        with self._lock:
+            self._pins.pop(key, None)
 
     def route(self, event: str, params: Mapping[str, Any]) -> Iterator[tuple[int, Delivery]]:
         """Yield ``(shard, delivery)`` pairs for one event.
@@ -424,6 +461,81 @@ class ShardRouter:
             state.touch_all[touch_key] = mask
         else:
             state.touch_all[touch_key] = previous & mask
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot_sticky(self, symbol_of) -> dict:
+        """Serialize the sticky association/touch state (JSON-safe).
+
+        Part of a service checkpoint: without it, a restored service would
+        re-learn associations from scratch and could deliver anchor-free
+        events to too few shards (missed steps) or miss pretouch flags
+        (unsound creations).  Entries whose guard object died are skipped —
+        they cannot influence future routing (lookups carry live objects).
+        """
+        state_payload: dict[str, dict] = {}
+        with self._lock:
+            for prop_index, state in self._sticky.items():
+                assoc: dict[str, int] = {}
+                for key, mask in state.assoc.items():
+                    value = self._guarded_value(state, key)
+                    if value is not None:
+                        assoc[symbol_of(value)] = mask
+                touches = []
+                for (domain, ids), mask in state.touch_all.items():
+                    symbols = []
+                    for key in ids:
+                        value = self._guarded_value(state, key)
+                        if value is None:
+                            break
+                        symbols.append(symbol_of(value))
+                    else:
+                        touches.append([sorted(domain), symbols, mask])
+                state_payload[str(prop_index)] = {"assoc": assoc, "touch_all": touches}
+        return {"shards": self.shards, "sticky": state_payload}
+
+    def restore_sticky(self, payload: Mapping[str, Any], tokens: Mapping[str, Any]) -> None:
+        """Rebuild sticky state from :meth:`snapshot_sticky` over restored
+        token objects (symbols missing from ``tokens`` are skipped — the
+        object did not survive the checkpoint)."""
+        if payload.get("shards") != self.shards:
+            from ..core.errors import ServiceError
+
+            raise ServiceError(
+                f"sticky snapshot was taken with {payload.get('shards')} shards, "
+                f"router has {self.shards}"
+            )
+        with self._lock:
+            for prop_key, record in payload.get("sticky", {}).items():
+                state = self._sticky.get(int(prop_key))
+                if state is None:
+                    continue
+                for symbol, mask in record.get("assoc", {}).items():
+                    value = tokens.get(symbol)
+                    if value is None:
+                        continue
+                    self._guard(state, value)
+                    state.assoc[id(value)] = mask
+                for domain_list, symbols, mask in record.get("touch_all", ()):
+                    values = [tokens.get(symbol) for symbol in symbols]
+                    if any(value is None for value in values):
+                        continue
+                    ids = []
+                    for value in values:
+                        self._guard(state, value)
+                        ids.append(id(value))
+                    touch_key = (frozenset(domain_list), tuple(ids))
+                    if touch_key not in state.touch_all:
+                        for key in ids:
+                            state.touch_index.setdefault(key, []).append(touch_key)
+                    state.touch_all[touch_key] = mask
+
+    @staticmethod
+    def _guarded_value(state: _StickyState, key: int) -> Any | None:
+        guard = state.guards.get(key)
+        if isinstance(guard, weakref.ref):
+            return guard()
+        return guard
 
     # -- introspection ------------------------------------------------------
 

@@ -14,6 +14,13 @@ shards behind one ``emit()`` interface:
   deterministic, used by the determinism tests and the scaling benchmark
   (on one core the win of sharding is algorithmic: per-shard state, hence
   per-shard O(state) GC scans, shrinks by the shard count);
+* **process mode** (``mode="process"`` or ``backend="process"``) runs each
+  shard engine in a forked worker process fed serialized event batches —
+  true multi-core execution for CPU-bound monitoring; see
+  :mod:`repro.service.process_backend`.  Shards are checkpointed and
+  migrated via the :mod:`repro.persist` snapshot codec, and the whole
+  service checkpoints/restores with :meth:`MonitorService.checkpoint` /
+  :meth:`MonitorService.restore` (all modes);
 * verdicts from all shards land in one merged
   :class:`~repro.service.aggregate.VerdictLog`; statistics aggregate
   exactly via :func:`~repro.service.aggregate.merge_stats`.
@@ -36,15 +43,20 @@ import threading
 from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..core.errors import ServiceError, UnknownEventError
+from ..core.errors import PersistError, ServiceError, UnknownEventError
 from ..runtime.engine import MonitoringEngine
 from ..runtime.instance import MonitorInstance
+from ..runtime.refs import SymbolRegistry
 from ..runtime.statistics import MonitorStats
 from ..spec.compiler import CompiledProperty, CompiledSpec, compile_spec
 from .aggregate import StatsKey, VerdictLog, VerdictRecord, merge_stats
 from .router import ShardRouter
 
 __all__ = ["MonitorService", "ingest_symbolic"]
+
+#: Service-checkpoint container identity (see :meth:`MonitorService.checkpoint`).
+SERVICE_CHECKPOINT_FORMAT = "repro-service-checkpoint"
+SERVICE_CHECKPOINT_VERSION = 1
 
 #: One routed delivery sitting in a shard queue: the event, its binding,
 #: and the router's per-shard :data:`repro.service.router.Delivery` plan.
@@ -73,6 +85,77 @@ def _as_properties(specs: Any) -> list[CompiledProperty]:
     if not properties:
         raise ValueError("MonitorService needs at least one property")
     return properties
+
+
+def _check_service_checkpoint(checkpoint: Mapping[str, Any], shards: int) -> list:
+    """Validate a service checkpoint container; returns the engine snapshots."""
+    if checkpoint.get("format") != SERVICE_CHECKPOINT_FORMAT:
+        raise PersistError(
+            f"not a service checkpoint (format={checkpoint.get('format')!r})"
+        )
+    if checkpoint.get("version") != SERVICE_CHECKPOINT_VERSION:
+        raise PersistError(
+            f"unsupported service checkpoint version {checkpoint.get('version')!r}"
+        )
+    if checkpoint.get("shards") != shards:
+        raise PersistError(
+            f"checkpoint was taken with {checkpoint.get('shards')} shards, "
+            f"restore target has {shards} (resharding is not supported yet)"
+        )
+    return checkpoint["engines"]
+
+
+def _anchor_pin_assignments(
+    checkpoint: Mapping[str, Any], router: ShardRouter
+) -> dict[str, int]:
+    """Which shard owns each anchor-position symbol of a checkpoint.
+
+    A restored stand-in object's identity hash would route its events to
+    an arbitrary shard; the checkpoint knows the truth — the shard whose
+    engine snapshot holds the symbol's monitors (or touched bindings) for
+    an anchored property.  The assignment is unique because the original
+    placement came from one global identity hash.
+    """
+    pins: dict[str, int] = {}
+    for route in router.routes:
+        if route.anchor is None:
+            continue
+        for shard, snapshot in enumerate(checkpoint["engines"]):
+            runtime = snapshot["runtimes"][route.index]
+            candidates = [
+                payload["params"].get(route.anchor)
+                for payload in runtime["monitors"]
+            ] + [record["params"].get(route.anchor) for record in runtime["touched"]]
+            for symbol in candidates:
+                if symbol is None or symbol.startswith("!dead:"):
+                    continue
+                previous = pins.setdefault(symbol, shard)
+                if previous != shard:
+                    raise PersistError(
+                        f"checkpoint is inconsistent: anchor symbol {symbol!r} "
+                        f"appears on shards {previous} and {shard}"
+                    )
+    return pins
+
+
+def _checkpoint_symbols(checkpoint: Mapping[str, Any]) -> set[str]:
+    """Every live symbol a service checkpoint mentions (engines + router)."""
+    symbols: set[str] = set()
+    for snapshot in checkpoint["engines"]:
+        for runtime in snapshot["runtimes"]:
+            for record in runtime["touched"]:
+                symbols.update(record["params"].values())
+            for monitor in runtime["monitors"]:
+                symbols.update(
+                    symbol
+                    for symbol in monitor["params"].values()
+                    if not symbol.startswith("!dead:")
+                )
+    for record in checkpoint.get("router", {}).get("sticky", {}).values():
+        symbols.update(record.get("assoc", {}))
+        for _domain, touch_symbols, _mask in record.get("touch_all", ()):
+            symbols.update(touch_symbols)
+    return symbols
 
 
 class _ShardQueue:
@@ -177,12 +260,16 @@ class MonitorService:
         propagation: str | None = None,
         scan_budget: int = 2,
         mode: str = "thread",
+        backend: str | None = None,
         queue_capacity: int = 4096,
         batch_size: int = 256,
         on_verdict: ServiceVerdictCallback | None = None,
         keep_verdict_log: bool = True,
+        _restore_from: "dict | None" = None,
     ):
-        if mode not in ("thread", "inline"):
+        if backend is not None:
+            mode = backend
+        if mode not in ("thread", "inline", "process"):
             raise ValueError(f"unknown service mode {mode!r}")
         if queue_capacity < 1 or batch_size < 1:
             raise ValueError("queue_capacity and batch_size must be >= 1")
@@ -201,8 +288,64 @@ class MonitorService:
         #: routing order even with several emitter threads — the router's
         #: sticky state and the shard queues must advance in lock step.
         self._emit_lock = threading.Lock()
+        self.restored_tokens: dict[str, Any] = {}
 
-        self.engines: list[MonitoringEngine] = [
+        engine_snapshots = None
+        if _restore_from is not None:
+            engine_snapshots = _check_service_checkpoint(_restore_from, shards)
+
+        self.engines: list[MonitoringEngine] = []
+        self._pool = None
+        self._queues: list[_ShardQueue] = []
+        self._workers: list[threading.Thread] = []
+        if mode == "process":
+            from ..persist.codec import materialize_tokens, trace_symbol_of
+            from .process_backend import ProcessShardPool
+
+            # One symbol space for events, retires, verdicts and checkpoints.
+            self._registry = SymbolRegistry(on_death=self._note_death)
+            self._symbol_of = trace_symbol_of(self._registry)
+            self._pending_retires: list[str] = []
+            # Reentrant: the registry's death callbacks may fire from
+            # cyclic GC in a thread already inside the retire flush.
+            self._retire_lock = threading.RLock()
+            self._control_lock = threading.Lock()
+            self._final_shard_stats: "list[dict[StatsKey, MonitorStats]] | None" = None
+            self._verdict_cond = threading.Condition()
+            self._verdicts_received = [0] * shards
+            #: Consumed-verdict floor per shard: a restarted worker counts
+            #: its verdicts from zero again, so barrier counts are offset
+            #: by what the parent had consumed at the restart.
+            self._verdict_base = [0] * shards
+            if engine_snapshots is not None:
+                symbols = _checkpoint_symbols(_restore_from)
+                materialize_tokens(symbols, self.restored_tokens)
+                for symbol, token in self.restored_tokens.items():
+                    if not symbol.startswith("v:"):
+                        self._registry.register(token, symbol)
+                self.router.restore_sticky(
+                    _restore_from["router"], self.restored_tokens
+                )
+                self._apply_shard_pins(_restore_from)
+            self._pool = ProcessShardPool(
+                self.properties,
+                shards,
+                {
+                    "system": system,
+                    "gc": gc,
+                    "propagation": propagation,
+                    "scan_budget": scan_budget,
+                },
+                snapshots=engine_snapshots,
+                queue_capacity=queue_capacity,
+            )
+            self._drainer = threading.Thread(
+                target=self._verdict_drain_loop, name="repro-verdicts", daemon=True
+            )
+            self._drainer.start()
+            return
+
+        self.engines = [
             MonitoringEngine(
                 self.properties,
                 system=system,
@@ -213,9 +356,14 @@ class MonitorService:
             )
             for shard in range(shards)
         ]
+        if engine_snapshots is not None:
+            from ..persist.codec import restore_into
 
-        self._queues: list[_ShardQueue] = []
-        self._workers: list[threading.Thread] = []
+            for engine, snapshot in zip(self.engines, engine_snapshots):
+                restore_into(engine, snapshot, self.restored_tokens)
+            self.router.restore_sticky(_restore_from["router"], self.restored_tokens)
+            self._apply_shard_pins(_restore_from)
+
         if mode == "thread":
             self._queues = [_ShardQueue(queue_capacity) for _ in range(shards)]
             self._workers = [
@@ -229,6 +377,12 @@ class MonitorService:
             ]
             for worker in self._workers:
                 worker.start()
+
+    def _apply_shard_pins(self, checkpoint: Mapping[str, Any]) -> None:
+        for symbol, shard in _anchor_pin_assignments(checkpoint, self.router).items():
+            token = self.restored_tokens.get(symbol)
+            if token is not None:
+                self.router.pin_shard(token, shard)
 
     # -- verdict plumbing ----------------------------------------------------
 
@@ -249,6 +403,93 @@ class MonitorService:
                 self._on_verdict(record)
 
         return on_verdict
+
+    # -- process-backend plumbing -------------------------------------------
+
+    def _note_death(self, symbol: str) -> None:
+        """Registry death callback: queue a retire for the next flush.
+
+        Runs in whatever thread drops the last reference to a parameter
+        object, so it only appends under a dedicated lock — the actual
+        cross-process send happens at the next emit/drain, preserving the
+        events-before-retire order on every shard queue.
+        """
+        with self._retire_lock:
+            self._pending_retires.append(symbol)
+
+    def _flush_retires(self) -> None:
+        with self._retire_lock:
+            pending, self._pending_retires = self._pending_retires, []
+        if pending:
+            self._pool.send_retires(pending)
+
+    def _verdict_drain_loop(self) -> None:
+        """Parent-side consumer of the shared worker verdict queue.
+
+        Exceptions from the user's ``on_verdict`` callback are recorded as
+        a service failure (surfaced by the next drain/emit) but never kill
+        the drainer — the received counters must keep advancing or
+        :meth:`drain` would wait forever.
+        """
+        while True:
+            item = self._pool.verdict_q.get()
+            if item is None:
+                return
+            shard, spec_name, formalism, category, symbol_binding = item
+            try:
+                pairs = []
+                for name, symbol in symbol_binding:
+                    value = self._registry.resolve(symbol)
+                    if value is None and symbol.startswith("v:"):
+                        # A symbolic stream's immortal literal: the text
+                        # *is* the parent-side value (live immortals
+                        # resolve above, matching thread mode's bindings).
+                        value = symbol
+                    if value is not None:
+                        pairs.append((name, value))
+                record = VerdictRecord(
+                    shard=shard,
+                    spec_name=spec_name,
+                    formalism=formalism,
+                    category=category,
+                    binding=tuple(pairs),
+                )
+                if self._keep_verdict_log:
+                    self.verdict_log.append(record)
+                if self._on_verdict is not None:
+                    self._on_verdict(record)
+            except BaseException as exc:
+                with self._failure_lock:
+                    if self._failure is None:
+                        self._failure = exc
+            finally:
+                with self._verdict_cond:
+                    self._verdicts_received[shard] += 1
+                    self._verdict_cond.notify_all()
+
+    def _await_verdicts(self, counts: "list[int]", workers_exited: bool = False) -> None:
+        """Block until the drainer consumed each worker's reported count
+        (offset by the per-shard floor recorded at worker restarts).
+
+        ``workers_exited`` marks the clean-close path: the workers already
+        sent every verdict before acking close and have legitimately
+        exited, so their death is not a failure — the backlog just needs
+        draining.
+        """
+
+        def lagging() -> bool:
+            return any(
+                received < base + wanted
+                for received, base, wanted in zip(
+                    self._verdicts_received, self._verdict_base, counts
+                )
+            )
+
+        with self._verdict_cond:
+            while lagging():
+                self._verdict_cond.wait(timeout=1.0)
+                if not workers_exited and not self._pool.alive() and lagging():
+                    raise ServiceError("a shard worker died mid-drain")
 
     # -- worker side ---------------------------------------------------------
 
@@ -311,10 +552,16 @@ class MonitorService:
         per_shard: list[list[_Delivery]] = [[] for _ in range(self.shards)]
         route = self.router.route
         accepted = 0
+        process = self.mode == "process"
         # Route and enqueue under one lock: per-shard delivery order must
         # equal routing order (the sticky state assumes it), so concurrent
         # emitters may not interleave between routing and enqueueing.
         with self._emit_lock:
+            if process:
+                # Deaths recorded since the last batch precede these events
+                # on every shard queue (their objects died, so no event in
+                # this batch can mention them).
+                self._flush_retires()
             for event, params in events:
                 if not self.router.declared(event):
                     if _strict:
@@ -323,6 +570,14 @@ class MonitorService:
                         )
                     continue
                 accepted += 1
+                if process:
+                    symbol_of = self._symbol_of
+                    payload = {
+                        name: symbol_of(value) for name, value in params.items()
+                    }
+                    for shard, delivery in route(event, params):
+                        per_shard[shard].append((event, payload, delivery))
+                    continue
                 for shard, delivery in route(event, params):
                     per_shard[shard].append((event, params, delivery))
             if self.mode == "inline":
@@ -332,21 +587,38 @@ class MonitorService:
                         engine.emit_selected(
                             event, params, props, recording, pretouched, count_only
                         )
+            elif process:
+                for shard, deliveries in enumerate(per_shard):
+                    if deliveries:
+                        self._pool.send_events(shard, deliveries)
             else:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
                         self._queues[shard].put_many(deliveries)
         if self.mode == "thread":
             self._check_failure()
+        elif process and not self._pool.alive():
+            raise ServiceError("a shard worker process died")
         return accepted
 
     # -- lifecycle -----------------------------------------------------------
 
     def drain(self) -> None:
-        """Block until every enqueued event has been fully processed."""
+        """Block until every enqueued event has been fully processed.
+
+        In process mode this also waits for every verdict those events
+        produced to land in the merged log (the cross-process analog of
+        thread mode's happens-before edge).
+        """
         if self.mode == "thread":
             for queue in self._queues:
                 queue.wait_idle()
+        elif self.mode == "process" and not self._closed:
+            with self._emit_lock:
+                self._flush_retires()
+            with self._control_lock:
+                counts = self._pool.barrier()
+            self._await_verdicts(counts)
         self._check_failure()
 
     def close(self) -> None:
@@ -354,7 +626,8 @@ class MonitorService:
 
         Idempotent.  After closing, :meth:`emit` raises
         :class:`~repro.core.errors.ServiceError`; statistics and the
-        verdict log remain readable.
+        verdict log remain readable (process mode caches the workers'
+        final statistics before they exit).
         """
         if self._closed:
             return
@@ -364,6 +637,20 @@ class MonitorService:
         except ServiceError as exc:
             failure_seen = exc
         self._closed = True
+        if self._pool is not None:
+            try:
+                if failure_seen is None:
+                    with self._control_lock:
+                        snapshots, counts = self._pool.close()
+                    self._final_shard_stats = [
+                        _stats_from_snapshot(snapshot) for snapshot in snapshots
+                    ]
+                    self._await_verdicts(counts, workers_exited=True)
+                else:
+                    self._pool.terminate()
+            finally:
+                self._pool.verdict_q.put(None)  # stop the drainer thread
+                self._drainer.join(timeout=10.0)
         for queue in self._queues:
             queue.close()
         for worker in self._workers:
@@ -379,13 +666,126 @@ class MonitorService:
     def __exit__(self, *_exc: Any) -> None:
         self.close()
 
+    # -- checkpoint & migration ---------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Serialize the whole service: every shard engine + routing state.
+
+        Drains first.  Engine states are captured with the
+        :mod:`repro.persist.codec` snapshot format under one symbol
+        namespace shared with the router's sticky-state snapshot, so a
+        restored service (:meth:`restore`) routes and monitors exactly as
+        this one would.  JSON-safe; wrap with
+        :func:`repro.persist.snapshot_to_bytes` for storage.
+        """
+        if self._closed:
+            raise ServiceError("checkpoint on a closed MonitorService")
+        self.drain()
+        if self.mode == "process":
+            with self._emit_lock:
+                with self._control_lock:
+                    engines = self._pool.checkpoints()
+                router = self.router.snapshot_sticky(self._symbol_of)
+        else:
+            from ..persist.codec import snapshot_engine, trace_symbol_of
+            from ..runtime.tracelog import ReplayToken
+
+            # Hold the emit lock across idle-wait + snapshot: with several
+            # emitter threads, an emit slipping in between a bare drain()
+            # and the snapshot would let shard workers mutate engines
+            # mid-serialization.
+            with self._emit_lock:
+                for queue in self._queues:
+                    queue.wait_idle()
+                self._check_failure()
+                # Seed the snapshot namespace with every replay token the
+                # engines hold (including restore()-produced ones) before
+                # any fresh `oN` minting — adoption-after-minting could
+                # alias two objects under one symbol.
+                registry = SymbolRegistry()
+                for symbol, token in self.restored_tokens.items():
+                    if not symbol.startswith("v:"):
+                        registry.register(token, symbol)
+                for engine in self.engines:
+                    for runtime in engine.runtimes:
+                        for monitor in runtime.iter_reachable_instances():
+                            for ref in monitor.params.values():
+                                value = ref.get()
+                                if isinstance(value, ReplayToken):
+                                    registry.register(value, value.symbol)
+                symbol_of = trace_symbol_of(registry)
+                engines = [
+                    snapshot_engine(engine, symbol_of) for engine in self.engines
+                ]
+                router = self.router.snapshot_sticky(symbol_of)
+        return {
+            "format": SERVICE_CHECKPOINT_FORMAT,
+            "version": SERVICE_CHECKPOINT_VERSION,
+            "shards": self.shards,
+            "engines": engines,
+            "router": router,
+        }
+
+    @classmethod
+    def restore(
+        cls, checkpoint: Mapping[str, Any], specs: Any, **kwargs: Any
+    ) -> "MonitorService":
+        """Rebuild a service from a :meth:`checkpoint` payload.
+
+        ``specs`` must compile to the same properties (fingerprints are
+        verified); ``kwargs`` are the usual constructor options — the
+        shard count comes from the checkpoint, and the engine
+        configuration defaults to the snapshot's.  Restored parameter
+        objects are fresh tokens: feed the service through
+        :attr:`restored_tokens` (e.g. ``ingest_symbolic(service, entries,
+        start=..., tokens=service.restored_tokens)``).
+        """
+        engines = checkpoint.get("engines") or ()
+        if engines:
+            config = engines[0]["engine"]
+            kwargs.setdefault("gc", config["gc"])
+            kwargs.setdefault("propagation", config["propagation"])
+            kwargs.setdefault("scan_budget", config["scan_budget"])
+        kwargs.pop("shards", None)
+        return cls(
+            specs,
+            shards=checkpoint.get("shards", 0),
+            _restore_from=dict(checkpoint),
+            **kwargs,
+        )
+
+    def restart_shard(self, shard: int) -> None:
+        """Migrate one process-mode shard: checkpoint it, stop the worker,
+        start a replacement from the snapshot.  The replacement carries
+        the full monitor state and statistics; event flow resumes
+        seamlessly (the service drains first)."""
+        if self.mode != "process":
+            raise ServiceError("restart_shard requires mode='process'")
+        if not 0 <= shard < self.shards:
+            raise ServiceError(f"no shard {shard}")
+        self.drain()
+        with self._emit_lock:
+            with self._control_lock:
+                snapshot = self._pool.checkpoint_shard(shard)
+                self._pool.restart_shard(shard, snapshot)
+            # The fresh worker counts verdicts from zero; future barrier
+            # counts are relative to everything consumed up to here.
+            with self._verdict_cond:
+                self._verdict_base[shard] = self._verdicts_received[shard]
+
     # -- aggregate results ---------------------------------------------------
 
     def stats(self) -> dict[StatsKey, MonitorStats]:
         """Merged per-property statistics across every shard."""
-        return merge_stats(engine.stats() for engine in self.engines)
+        return merge_stats(self.per_shard_stats())
 
     def per_shard_stats(self) -> list[dict[StatsKey, MonitorStats]]:
+        if self.mode == "process":
+            if self._final_shard_stats is not None:
+                return [dict(shard_stats) for shard_stats in self._final_shard_stats]
+            with self._control_lock:
+                snapshots = self._pool.stats_snapshots()
+            return [_stats_from_snapshot(snapshot) for snapshot in snapshots]
         return [engine.stats() for engine in self.engines]
 
     def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
@@ -407,13 +807,38 @@ class MonitorService:
         return self.router.describe()
 
     def total_live_monitors(self) -> int:
+        if self.mode == "process":
+            return sum(
+                stats.live_monitors
+                for shard_stats in self.per_shard_stats()
+                for stats in shard_stats.values()
+            )
         return sum(engine.total_live_monitors() for engine in self.engines)
+
+
+def _stats_key(label: str) -> StatsKey:
+    spec_name, _, formalism = label.rpartition("/")
+    return (spec_name, formalism)
+
+
+def _stats_from_snapshot(snapshot: Mapping[str, Mapping]) -> dict[StatsKey, MonitorStats]:
+    """One worker's ``stats_snapshot()`` dict as ``{(spec, formalism): stats}``."""
+    return {
+        _stats_key(label): MonitorStats.from_snapshot(record)
+        for label, record in snapshot.items()
+    }
+
+
 
 
 def ingest_symbolic(
     target: Any,
     entries: Sequence[tuple[str, Mapping[str, str]]],
     retire_after_last_use: bool = False,
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    tokens: "dict[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Feed a symbolic event stream into a service or engine.
 
@@ -421,8 +846,17 @@ def ingest_symbolic(
     shape :func:`repro.bench.workloads.record_workload_events` produces and
     :mod:`repro.runtime.tracelog` records.  A thin alias for
     :func:`repro.runtime.tracelog.replay_entries`, re-exported here because
-    it is the service benchmarks' ingestion path.
+    it is the service benchmarks' ingestion path.  ``start``/``stop`` and
+    ``tokens`` resume a stream across a checkpoint/restore boundary (pass
+    ``service.restored_tokens``).
     """
     from ..runtime.tracelog import replay_entries
 
-    return replay_entries(list(entries), target, retire_after_last_use)
+    return replay_entries(
+        list(entries),
+        target,
+        retire_after_last_use,
+        start=start,
+        stop=stop,
+        tokens=tokens,
+    )

@@ -15,6 +15,8 @@ of the program".
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Callable, Iterable, Mapping
 
 from ..core.aliveness import AlivenessFormula, compile_aliveness
@@ -109,6 +111,65 @@ class CompiledProperty:
                             changed = True
             self._monitor_domains = frozenset(realizable)
         return self._monitor_domains
+
+    def fingerprint(self) -> str:
+        """A stable identity hash for snapshot compatibility checks.
+
+        Two compilations of the same specification text produce the same
+        fingerprint; the checkpoint codec refuses to restore monitor state
+        into a property whose fingerprint differs from the snapshot's.
+        Covers the event definition, the goal, and the formalism-level
+        semantics (FSM transition table / CFG grammar); raw templates are
+        covered by their alphabet and categories only — their transition
+        *functions* are code, which a fingerprint cannot witness.
+        """
+        definition = self.definition
+        descriptor = {
+            "spec": self.spec_name,
+            "formalism": self.formalism,
+            "goal": sorted(self.goal),
+            "parameters": sorted(definition.parameters),
+            "events": {
+                event: sorted(definition.params_of(event))
+                for event in sorted(definition.alphabet)
+            },
+            "template": self._template_descriptor(),
+        }
+        payload = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def _template_descriptor(self) -> dict:
+        from ..formalism.cfg import CFGTemplate
+        from ..formalism.fsm import FSMTemplate
+
+        template = self.template
+        if isinstance(template, FSMTemplate):
+            fsm = template.fsm
+            return {
+                "kind": "fsm",
+                "states": list(fsm.states),
+                "initial": fsm.initial,
+                "transitions": sorted(
+                    [state, event, successor]
+                    for (state, event), successor in fsm.transitions.items()
+                ),
+                "verdicts": dict(sorted(fsm.verdicts.items())),
+            }
+        if isinstance(template, CFGTemplate):
+            grammar = template.grammar
+            return {
+                "kind": "cfg",
+                "start": grammar.start,
+                "productions": {
+                    lhs: sorted(list(rhs) for rhs in alternatives)
+                    for lhs, alternatives in sorted(grammar.productions.items())
+                },
+            }
+        return {
+            "kind": type(template).__name__,
+            "alphabet": sorted(template.alphabet),
+            "categories": sorted(template.categories),
+        }
 
     # -- handlers -----------------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""Shared helpers for the persistence test suite."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+
+#: Small symbol pools so bindings collide and the creation/suppression,
+#: join, and GC paths all fire.
+POOL = 4
+EVENTS = 300
+
+
+def synth_entries(definition, seed: int, events: int = EVENTS, pool: int = POOL):
+    """A reproducible symbolic trace over a specification's alphabet."""
+    rng = random.Random(seed)
+    alphabet = sorted(definition.alphabet)
+    entries = []
+    for _ in range(events):
+        event = rng.choice(alphabet)
+        entries.append(
+            (
+                event,
+                {
+                    param: f"{param}{rng.randrange(pool)}"
+                    for param in definition.params_of(event)
+                },
+            )
+        )
+    return entries
+
+
+def seed_for(key: str, salt: str = "") -> int:
+    """Hash-randomization-proof deterministic seed."""
+    return zlib.crc32(f"{key}/{salt}".encode())
+
+
+def symbolic_verdict_key(prop, category, monitor):
+    """Engine-callback verdict identity keyed by trace symbols.
+
+    Symbols survive snapshot/restore while object ids do not, so two runs
+    over re-materialized tokens stay comparable.
+    """
+    pairs = [
+        (name, getattr(value, "symbol", value))
+        for name, value in monitor.binding().items()
+    ]
+    return (prop.spec_name, prop.formalism, category, tuple(sorted(pairs)))
+
+
+def symbolic_record_key(record):
+    """Service-callback (VerdictRecord) analog of :func:`symbolic_verdict_key`."""
+    pairs = [(name, getattr(value, "symbol", value)) for name, value in record.binding]
+    return (record.spec_name, record.formalism, record.category, tuple(sorted(pairs)))
+
+
+def verdict_counter():
+    """A Counter plus an engine ``on_verdict`` feeding it symbolically."""
+    verdicts: Counter = Counter()
+
+    def on_verdict(prop, category, monitor):
+        verdicts[symbolic_verdict_key(prop, category, monitor)] += 1
+
+    return verdicts, on_verdict

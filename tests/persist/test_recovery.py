@@ -1,0 +1,220 @@
+"""Crash recovery: last intact snapshot + WAL suffix replay.
+
+The durability story end to end — a ``DurableEngine`` is fed live objects,
+killed without warning (handles abandoned, objects dropped), and rebuilt
+from disk; the recovered engine's verdicts and accounting must equal an
+uninterrupted engine over the same durable prefix.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.persist import DurableEngine, checkpoint_files, latest_checkpoint, wal_segments
+
+from ..conftest import Obj
+from .conftest import symbolic_verdict_key
+
+
+def unsafeiter_trace(events: int, seed: int, pool: int = 3):
+    """(event, {param: pool-key}) pairs over UNSAFEITER's alphabet."""
+    rng = random.Random(seed)
+    trace = []
+    for _ in range(events):
+        event = rng.choice(("create", "update", "next"))
+        if event == "create":
+            binding = {"c": f"c{rng.randrange(pool)}", "i": f"i{rng.randrange(pool)}"}
+        elif event == "update":
+            binding = {"c": f"c{rng.randrange(pool)}"}
+        else:
+            binding = {"i": f"i{rng.randrange(pool)}"}
+        trace.append((event, binding))
+    return trace
+
+
+def drive(target, trace, pool):
+    for event, binding in trace:
+        target.emit(event, **{name: pool[key] for name, key in binding.items()})
+
+
+class TestDurableEngine:
+    def test_recovery_equals_uninterrupted(self, tmp_path):
+        trace = unsafeiter_trace(80, seed=20110601)
+        pool = {k: Obj(k) for k in ("c0", "c1", "c2", "i0", "i1", "i2")}
+
+        want = Counter()
+        reference = MonitoringEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            gc="coenable",
+            on_verdict=lambda p, c, m: want.update([symbolic_verdict_key(p, c, m)]),
+        )
+        drive(reference, trace, pool)
+
+        live = Counter()
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            gc="coenable",
+            on_verdict=lambda p, c, m: live.update([symbolic_verdict_key(p, c, m)]),
+            segment_events=16,
+            fsync_interval=1,  # exact durability for the equality check
+        )
+        drive(durable, trace[:50], pool)
+        durable.checkpoint()
+        drive(durable, trace[50:], pool)
+        # Crash: no close(), the process just "dies".
+        del durable
+        gc.collect()
+
+        recovered_suffix = Counter()
+        recovered, _tokens = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            on_verdict=lambda p, c, m: recovered_suffix.update(
+                [symbolic_verdict_key(p, c, m)]
+            ),
+        )
+        stats = recovered.engine.stats_for("UnsafeIter")
+        assert stats.events == len(trace)
+        assert stats.monitors_created == reference.stats_for("UnsafeIter").monitors_created
+        # Live verdicts match the reference; the recovery replay re-fires
+        # only the post-checkpoint suffix (keys are a subset of the whole).
+        # Binding symbols differ between the live registry ("o1"...) and the
+        # reference (conftest Objs), so compare category totals.
+        assert Counter(k[2] for k in live) == Counter(k[2] for k in want)
+        assert set(recovered_suffix) <= set(live)
+        recovered.close()
+
+    def test_crash_before_any_checkpoint(self, tmp_path):
+        trace = unsafeiter_trace(30, seed=7)
+        pool = {k: Obj(k) for k in ("c0", "c1", "c2", "i0", "i1", "i2")}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            gc="coenable",
+            fsync_interval=1,
+        )
+        drive(durable, trace, pool)
+        del durable
+        gc.collect()
+        assert latest_checkpoint(str(tmp_path)) is None
+        recovered, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path), gc="coenable"
+        )
+        assert recovered.engine.stats_for("UnsafeIter").events == 30
+        recovered.close()
+
+    def test_torn_checkpoint_is_skipped(self, tmp_path):
+        pool = {k: Obj(k) for k in ("c0", "i0")}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            gc="coenable",
+            fsync_interval=1,
+        )
+        durable.emit("create", c=pool["c0"], i=pool["i0"])
+        good = durable.checkpoint()
+        durable.emit("update", c=pool["c0"])
+        bad = durable.checkpoint()
+        durable.close()
+        # Corrupt the newest checkpoint as a crash mid-write would.
+        with open(bad, "r+b") as handle:
+            handle.truncate(os.path.getsize(bad) // 2)
+        seq, _payload = latest_checkpoint(str(tmp_path))
+        assert seq == int(os.path.basename(good).split("-")[1].split(".")[0])
+        recovered, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        assert recovered.engine.stats_for("UnsafeIter").events == 2
+        recovered.close()
+
+    def test_checkpoint_prunes_covered_segments(self, tmp_path):
+        pool = {k: Obj(k) for k in ("c0", "i0")}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            gc="coenable",
+            segment_events=4,
+            fsync_interval=1,
+        )
+        for _ in range(13):
+            durable.emit("update", c=pool["c0"])
+        assert len(wal_segments(str(tmp_path))) == 4
+        durable.checkpoint()
+        assert len(wal_segments(str(tmp_path))) == 1
+        durable.close()
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        pool = {k: Obj(k) for k in ("c0",)}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            gc="coenable",
+            checkpoint_every=5,
+        )
+        for _ in range(11):
+            durable.emit("update", c=pool["c0"])
+        durable.close()
+        assert len(checkpoint_files(str(tmp_path))) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        durable.close()
+        durable.close()
+
+    def test_recover_twice_after_torn_tail(self, tmp_path):
+        """First recovery repairs the torn tail; a second recovery of the
+        same directory must keep working (the tear must not survive as
+        mid-log corruption once new segments follow it)."""
+        pool = {k: Obj(k) for k in ("c0", "i0")}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            fsync_interval=1,
+        )
+        durable.emit("create", c=pool["c0"], i=pool["i0"])
+        durable.emit("update", c=pool["c0"])
+        del durable
+        gc.collect()
+        _seg, path = wal_segments(str(tmp_path))[-1]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"q": 3, "e"')  # the crash tears the tail
+        first, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        assert first.engine.stats_for("UnsafeIter").events == 2
+        first.emit("update", c=pool["c0"])  # new segment after the repair
+        first.close()
+        second, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        assert second.engine.stats_for("UnsafeIter").events == 3
+        second.close()
+
+    def test_recovered_registry_never_reuses_symbols(self, tmp_path):
+        pool = {k: Obj(k) for k in ("c0", "i0")}
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            str(tmp_path),
+            fsync_interval=1,
+        )
+        durable.emit("create", c=pool["c0"], i=pool["i0"])
+        used = durable.registry.counter
+        del durable
+        gc.collect()
+        recovered, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        assert recovered.registry.counter >= used
+        fresh = Obj("fresh")
+        assert recovered.registry.symbol_for(fresh) == f"o{used + 1}"
+        recovered.close()

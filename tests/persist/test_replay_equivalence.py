@@ -1,0 +1,154 @@
+"""The persistence acceptance property: snapshots are replay-equivalent.
+
+For every property in the library and every GC strategy: run a trace with
+parameter mortality (tokens retired after last use), snapshot at event
+*k*, restore into a fresh engine, replay the suffix — the combined verdict
+multiset and the final E / M / CM accounting must equal an uninterrupted
+run's.  The same holds one level up for a sharded ``MonitorService``
+checkpoint across shard counts.
+
+``FM`` (monitors *flagged*) is deliberately not compared: flagging happens
+when a lazy scan reaches a dead key, and a restored engine's fresh scan
+rotation can reach it at a different event — the flag itself is an
+implementation hint, not semantics (the flagged instance is already
+behaviorally invisible).  E, M, CM and the verdicts are exact.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.errors import UnsupportedFormalismError
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+from repro.persist import (
+    restore_engine,
+    snapshot_engine,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.service import MonitorService, ingest_symbolic
+
+from .conftest import seed_for, symbolic_record_key, synth_entries, verdict_counter
+
+STRATEGIES = ("coenable", "alldead", "statebased", "none")
+CUT_POINTS = (1, 157, 299)
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _rows(engine_or_service):
+    return {
+        key: {"E": stats.events, "M": stats.monitors_created, "CM": stats.monitors_collected}
+        for key, stats in engine_or_service.stats().items()
+    }
+
+
+def _uninterrupted(prop_key: str, gc_kind: str, entries):
+    want, on_verdict = verdict_counter()
+    engine = MonitoringEngine(
+        ALL_PROPERTIES[prop_key].make().silence(), gc=gc_kind, on_verdict=on_verdict
+    )
+    replay_entries(entries, engine, retire_after_last_use=True)
+    engine.flush_gc()
+    gc.collect()
+    return want, _rows(engine)
+
+
+@pytest.mark.parametrize("gc_kind", STRATEGIES)
+@pytest.mark.parametrize("key", sorted(ALL_PROPERTIES))
+def test_engine_snapshot_replay_equivalence(key, gc_kind):
+    paper_prop = ALL_PROPERTIES[key]
+    spec = paper_prop.make().silence()
+    try:
+        MonitoringEngine(spec, gc=gc_kind)
+    except UnsupportedFormalismError:
+        pytest.skip(f"{key} does not support the {gc_kind} strategy")
+    entries = synth_entries(spec.definition, seed_for(key, gc_kind))
+
+    want, want_rows = _uninterrupted(key, gc_kind, entries)
+
+    for k in CUT_POINTS:
+        got, on_verdict = verdict_counter()
+        prefix_engine = MonitoringEngine(
+            paper_prop.make().silence(), gc=gc_kind, on_verdict=on_verdict
+        )
+        # The token table must outlive the snapshot: objects alive at the
+        # cut in the uninterrupted run must be alive in the snapshot too.
+        prefix_tokens = replay_entries(
+            entries, prefix_engine, retire_after_last_use=True, stop=k
+        )
+        payload = snapshot_to_bytes(snapshot_engine(prefix_engine))
+        del prefix_engine, prefix_tokens
+        gc.collect()
+
+        restored, tokens = restore_engine(
+            snapshot_from_bytes(payload),
+            paper_prop.make().silence(),
+            on_verdict=on_verdict,
+        )
+        replay_entries(
+            entries, restored, retire_after_last_use=True, start=k, tokens=tokens
+        )
+        restored.flush_gc()
+        gc.collect()
+
+        assert got == want, f"verdict multiset diverged at cut {k}"
+        assert _rows(restored) == want_rows, f"E/M/CM diverged at cut {k}"
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("key", sorted(ALL_PROPERTIES))
+def test_service_checkpoint_replay_equivalence(key, shards):
+    """Checkpoint a live sharded service, restore, resume: identical run."""
+    paper_prop = ALL_PROPERTIES[key]
+    entries = synth_entries(
+        paper_prop.make().definition, seed_for(key, f"svc{shards}")
+    )
+    want, want_rows = _uninterrupted(key, "coenable", entries)
+    k = 157
+
+    from collections import Counter
+
+    got: Counter = Counter()
+
+    def collect(record):
+        got[symbolic_record_key(record)] += 1
+
+    service = MonitorService(
+        paper_prop.make().silence(),
+        shards=shards,
+        gc="coenable",
+        mode="inline",
+        keep_verdict_log=False,
+        on_verdict=collect,
+    )
+    prefix_tokens = ingest_symbolic(
+        service, entries, retire_after_last_use=True, stop=k
+    )
+    checkpoint = service.checkpoint()
+    service.close()
+    del service, prefix_tokens
+    gc.collect()
+
+    restored = MonitorService.restore(
+        checkpoint,
+        paper_prop.make().silence(),
+        mode="inline",
+        keep_verdict_log=False,
+        on_verdict=collect,
+    )
+    ingest_symbolic(
+        restored,
+        entries,
+        retire_after_last_use=True,
+        start=k,
+        tokens=restored.restored_tokens,
+    )
+    restored.close()
+    gc.collect()
+
+    assert got == want
+    assert _rows(restored) == want_rows

@@ -1,0 +1,191 @@
+"""Write-ahead tracelog: segments, fsync points, torn tails, pruning."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import PersistError
+from repro.persist import WalWriter, read_wal, wal_segments
+from repro.persist.wal import iter_wal
+
+from ..conftest import Obj
+
+
+def fill(writer: WalWriter, count: int, start: int = 0):
+    objs = []
+    for n in range(start, start + count):
+        obj = Obj(f"o{n}")
+        objs.append(obj)  # keep alive: one symbol per object
+        writer.append("tick", {"x": obj})
+    return objs
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        with WalWriter(str(tmp_path)) as writer:
+            objs = fill(writer, 5)
+        entries = read_wal(str(tmp_path))
+        assert len(entries) == 5
+        assert all(event == "tick" for event, _params in entries)
+        symbols = [params["x"] for _event, params in entries]
+        assert len(set(symbols)) == 5  # distinct objects, distinct ref IDs
+        del objs
+
+    def test_sequence_numbers_and_suffix_read(self, tmp_path):
+        with WalWriter(str(tmp_path)) as writer:
+            objs = fill(writer, 10)
+        pairs = list(iter_wal(str(tmp_path)))
+        assert [seq for seq, _entry in pairs] == list(range(1, 11))
+        assert len(read_wal(str(tmp_path), after_seq=7)) == 3
+        del objs
+
+    def test_shared_object_shares_symbol(self, tmp_path):
+        with WalWriter(str(tmp_path)) as writer:
+            obj = Obj("shared")
+            writer.append("tick", {"x": obj})
+            writer.append("tock", {"y": obj})
+        entries = read_wal(str(tmp_path))
+        assert entries[0][1]["x"] == entries[1][1]["y"]
+
+
+class TestRotationAndFsync:
+    def test_segment_rotation(self, tmp_path):
+        with WalWriter(str(tmp_path), segment_events=4) as writer:
+            objs = fill(writer, 10)
+        assert len(wal_segments(str(tmp_path))) == 3
+        assert len(read_wal(str(tmp_path))) == 10
+        del objs
+
+    def test_fsync_interval(self, tmp_path):
+        writer = WalWriter(str(tmp_path), fsync_interval=3)
+        objs = fill(writer, 7)
+        assert writer.fsyncs == 2  # at appends 3 and 6
+        writer.close()  # final sync
+        assert writer.fsyncs == 3
+        del objs
+
+    def test_prune_keeps_uncovered_segments(self, tmp_path):
+        writer = WalWriter(str(tmp_path), segment_events=4)
+        objs = fill(writer, 12)  # segments: 1-4, 5-8, 9-12
+        removed = writer.prune(checkpoint_seq=8)
+        assert len(removed) == 2
+        assert len(wal_segments(str(tmp_path))) == 1
+        writer.close()
+        assert [seq for seq, _e in iter_wal(str(tmp_path))] == [9, 10, 11, 12]
+        del objs
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = WalWriter(str(tmp_path))
+        writer.close()
+        with pytest.raises(PersistError):
+            writer.append("tick", {"x": Obj("x")})
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_dropped(self, tmp_path):
+        with WalWriter(str(tmp_path)) as writer:
+            objs = fill(writer, 5)
+        _index, path = wal_segments(str(tmp_path))[-1]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"q": 6, "e": "tick", "p"')  # crash mid-write
+        entries = read_wal(str(tmp_path))
+        assert len(entries) == 5
+        del objs
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        with WalWriter(str(tmp_path), segment_events=3) as writer:
+            objs = fill(writer, 6)  # two segments
+        _index, first = wal_segments(str(tmp_path))[0]
+        lines = open(first, encoding="utf-8").read().splitlines()
+        lines[2] = "garbage"
+        with open(first, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match="corrupt"):
+            read_wal(str(tmp_path))
+        del objs
+
+    def test_sequence_gap_detected(self, tmp_path):
+        with WalWriter(str(tmp_path), segment_events=3) as writer:
+            objs = fill(writer, 6)
+        _index, first = wal_segments(str(tmp_path))[0]
+        lines = open(first, encoding="utf-8").read().splitlines()
+        entry = json.loads(lines[2])
+        entry["q"] = 99
+        lines[2] = json.dumps(entry)
+        with open(first, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(PersistError, match="gap"):
+            read_wal(str(tmp_path))
+        del objs
+
+    def test_torn_final_segment_header_is_tolerated(self, tmp_path):
+        """A crash right after rotation can tear the new segment's header
+        line; recovery must fall back to the intact prior segments."""
+        with WalWriter(str(tmp_path), segment_events=3) as writer:
+            objs = fill(writer, 6)  # two full segments
+        torn = os.path.join(str(tmp_path), "wal-00000003.log")
+        with open(torn, "w", encoding="utf-8") as handle:
+            handle.write('{"wal": 1, "seg')  # header torn mid-write
+        assert len(read_wal(str(tmp_path))) == 6
+        del objs
+
+    def test_torn_tail_is_repaired_when_writing_resumes(self, tmp_path):
+        """A torn tail is tolerated while its segment is last — and must be
+        cut off before a new writer adds segments after it, or every later
+        read of the directory would hit it as mid-log corruption."""
+        with WalWriter(str(tmp_path)) as writer:
+            objs = fill(writer, 3)
+        _index, path = wal_segments(str(tmp_path))[-1]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"q": 4, "e": "ti')  # crash mid-write
+        # Recovery-style resumption: a new writer opens the directory ...
+        with WalWriter(str(tmp_path), start_seq=3) as resumed:
+            more = fill(resumed, 2, start=10)
+        # ... and the whole log (old segment + new) reads cleanly.
+        assert [seq for seq, _e in iter_wal(str(tmp_path))] == [1, 2, 3, 4, 5]
+        del objs, more
+
+    def test_complete_final_line_without_newline_is_kept(self, tmp_path):
+        """A crash between the payload write and the newline leaves a
+        complete record: the readers replay it, so repair must keep it
+        (cutting it would open a sequence gap against the recovered state)."""
+        with WalWriter(str(tmp_path), fsync_interval=1) as writer:
+            objs = fill(writer, 2)
+        _index, path = wal_segments(str(tmp_path))[-1]
+        with open(path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            assert handle.read(1) == b"\n"
+            handle.seek(-1, os.SEEK_END)
+            handle.truncate()  # the crash ate exactly the newline
+        assert len(read_wal(str(tmp_path))) == 2  # reader accepts it ...
+        with WalWriter(str(tmp_path), start_seq=2) as resumed:
+            more = fill(resumed, 1, start=10)
+        # ... and resumption keeps it: no gap, all three entries intact.
+        assert [seq for seq, _e in iter_wal(str(tmp_path))] == [1, 2, 3]
+        del objs, more
+
+    def test_wal_adopts_replay_token_symbols(self, tmp_path):
+        """Symbolic streams keep their names in the WAL (the checkpoint
+        codec adopts token symbols; the log must agree or recovery would
+        split one object into two identities)."""
+        from repro.runtime.tracelog import ReplayToken
+
+        with WalWriter(str(tmp_path)) as writer:
+            second, first = ReplayToken("o2"), ReplayToken("o1")
+            writer.append("tick", {"x": second})  # out of numbering order
+            writer.append("tick", {"x": first})
+            fresh = Obj("fresh")
+            writer.append("tick", {"x": fresh})
+        entries = read_wal(str(tmp_path))
+        assert [params["x"] for _e, params in entries] == ["o2", "o1", "o3"]
+        del first, second, fresh
+
+    def test_version_check(self, tmp_path):
+        path = os.path.join(str(tmp_path), "wal-00000001.log")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"wal": 99, "segment": 1, "first_seq": 1}\n')
+        with pytest.raises(PersistError, match="version"):
+            read_wal(str(tmp_path))

@@ -138,6 +138,82 @@ class TestPrecisionHierarchy:
         assert StateBasedGc(branchy_prop).is_unnecessary(instance)
 
 
+class TestEngineLevelCollectionCounts:
+    """Whole-engine runs on crafted traces: the strategies' flag/collect
+    counts must reflect the precision ladder, not just the point checks."""
+
+    @staticmethod
+    def run_trace(gc_kind: str, events) -> dict:
+        """Drive BRANCHY with per-step object lifetimes; returns the final
+        E/M/FM/CM row plus the live-monitor count (captured while the
+        engine is still alive — afterwards its finalizers keep counting).
+
+        ``events`` is a list of (event, {param: key}, [keys to kill after]).
+        """
+        engine = MonitoringEngine(compile_spec(BRANCHY).silence(), gc=gc_kind)
+        pool: dict[str, Obj] = {}
+        for event, binding, kill in events:
+            for key in binding.values():
+                pool.setdefault(key, Obj(key))
+            engine.emit(event, **{name: pool[key] for name, key in binding.items()})
+            for key in kill:
+                pool.pop(key, None)
+            gc.collect()
+        engine.flush_gc()
+        gc.collect()
+        stats = engine.stats_for("Branchy")
+        return {**stats.as_row(), "live": stats.live_monitors}
+
+    #: After 'a b' the joined (x,y) monitor's *state* needs c<x>; kill x.
+    #: Event-indexed COENABLE(b) keeps the {y}-disjunct alive for it, the
+    #: state-indexed check does not.  The dead-x {x}-monitors are caught
+    #: by every strategy (their last event 'a' needs x ahead).
+    SEPARATING = [
+        ("a", {"x": "x1"}, []),
+        ("b", {"y": "y1"}, ["x1"]),
+        ("a", {"x": "x2"}, []),
+        ("b", {"y": "y2"}, ["x2"]),
+    ]
+
+    def test_statebased_collects_where_coenable_cannot(self):
+        event_based = self.run_trace("coenable", self.SEPARATING)
+        state_based = self.run_trace("statebased", self.SEPARATING)
+        assert event_based["M"] == state_based["M"]
+        # The ladder, on whole-engine collection counts: the state-based
+        # strategy additionally reclaims the joined monitors stuck after
+        # 'a b' with x dead, which last-event coenable must keep.
+        assert state_based["FM"] > event_based["FM"]
+        assert state_based["CM"] > event_based["CM"]
+        assert state_based["live"] < event_based["live"]
+
+    def test_alldead_matches_coenable_here_and_nogc_flags_nothing(self):
+        event_based = self.run_trace("coenable", self.SEPARATING)
+        alldead = self.run_trace("alldead", self.SEPARATING)
+        none = self.run_trace("none", self.SEPARATING)
+        # On this trace the only monitors coenable can reclaim are the
+        # all-params-dead ones, so the two lower rungs coincide ...
+        assert alldead["FM"] == event_based["FM"] > 0
+        # ... and the no-GC baseline reclaims nothing at all.
+        assert none["FM"] == none["CM"] == 0
+        assert none["live"] == none["M"]
+
+    #: Killing x right after 'a' dooms the (a b c) branch for that slice;
+    #: every non-trivial strategy sees it and the whole engine drains.
+    AGREEING = [
+        ("a", {"x": "x1"}, ["x1"]),
+        ("a", {"x": "x2"}, ["x2"]),
+    ]
+
+    def test_all_strategies_agree_on_determined_traces(self):
+        rows = {
+            kind: self.run_trace(kind, self.AGREEING)
+            for kind in ("coenable", "statebased", "alldead")
+        }
+        assert rows["coenable"] == rows["statebased"] == rows["alldead"]
+        assert rows["coenable"]["CM"] == rows["coenable"]["M"]
+        assert rows["coenable"]["live"] == 0
+
+
 class TestStateBasedLimits:
     def test_cfg_rejected(self):
         prop = compile_spec(

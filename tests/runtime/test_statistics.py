@@ -1,0 +1,101 @@
+"""MonitorStats: counters, merging, and the JSON snapshot round trip.
+
+The snapshot/round-trip contract matters beyond metrics plumbing: the
+checkpoint codec embeds ``stats_snapshot()`` output in engine snapshots
+and rebuilds the records with ``from_snapshot`` on restore, so every
+counter must survive the trip exactly and old snapshots must stay
+loadable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.statistics import MonitorStats
+from repro.spec import compile_spec
+
+from ..conftest import Obj
+
+HASNEXT = """
+HasNext(i) {
+  event hasnexttrue(i)
+  event next(i)
+
+  fsm:
+    unknown [ hasnexttrue -> more  next -> error ]
+    more    [ hasnexttrue -> more  next -> unknown ]
+    error   [ ]
+  @error "improper Iterator use found!"
+}
+"""
+
+
+def populated() -> MonitorStats:
+    stats = MonitorStats()
+    for _ in range(5):
+        stats.record_event()
+    stats.record_creation()
+    stats.record_creation()
+    stats.record_flag()
+    stats.record_collection()
+    stats.record_verdict("match")
+    stats.record_verdict("match")
+    stats.record_verdict("fail")
+    stats.record_handler()
+    return stats
+
+
+class TestRoundTrip:
+    def test_snapshot_is_loadable_and_exact(self):
+        stats = populated()
+        rebuilt = MonitorStats.from_snapshot(stats.snapshot())
+        assert rebuilt == stats
+        assert rebuilt.snapshot() == stats.snapshot()
+
+    def test_snapshot_survives_json(self):
+        stats = populated()
+        rebuilt = MonitorStats.from_snapshot(json.loads(json.dumps(stats.snapshot())))
+        assert rebuilt == stats
+
+    def test_derived_live_monitors_is_recomputed_not_stored(self):
+        stats = populated()
+        snapshot = stats.snapshot()
+        assert snapshot["live_monitors"] == 1  # 2 created - 1 collected
+        snapshot["live_monitors"] = 999  # derived field: must be ignored
+        assert MonitorStats.from_snapshot(snapshot).live_monitors == 1
+
+    def test_missing_counters_default_to_zero(self):
+        """Old/partial snapshots (earlier format versions) stay loadable."""
+        rebuilt = MonitorStats.from_snapshot({"events": 7})
+        assert rebuilt.events == 7
+        assert rebuilt.monitors_created == 0
+        assert rebuilt.verdicts == {}
+
+    def test_engine_stats_snapshot_round_trips(self):
+        engine = MonitoringEngine(compile_spec(HASNEXT).silence(), gc="coenable")
+        i1 = Obj("i1")
+        engine.emit("hasnexttrue", i=i1)
+        engine.emit("next", i=i1)
+        for label, record in engine.stats_snapshot().items():
+            spec_name, _, formalism = label.rpartition("/")
+            rebuilt = MonitorStats.from_snapshot(record)
+            assert rebuilt == engine.stats_for(spec_name, formalism)
+        del i1
+
+
+class TestMergeInteraction:
+    def test_merge_of_round_tripped_records_is_exact(self):
+        first, second = populated(), populated()
+        direct = MonitorStats.merged([first, second])
+        via_snapshot = MonitorStats.merged(
+            [
+                MonitorStats.from_snapshot(first.snapshot()),
+                MonitorStats.from_snapshot(second.snapshot()),
+            ]
+        )
+        assert direct == via_snapshot
+
+    def test_as_row_unaffected_by_round_trip(self):
+        stats = populated()
+        assert MonitorStats.from_snapshot(stats.snapshot()).as_row() == stats.as_row()

@@ -234,6 +234,22 @@ class TestLifecycle:
         with pytest.raises(ServiceError):
             service.emit("update", c=Obj("c"))
 
+    def test_close_leaks_no_worker_threads(self):
+        import threading
+
+        before = {thread.name for thread in threading.enumerate()}
+        with MonitorService(compile_spec(UNSAFEITER), shards=3, mode="thread") as service:
+            events, keep = paper_trace()
+            service.emit_batch(events)
+            service.drain()
+        service.close()  # second close: still no-op, still no leaks
+        leaked = {
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith("repro-shard-")
+        } - before
+        assert not leaked
+
     def test_rejects_bad_configuration(self):
         with pytest.raises(ValueError):
             MonitorService(compile_spec(UNSAFEITER), shards=0)
