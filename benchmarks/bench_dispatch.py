@@ -1,0 +1,277 @@
+"""Compiled-dispatch throughput: fast path vs reference, lazy and eager.
+
+Measures single-engine ingestion throughput on the unsafe-iterator workload
+(UNSAFEITER over the ``bloat`` DaCapo analog — the paper's pathological
+leak case) across the dispatch matrix introduced by the compiled fast
+path:
+
+* ``reference lazy``      — the retained dict-based interpretation;
+* ``compiled lazy``       — the DispatchPlan/slot-tuple/FSM-table path
+  (the **headline**: must beat the recorded seed baseline, target >= 3x);
+* ``compiled lazy batch`` — same, ingested through ``emit_batch``
+  (deaths still land at per-event boundaries, see
+  ``repro.runtime.tracelog.replay_entries``);
+* ``reference eager_full``— the historical full-scan-per-boundary eager
+  regime (the ablation the paper warns about);
+* ``compiled eager``      — the targeted eager propagation (purge only the
+  trees whose domain holds a dead parameter's position, evict flagged
+  monitors directly);
+* ``compiled eager x4``   — a 4-shard inline ``MonitorService`` on the
+  targeted eager regime (the README table's sharded row).
+
+Every configuration ingests the *same* recorded symbolic trace with
+``retire_after_last_use=True``, so parameter deaths — the GC driver —
+happen during ingestion exactly as in live traffic; the benchmark asserts
+the verdict count and created-monitor count are identical across all
+configurations and records that as ``verdicts_identical_across_configs``.
+
+Run directly (writes ``BENCH_dispatch.json`` for the perf trajectory)::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py
+    REPRO_BENCH_SCALE=0.2 PYTHONPATH=src python benchmarks/bench_dispatch.py \
+        --out BENCH_dispatch.json --check-baseline
+
+``--check-baseline`` exits non-zero when the compiled lazy single-engine
+throughput falls below the lazy 1-shard number recorded in
+``BENCH_service.json`` (the seed baseline) — the CI perf smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from collections import Counter
+
+from repro.bench.workloads import WORKLOADS, record_workload_events
+from repro.properties import UNSAFEITER
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+from repro.service import MonitorService, ingest_symbolic
+
+BATCH_SIZE = 256
+
+
+def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
+    profile = WORKLOADS["bloat"].scaled(scale)
+    return record_workload_events(profile, [UNSAFEITER])
+
+
+def run_engine(
+    entries, dispatch: str, propagation: str, batch_size: int | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-``repeats`` timing (each repeat is a fresh engine + replay);
+    verdict/monitor counts are asserted identical across repeats."""
+    best = None
+    identity = None
+    for _ in range(repeats):
+        verdicts: Counter = Counter()
+        engine = MonitoringEngine(
+            UNSAFEITER.make().silence(),
+            gc="coenable",
+            propagation=propagation,
+            dispatch=dispatch,
+            on_verdict=lambda prop, category, monitor: verdicts.update([category]),
+        )
+        gc.collect()
+        start = time.perf_counter()
+        replay_entries(
+            entries, engine, retire_after_last_use=True, batch_size=batch_size
+        )
+        elapsed = time.perf_counter() - start
+        stats = engine.stats_for("UnsafeIter")
+        run_identity = (sum(verdicts.values()), stats.monitors_created)
+        if identity is None:
+            identity = run_identity
+        elif identity != run_identity:
+            raise AssertionError(f"repeat diverged: {identity} vs {run_identity}")
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "events": len(entries),
+        "seconds": best,
+        "events_per_second": len(entries) / best if best else 0.0,
+        "verdicts": identity[0],
+        "monitors_created": identity[1],
+    }
+
+
+def run_service(entries, propagation: str, shards: int, repeats: int = 2) -> dict:
+    best = None
+    identity = None
+    for _ in range(repeats):
+        service = MonitorService(
+            UNSAFEITER.make().silence(),
+            shards=shards,
+            gc="coenable",
+            propagation=propagation,
+            mode="inline",
+        )
+        gc.collect()
+        start = time.perf_counter()
+        ingest_symbolic(service, entries, retire_after_last_use=True)
+        elapsed = time.perf_counter() - start
+        verdicts = len(service.verdicts())
+        stats = service.stats_for("UnsafeIter")
+        service.close()
+        run_identity = (verdicts, stats.monitors_created)
+        if identity is None:
+            identity = run_identity
+        elif identity != run_identity:
+            raise AssertionError(f"repeat diverged: {identity} vs {run_identity}")
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "events": len(entries),
+        "seconds": best,
+        "events_per_second": len(entries) / best if best else 0.0,
+        "verdicts": identity[0],
+        "monitors_created": identity[1],
+    }
+
+
+def read_recorded_baseline() -> dict:
+    """The seed numbers this optimization is measured against.
+
+    Keys follow the recorded rows' propagation labels (``lazy``, and
+    ``eager`` or ``eager_full`` depending on when BENCH_service.json was
+    generated); the perf gate only uses the lazy number.
+    """
+    baseline = {"source": "BENCH_service.json", "lazy_events_per_second": None}
+    try:
+        with open(
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json"),
+            encoding="utf-8",
+        ) as handle:
+            recorded = json.load(handle)
+        for row in recorded.get("results", ()):
+            if row.get("shards") == 1:
+                baseline[f"{row['propagation']}_events_per_second"] = row[
+                    "events_per_second"
+                ]
+    except (OSError, ValueError):
+        pass
+    return baseline
+
+
+def run_matrix(scale: float) -> dict:
+    entries = build_trace(scale)
+    print(f"trace: {len(entries)} events (scale {scale})")
+    configs = [
+        ("reference lazy", lambda: run_engine(entries, "reference", "lazy")),
+        ("compiled lazy", lambda: run_engine(entries, "compiled", "lazy")),
+        (
+            "compiled lazy batch",
+            lambda: run_engine(entries, "compiled", "lazy", batch_size=BATCH_SIZE),
+        ),
+        ("reference eager_full", lambda: run_engine(entries, "reference", "eager_full")),
+        ("compiled eager", lambda: run_engine(entries, "compiled", "eager")),
+        ("compiled eager x4", lambda: run_service(entries, "eager", shards=4)),
+    ]
+    results = []
+    for label, runner in configs:
+        cell = runner()
+        cell["config"] = label
+        results.append(cell)
+        print(
+            f"{label:>22}: {cell['events_per_second']:>10,.0f} ev/s  "
+            f"({cell['seconds']:.2f}s, {cell['verdicts']} verdicts, "
+            f"{cell['monitors_created']} monitors)"
+        )
+    identities = {(row["verdicts"], row["monitors_created"]) for row in results}
+    if len(identities) != 1:
+        raise AssertionError(
+            f"verdicts/monitors diverged across configurations: {identities}"
+        )
+
+    def rate(label: str) -> float:
+        return next(r["events_per_second"] for r in results if r["config"] == label)
+
+    baseline = read_recorded_baseline()
+    recorded_lazy = baseline["lazy_events_per_second"]
+    report = {
+        "benchmark": "dispatch",
+        "workload": "bloat (unsafe-iterator)",
+        "property": "unsafeiter",
+        "scale": scale,
+        "trace_events": len(entries),
+        "baseline": baseline,
+        "results": results,
+        "monitors_created": results[0]["monitors_created"],
+        "verdicts_identical_across_configs": True,
+        "speedup_compiled_vs_reference_lazy": rate("compiled lazy")
+        / rate("reference lazy"),
+        "speedup_eager_targeted_vs_full": rate("compiled eager")
+        / rate("reference eager_full"),
+        "headline_speedup_vs_recorded_lazy_baseline": (
+            rate("compiled lazy") / recorded_lazy if recorded_lazy else None
+        ),
+    }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        help="workload scale factor (default: REPRO_BENCH_SCALE or 0.5)",
+    )
+    parser.add_argument("--out", default="BENCH_dispatch.json", help="JSON report path")
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail when compiled lazy throughput drops below the recorded "
+        "seed baseline (BENCH_service.json, lazy 1-shard)",
+    )
+    parser.add_argument(
+        "--baseline-factor",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_GATE_FACTOR", "1.0")),
+        help="fraction of the recorded baseline the gate requires "
+        "(default: REPRO_BENCH_GATE_FACTOR or 1.0; CI uses < 1.0 to "
+        "absorb shared-runner slowness — the compiled path's >3x headroom "
+        "over the baseline is what actually catches regressions)",
+    )
+    args = parser.parse_args()
+    report = run_matrix(args.scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    headline = report["headline_speedup_vs_recorded_lazy_baseline"]
+    if headline is not None:
+        print(f"\nheadline: compiled lazy {headline:.2f}x the recorded seed baseline")
+    print(f"report -> {args.out}")
+    if args.check_baseline:
+        recorded = report["baseline"]["lazy_events_per_second"]
+        measured = next(
+            r["events_per_second"]
+            for r in report["results"]
+            if r["config"] == "compiled lazy"
+        )
+        if recorded is None:
+            print("no recorded baseline found; skipping the regression gate")
+        else:
+            gate = recorded * args.baseline_factor
+            if measured < gate:
+                print(
+                    f"PERF REGRESSION: compiled lazy {measured:,.0f} ev/s is "
+                    f"below the gate {gate:,.0f} ev/s "
+                    f"({args.baseline_factor:.2f}x the recorded seed baseline "
+                    f"{recorded:,.0f} ev/s)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+            print(
+                f"perf gate OK: {measured:,.0f} ev/s >= gate {gate:,.0f} ev/s "
+                f"({args.baseline_factor:.2f}x recorded baseline "
+                f"{recorded:,.0f} ev/s)"
+            )
+
+
+if __name__ == "__main__":
+    main()

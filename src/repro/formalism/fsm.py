@@ -26,7 +26,15 @@ from ..core.monitor import BaseMonitor, MonitorTemplate, SetOfEventSets
 from ..core.verdicts import FAIL
 from ..core.coenable import drop_empty_sets
 
-__all__ = ["FSM", "FSMMonitor", "FSMTemplate", "seeable_sets", "fsm_coenable", "fsm_enable"]
+__all__ = [
+    "FSM",
+    "FSMTable",
+    "FSMMonitor",
+    "FSMTemplate",
+    "seeable_sets",
+    "fsm_coenable",
+    "fsm_enable",
+]
 
 #: Name of the implicit absorbing sink reached by undefined transitions.
 FAIL_SINK = "<fail>"
@@ -127,40 +135,124 @@ class FSM:
         return frozenset(inert)
 
 
+class FSMTable:
+    """Flat transition tables for one FSM (the compiled-dispatch lowering).
+
+    ``rows[state_id][event_id]`` is the successor state id; event ids are
+    positions in the sorted alphabet (matching
+    :class:`~repro.spec.dispatch.DispatchPlan` event ids), state ids are
+    positions in ``fsm.states`` with the implicit fail sink appended last.
+    Undefined transitions and the sink's own row all point at the sink, so
+    one monitor step is exactly two array reads — no dict lookups, no
+    per-step branching on sink-ness.
+    """
+
+    __slots__ = (
+        "events",
+        "event_ids",
+        "states",
+        "state_ids",
+        "rows",
+        "verdict_names",
+        "inert",
+        "sink_id",
+    )
+
+    def __init__(self, fsm: FSM, inert: frozenset[str] | None = None):
+        self.events: tuple[str, ...] = tuple(sorted(fsm.alphabet))
+        self.event_ids: dict[str, int] = {
+            event: index for index, event in enumerate(self.events)
+        }
+        self.states: tuple[str, ...] = tuple(fsm.states) + (FAIL_SINK,)
+        self.state_ids: dict[str, int] = {
+            state: index for index, state in enumerate(self.states)
+        }
+        self.sink_id = len(self.states) - 1
+        transitions = fsm.transitions
+        state_ids = self.state_ids
+        sink = self.sink_id
+        rows = [
+            tuple(
+                state_ids[transitions[(state, event)]]
+                if (state, event) in transitions
+                else sink
+                for event in self.events
+            )
+            for state in fsm.states
+        ]
+        rows.append(tuple(sink for _event in self.events))
+        self.rows: tuple[tuple[int, ...], ...] = tuple(rows)
+        self.verdict_names: tuple[str, ...] = tuple(
+            fsm.verdict_of(state) for state in self.states
+        )
+        inert_states = fsm.inert_states() if inert is None else inert
+        self.inert: tuple[bool, ...] = tuple(
+            state == FAIL_SINK or state in inert_states for state in self.states
+        )
+
+
 class FSMMonitor(BaseMonitor):
-    """A running FSM monitor instance."""
+    """A running FSM monitor instance, backed by an :class:`FSMTable`.
 
-    __slots__ = ("_fsm", "_state", "_inert")
+    The state is an integer table index; the string view (``state``,
+    ``verdict``, ``snapshot_state``) is reconstructed on demand, so the
+    checkpoint codec's payloads and the state-based GC strategy see exactly
+    the representation they always did.
+    """
 
-    def __init__(self, fsm: FSM, state: str | None = None, inert: frozenset[str] | None = None):
+    __slots__ = ("_fsm", "_table", "_state_id", "_inert")
+
+    def __init__(
+        self,
+        fsm: FSM,
+        state: str | None = None,
+        inert: frozenset[str] | None = None,
+        table: FSMTable | None = None,
+    ):
         self._fsm = fsm
-        self._state = fsm.initial if state is None else state
+        self._table = table if table is not None else FSMTable(fsm, inert)
+        self._state_id = self._table.state_ids[fsm.initial if state is None else state]
         self._inert = inert
 
     @property
     def state(self) -> str:
         """The current state (``FAIL_SINK`` once an undefined transition fired)."""
-        return self._state
+        return self._table.states[self._state_id]
 
     def step(self, event: str) -> str:
-        if self._state != FAIL_SINK:
-            successor = self._fsm.successor(self._state, event)
-            self._state = FAIL_SINK if successor is None else successor
-        return self._fsm.verdict_of(self._state)
+        table = self._table
+        event_id = table.event_ids.get(event)
+        # An event outside the alphabet is an undefined transition: sink.
+        sid = (
+            table.rows[self._state_id][event_id]
+            if event_id is not None
+            else table.sink_id
+        )
+        self._state_id = sid
+        return table.verdict_names[sid]
 
     def verdict(self) -> str:
-        return self._fsm.verdict_of(self._state)
+        return self._table.verdict_names[self._state_id]
 
     def clone(self) -> "FSMMonitor":
-        return FSMMonitor(self._fsm, self._state, self._inert)
+        copy = FSMMonitor.__new__(FSMMonitor)
+        copy._fsm = self._fsm
+        copy._table = self._table
+        copy._state_id = self._state_id
+        copy._inert = self._inert
+        return copy
 
     def snapshot_state(self) -> str:
-        return self._state
+        return self._table.states[self._state_id]
 
     def is_dead(self) -> bool:
-        if self._state == FAIL_SINK:
-            return True
-        return self._inert is not None and self._state in self._inert
+        table = self._table
+        if self._inert is None:
+            # Inert-state suppression disabled: only the sink is dead.
+            return self._state_id == table.sink_id
+        # The table's inert flags were built from the same inert set the
+        # monitor carries (templates pass both together).
+        return table.inert[self._state_id]
 
 
 class FSMTemplate(MonitorTemplate):
@@ -174,6 +266,9 @@ class FSMTemplate(MonitorTemplate):
     def __init__(self, fsm: FSM):
         self.fsm = fsm
         self._inert = fsm.inert_states()
+        #: Shared flat transition tables — every monitor of this template
+        #: steps through the same table (the compiled-dispatch fast path).
+        self.table = FSMTable(fsm, self._inert)
         self._coenable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
         self._enable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
         self._state_coenable_cache: dict[frozenset[str], dict[str, SetOfEventSets]] = {}
@@ -187,14 +282,14 @@ class FSMTemplate(MonitorTemplate):
         return frozenset(self.fsm.verdict_of(state) for state in self.fsm.states) | {FAIL}
 
     def create(self) -> FSMMonitor:
-        return FSMMonitor(self.fsm, inert=self._inert)
+        return FSMMonitor(self.fsm, inert=self._inert, table=self.table)
 
     def monitor_from_state(self, payload: str) -> FSMMonitor:
         if payload != FAIL_SINK and payload not in self.fsm.states:
             from ..core.errors import PersistError
 
             raise PersistError(f"snapshot names unknown FSM state {payload!r}")
-        return FSMMonitor(self.fsm, payload, self._inert)
+        return FSMMonitor(self.fsm, payload, self._inert, table=self.table)
 
     def coenable_sets(self, goal: frozenset[str]) -> dict[str, SetOfEventSets]:
         if goal not in self._coenable_cache:

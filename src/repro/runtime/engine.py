@@ -6,6 +6,17 @@ This is the production counterpart of the abstract Algorithm MONITOR
 * **Indexing trees** (Figure 6): per event-parameter-subset trees locate, in
   a couple of weak-map lookups, every monitor instance more informative
   than the event's binding.
+* **Compiled dispatch** (the default): every ``(property, event)`` pair is
+  specialized at property-compile time into a
+  :class:`~repro.spec.dispatch.DispatchPlan` — interned event ids, slot
+  indices so hot-path bindings are plain value tuples in tree order, the
+  complete creation/join strategy, and validity checks as static
+  ``(tree, extraction)`` lists.  Finite-state formalisms step through flat
+  :class:`~repro.formalism.fsm.FSMTable` rows — two array reads per monitor
+  per event.  Rich :class:`~repro.core.params.Binding` objects appear only
+  at creation and verdict boundaries.  ``dispatch="reference"`` selects the
+  retained dict-based interpretation of the same semantics; the
+  dispatch-equivalence suite asserts both produce identical verdicts.
 * **Enable-set creation pruning** (Chen et al., ASE'09; the companion of
   coenable sets): a monitor for a new parameter instance is created only if
   the *knowledge* it would start from — the maximal defined sub-instance,
@@ -24,19 +35,25 @@ This is the production counterpart of the abstract Algorithm MONITOR
 
 ``propagation="eager"`` switches to the eager scheme the paper warns about
 (Section 4.2: "eager garbage collection ... introduces a very large amount
-of runtime overhead"): every parameter death triggers a full scan of every
-tree at the next event boundary.  It exists for the ablation benchmark and
-as part of the Tracematches cost profile.
+of runtime overhead"): parameter deaths are coalesced per event boundary
+and propagated *before* the next event.  The propagation is targeted — only
+the indexing trees whose domain contains a dead parameter's position are
+rescanned, and only the buckets of the known-dead ids; monitors flagged by
+the propagation are evicted from every remaining structure immediately
+(the Tracematches cost profile, minus the full-scan pathology).
+``propagation="eager_full"`` keeps the historical full-scan-per-boundary
+behavior for the ablation benchmark.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import InconsistentEventError, UnknownEventError
 from ..core.params import Binding
 from ..spec.compiler import CompiledProperty, CompiledSpec
+from ..spec.dispatch import DispatchPlan
 from .gc_strategies import GcStrategy, make_strategy
 from .indexing import IndexingTree, JoinIndex, Leaf
 from .instance import MonitorInstance
@@ -54,12 +71,16 @@ SYSTEMS: dict[str, tuple[str, str]] = {
     "none": ("none", "lazy"),
 }
 
+#: Propagation regimes: the paper's lazy design, targeted eager, and the
+#: historical full-scan eager (ablation only).
+PROPAGATIONS = ("lazy", "eager", "eager_full")
+
 #: Verdict callback signature: (property, category, monitor instance).
 VerdictCallback = Callable[[CompiledProperty, str, MonitorInstance], None]
 
 
 class _CreationPlan:
-    """Static per-event creation strategy (computed once per property).
+    """Static per-event creation strategy for the *reference* dispatch path.
 
     ``self_domains`` — enable domains ``K ⊊ D(e)``, largest first: the
     defineTo sources among sub-instances of the event binding.
@@ -68,6 +89,9 @@ class _CreationPlan:
     ``joins`` — ``(K, key_domain, index)`` triples for enable domains
     incomparable with ``D(e)``: instances of domain ``K`` compatible with
     the event join into instances of domain ``K ∪ D(e)``.
+
+    The compiled path precomputes the same strategy (plus slot extractions)
+    in :mod:`repro.spec.dispatch`.
     """
 
     __slots__ = ("self_domains", "allows_fresh", "joins")
@@ -76,6 +100,101 @@ class _CreationPlan:
         self.self_domains: list[frozenset[str]] = []
         self.allows_fresh = False
         self.joins: list[tuple[frozenset[str], tuple[str, ...], JoinIndex]] = []
+
+
+class _ResolvedCheck:
+    """A creation-validity probe bound to its tree."""
+
+    __slots__ = ("domain", "tree", "extract")
+
+    def __init__(self, domain: frozenset, tree: IndexingTree, extract: tuple[int, ...]):
+        self.domain = domain
+        self.tree = tree
+        self.extract = extract
+
+
+class _ResolvedSource:
+    """A defineTo source domain bound to its tree."""
+
+    __slots__ = ("tree", "extract", "checks")
+
+    def __init__(self, tree, extract, checks):
+        self.tree = tree
+        self.extract = extract
+        self.checks = checks
+
+
+class _ResolvedInsert:
+    """Registration schedule for freshly created monitors of one domain."""
+
+    __slots__ = ("params", "own_tree", "own_is_event_domain", "ext_entries", "join_entries")
+
+    def __init__(self, params, own_tree, own_is_event_domain, ext_entries, join_entries):
+        self.params = params
+        self.own_tree = own_tree
+        self.own_is_event_domain = own_is_event_domain
+        self.ext_entries = ext_entries
+        self.join_entries = join_entries
+
+
+class _ResolvedJoin:
+    """A join plan bound to its index, target tree and insert schedule."""
+
+    __slots__ = (
+        "join_domain",
+        "join_params",
+        "index",
+        "key_extract",
+        "target_tree",
+        "merge",
+        "checks",
+        "check_target",
+        "insert",
+    )
+
+    def __init__(self, join_domain, join_params, index, key_extract, target_tree, merge, checks, check_target, insert):
+        self.join_domain = join_domain
+        self.join_params = join_params
+        self.index = index
+        self.key_extract = key_extract
+        self.target_tree = target_tree
+        self.merge = merge
+        self.checks = checks
+        self.check_target = check_target
+        self.insert = insert
+
+
+class _EventDispatch:
+    """One event's fully resolved fast-path strategy."""
+
+    __slots__ = (
+        "event",
+        "event_id",
+        "domain",
+        "params",
+        "tree",
+        "self_sources",
+        "allows_fresh",
+        "fresh_checks",
+        "joins",
+        "has_creation",
+        "check_event_leaf",
+        "insert",
+    )
+
+    def __init__(self, event, event_id, domain, params, tree):
+        self.event = event
+        self.event_id = event_id
+        self.domain = domain
+        self.params = params
+        self.tree = tree
+        self.self_sources: tuple[_ResolvedSource, ...] = ()
+        self.allows_fresh = False
+        self.fresh_checks: tuple[_ResolvedCheck, ...] = ()
+        self.joins: tuple[_ResolvedJoin, ...] = ()
+        self.has_creation = False
+        self.check_event_leaf = True
+        self.insert: _ResolvedInsert | None = None
 
 
 class PropertyRuntime:
@@ -87,7 +206,8 @@ class PropertyRuntime:
         gc: str,
         scan_budget: int,
         on_verdict: VerdictCallback | None,
-        on_param_registered: Callable[[Any], None] | None,
+        on_param_registered: Callable[[str, Any], None] | None,
+        dispatch: str = "compiled",
     ):
         self.prop = prop
         self.stats = MonitorStats()
@@ -96,34 +216,61 @@ class PropertyRuntime:
         self._on_param_registered = on_param_registered
         self._serial = 0
         self._event_serial = 0
+        #: Collector of monitors flagged during a targeted eager purge
+        #: (None outside :meth:`collect_deaths`).
+        self._flag_sink: list[MonitorInstance] | None = None
 
         definition = prop.definition
+        plan: DispatchPlan = prop.dispatch_plan()
+        self.plan = plan
         self.event_domains: dict[str, frozenset[str]] = {
             event: definition.params_of(event) for event in definition.alphabet
         }
+        self._event_domain_set = set(self.event_domains.values())
         self._enable_domains: dict[str, frozenset[frozenset[str]]] = dict(
             prop.param_enable
         )
         self.monitor_domains = prop.monitor_domains()
         # One tree per domain of interest; extensions are tracked only where
         # dispatch needs them (domains that are some event's D(e)).
-        event_domain_set = set(self.event_domains.values())
         self.trees: dict[frozenset[str], IndexingTree] = {}
-        for domain in self.monitor_domains | event_domain_set:
+        for domain in self.monitor_domains | self._event_domain_set:
             self.trees[domain] = IndexingTree(
                 params=tuple(sorted(domain)),
-                tracks_extensions=domain in event_domain_set,
+                tracks_extensions=domain in self._event_domain_set,
                 notify=self._notify_monitor,
                 scan_budget=scan_budget,
             )
-        self._join_indices: dict[tuple[frozenset[str], frozenset[str]], JoinIndex] = {}
+        # Join indices are statically known (the compiled plan lists them);
+        # both dispatch paths share the same structures.
+        self._join_indices: dict[tuple[frozenset[str], frozenset[str]], JoinIndex] = {
+            (join_domain, key_domain): JoinIndex(
+                key_params=tuple(sorted(key_domain)),
+                notify=self._notify_monitor,
+                scan_budget=scan_budget,
+            )
+            for join_domain, key_domain in plan.join_index_keys
+        }
         self._plans: dict[str, _CreationPlan] = {
             event: self._build_plan(event) for event in definition.alphabet
         }
+        # Flat-table stepping for finite-state formalisms (two array reads
+        # per monitor per event); None → virtual BaseMonitor.step.
+        fsm = prop.fsm_dispatch()
+        if fsm is not None:
+            self._fsm_rows, self._fsm_goal, self._fsm_verdicts = fsm
+        else:
+            self._fsm_rows = self._fsm_goal = self._fsm_verdicts = None
+        self._dispatch = self._resolve_dispatch(plan)
+        if dispatch == "compiled":
+            self.handle = self._handle_compiled  # type: ignore[method-assign]
+        else:
+            self.handle = self._handle_reference  # type: ignore[method-assign]
 
     # -- static precomputation ---------------------------------------------
 
     def _build_plan(self, event: str) -> _CreationPlan:
+        """Reference-path creation plan (mirrored by the compiled plan)."""
         plan = _CreationPlan()
         event_domain = self.event_domains[event]
         seen_self: set[frozenset[str]] = set()
@@ -131,25 +278,83 @@ class PropertyRuntime:
             if not enable_domain:
                 plan.allows_fresh = True
             elif enable_domain < event_domain:
-                seen_self.add(enable_domain)
+                # A sub-domain source can only hold instances if it is a
+                # monitor or event domain (has a tree); the compiled path
+                # applies the same filter, keeping both paths equivalent
+                # even for plans with unrealizable enable domains.
+                if enable_domain in self.trees:
+                    seen_self.add(enable_domain)
             elif enable_domain <= event_domain or event_domain <= enable_domain:
                 # K == D(e): the exact instance already exists if it ever will;
                 # K ⊃ D(e): instances of domain K are updated, never created here.
                 continue
             elif enable_domain in self.monitor_domains:
                 key_domain = enable_domain & event_domain
-                index_key = (enable_domain, key_domain)
-                if index_key not in self._join_indices:
-                    self._join_indices[index_key] = JoinIndex(
-                        key_params=tuple(sorted(key_domain)),
-                        notify=self._notify_monitor,
-                    )
-                plan.joins.append(
-                    (enable_domain, tuple(sorted(key_domain)), self._join_indices[index_key])
-                )
-        plan.self_domains = sorted(seen_self, key=len, reverse=True)
-        plan.joins.sort(key=lambda item: len(item[0]), reverse=True)
+                index = self._join_indices[(enable_domain, key_domain)]
+                plan.joins.append((enable_domain, tuple(sorted(key_domain)), index))
+        plan.self_domains = sorted(
+            seen_self, key=lambda domain: (-len(domain), tuple(sorted(domain)))
+        )
+        plan.joins.sort(key=lambda item: (-len(item[0]), tuple(sorted(item[0]))))
         return plan
+
+    def _resolve_dispatch(self, plan: DispatchPlan) -> dict[str, _EventDispatch]:
+        """Bind the static plan to this runtime's trees and indices."""
+
+        def resolve_checks(checks) -> tuple[_ResolvedCheck, ...]:
+            return tuple(
+                _ResolvedCheck(check.domain, self.trees[check.domain], check.extract)
+                for check in checks
+            )
+
+        inserts: dict[frozenset, _ResolvedInsert] = {}
+        for domain, ip in plan.insert_plans.items():
+            inserts[domain] = _ResolvedInsert(
+                params=ip.params,
+                own_tree=self.trees[domain],
+                own_is_event_domain=ip.own_is_event_domain,
+                ext_entries=tuple(
+                    (self.trees[ext_domain], extract)
+                    for ext_domain, extract in ip.extension_entries
+                ),
+                join_entries=tuple(
+                    (self._join_indices[key], extract)
+                    for key, extract in ip.join_entries
+                ),
+            )
+        resolved: dict[str, _EventDispatch] = {}
+        for event, ep in plan.event_plans.items():
+            ed = _EventDispatch(
+                event, ep.event_id, ep.domain, ep.params, self.trees[ep.domain]
+            )
+            ed.self_sources = tuple(
+                _ResolvedSource(
+                    self.trees[src.domain], src.extract, resolve_checks(src.checks)
+                )
+                for src in ep.self_sources
+                if src.domain in self.trees
+            )
+            ed.allows_fresh = ep.allows_fresh
+            ed.fresh_checks = resolve_checks(ep.fresh_checks)
+            ed.joins = tuple(
+                _ResolvedJoin(
+                    join_domain=jp.join_domain,
+                    join_params=jp.join_params,
+                    index=self._join_indices[(jp.join_domain, frozenset(jp.key_params))],
+                    key_extract=jp.key_extract,
+                    target_tree=self.trees[jp.target_domain],
+                    merge=jp.merge,
+                    checks=resolve_checks(jp.checks),
+                    check_target=jp.check_target,
+                    insert=inserts[jp.target_domain],
+                )
+                for jp in ep.joins
+            )
+            ed.has_creation = ep.has_creation
+            ed.check_event_leaf = ep.check_event_leaf
+            ed.insert = inserts.get(ep.domain)
+            resolved[event] = ed
+        return resolved
 
     # -- GC plumbing -----------------------------------------------------------
 
@@ -160,17 +365,283 @@ class PropertyRuntime:
         if self.strategy.is_unnecessary(monitor):
             monitor.flagged = True
             self.stats.record_flag()
+            sink = self._flag_sink
+            if sink is not None:
+                sink.append(monitor)
 
     def scan_all(self) -> None:
-        """Full dead-key scan of every structure (eager mode / flush)."""
+        """Full dead-key scan of every structure (eager_full mode / flush)."""
         for tree in self.trees.values():
             tree.scan_all()
         for index in self._join_indices.values():
             index.scan_all()
 
-    # -- event processing --------------------------------------------------------
+    def collect_deaths(self, dead: Mapping[str, set[int]]) -> None:
+        """Targeted eager propagation of coalesced parameter deaths.
 
-    def handle(
+        ``dead`` maps parameter names to the ids of objects that died bound
+        under that name.  Only structures whose domain contains a dead
+        name are touched, and within them only the buckets of the dead ids
+        are scanned (the notification work a full scan would do for these
+        keys, without walking live state).  Monitors the notifications flag
+        are then evicted from every structure still holding them, so the
+        eager regime keeps its collect-at-boundary semantics.
+        """
+        flagged: list[MonitorInstance] = []
+        self._flag_sink = flagged
+        try:
+            for tree in self.trees.values():
+                ids_by_depth = {
+                    depth: dead[param]
+                    for depth, param in enumerate(tree.params)
+                    if param in dead
+                }
+                if ids_by_depth:
+                    tree.purge_ids(ids_by_depth)
+            for index in self._join_indices.values():
+                ids_by_depth = {
+                    depth: dead[param]
+                    for depth, param in enumerate(index.params)
+                    if param in dead
+                }
+                if ids_by_depth:
+                    index.purge_ids(ids_by_depth)
+        finally:
+            self._flag_sink = None
+        for monitor in flagged:
+            self._evict_flagged(monitor)
+
+    def _evict_flagged(self, monitor: MonitorInstance) -> None:
+        """Drop one freshly flagged monitor from every remaining structure.
+
+        Structures whose key path contains the dead object were already
+        purged; the survivors are reachable through the monitor's still-live
+        parameters, so eviction is a handful of direct lookups instead of
+        a full second scan pass.
+        """
+        live: dict[str, Any] = {}
+        for name, ref in monitor.params.items():
+            value = ref.get()
+            if value is not None:
+                live[name] = value
+        domain = monitor.domain
+        for event_domain in self._event_domain_set:
+            if event_domain <= domain and all(name in live for name in event_domain):
+                leaf = self.trees[event_domain].lookup(
+                    {name: live[name] for name in event_domain}, create=False
+                )
+                if leaf is not None:
+                    if leaf.own is monitor:
+                        leaf.own = None
+                    if leaf.extensions is not None:
+                        leaf.extensions.compact()
+        if all(name in live for name in domain) and domain not in self._event_domain_set:
+            own_leaf = self.trees[domain].lookup(live, create=False)
+            if own_leaf is not None and own_leaf.own is monitor:
+                own_leaf.own = None
+        for (join_domain, key_domain), index in self._join_indices.items():
+            if join_domain == domain and all(name in live for name in key_domain):
+                bucket = index.lookup(
+                    {name: live[name] for name in key_domain}, create=False
+                )
+                if bucket is not None:
+                    bucket.compact()
+
+    # -- event processing (compiled fast path) -----------------------------------
+
+    def _handle_compiled(
+        self,
+        event: str,
+        values: Mapping[str, Any],
+        record: bool = True,
+        pretouched: frozenset[frozenset[str]] | None = None,
+    ) -> None:
+        """Process one parametric event through the compiled dispatch plan.
+
+        See :meth:`_handle_reference` for the semantics (they are
+        identical); this path works on slot tuples and flat FSM tables.
+        """
+        if record:
+            self.stats.events += 1
+        self._event_serial += 1
+        ed = self._dispatch[event]
+        try:
+            vals = tuple([values[param] for param in ed.params])
+        except KeyError as exc:
+            raise InconsistentEventError(
+                f"event {event!r} of {self.prop.spec_name} requires parameter "
+                f"{exc.args[0]!r}"
+            ) from None
+        leaf = ed.tree.lookup_vals(vals, True)
+        if leaf.touched is None:
+            leaf.touched = self._event_serial
+        extensions = leaf.extensions
+        if extensions is not None and extensions._items:
+            rows = self._fsm_rows
+            if rows is not None:
+                event_id = ed.event_id
+                goal = self._fsm_goal
+                for monitor in extensions.iter_active():
+                    base = monitor.base
+                    state_id = rows[base._state_id][event_id]
+                    base._state_id = state_id
+                    monitor.last_event = event
+                    if goal[state_id]:
+                        self._fire_goal(monitor, self._fsm_verdicts[state_id])
+            else:
+                for monitor in extensions.iter_active():
+                    self._step(monitor, event)
+        if ed.has_creation:
+            self._create_compiled(ed, vals, leaf, pretouched)
+
+    def _create_compiled(
+        self,
+        ed: _EventDispatch,
+        vals: tuple,
+        leaf: Leaf,
+        pretouched: frozenset[frozenset[str]] | None,
+    ) -> None:
+        # Target = the event binding itself (defineTo from a sub-instance or
+        # from scratch).  The target's own touch stamp gates every
+        # self-creation identically (D(e) ⊄ K for K ⊊ D(e)), so it is
+        # tested directly on the event leaf before any source probing.
+        sources = ed.self_sources
+        if (
+            (sources or ed.allows_fresh)
+            and (leaf.own is None or leaf.own.flagged)
+            and (
+                not ed.check_event_leaf
+                or (
+                    leaf.touched == self._event_serial
+                    and (pretouched is None or ed.domain not in pretouched)
+                )
+            )
+        ):
+            source: MonitorInstance | None = None
+            checks = ed.fresh_checks
+            found = False
+            for src in sources:
+                sub_leaf = src.tree.lookup_vals(
+                    tuple([vals[i] for i in src.extract]), False
+                )
+                if (
+                    sub_leaf is not None
+                    and sub_leaf.own is not None
+                    and not sub_leaf.own.flagged
+                ):
+                    source, checks, found = sub_leaf.own, src.checks, True
+                    break
+            if (found or ed.allows_fresh) and self._valid_compiled(
+                checks, vals, pretouched
+            ):
+                self._materialize(ed, ed.insert, vals, source, leaf)
+        # Join targets: compatible instances of incomparable enable domains.
+        for jp in ed.joins:
+            bucket = jp.index.lookup_vals(
+                tuple([vals[i] for i in jp.key_extract]), False
+            )
+            if bucket is None:
+                continue
+            for candidate in bucket.iter_active():
+                if candidate.domain != jp.join_domain:
+                    continue
+                candidate_vals: list | None = []
+                for name in jp.join_params:
+                    value = candidate.params[name].get()
+                    if value is None:
+                        candidate_vals = None
+                        break
+                    candidate_vals.append(value)
+                if candidate_vals is None:
+                    continue
+                target_vals = tuple([
+                    candidate_vals[i] if from_candidate else vals[i]
+                    for from_candidate, i in jp.merge
+                ])
+                target_leaf = jp.target_tree.lookup_vals(target_vals, False)
+                if target_leaf is not None:
+                    if target_leaf.own is not None and not target_leaf.own.flagged:
+                        continue
+                    if (
+                        jp.check_target
+                        and target_leaf.touched is not None
+                        and target_leaf.touched < self._event_serial
+                    ):
+                        continue
+                if self._valid_compiled(jp.checks, target_vals, None):
+                    self._materialize(ed, jp.insert, target_vals, candidate, None)
+
+    def _valid_compiled(
+        self,
+        checks: tuple[_ResolvedCheck, ...],
+        target_vals: tuple,
+        pretouched: frozenset[frozenset[str]] | None,
+    ) -> bool:
+        """Compiled :meth:`_creation_is_valid`: the relevant event domains
+        and their extraction indices were computed at property-compile time."""
+        serial = self._event_serial
+        for check in checks:
+            if pretouched is not None and check.domain in pretouched:
+                # The router vouches that this sub-binding received events
+                # on another shard before now (sticky routing's stand-in
+                # for a local touch stamp).
+                return False
+            sub_leaf = check.tree.lookup_vals(
+                tuple([target_vals[i] for i in check.extract]), False
+            )
+            if (
+                sub_leaf is not None
+                and sub_leaf.touched is not None
+                and sub_leaf.touched < serial
+            ):
+                return False
+        return True
+
+    def _materialize(
+        self,
+        ed: _EventDispatch,
+        insert: _ResolvedInsert,
+        vals: tuple,
+        source: MonitorInstance | None,
+        own_leaf: Leaf | None,
+    ) -> None:
+        """Create, register, watch, and step one new monitor instance."""
+        base = source.base.clone() if source is not None else self.prop.template.create()
+        params = {
+            name: ParamRef(value) for name, value in zip(insert.params, vals)
+        }
+        self._serial += 1
+        monitor = MonitorInstance(self.prop, base, params, self._serial)
+        if own_leaf is None:
+            own_leaf = insert.own_tree.lookup_vals(vals, True)
+        own_leaf.own = monitor
+        if insert.own_is_event_domain and own_leaf.extensions is not None:
+            own_leaf.extensions.add(monitor)
+        for tree, extract in insert.ext_entries:
+            sub_leaf = tree.lookup_vals(tuple([vals[i] for i in extract]), True)
+            if sub_leaf.extensions is not None:
+                sub_leaf.extensions.add(monitor)
+        for index, extract in insert.join_entries:
+            index.add_vals(tuple([vals[i] for i in extract]), monitor)
+        self.stats.record_creation()
+        weakref.finalize(monitor, self.stats.record_collection)
+        watch = self._on_param_registered
+        if watch is not None:
+            for name, value in zip(insert.params, vals):
+                watch(name, value)
+        rows = self._fsm_rows
+        if rows is not None:
+            state_id = rows[base._state_id][ed.event_id]
+            base._state_id = state_id
+            monitor.last_event = ed.event
+            if self._fsm_goal[state_id]:
+                self._fire_goal(monitor, self._fsm_verdicts[state_id])
+        else:
+            self._step(monitor, ed.event)
+
+    # -- event processing (reference path) ----------------------------------------
+
+    def _handle_reference(
         self,
         event: str,
         values: Mapping[str, Any],
@@ -215,17 +686,24 @@ class PropertyRuntime:
         # 2. Create newly-relevant instances (enable-pruned defineTo / joins).
         self._create_instances(event, event_domain, jvalues, leaf, pretouched)
 
+    #: The default entry point; ``__init__`` rebinds it per instance to the
+    #: selected dispatch implementation.
+    handle = _handle_compiled
+
     def _step(self, monitor: MonitorInstance, event: str) -> None:
         verdict = monitor.base.step(event)
         monitor.last_event = event
         if verdict in self.prop.goal:
-            self.stats.record_verdict(verdict)
-            self.stats.record_handler()
-            self.prop.fire(verdict, monitor.binding())
-            if self._on_verdict is not None:
-                self._on_verdict(self.prop, verdict, monitor)
+            self._fire_goal(monitor, verdict)
 
-    # -- creation ---------------------------------------------------------------
+    def _fire_goal(self, monitor: MonitorInstance, verdict: str) -> None:
+        self.stats.record_verdict(verdict)
+        self.stats.record_handler()
+        self.prop.fire(verdict, monitor.binding())
+        if self._on_verdict is not None:
+            self._on_verdict(self.prop, verdict, monitor)
+
+    # -- creation (reference path) -------------------------------------------------
 
     def _create_instances(
         self,
@@ -296,7 +774,7 @@ class PropertyRuntime:
         not invalidate: the new monitor receives that event itself.
         """
         target_domain = frozenset(target_values)
-        for event_domain in set(self.event_domains.values()):
+        for event_domain in self._event_domain_set:
             if not event_domain or not event_domain <= target_domain:
                 continue
             if event_domain <= source_domain:
@@ -331,15 +809,15 @@ class PropertyRuntime:
         self.stats.record_creation()
         weakref.finalize(monitor, self.stats.record_collection)
         if self._on_param_registered is not None:
-            for value in target_values.values():
-                self._on_param_registered(value)
+            for name, value in target_values.items():
+                self._on_param_registered(name, value)
         self._step(monitor, event)
 
     def _insert(self, monitor: MonitorInstance, values: Mapping[str, Any]) -> None:
         domain = frozenset(values)
         own_leaf = self.trees[domain].lookup(values, create=True)
         own_leaf.own = monitor
-        for event_domain in set(self.event_domains.values()):
+        for event_domain in self._event_domain_set:
             if event_domain <= domain:
                 leaf = self.trees[event_domain].lookup(
                     {param: values[param] for param in event_domain}, create=True
@@ -439,10 +917,10 @@ class PropertyRuntime:
             self._restore_insert(monitor)
             weakref.finalize(monitor, self.stats.record_collection)
             if self._on_param_registered is not None:
-                for ref in monitor.params.values():
+                for name, ref in monitor.params.items():
                     value = ref.get()
                     if value is not None:
-                        self._on_param_registered(value)
+                        self._on_param_registered(name, value)
 
     def _restore_insert(self, monitor: MonitorInstance) -> None:
         """Dead-aware :meth:`_insert`: entries are re-created only along
@@ -460,7 +938,7 @@ class PropertyRuntime:
         if not dead:
             own_leaf = self.trees[domain].lookup(live, create=True)
             own_leaf.own = monitor
-        for event_domain in set(self.event_domains.values()):
+        for event_domain in self._event_domain_set:
             if event_domain <= domain and not (event_domain & dead):
                 leaf = self.trees[event_domain].lookup(
                     {name: live[name] for name in event_domain}, create=True
@@ -477,8 +955,12 @@ class MonitoringEngine:
 
     ``gc`` selects the monitor-collection strategy (``none`` / ``alldead`` /
     ``coenable`` / ``statebased``), ``propagation`` is ``lazy`` (the paper's
-    design) or ``eager`` (the ablation); ``system`` is a convenience preset:
-    ``rv`` / ``mop`` / ``tm`` / ``none`` (see :data:`SYSTEMS`).
+    design), ``eager`` (targeted boundary propagation — the Tracematches
+    profile) or ``eager_full`` (the historical full-scan ablation);
+    ``system`` is a convenience preset: ``rv`` / ``mop`` / ``tm`` /
+    ``none`` (see :data:`SYSTEMS`).  ``dispatch`` selects the compiled
+    fast path (default) or the retained ``"reference"`` interpretation —
+    both produce bit-identical verdicts and creation counts.
     """
 
     def __init__(
@@ -489,6 +971,7 @@ class MonitoringEngine:
         system: str | None = None,
         scan_budget: int = 2,
         on_verdict: VerdictCallback | None = None,
+        dispatch: str = "compiled",
     ):
         if system is not None:
             if gc is not None or propagation is not None:
@@ -496,11 +979,14 @@ class MonitoringEngine:
             gc, propagation = SYSTEMS[system]
         gc = gc if gc is not None else "coenable"
         propagation = propagation if propagation is not None else "lazy"
-        if propagation not in ("lazy", "eager"):
+        if propagation not in PROPAGATIONS:
             raise ValueError(f"unknown propagation {propagation!r}")
+        if dispatch not in ("compiled", "reference"):
+            raise ValueError(f"unknown dispatch {dispatch!r}")
         self.gc = gc
         self.propagation = propagation
         self.scan_budget = scan_budget
+        self.dispatch = dispatch
 
         if isinstance(specs, (CompiledSpec, CompiledProperty)):
             specs = [specs]
@@ -511,22 +997,29 @@ class MonitoringEngine:
             else:
                 self.properties.append(spec)
 
-        self._pending_deaths = 0
-        self._death_watchers: set[weakref.ref] = set()
-        self._watched_ids: set[int] = set()
+        self._eager = propagation != "lazy"
+        #: Coalesced parameter deaths since the last event boundary:
+        #: (runtime index, parameter name, dead object id).
+        self._pending_dead: list[tuple[int, str, int]] = []
+        #: id -> (weakref guard, positions the object is registered under).
+        self._watched: dict[int, tuple[weakref.ref, set[tuple[int, str]]]] = {}
         #: Optional tap invoked as ``on_emit(event, params)`` for every
         #: emitted event, before dispatch (used by runtime.tracelog).
         self.on_emit = None
-        on_param = self._watch_param if propagation == "eager" else None
         self.runtimes: list[PropertyRuntime] = [
             PropertyRuntime(
                 prop,
                 gc=gc,
                 scan_budget=scan_budget,
                 on_verdict=on_verdict,
-                on_param_registered=on_param,
+                on_param_registered=(
+                    (lambda name, value, _index=index: self._watch_param(_index, name, value))
+                    if self._eager
+                    else None
+                ),
+                dispatch=dispatch,
             )
-            for prop in self.properties
+            for index, prop in enumerate(self.properties)
         ]
         self._by_event: dict[str, list[PropertyRuntime]] = {}
         for runtime in self.runtimes:
@@ -545,8 +1038,8 @@ class MonitoringEngine:
         uses this because a woven program point may produce events for
         specifications that are not currently monitored.
         """
-        if self.propagation == "eager" and self._pending_deaths:
-            self.flush_gc()
+        if self._eager and self._pending_dead:
+            self._propagate_deaths()
         if self.on_emit is not None:
             self.on_emit(event, params)
         runtimes = self._by_event.get(event)
@@ -558,6 +1051,39 @@ class MonitoringEngine:
             return
         for runtime in runtimes:
             runtime.handle(event, params)
+
+    def emit_batch(
+        self,
+        events: Iterable[tuple[str, Mapping[str, Any]]],
+        _strict: bool = True,
+    ) -> int:
+        """Emit a batch of ``(event, params)`` pairs; returns how many were
+        dispatched to at least one property.
+
+        Per-event semantics are identical to :meth:`emit` — eager death
+        propagation still happens at every event boundary — but the
+        per-call overhead (tap/attribute lookups, the Python call itself)
+        is amortized across the batch.
+        """
+        eager = self._eager
+        by_event = self._by_event
+        accepted = 0
+        for event, params in events:
+            if eager and self._pending_dead:
+                self._propagate_deaths()
+            if self.on_emit is not None:
+                self.on_emit(event, params)
+            runtimes = by_event.get(event)
+            if not runtimes:
+                if _strict:
+                    raise UnknownEventError(
+                        f"no monitored specification declares event {event!r}"
+                    )
+                continue
+            accepted += 1
+            for runtime in runtimes:
+                runtime.handle(event, params)
+        return accepted
 
     def emit_binding(self, event: str, binding: Binding) -> None:
         """Emit with an explicit :class:`Binding` (test/bench convenience)."""
@@ -582,14 +1108,14 @@ class MonitoringEngine:
 
         ``prop_indexes`` index into :attr:`properties`; ``record_indexes``
         (default: all of them) name the subset for which this engine is the
-        designated event-accountant (see :meth:`PropertyRuntime.handle`).
+        designated event-accountant (see ``PropertyRuntime.handle``).
         ``pretouched`` maps property indexes to the event domains the
         router's sticky state flags as touched elsewhere; ``count_only``
         properties record the event without processing it (the router
         proved the event can do nothing on any shard).
         """
-        if self.propagation == "eager" and self._pending_deaths:
-            self.flush_gc()
+        if self._eager and self._pending_dead:
+            self._propagate_deaths()
         if self.on_emit is not None:
             self.on_emit(event, params)
         for index in count_only:
@@ -604,34 +1130,100 @@ class MonitoringEngine:
                     pretouched=None if pretouched is None else pretouched.get(index),
                 )
 
+    def emit_selected_batch(
+        self,
+        deliveries: Sequence[tuple[str, Mapping[str, Any], tuple]],
+    ) -> None:
+        """Apply a batch of routed deliveries (the shard workers' hot loop).
+
+        Each delivery is ``(event, params, (prop_indexes, record_indexes,
+        pretouched, count_only))`` — the shape the service router emits and
+        the shard queues/process pipes carry.  Semantics per delivery are
+        exactly :meth:`emit_selected`; batching amortizes the per-event
+        call and attribute overhead at the queue-drain boundary.
+        """
+        eager = self._eager
+        runtimes = self.runtimes
+        for event, params, (prop_indexes, record_indexes, pretouched, count_only) in deliveries:
+            if eager and self._pending_dead:
+                self._propagate_deaths()
+            if self.on_emit is not None:
+                self.on_emit(event, params)
+            for index in count_only:
+                runtimes[index].stats.record_event()
+            for index in prop_indexes:
+                runtime = runtimes[index]
+                if event in runtime.event_domains:
+                    runtime.handle(
+                        event,
+                        params,
+                        record=record_indexes is None or index in record_indexes,
+                        pretouched=None if pretouched is None else pretouched.get(index),
+                    )
+
     # -- GC control -----------------------------------------------------------------
 
-    def _watch_param(self, value: Any) -> None:
-        if id(value) in self._watched_ids:
-            return
+    def _watch_param(self, runtime_index: int, name: str, value: Any) -> None:
+        """Register one (runtime, parameter-name, object) for eager tracking."""
+        key = id(value)
+        entry = self._watched.get(key)
+        if entry is not None:
+            if entry[0]() is value:
+                entry[1].add((runtime_index, name))
+                return
+            # Recycled id: the previous holder died but its callback has not
+            # fired yet (reference cycles).  Record its death now so the new
+            # registration does not shadow it.
+            del self._watched[key]
+            self._note_dead(entry[1], key)
         try:
-            ref = weakref.ref(value, self._on_param_death)
+            ref = weakref.ref(value, lambda _ref, _key=key: self._on_param_death(_key))
         except TypeError:
             return
-        self._watched_ids.add(id(value))
-        self._death_watchers.add(ref)
+        self._watched[key] = (ref, {(runtime_index, name)})
 
-    def _on_param_death(self, ref: weakref.ref) -> None:
-        self._pending_deaths += 1
-        self._death_watchers.discard(ref)
+    def _on_param_death(self, key: int) -> None:
+        entry = self._watched.get(key)
+        if entry is None or entry[0]() is not None:
+            # Already handled at re-registration time, or the id was
+            # re-registered for a new live object.
+            return
+        del self._watched[key]
+        self._note_dead(entry[1], key)
+
+    def _note_dead(self, positions: set[tuple[int, str]], dead_id: int) -> None:
+        pending = self._pending_dead
+        for runtime_index, name in positions:
+            pending.append((runtime_index, name, dead_id))
+
+    def _propagate_deaths(self) -> None:
+        """Eager boundary propagation of all deaths since the last event."""
+        if self.propagation == "eager_full":
+            del self._pending_dead[:]
+            self.flush_gc()
+            return
+        pending, self._pending_dead = self._pending_dead, []
+        per_runtime: dict[int, dict[str, set[int]]] = {}
+        for runtime_index, name, dead_id in pending:
+            per_runtime.setdefault(runtime_index, {}).setdefault(name, set()).add(
+                dead_id
+            )
+        for runtime_index, dead in per_runtime.items():
+            self.runtimes[runtime_index].collect_deaths(dead)
 
     def flush_gc(self) -> None:
         """Fully scan every structure: purge dead keys, notify, compact.
 
         Lazy mode never needs this (detection happens on access); it exists
-        for eager propagation, for tests, and for end-of-run accounting.
+        for eager_full propagation, for tests, and for end-of-run
+        accounting.
 
         Two passes, mark-and-sweep style: the first pass may flag a monitor
         *after* some structure holding it was already scanned (scan order
         over the weak maps is arbitrary), so a second pass sweeps the
         now-flagged instances out of every remaining structure.
         """
-        self._pending_deaths = 0
+        del self._pending_dead[:]
         for _pass in range(2):
             for runtime in self.runtimes:
                 runtime.scan_all()

@@ -15,6 +15,14 @@ carry:
   keep skipped-creation semantics sound — see
   :meth:`repro.runtime.engine.PropertyRuntime._creation_is_valid`).
 
+The compiled dispatch layer walks trees with *value tuples* in the tree's
+parameter order (:meth:`_TreeBase.lookup_vals`) — no per-event dict
+construction; the mapping-keyed :meth:`_TreeBase.lookup` remains for the
+reference path, restores and tests.  Each level's incremental scan uses an
+``inspect_value`` callback specialized at construction to the kind of value
+that level holds (submap / leaf / bucket), so the per-operation cleanup of
+Section 5.1.1 costs no dynamic type dispatch.
+
 A :class:`JoinIndex` is the auxiliary structure for cross-binding joins: for
 a statically-determined pair (event domain ``J``, enable domain ``K``) with
 ``K ⊄ J ⊅ K``, it indexes the domain-``K`` monitor instances by their
@@ -24,7 +32,7 @@ scanning ``Theta``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from .instance import MonitorInstance
 from .rvmap import DROP, KEEP, RVMap
@@ -52,11 +60,19 @@ class Leaf:
         self.touched: int | None = None
 
     def is_empty(self) -> bool:
-        no_own = self.own is None or self.own.flagged
-        no_extensions = not self.extensions or not any(
-            not monitor.flagged for monitor in self.extensions
-        )
-        return no_own and no_extensions and self.touched is None
+        # Hand-rolled (no generator allocation): this predicate runs inside
+        # every incremental scan, i.e. on nearly every map operation.
+        if self.touched is not None:
+            return False
+        own = self.own
+        if own is not None and not own.flagged:
+            return False
+        extensions = self.extensions
+        if extensions is not None:
+            for monitor in extensions._items:
+                if not monitor.flagged:
+                    return False
+        return True
 
     def monitors(self) -> Iterator[MonitorInstance]:
         if self.own is not None:
@@ -84,9 +100,13 @@ class _TreeBase:
     def _new_node(self, depth: int) -> Any:
         if depth == len(self.params):
             return self._new_leaf()
+        # A map at this depth holds leaves when the next depth is the last;
+        # binding the matching inspector here removes isinstance dispatch
+        # from the per-operation scan path.
+        holds_leaves = depth + 1 == len(self.params)
         return RVMap(
             on_dead_value=self._notify_subtree,
-            inspect_value=self._inspect,
+            inspect_value=self._inspect_leaf if holds_leaves else self._inspect_map,
             scan_budget=self._scan_budget,
         )
 
@@ -107,30 +127,62 @@ class _TreeBase:
             for monitor in node:
                 self._notify(monitor)
 
-    def _inspect(self, node: Any) -> bool:
-        """Section 5.1.1: clean live entries' values during scans."""
-        if isinstance(node, RVMap):
-            return KEEP if node else DROP
-        if isinstance(node, Leaf):
-            if node.own is not None and node.own.flagged:
-                node.own = None
-            if node.extensions is not None:
-                node.extensions.compact()
-            return KEEP if not node.is_empty() else DROP
-        if isinstance(node, RVSet):
-            node.compact()
-            return KEEP if node else DROP
-        return KEEP
+    def _inspect_map(self, node: RVMap) -> bool:
+        """Section 5.1.1: drop empty submaps during scans."""
+        return KEEP if node._buckets else DROP
+
+    def _inspect_leaf(self, node: Any) -> bool:
+        raise NotImplementedError
 
     # -- traversal ---------------------------------------------------------------
 
-    def lookup(self, values: Mapping[str, Any], create: bool) -> Any | None:
-        """Walk the levels with the parameter objects in ``values``.
+    def lookup_vals(self, values: Sequence[Any], create: bool) -> Any | None:
+        """Walk the levels with parameter objects in tree-parameter order.
 
-        Returns the leaf (creating the spine if ``create``), or ``None``.
-        Every step performs the RVMap's incremental dead-key scan — this is
-        what makes collection *lazy*: detection happens on access.
+        The compiled hot path: ``values`` is a tuple aligned with
+        ``self.params``.  Returns the leaf (creating the spine if
+        ``create``), or ``None``.  Every step performs the RVMap's
+        incremental dead-key scan — this is what makes collection *lazy*:
+        detection happens on access.
         """
+        # RVMap.get is inlined here (scan, then identity probe): this walk
+        # is the single hottest loop in event dispatch.
+        node = self._root
+        if create:
+            depth = 0
+            for obj in values:
+                node.scan_some()
+                child = None
+                bucket = node._buckets.get(id(obj))
+                if bucket:
+                    for ref, value in bucket:
+                        weak = ref._weak
+                        if (weak() if weak is not None else ref._strong) is obj:
+                            child = value
+                            break
+                if child is None:
+                    child = self._new_node(depth + 1)
+                    node.put_fresh(obj, child)
+                node = child
+                depth += 1
+            return node
+        for obj in values:
+            node.scan_some()
+            bucket = node._buckets.get(id(obj))
+            child = None
+            if bucket:
+                for ref, value in bucket:
+                    weak = ref._weak
+                    if (weak() if weak is not None else ref._strong) is obj:
+                        child = value
+                        break
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def lookup(self, values: Mapping[str, Any], create: bool) -> Any | None:
+        """Mapping-keyed :meth:`lookup_vals` (reference path, restores, tests)."""
         node = self._root
         for depth, param in enumerate(self.params):
             obj = values[param]
@@ -139,7 +191,7 @@ class _TreeBase:
                 if not create:
                     return None
                 child = self._new_node(depth + 1)
-                node.put(obj, child)
+                node.put_fresh(obj, child)
             node = child
         return node
 
@@ -196,6 +248,34 @@ class _TreeBase:
 
         walk(self._root)
 
+    def purge_ids(self, ids_by_depth: Mapping[int, set[int]]) -> None:
+        """Targeted dead-key purge: scan only the buckets of known-dead ids.
+
+        ``ids_by_depth`` maps a level (position in :attr:`params`) to the
+        ``id()``s of parameter objects known to have died at that level.
+        The eager-propagation flush uses this instead of a full
+        :meth:`scan_all`: finding a dead key is O(maps at its level), not
+        O(every bucket of every level).  Scanning a bucket notifies the
+        monitors below the broken mapping and removes it — exactly what a
+        full scan would eventually do for these keys.
+        """
+        if not ids_by_depth:
+            return
+        max_depth = max(ids_by_depth)
+
+        def walk(node: Any, depth: int) -> None:
+            if not isinstance(node, RVMap):
+                return
+            dead_ids = ids_by_depth.get(depth)
+            if dead_ids:
+                for dead_id in dead_ids:
+                    node._scan_bucket(dead_id)
+            if depth < max_depth:
+                for value in node.all_values():
+                    walk(value, depth + 1)
+
+        walk(self._root, 0)
+
 
 class IndexingTree(_TreeBase):
     """A per-domain tree with :class:`Leaf` bottoms (Figure 6)."""
@@ -212,6 +292,28 @@ class IndexingTree(_TreeBase):
 
     def _new_leaf(self) -> Leaf:
         return Leaf(self.tracks_extensions)
+
+    def _inspect_leaf(self, node: Leaf) -> bool:
+        """Section 5.1.1: clean a live entry's leaf during scans.
+
+        Fused with the emptiness decision so the common clean leaf costs a
+        single pass over its extension set instead of compact + is_empty.
+        """
+        own = node.own
+        if own is not None and own.flagged:
+            node.own = own = None
+        extensions = node.extensions
+        live_extension = False
+        if extensions is not None:
+            for monitor in extensions._items:
+                if monitor.flagged:
+                    extensions.compact()
+                    live_extension = bool(extensions._items)
+                    break
+                live_extension = True
+        if node.touched is not None or own is not None or live_extension:
+            return KEEP
+        return DROP
 
     def lookup_leaf(self, values: Mapping[str, Any], create: bool) -> Leaf | None:
         leaf = self.lookup(values, create)
@@ -236,12 +338,20 @@ class JoinIndex(_TreeBase):
     def _new_leaf(self) -> RVSet:
         return RVSet()
 
+    def _inspect_leaf(self, node: RVSet) -> bool:
+        node.compact()
+        return KEEP if node else DROP
+
     def add(self, values: Mapping[str, Any], monitor: MonitorInstance) -> None:
         bucket = self.lookup(values, create=True)
+        bucket.add(monitor)
+
+    def add_vals(self, values: Sequence[Any], monitor: MonitorInstance) -> None:
+        bucket = self.lookup_vals(values, create=True)
         bucket.add(monitor)
 
     def candidates(self, values: Mapping[str, Any]) -> Iterator[MonitorInstance]:
         bucket = self.lookup(values, create=False)
         if bucket is None:
             return iter(())
-        return bucket.iter_active()
+        return iter(bucket.iter_active())

@@ -31,6 +31,7 @@ class MonitorInstance:
         "prop",
         "base",
         "params",
+        "domain",
         "last_event",
         "flagged",
         "serial",
@@ -47,13 +48,12 @@ class MonitorInstance:
         self.prop = prop
         self.base = base
         self.params = dict(params)
+        #: ``dom(theta)`` — fixed at creation (bindings never shrink or grow),
+        #: precomputed because the join path compares it per candidate.
+        self.domain: frozenset[str] = frozenset(self.params)
         self.last_event: str | None = None
         self.flagged = False
         self.serial = serial
-
-    @property
-    def domain(self) -> frozenset[str]:
-        return frozenset(self.params)
 
     def param_alive(self, name: str) -> bool:
         """Liveness of one bound parameter; unbound parameters count as alive

@@ -65,7 +65,8 @@ class RVMap:
         bucket = self._buckets.get(id(obj))
         if bucket:
             for ref, value in bucket:
-                if ref.refers_to(obj):
+                weak = ref._weak
+                if (weak() if weak is not None else ref._strong) is obj:
                     return value
         return None
 
@@ -79,6 +80,21 @@ class RVMap:
                 bucket[index] = (ref, value)
                 return
         bucket.append((ParamRef(obj), value))
+
+    def put_fresh(self, obj: Any, value: Any) -> None:
+        """Insert a mapping the caller just proved absent (via ``get``).
+
+        Skips the incremental scan (the preceding ``get`` already paid for
+        one) and the live-entry replacement check.  A dead entry sharing a
+        recycled id may coexist in the bucket until a later scan purges it
+        — the same tolerance ordinary ``put`` has.
+        """
+        key = id(obj)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [(ParamRef(obj), value)]
+        else:
+            bucket.append((ParamRef(obj), value))
 
     def remove(self, obj: Any) -> bool:
         """Remove the mapping for ``obj``; returns whether one existed."""
@@ -117,14 +133,33 @@ class RVMap:
     def scan_some(self) -> int:
         """Scan up to ``scan_budget`` buckets for dead keys; returns how many
         entries were cleaned."""
-        if not self._buckets:
+        buckets = self._buckets
+        if not buckets:
             return 0
+        # Rotating cursor over the bucket keys, with the clean-bucket fast
+        # pass of _scan_bucket inlined: this runs on every map operation,
+        # so per-step call overhead matters.
+        keys = self._scan_keys
+        pos = self._scan_pos
+        inspect = self.inspect_value
         cleaned = 0
         for _step in range(self.scan_budget):
-            key = self._next_scan_key()
-            if key is None:
-                break
-            cleaned += self._scan_bucket(key)
+            if pos >= len(keys):
+                keys = self._scan_keys = list(buckets)
+                pos = 0
+                if not keys:
+                    break
+            bucket = buckets.get(keys[pos])
+            pos += 1
+            if bucket is None:
+                continue
+            for ref, value in bucket:
+                weak = ref._weak
+                alive = (weak() if weak is not None else ref._strong) is not None
+                if not alive or (inspect is not None and inspect(value) is DROP):
+                    cleaned += self._scan_bucket(keys[pos - 1], known_dirty=True)
+                    break
+        self._scan_pos = pos
         return cleaned
 
     def scan_all(self) -> int:
@@ -134,30 +169,37 @@ class RVMap:
             cleaned += self._scan_bucket(key)
         return cleaned
 
-    def _next_scan_key(self) -> int | None:
-        if self._scan_pos >= len(self._scan_keys):
-            self._scan_keys = list(self._buckets)
-            self._scan_pos = 0
-            if not self._scan_keys:
-                return None
-        key = self._scan_keys[self._scan_pos]
-        self._scan_pos += 1
-        return key
-
-    def _scan_bucket(self, key: int) -> int:
+    def _scan_bucket(self, key: int, known_dirty: bool = False) -> int:
         bucket = self._buckets.get(key)
         if bucket is None:
             return 0
+        inspect = self.inspect_value
+        if not known_dirty:
+            # Fast pass: in the common case nothing in the bucket is dead
+            # and every live value survives inspection — detect that
+            # without building a survivor list (this runs on every map
+            # operation).  Callers that already detected dirt (scan_some's
+            # inline pass) skip straight to the rebuild.
+            dirty = False
+            for ref, value in bucket:
+                weak = ref._weak
+                alive = (weak() if weak is not None else ref._strong) is not None
+                if not alive or (inspect is not None and inspect(value) is DROP):
+                    dirty = True
+                    break
+            if not dirty:
+                return 0
         cleaned = 0
         survivors: list[tuple[ParamRef, Any]] = []
         for ref, value in bucket:
-            if not ref.is_alive:
+            weak = ref._weak
+            if (weak() if weak is not None else ref._strong) is None:
                 # Figure 7A: notify the monitors below the broken mapping...
                 if self.on_dead_value is not None:
                     self.on_dead_value(value)
                 # ...and Figure 7B: remove it.
                 cleaned += 1
-            elif self.inspect_value is not None and self.inspect_value(value) is DROP:
+            elif inspect is not None and inspect(value) is DROP:
                 cleaned += 1
             else:
                 survivors.append((ref, value))

@@ -6,6 +6,11 @@ Instances are flagged in place when found unnecessary (Section 4.2.2); the
 set compacts all flagged instances out in a single pass whenever it is next
 touched — the paper's Figure 8 — instead of eagerly chasing each instance
 through every structure that contains it.
+
+Because a hot leaf is iterated by every event carrying its binding, the
+set keeps a cached tuple snapshot of its active members: dispatch pays for
+a fresh allocation only when the membership actually changed (an add or a
+compaction), not on every event.
 """
 
 from __future__ import annotations
@@ -20,13 +25,16 @@ __all__ = ["RVSet"]
 class RVSet:
     """An insertion-ordered bag of monitor instances with lazy compaction."""
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_active")
 
     def __init__(self) -> None:
         self._items: list[MonitorInstance] = []
+        #: Cached snapshot of the unflagged members, or None (stale).
+        self._active: tuple[MonitorInstance, ...] | None = None
 
     def add(self, monitor: MonitorInstance) -> None:
         self._items.append(monitor)
+        self._active = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -35,7 +43,10 @@ class RVSet:
         return bool(self._items)
 
     def has_flagged(self) -> bool:
-        return any(monitor.flagged for monitor in self._items)
+        for monitor in self._items:
+            if monitor.flagged:
+                return True
+        return False
 
     def compact(self, on_removed: Callable[[MonitorInstance], None] | None = None) -> int:
         """Remove every flagged instance in one pass; returns how many.
@@ -56,16 +67,24 @@ class RVSet:
                 survivors.append(monitor)
         if removed:
             self._items = survivors
+            self._active = None
         return removed
 
-    def iter_active(self) -> Iterator[MonitorInstance]:
-        """Compact, then iterate a snapshot of the surviving instances.
+    def iter_active(self) -> tuple[MonitorInstance, ...]:
+        """Compact, then return a snapshot tuple of the surviving instances.
 
         The snapshot keeps the traversal valid if monitor updates (or the
-        handlers they fire) add instances to this set reentrantly.
+        handlers they fire) add instances to this set reentrantly; it is
+        cached and reused until the membership changes.
         """
-        self.compact()
-        return iter(tuple(self._items))
+        for monitor in self._items:
+            if monitor.flagged:
+                self.compact()
+                break
+        active = self._active
+        if active is None:
+            active = self._active = tuple(self._items)
+        return active
 
     def __iter__(self) -> Iterator[MonitorInstance]:
         return iter(tuple(self._items))

@@ -85,6 +85,11 @@ def _worker_main(
             message = in_q.get()
             kind = message[0]
             if kind == "ev":
+                # Materialize the whole serialized batch, then hand it to
+                # the engine's batched dispatch in one call — the symbol
+                # table keeps identities exact, and batching amortizes the
+                # per-event call overhead at the pipe boundary.
+                batch = []
                 for event, symbols, delivery in message[1]:
                     params: dict[str, Any] = {}
                     for name, symbol in symbols.items():
@@ -97,10 +102,8 @@ def _worker_main(
                             )
                             tokens[symbol] = token
                         params[name] = token
-                    props, recording, pretouched, count_only = delivery
-                    engine.emit_selected(
-                        event, params, props, recording, pretouched, count_only
-                    )
+                    batch.append((event, params, delivery))
+                engine.emit_selected_batch(batch)
             elif kind == "rt":
                 for symbol in message[1]:
                     tokens.pop(symbol, None)

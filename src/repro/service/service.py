@@ -499,10 +499,7 @@ class MonitorService:
             if batch is None:
                 return
             try:
-                for event, params, (props, recording, pretouched, count_only) in batch:
-                    engine.emit_selected(
-                        event, params, props, recording, pretouched, count_only
-                    )
+                engine.emit_selected_batch(batch)
             except BaseException as exc:  # surface at drain()/close()/emit()
                 with self._failure_lock:
                     if self._failure is None:
@@ -582,11 +579,8 @@ class MonitorService:
                     per_shard[shard].append((event, params, delivery))
             if self.mode == "inline":
                 for shard, deliveries in enumerate(per_shard):
-                    engine = self.engines[shard]
-                    for event, params, (props, recording, pretouched, count_only) in deliveries:
-                        engine.emit_selected(
-                            event, params, props, recording, pretouched, count_only
-                        )
+                    if deliveries:
+                        self.engines[shard].emit_selected_batch(deliveries)
             elif process:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:

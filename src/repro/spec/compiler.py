@@ -83,6 +83,8 @@ class CompiledProperty:
             for event, family in self.enable.items()
         }
         self._monitor_domains: frozenset[frozenset[str]] | None = None
+        self._dispatch_plan = None
+        self._fsm_dispatch: "tuple | None | bool" = False
 
     # -- static shape queries ------------------------------------------------
 
@@ -111,6 +113,48 @@ class CompiledProperty:
                             changed = True
             self._monitor_domains = frozenset(realizable)
         return self._monitor_domains
+
+    def dispatch_plan(self):
+        """The compiled per-event dispatch plan (built once, cached).
+
+        See :mod:`repro.spec.dispatch`: slot indices, interned event ids,
+        and the complete creation/join/validity strategy, all lowered at
+        property-compile time so the runtime hot path is table-driven.
+        """
+        if self._dispatch_plan is None:
+            from .dispatch import build_dispatch_plan
+
+            self._dispatch_plan = build_dispatch_plan(self)
+        return self._dispatch_plan
+
+    def fsm_dispatch(self) -> "tuple | None":
+        """Flat-table stepping data for finite-state templates, or ``None``.
+
+        Returns ``(rows, goal_flags, verdict_names)``: transition rows
+        indexed ``[state_id][event_id]`` (event ids = this property's
+        :meth:`dispatch_plan` ids), a per-state boolean marking states whose
+        verdict lies in this property's goal, and the per-state verdict
+        categories.  ``None`` for formalisms that do not lower to an
+        explicit FSM (CFG, raw templates) — those step through the virtual
+        ``BaseMonitor.step`` path.
+        """
+        if self._fsm_dispatch is False:
+            from ..formalism.fsm import FSMTemplate
+
+            result = None
+            template = self.template
+            if isinstance(template, FSMTemplate):
+                table = template.table
+                if table.events == self.dispatch_plan().events:
+                    result = (
+                        table.rows,
+                        tuple(
+                            verdict in self.goal for verdict in table.verdict_names
+                        ),
+                        table.verdict_names,
+                    )
+            self._fsm_dispatch = result
+        return self._fsm_dispatch
 
     def fingerprint(self) -> str:
         """A stable identity hash for snapshot compatibility checks.

@@ -1,0 +1,313 @@
+"""Compiled fast-path dispatch must equal the retained reference path.
+
+The compiled dispatch layer (slot tuples, DispatchPlan creation strategies,
+flat FSM transition tables) re-implements the exact semantics of the
+reference interpretation kept in ``PropertyRuntime._handle_reference``.
+This suite drives *both* engines in lockstep over randomized traces with
+parameter deaths — every property in the library x every GC strategy x a
+seed corpus — and asserts the robust observables are identical:
+
+* the verdict multiset (category + parameter-object identities),
+* E (events) and M (monitors created),
+* handler fires (== goal verdicts, robust to GC timing).
+
+FM/CM are deliberately excluded: they measure *when* lazy scans discover
+deaths, which legitimately depends on the number of map operations each
+path performs (the compiled path fuses lookups); soundness of flagging is
+covered by tests/runtime/test_gc_soundness.py.
+
+The lockstep construction shares one set of parameter objects between the
+two engines, so deaths (CPython refcount drops) hit both at the same
+boundary and binding identities compare directly.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import zlib
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import UnsupportedFormalismError
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+
+from ..conftest import Obj
+
+GC_STRATEGIES = ("none", "alldead", "coenable", "statebased")
+EVENTS = 350
+POOL = 4
+KILL_PROBABILITY = 0.12
+SEEDS = (1, 2)
+
+
+def synth_ops(definition, seed: int):
+    """A reproducible op list: emits over the alphabet + object kills.
+
+    Pools are small so bindings collide (shared sub-instances exercise the
+    defineTo and join creation paths); kills replace a pooled object so the
+    name can be re-bound by a fresh identity later (exercising recreation
+    and the disable-knowledge checks).
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(definition.alphabet)
+    parameters = sorted(definition.parameters)
+    ops: list[tuple] = []
+    for _ in range(EVENTS):
+        if parameters and rng.random() < KILL_PROBABILITY:
+            param = rng.choice(parameters)
+            ops.append(("kill", param, rng.randrange(POOL)))
+        event = rng.choice(alphabet)
+        ops.append(
+            (
+                "emit",
+                event,
+                {
+                    param: rng.randrange(POOL)
+                    for param in sorted(definition.params_of(event))
+                },
+            )
+        )
+    return ops
+
+
+def run_lockstep(spec_factory, ops, gc_kind: str):
+    """Run compiled and reference engines over the same objects/deaths."""
+
+    def collector(bag: Counter):
+        def on_verdict(prop, category, monitor):
+            bag[
+                (
+                    prop.spec_name,
+                    prop.formalism,
+                    category,
+                    tuple(
+                        sorted(
+                            (name, id(value))
+                            for name, value in monitor.binding().items()
+                        )
+                    ),
+                )
+            ] += 1
+
+        return on_verdict
+
+    compiled_verdicts: Counter = Counter()
+    reference_verdicts: Counter = Counter()
+    compiled = MonitoringEngine(
+        spec_factory(), gc=gc_kind, on_verdict=collector(compiled_verdicts),
+        dispatch="compiled",
+    )
+    reference = MonitoringEngine(
+        spec_factory(), gc=gc_kind, on_verdict=collector(reference_verdicts),
+        dispatch="reference",
+    )
+    pools: dict[str, list[Obj]] = {}
+    serial = 0
+    for op in ops:
+        if op[0] == "kill":
+            _tag, param, slot = op
+            pool = pools.get(param)
+            if pool is not None:
+                serial += 1
+                pool[slot] = Obj(f"{param}#{serial}")  # the old object dies here
+        else:
+            _tag, event, binding = op
+            values = {}
+            for param, slot in binding.items():
+                pool = pools.get(param)
+                if pool is None:
+                    pool = pools[param] = [Obj(f"{param}{n}") for n in range(POOL)]
+                values[param] = pool[slot]
+            compiled.emit(event, **values)
+            reference.emit(event, **values)
+    pools.clear()
+    gc.collect()
+    compiled.flush_gc()
+    reference.flush_gc()
+    return compiled, reference, compiled_verdicts, reference_verdicts
+
+
+@pytest.mark.parametrize("gc_kind", GC_STRATEGIES)
+@pytest.mark.parametrize("key", sorted(ALL_PROPERTIES))
+def test_compiled_equals_reference(key, gc_kind):
+    paper_prop = ALL_PROPERTIES[key]
+    spec = paper_prop.make().silence()
+    try:
+        MonitoringEngine(paper_prop.make().silence(), gc=gc_kind)
+    except UnsupportedFormalismError:
+        pytest.skip(f"{key} does not support the {gc_kind} strategy (CFG)")
+    for seed in SEEDS:
+        ops = synth_ops(spec.definition, seed=zlib.crc32(f"{key}/{seed}".encode()))
+        compiled, reference, got, want = run_lockstep(
+            lambda: paper_prop.make().silence(), ops, gc_kind
+        )
+        assert got == want, (key, gc_kind, seed)
+        for (name, formalism), stats in compiled.stats().items():
+            other = reference.stats_for(name, formalism)
+            assert stats.events == other.events, (key, gc_kind, seed)
+            assert stats.monitors_created == other.monitors_created, (
+                key,
+                gc_kind,
+                seed,
+            )
+            assert stats.handler_fires == other.handler_fires, (key, gc_kind, seed)
+            assert stats.verdicts == other.verdicts, (key, gc_kind, seed)
+
+
+def test_all_properties_together_compiled_vs_reference():
+    """One engine pair hosting every property at once (cross-spec events)."""
+    rng = random.Random(20110604)
+    specs = [prop.make().silence() for prop in ALL_PROPERTIES.values()]
+    domains: dict[str, frozenset] = {}
+    for spec in specs:
+        for event in spec.definition.alphabet:
+            domains[event] = domains.get(event, frozenset()) | spec.definition.params_of(event)
+    parameters = sorted({param for domain in domains.values() for param in domain})
+    alphabet = sorted(domains)
+
+    def collector(bag: Counter):
+        def on_verdict(prop, category, monitor):
+            bag[
+                (
+                    prop.spec_name,
+                    prop.formalism,
+                    category,
+                    tuple(
+                        sorted(
+                            (name, id(value))
+                            for name, value in monitor.binding().items()
+                        )
+                    ),
+                )
+            ] += 1
+
+        return on_verdict
+
+    got: Counter = Counter()
+    want: Counter = Counter()
+    compiled = MonitoringEngine(
+        [prop.make().silence() for prop in ALL_PROPERTIES.values()],
+        gc="coenable",
+        on_verdict=collector(got),
+        dispatch="compiled",
+    )
+    reference = MonitoringEngine(
+        [prop.make().silence() for prop in ALL_PROPERTIES.values()],
+        gc="coenable",
+        on_verdict=collector(want),
+        dispatch="reference",
+    )
+    pools = {param: [Obj(f"{param}{n}") for n in range(POOL)] for param in parameters}
+    serial = 0
+    for _ in range(600):
+        if rng.random() < KILL_PROBABILITY:
+            param = rng.choice(parameters)
+            serial += 1
+            pools[param][rng.randrange(POOL)] = Obj(f"{param}#{serial}")
+        event = rng.choice(alphabet)
+        values = {param: rng.choice(pools[param]) for param in domains[event]}
+        compiled.emit(event, _strict=False, **values)
+        reference.emit(event, _strict=False, **values)
+    assert got == want
+    compiled_stats = compiled.stats()
+    for key, stats in compiled_stats.items():
+        other = reference.stats_for(*key)
+        assert stats.events == other.events, key
+        assert stats.monitors_created == other.monitors_created, key
+
+
+@pytest.mark.parametrize("key", ("hasnext", "unsafeiter", "unsafemapiter", "safeenum"))
+def test_targeted_eager_equals_full_eager(key):
+    """The targeted eager propagation (purge only affected trees/buckets,
+    evict flagged monitors directly) must match the historical full-scan
+    eager regime on every robust observable, including flag counts — both
+    deliver every pending death notification at the same event boundary."""
+    paper_prop = ALL_PROPERTIES[key]
+    spec = paper_prop.make().silence()
+    ops = synth_ops(spec.definition, seed=zlib.crc32(key.encode()) ^ 0xE46E5)
+
+    def run(propagation):
+        verdicts: Counter = Counter()
+        engine = MonitoringEngine(
+            paper_prop.make().silence(),
+            gc="coenable",
+            propagation=propagation,
+            on_verdict=lambda prop, cat, mon: verdicts.update(
+                [(cat, tuple(sorted(name for name, _ in mon.binding().items())))]
+            ),
+        )
+        pools: dict[str, list[Obj]] = {}
+        serial = 0
+        for op in ops:
+            if op[0] == "kill":
+                _tag, param, slot = op
+                if param in pools:
+                    serial += 1
+                    pools[param][slot] = Obj(f"{param}#{serial}")
+            else:
+                _tag, event, binding = op
+                values = {}
+                for param, slot in binding.items():
+                    pool = pools.setdefault(
+                        param, [Obj(f"{param}{n}") for n in range(POOL)]
+                    )
+                    values[param] = pool[slot]
+                engine.emit(event, **values)
+        pools.clear()
+        gc.collect()
+        engine.flush_gc()
+        stats = next(iter(engine.stats().values()))
+        return (
+            verdicts,
+            stats.events,
+            stats.monitors_created,
+            stats.monitors_flagged,
+        )
+
+    assert run("eager") == run("eager_full")
+
+
+def test_batched_replay_equals_per_event_replay():
+    """emit_batch ingestion lands deaths at the same boundaries: identical
+    verdicts, monitor counts and event counts for any batch size."""
+    from repro.bench.workloads import WORKLOADS, record_workload_events
+    from repro.properties import UNSAFEITER
+
+    entries = record_workload_events(WORKLOADS["bloat"].scaled(0.05), [UNSAFEITER])
+
+    def run(batch_size):
+        verdicts: Counter = Counter()
+        engine = MonitoringEngine(
+            UNSAFEITER.make().silence(),
+            gc="coenable",
+            on_verdict=lambda prop, cat, mon: verdicts.update([cat]),
+        )
+        replay_entries(
+            entries, engine, retire_after_last_use=True, batch_size=batch_size
+        )
+        stats = engine.stats_for("UnsafeIter")
+        return verdicts, stats.events, stats.monitors_created
+
+    baseline = run(None)
+    for batch_size in (1, 7, 64, 100000):
+        assert run(batch_size) == baseline, batch_size
+
+
+def test_emit_batch_counts_and_strictness():
+    from repro.core.errors import UnknownEventError
+    from repro.properties import UNSAFEITER
+
+    engine = MonitoringEngine(UNSAFEITER.make().silence(), gc="coenable")
+    c, i = Obj("c"), Obj("i")
+    accepted = engine.emit_batch(
+        [("create", {"c": c, "i": i}), ("nosuch", {}), ("next", {"i": i})],
+        _strict=False,
+    )
+    assert accepted == 2
+    assert engine.stats_for("UnsafeIter").events == 2
+    with pytest.raises(UnknownEventError):
+        engine.emit_batch([("nosuch", {})])
