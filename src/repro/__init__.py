@@ -19,7 +19,9 @@ The library implements the full RV-system stack from scratch:
 * a sharded monitoring service with thread, inline, and multiprocess
   shard backends (:mod:`repro.service`);
 * checkpoint & recovery — engine snapshots, a write-ahead tracelog, and
-  crash recovery by snapshot + suffix replay (:mod:`repro.persist`).
+  crash recovery by snapshot + suffix replay (:mod:`repro.persist`);
+* a dynamic property registry — hot load/unload of properties across the
+  engine, the service, and persistence (:mod:`repro.spec.registry`).
 
 Quickstart::
 
@@ -47,6 +49,7 @@ from .core import verdicts
 from .runtime.engine import SYSTEMS, MonitoringEngine
 from .runtime.statistics import MonitorStats
 from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
+from .spec.registry import PropertyRegistry
 from .instrument.aspects import Pointcut, Weaver, after_returning, before
 from .persist import DurableEngine, restore_engine, snapshot_engine
 from .properties import ALL_PROPERTIES, EVALUATED_PROPERTIES
@@ -66,6 +69,7 @@ __all__ = [
     "MonitorStats",
     "CompiledProperty",
     "CompiledSpec",
+    "PropertyRegistry",
     "compile_spec",
     "load_spec",
     "Pointcut",

@@ -197,7 +197,10 @@ def record_workload_events(
     keeping the monitored traffic bit-identical across configurations.
 
     ``properties`` holds :class:`~repro.properties.PaperProperty` objects
-    or their keys.
+    or their keys, or a :class:`~repro.spec.registry.PropertyRegistry`
+    whose entries carry ``paper`` origins (the benchmark CLI's selection
+    form) — the recorded stream then covers exactly the registry's loaded
+    properties.
     """
     # Local imports: bench.workloads is otherwise independent of the
     # runtime and property layers (the harness mirrors this pattern).
@@ -207,7 +210,20 @@ def record_workload_events(
     from ..properties import ALL_PROPERTIES
     from ..runtime.engine import MonitoringEngine
     from ..runtime.tracelog import TraceRecorder, read_trace
+    from ..spec.registry import PropertyRegistry
 
+    if isinstance(properties, PropertyRegistry):
+        keys: list[str] = []
+        for entry in properties.loaded():
+            key = entry.origin.get("key")
+            if key is None:
+                raise ValueError(
+                    f"registry entry {entry.name!r} has no paper origin; "
+                    "workload recording needs the property's pointcuts"
+                )
+            if key not in keys:
+                keys.append(key)
+        properties = keys
     props = [
         ALL_PROPERTIES[item] if isinstance(item, str) else item for item in properties
     ]

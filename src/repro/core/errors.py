@@ -71,6 +71,11 @@ class ServiceError(ReproError):
     a shard worker that died, invalid shard configuration)."""
 
 
+class RegistryError(ReproError):
+    """Raised for dynamic property-registry misuse: unknown names or slots,
+    double removal, origins that cannot be re-materialized."""
+
+
 class PersistError(ReproError):
     """Raised by the checkpoint/recovery subsystem (:mod:`repro.persist`):
     unsupported monitor state, format/version mismatches, property

@@ -32,7 +32,7 @@ from .codec import (
     trace_symbol_of,
 )
 from .recovery import CHECKPOINT_VERSION, DurableEngine, checkpoint_files, latest_checkpoint
-from .wal import WAL_VERSION, WalWriter, read_wal, wal_segments
+from .wal import WAL_VERSION, WalWriter, iter_wal, iter_wal_records, read_wal, wal_segments
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -48,6 +48,8 @@ __all__ = [
     "trace_symbol_of",
     "WalWriter",
     "read_wal",
+    "iter_wal",
+    "iter_wal_records",
     "wal_segments",
     "DurableEngine",
     "latest_checkpoint",

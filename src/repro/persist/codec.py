@@ -42,8 +42,10 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from ..core.errors import PersistError
 from ..runtime.engine import MonitoringEngine, VerdictCallback
 from ..runtime.refs import SymbolRegistry
+from ..runtime.statistics import MonitorStats
 from ..runtime.tracelog import ReplayToken
 from ..spec.compiler import CompiledProperty
+from ..spec.registry import PropertyRegistry, normalize_properties
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -58,7 +60,10 @@ __all__ = [
 ]
 
 SNAPSHOT_FORMAT = "repro-engine-snapshot"
-SNAPSHOT_VERSION = 1
+#: Version 2 added the dynamic property registry: epoch, per-slot
+#: fingerprints/enabled state/origins, tombstoned (removed) slots, and the
+#: retired statistics folded into the engine totals at detach time.
+SNAPSHOT_VERSION = 2
 
 #: Binary container magic: ``RPSNAP`` + 2-digit container version + newline.
 _MAGIC = b"RPSNAP01\n"
@@ -99,7 +104,10 @@ def snapshot_engine(
         symbol_of = trace_symbol_of()
     engine.flush_gc()
     try:
-        runtimes = [runtime.export_persist_state(symbol_of) for runtime in engine.runtimes]
+        runtimes = [
+            None if runtime is None else runtime.export_persist_state(symbol_of)
+            for runtime in engine.runtimes
+        ]
     except PersistError:
         raise
     except TypeError as exc:
@@ -108,15 +116,23 @@ def snapshot_engine(
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
         "engine": engine.config(),
+        "registry": engine.registry.snapshot(),
         "properties": [
             {
-                "spec": prop.spec_name,
-                "formalism": prop.formalism,
-                "fingerprint": prop.fingerprint(),
+                "spec": entry.spec_name,
+                "formalism": entry.formalism,
+                "fingerprint": entry.fingerprint,
+                "removed": entry.removed,
             }
-            for prop in engine.properties
+            for entry in engine.registry.entries
         ],
         "runtimes": runtimes,
+        # Final statistics of detached slots, folded into the totals at
+        # detach time — E/M/FM/CM accounting must survive the snapshot.
+        "retired": {
+            str(index): stats.snapshot()
+            for index, (_spec, _formalism, stats) in engine._retired.items()
+        },
     }
     # Fail at snapshot time, not restore time, on non-JSON monitor state.
     try:
@@ -139,21 +155,27 @@ def _check_header(snapshot: Mapping[str, Any]) -> None:
         )
 
 
-def _check_properties(
-    snapshot: Mapping[str, Any], properties: Sequence[CompiledProperty]
-) -> None:
-    declared = snapshot["properties"]
-    if len(declared) != len(properties):
+def _check_registry(snapshot: Mapping[str, Any], engine: MonitoringEngine) -> None:
+    """The restore target's registry must mean what the snapshot's meant:
+    same slot count, same removal tombstones, same per-slot fingerprints."""
+    recorded = snapshot.get("registry", {}).get("entries", ())
+    entries = engine.registry.entries
+    if len(recorded) != len(entries):
         raise PersistError(
-            f"snapshot holds {len(declared)} properties, restore target has "
-            f"{len(properties)}"
+            f"snapshot holds {len(recorded)} properties, restore target has "
+            f"{len(entries)}"
         )
-    for index, (record, prop) in enumerate(zip(declared, properties)):
-        fingerprint = prop.fingerprint()
-        if record["fingerprint"] != fingerprint:
+    for index, (record, entry) in enumerate(zip(recorded, entries)):
+        if bool(record.get("removed")) != entry.removed:
+            raise PersistError(
+                f"property slot {index} ({record.get('name')!r}) "
+                f"{'is' if record.get('removed') else 'is not'} removed in "
+                "the snapshot but the restore target disagrees"
+            )
+        if record["fingerprint"] != entry.fingerprint:
             raise PersistError(
                 f"property {index} ({record['spec']}/{record['formalism']}) does "
-                f"not match the snapshot: fingerprint {fingerprint} != "
+                f"not match the snapshot: fingerprint {entry.fingerprint} != "
                 f"{record['fingerprint']} — the specification semantics changed"
             )
 
@@ -161,6 +183,8 @@ def _check_properties(
 def _collect_symbols(snapshot: Mapping[str, Any]) -> set[str]:
     symbols: set[str] = set()
     for runtime in snapshot["runtimes"]:
+        if runtime is None:
+            continue
         for record in runtime["touched"]:
             symbols.update(record["params"].values())
         for monitor in runtime["monitors"]:
@@ -202,7 +226,7 @@ def restore_into(
     symbol table.
     """
     _check_header(snapshot)
-    _check_properties(snapshot, engine.properties)
+    _check_registry(snapshot, engine)
     config = engine.config()
     if config != snapshot["engine"]:
         raise PersistError(
@@ -210,11 +234,36 @@ def restore_into(
             f"{snapshot['engine']}"
         )
     for runtime in engine.runtimes:
-        if runtime._event_serial or runtime._serial:
+        if runtime is not None and (runtime._event_serial or runtime._serial):
             raise PersistError("restore target engine has already processed events")
     tokens = materialize_tokens(_collect_symbols(snapshot), tokens)
+    registry_payload = snapshot.get("registry", {})
     for runtime, payload in zip(engine.runtimes, snapshot["runtimes"]):
+        if runtime is None or payload is None:
+            continue  # removed slot (tombstone alignment checked above)
         runtime.import_persist_state(payload, tokens)
+    # Per-slot enabled state, the retired-slot statistics, and the registry
+    # epoch round-trip with the snapshot.
+    enabled_changed = False
+    for record, entry in zip(registry_payload.get("entries", ()), engine.registry.entries):
+        if entry.removed:
+            continue
+        enabled = record.get("enabled", True)
+        if entry.enabled != enabled:
+            entry.enabled = enabled
+            engine.runtimes[entry.index].enabled = enabled
+            enabled_changed = True
+    if enabled_changed:
+        engine._rebuild_event_index()
+    for key, stats_payload in snapshot.get("retired", {}).items():
+        index = int(key)
+        entry = engine.registry.entries[index]
+        engine._retired[index] = (
+            entry.spec_name,
+            entry.formalism,
+            MonitorStats.from_snapshot(stats_payload),
+        )
+    engine.registry.restore_epoch(registry_payload.get("epoch", engine.registry.epoch))
     return tokens
 
 
@@ -229,13 +278,20 @@ def restore_engine(
     ``properties`` is anything :class:`MonitoringEngine` accepts (compiled
     specs/properties or sequences thereof) — snapshots store no code, so
     the caller must supply the same compiled semantics; fingerprints are
-    verified.  Returns ``(engine, tokens)`` where ``tokens`` maps every
+    verified.  Slots the caller does not cover are re-materialized from
+    the registry's recorded origins (hot-loaded source text / paper keys),
+    and removed slots are restored as tombstones carrying their retired
+    statistics.  Returns ``(engine, tokens)`` where ``tokens`` maps every
     live symbol in the snapshot to its restored stand-in object.
     """
     _check_header(snapshot)
     config = snapshot["engine"]
+    registry = PropertyRegistry.from_snapshot(
+        snapshot.get("registry", {}),
+        normalize_properties(properties) if properties is not None else None,
+    )
     engine = MonitoringEngine(
-        properties,
+        registry,
         gc=config["gc"],
         propagation=config["propagation"],
         scan_budget=config["scan_budget"],

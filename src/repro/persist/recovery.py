@@ -29,12 +29,17 @@ import re
 import zlib
 from typing import Any
 
-from ..core.errors import PersistError
+from ..core.errors import PersistError, RegistryError
 from ..runtime.engine import MonitoringEngine, VerdictCallback
 from ..runtime.refs import SymbolRegistry
 from ..runtime.tracelog import replay_entries
+from ..spec.registry import (
+    PORTABLE_ORIGIN_KINDS,
+    materialize_origin,
+    normalize_properties,
+)
 from .codec import restore_engine, snapshot_engine, trace_symbol_of
-from .wal import WalWriter, iter_wal
+from .wal import WalWriter, iter_wal_records
 
 __all__ = ["CHECKPOINT_VERSION", "DurableEngine", "latest_checkpoint", "checkpoint_files"]
 
@@ -171,6 +176,85 @@ class DurableEngine:
         ):
             self.checkpoint()
 
+    # -- dynamic property registry -------------------------------------------
+
+    def register_property(self, item: Any, name: str | None = None) -> list[int]:
+        """Hot-load properties durably: write-ahead log the registry op,
+        then attach at the current event boundary.
+
+        Only properties re-materializable from data (specification source
+        text or a paper-property key) can be registered on a durable
+        engine — recovery must be able to re-compile them from the log
+        alone.  Returns the new slot indexes.
+
+        Every precondition is validated *before* the op is logged: a
+        failing operation must never reach the WAL, or recovery would
+        replay the failure and refuse the whole log suffix.
+        """
+        if self._closed:
+            raise PersistError("register_property on a closed DurableEngine")
+        normalized = normalize_properties(item)
+        if name is not None and len(normalized) != 1:
+            raise RegistryError(
+                f"cannot register {len(normalized)} properties under one "
+                f"name {name!r}"
+            )
+        if name is not None and self.engine.registry.has_name(name):
+            raise RegistryError(f"property name {name!r} is already registered")
+        for _prop, origin in normalized:
+            if origin.get("kind") not in PORTABLE_ORIGIN_KINDS:
+                raise PersistError(
+                    "a durable engine can only register properties that are "
+                    "re-materializable from data: pass specification source "
+                    "text or a PaperProperty"
+                )
+        indexes: list[int] = []
+        for prop, origin in normalized:
+            self.wal.append_registry_op(
+                {"op": "add", "name": name, "origin": origin}
+            )
+            indexes.extend(
+                self.engine.attach_property(prop, name=name, origin=origin)
+            )
+        return indexes
+
+    def unregister_property(self, ref: Any) -> None:
+        """Durably hot-unload one property (validated, logged, detached)."""
+        if self._closed:
+            raise PersistError("unregister_property on a closed DurableEngine")
+        entry = self.engine.registry.entry(ref)
+        if entry.removed:
+            raise RegistryError(f"property {entry.name!r} is already removed")
+        self.wal.append_registry_op({"op": "remove", "index": entry.index})
+        self.engine.detach_property(entry.index)
+
+    def set_property_enabled(self, ref: Any, enabled: bool) -> None:
+        """Durably pause/resume one property (validated, logged, applied)."""
+        if self._closed:
+            raise PersistError("set_property_enabled on a closed DurableEngine")
+        entry = self.engine.registry.entry(ref)
+        if entry.removed:
+            raise RegistryError(f"property {entry.name!r} has been removed")
+        self.wal.append_registry_op(
+            {"op": "enable" if enabled else "disable", "index": entry.index}
+        )
+        self.engine.set_property_enabled(entry.index, enabled)
+
+    @staticmethod
+    def _apply_registry_op(engine: MonitoringEngine, op: "dict") -> None:
+        kind = op.get("op")
+        if kind == "add":
+            prop = materialize_origin(op["origin"])
+            engine.attach_property(prop, name=op.get("name"), origin=op["origin"])
+        elif kind == "remove":
+            engine.detach_property(op["index"])
+        elif kind == "enable":
+            engine.set_property_enabled(op["index"], True)
+        elif kind == "disable":
+            engine.set_property_enabled(op["index"], False)
+        else:
+            raise PersistError(f"unknown WAL registry op {kind!r}")
+
     # -- checkpointing -------------------------------------------------------
 
     def checkpoint(self) -> str:
@@ -255,20 +339,36 @@ class DurableEngine:
                 payload["engine"], specs, on_verdict=on_verdict
             )
             after = payload["seq"]
-        # One pass over the log: collect the replay suffix, the last
-        # durable sequence, and the highest numeric symbol ever used (so
-        # post-recovery minting cannot collide with pre-crash names).
-        entries = []
+        # One pass over the log: collect the replay suffix (events *and*
+        # registry ops, in sequence order), the last durable sequence, and
+        # the highest numeric symbol ever used (so post-recovery minting
+        # cannot collide with pre-crash names).
+        records: list[tuple[str, Any]] = []
         last_seq = after
         highest = registry.counter
-        for seq2, (event, params) in iter_wal(directory, 0):
+        for seq2, kind, payload in iter_wal_records(directory, 0):
             last_seq = max(last_seq, seq2)
-            for symbol in params.values():
-                if symbol.startswith("o") and symbol[1:].isdigit():
-                    highest = max(highest, int(symbol[1:]))
+            if kind == "event":
+                for symbol in payload[1].values():
+                    if symbol.startswith("o") and symbol[1:].isdigit():
+                        highest = max(highest, int(symbol[1:]))
             if seq2 > after:
-                entries.append((event, params))
-        replay_entries(entries, engine, tokens=tokens)
+                records.append((kind, payload))
+        # Replay the suffix with registry ops applied at exactly the trace
+        # positions they originally happened — a property hot-loaded at
+        # event k sees events k..n and nothing earlier, as in the original
+        # run.  The token table is shared across chunks so identities are
+        # continuous.
+        pending: list[tuple[str, dict[str, str]]] = []
+        for kind, payload in records:
+            if kind == "event":
+                pending.append(payload)
+                continue
+            if pending:
+                replay_entries(pending, engine, tokens=tokens)
+                pending = []
+            cls._apply_registry_op(engine, payload)
+        replay_entries(pending, engine, tokens=tokens)
         for symbol, token in tokens.items():
             registry.register(token, symbol)
         if found is not None:

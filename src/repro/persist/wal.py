@@ -31,7 +31,15 @@ from typing import Any, Iterator, Mapping
 from ..core.errors import PersistError
 from ..runtime.refs import SymbolRegistry
 
-__all__ = ["WAL_VERSION", "WalWriter", "read_wal", "wal_segments", "repair_tail"]
+__all__ = [
+    "WAL_VERSION",
+    "WalWriter",
+    "read_wal",
+    "iter_wal",
+    "iter_wal_records",
+    "wal_segments",
+    "repair_tail",
+]
 
 WAL_VERSION = 1
 
@@ -125,6 +133,26 @@ class WalWriter:
         self._since_fsync += 1
         if self._since_fsync >= self.fsync_interval:
             self.sync()
+        return self.seq
+
+    def append_registry_op(self, op: Mapping[str, Any]) -> int:
+        """Durably record one property-registry operation in stream order.
+
+        Registry ops (property add / remove / enable / disable) take a
+        sequence number like events do, so recovery replays them at
+        exactly the trace position they originally happened; they are
+        fsynced immediately — a lost registry op would silently change the
+        meaning of every event after it.
+        """
+        if self._handle is None:
+            raise PersistError("append_registry_op on a closed WalWriter")
+        if self._segment_entries >= self.segment_events:
+            self._rotate()
+        self.seq += 1
+        entry = {"q": self.seq, "r": dict(op)}
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._segment_entries += 1
+        self.sync()
         return self.seq
 
     def sync(self) -> None:
@@ -226,7 +254,10 @@ def repair_tail(directory: str) -> int:
             if line_number == 0:
                 if not (isinstance(record, dict) and "wal" in record):
                     break
-            elif not (isinstance(record, dict) and {"q", "e", "p"} <= record.keys()):
+            elif not (
+                isinstance(record, dict)
+                and ({"q", "e", "p"} <= record.keys() or {"q", "r"} <= record.keys())
+            ):
                 break
             good += len(line)
             missing_newline = not line.endswith(b"\n")
@@ -257,7 +288,28 @@ def read_wal(
 def iter_wal(
     directory: str, after_seq: int = 0
 ) -> Iterator[tuple[int, tuple[str, dict[str, str]]]]:
-    """Like :func:`read_wal` but yielding ``(seq, (event, params))``."""
+    """Like :func:`read_wal` but yielding ``(seq, (event, params))``.
+
+    Registry-op records are skipped (their sequence numbers still
+    participate in the gap check); use :func:`iter_wal_records` to see the
+    full interleaved stream.
+    """
+    for seq, kind, payload in iter_wal_records(directory, after_seq):
+        if kind == "event":
+            yield seq, payload
+
+
+def iter_wal_records(
+    directory: str, after_seq: int = 0
+) -> Iterator[tuple[int, str, Any]]:
+    """The full WAL stream: ``(seq, kind, payload)`` triples in order.
+
+    ``kind`` is ``"event"`` (payload ``(event, {param: symbol})``) or
+    ``"registry"`` (payload: the registry-op dict recorded by
+    :meth:`WalWriter.append_registry_op`).  Recovery consumes this form so
+    property adds/removes replay at exactly the trace positions they
+    originally happened.
+    """
     segments = wal_segments(directory)
     last_index = segments[-1][0] if segments else None
     expected = None
@@ -281,7 +333,11 @@ def iter_wal(
                 if entry is None:
                     return  # torn tail: stop cleanly at the last fsynced state
                 try:
-                    seq, event, params = entry["q"], entry["e"], entry["p"]
+                    seq = entry["q"]
+                    if "r" in entry:
+                        kind, payload = "registry", entry["r"]
+                    else:
+                        kind, payload = "event", (entry["e"], entry["p"])
                 except (KeyError, TypeError):
                     if tolerate:
                         return
@@ -293,7 +349,7 @@ def iter_wal(
                     )
                 expected = seq + 1
                 if seq > after_seq:
-                    yield seq, (event, params)
+                    yield seq, kind, payload
 
 
 def _decode(line: str, path: str, line_number: int, tolerate: bool):

@@ -35,8 +35,41 @@ ALL_PROPERTIES: dict[str, PaperProperty] = {
     )
 }
 
+def property_registry(keys: "tuple[str, ...] | list[str] | None" = None):
+    """A :class:`~repro.spec.registry.PropertyRegistry` over the library.
+
+    Every selected paper property is compiled (silenced — registry
+    consumers monitor programmatically) and registered under
+    ``<key>:<formalism>`` with a portable ``paper`` origin, so anything
+    built from this registry can be checkpointed, recovered, and hot-
+    reloaded by key.  ``keys`` selects a subset (default: all ten); the
+    benchmark CLI resolves its ``--properties`` flag through this registry.
+    """
+    from ..spec.registry import PropertyRegistry
+
+    registry = PropertyRegistry()
+    selected = list(ALL_PROPERTIES) if keys is None else list(keys)
+    for key in selected:
+        if key not in ALL_PROPERTIES:
+            from ..core.errors import RegistryError
+
+            raise RegistryError(
+                f"unknown property key {key!r} (known: {sorted(ALL_PROPERTIES)})"
+            )
+        prop = ALL_PROPERTIES[key]
+        for logic, compiled in enumerate(prop.make().silence().properties):
+            registry.add(
+                compiled,
+                name=f"{key}:{compiled.formalism}",
+                origin={"kind": "paper", "key": key, "logic": logic,
+                        "silent": True},
+            )
+    return registry
+
+
 __all__ = [
     "PaperProperty",
+    "property_registry",
     "HASNEXT",
     "UNSAFEITER",
     "UNSAFEMAPITER",

@@ -43,6 +43,15 @@ the propagation are evicted from every remaining structure immediately
 (the Tracematches cost profile, minus the full-scan pathology).
 ``propagation="eager_full"`` keeps the historical full-scan-per-boundary
 behavior for the ablation benchmark.
+
+The property set is **dynamic**: the engine consumes a versioned
+:class:`~repro.spec.registry.PropertyRegistry` (built implicitly from the
+constructor's specs) and supports hot load/unload at event boundaries —
+:meth:`MonitoringEngine.attach_property` compiles a fresh dispatch plan
+into a fresh slot, :meth:`MonitoringEngine.detach_property` quiesces a
+runtime, folds its statistics into the engine totals, and releases its
+indexing structures; removal tombstones the slot so indexes held by the
+sharded service's routing layer stay valid.
 """
 
 from __future__ import annotations
@@ -50,10 +59,11 @@ from __future__ import annotations
 import weakref
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..core.errors import InconsistentEventError, UnknownEventError
+from ..core.errors import InconsistentEventError, RegistryError, UnknownEventError
 from ..core.params import Binding
 from ..spec.compiler import CompiledProperty, CompiledSpec
 from ..spec.dispatch import DispatchPlan
+from ..spec.registry import PropertyRegistry, normalize_properties
 from .gc_strategies import GcStrategy, make_strategy
 from .indexing import IndexingTree, JoinIndex, Leaf
 from .instance import MonitorInstance
@@ -199,6 +209,10 @@ class _EventDispatch:
 
 class PropertyRuntime:
     """Everything the engine maintains for one compiled property."""
+
+    #: Disabled runtimes keep their state but receive no events (the engine
+    #: drops them from its event index and the selected-dispatch paths).
+    enabled = True
 
     def __init__(
         self,
@@ -375,6 +389,25 @@ class PropertyRuntime:
             tree.scan_all()
         for index in self._join_indices.values():
             index.scan_all()
+
+    def release(self) -> None:
+        """Drop every indexing structure this runtime owns.
+
+        The trees' ``notify`` callbacks are bound methods, so runtime and
+        trees form reference cycles; clearing the containers here lets
+        plain reference counting reclaim the monitors the moment the
+        engine detaches the runtime — a detach must not depend on the
+        cyclic GC ever running (shard worker processes may not trigger
+        it), or "unloaded" monitors would linger indefinitely.
+        """
+        for tree in self.trees.values():
+            tree.release()
+        for index in self._join_indices.values():
+            index.release()
+        self.trees.clear()
+        self._join_indices.clear()
+        self._dispatch.clear()
+        self._plans.clear()
 
     def collect_deaths(self, dead: Mapping[str, set[int]]) -> None:
         """Targeted eager propagation of coalesced parameter deaths.
@@ -987,15 +1020,18 @@ class MonitoringEngine:
         self.propagation = propagation
         self.scan_budget = scan_budget
         self.dispatch = dispatch
+        self._on_verdict = on_verdict
 
-        if isinstance(specs, (CompiledSpec, CompiledProperty)):
-            specs = [specs]
-        self.properties: list[CompiledProperty] = []
-        for spec in specs:
-            if isinstance(spec, CompiledSpec):
-                self.properties.extend(spec.properties)
-            else:
-                self.properties.append(spec)
+        #: The engine's own property registry.  A registry argument is
+        #: cloned (shard engines mirror the service's registry operations
+        #: on independent copies); any other accepted form builds a fresh
+        #: one, so an engine constructed from a plain property list behaves
+        #: exactly as before.
+        if isinstance(specs, PropertyRegistry):
+            self.registry = specs.clone()
+        else:
+            self.registry = PropertyRegistry.from_specs(specs)
+        self.properties: list[CompiledProperty | None] = self.registry.properties()
 
         self._eager = propagation != "lazy"
         #: Coalesced parameter deaths since the last event boundary:
@@ -1006,25 +1042,160 @@ class MonitoringEngine:
         #: Optional tap invoked as ``on_emit(event, params)`` for every
         #: emitted event, before dispatch (used by runtime.tracelog).
         self.on_emit = None
-        self.runtimes: list[PropertyRuntime] = [
-            PropertyRuntime(
-                prop,
-                gc=gc,
-                scan_budget=scan_budget,
-                on_verdict=on_verdict,
-                on_param_registered=(
-                    (lambda name, value, _index=index: self._watch_param(_index, name, value))
-                    if self._eager
-                    else None
-                ),
-                dispatch=dispatch,
-            )
-            for index, prop in enumerate(self.properties)
-        ]
+        #: Statistics of detached properties, folded into the engine totals
+        #: (slot -> (spec name, formalism, final stats)).
+        self._retired: dict[int, tuple[str, str, MonitorStats]] = {}
+        self.runtimes: list[PropertyRuntime | None] = []
+        for entry in self.registry.entries:
+            if entry.removed:
+                self.runtimes.append(None)
+                self._retired[entry.index] = (
+                    entry.spec_name, entry.formalism, MonitorStats()
+                )
+                continue
+            runtime = self._build_runtime(entry.index, entry.prop)
+            runtime.enabled = entry.enabled
+            self.runtimes.append(runtime)
         self._by_event: dict[str, list[PropertyRuntime]] = {}
+        self._rebuild_event_index()
+
+    def _build_runtime(self, index: int, prop: CompiledProperty) -> PropertyRuntime:
+        return PropertyRuntime(
+            prop,
+            gc=self.gc,
+            scan_budget=self.scan_budget,
+            on_verdict=self._on_verdict,
+            on_param_registered=(
+                (lambda name, value, _index=index: self._watch_param(_index, name, value))
+                if self._eager
+                else None
+            ),
+            dispatch=self.dispatch,
+        )
+
+    def _rebuild_event_index(self) -> None:
+        """Recompute the event -> runtimes map over enabled slots.
+
+        Runs only at registry boundaries (attach / detach / enable /
+        disable), so the per-event hot path stays exactly one dict lookup.
+        Events declared only by *disabled* runtimes are remembered
+        separately: a paused property's events are silently dropped, never
+        reported as undeclared — pausing must be transparent to emitters.
+        """
+        by_event: dict[str, list[PropertyRuntime]] = {}
+        declared: set[str] = set()
         for runtime in self.runtimes:
+            if runtime is None:
+                continue
             for event in runtime.prop.definition.alphabet:
-                self._by_event.setdefault(event, []).append(runtime)
+                declared.add(event)
+                if runtime.enabled:
+                    by_event.setdefault(event, []).append(runtime)
+        self._by_event = by_event
+        self._paused_events = declared - set(by_event)
+
+    # -- dynamic property lifecycle ----------------------------------------------
+
+    @property
+    def registry_epoch(self) -> int:
+        return self.registry.epoch
+
+    def attach_property(
+        self,
+        item: Any,
+        name: str | None = None,
+        origin: "Mapping[str, Any] | None" = None,
+        enabled: bool = True,
+    ) -> list[int]:
+        """Hot-load properties at the current event boundary.
+
+        ``item`` is anything the constructor accepts (source text, compiled
+        specs/properties, paper-property providers); each resulting
+        property gets a fresh slot, a freshly compiled
+        :class:`~repro.spec.dispatch.DispatchPlan` resolved against new
+        indexing trees, and re-interned event ids.  Returns the new slot
+        indexes.  ``origin`` overrides the recorded re-materialization
+        origin (the service passes its own through so process-mode workers
+        and snapshots agree).
+        """
+        normalized = normalize_properties(item)
+        if name is not None and len(normalized) != 1:
+            raise RegistryError(
+                f"cannot attach {len(normalized)} properties under one name "
+                f"{name!r}"
+            )
+        indexes: list[int] = []
+        for prop, derived_origin in normalized:
+            entry = self.registry.add(
+                prop,
+                name=name,
+                origin=origin if origin is not None else derived_origin,
+                enabled=enabled,
+            )
+            runtime = self._build_runtime(entry.index, prop)
+            runtime.enabled = enabled
+            self.runtimes.append(runtime)
+            self.properties.append(prop)
+            indexes.append(entry.index)
+        self._rebuild_event_index()
+        return indexes
+
+    def detach_property(self, ref: Any) -> MonitorStats:
+        """Hot-unload one property at the current event boundary.
+
+        The runtime is quiesced first: its share of any coalesced pending
+        deaths is delivered through the targeted ``purge_ids`` machinery,
+        then a two-pass full scan flags and sweeps everything a boundary
+        propagation would have.  Its final statistics are folded into the
+        engine totals (and returned); dropping the runtime releases its
+        indexing trees and join indices wholesale.
+        """
+        entry = self.registry.entry(ref)
+        index = entry.index
+        runtime = self.runtimes[index]
+        if runtime is None:
+            raise RegistryError(f"property {entry.name!r} is already detached")
+        if self._eager and self._pending_dead:
+            keep: list[tuple[int, str, int]] = []
+            mine: dict[str, set[int]] = {}
+            for runtime_index, param, dead_id in self._pending_dead:
+                if runtime_index == index:
+                    mine.setdefault(param, set()).add(dead_id)
+                else:
+                    keep.append((runtime_index, param, dead_id))
+            self._pending_dead = keep
+            if mine:
+                runtime.collect_deaths(mine)
+        for _pass in range(2):
+            runtime.scan_all()
+        stats = runtime.stats
+        runtime.release()
+        self.registry.remove(index)
+        self.runtimes[index] = None
+        self.properties[index] = None
+        self._retired[index] = (entry.spec_name, entry.formalism, stats)
+        # Purge eager watch positions pointing at the detached slot so its
+        # future parameter deaths are not routed to a dead runtime.
+        for key, (guard, positions) in list(self._watched.items()):
+            stale = {position for position in positions if position[0] == index}
+            if stale:
+                positions -= stale
+                if not positions:
+                    del self._watched[key]
+        self._rebuild_event_index()
+        return stats
+
+    def set_property_enabled(self, ref: Any, enabled: bool) -> None:
+        """Pause or resume one property without touching its state."""
+        entry = (
+            self.registry.enable(ref) if enabled else self.registry.disable(ref)
+        )
+        runtime = self.runtimes[entry.index]
+        if runtime is None:  # pragma: no cover - registry refuses removed slots
+            raise RegistryError(f"property {entry.name!r} is detached")
+        if runtime.enabled != enabled:
+            runtime.enabled = enabled
+            self._rebuild_event_index()
 
     # -- the public event interface ---------------------------------------------
 
@@ -1044,7 +1215,7 @@ class MonitoringEngine:
             self.on_emit(event, params)
         runtimes = self._by_event.get(event)
         if not runtimes:
-            if _strict:
+            if _strict and event not in self._paused_events:
                 raise UnknownEventError(
                     f"no monitored specification declares event {event!r}"
                 )
@@ -1075,7 +1246,7 @@ class MonitoringEngine:
                 self.on_emit(event, params)
             runtimes = by_event.get(event)
             if not runtimes:
-                if _strict:
+                if _strict and event not in self._paused_events:
                     raise UnknownEventError(
                         f"no monitored specification declares event {event!r}"
                     )
@@ -1119,9 +1290,13 @@ class MonitoringEngine:
         if self.on_emit is not None:
             self.on_emit(event, params)
         for index in count_only:
-            self.runtimes[index].stats.record_event()
+            counter = self.runtimes[index]
+            if counter is not None and counter.enabled:
+                counter.stats.record_event()
         for index in prop_indexes:
             runtime = self.runtimes[index]
+            if runtime is None or not runtime.enabled:
+                continue
             if event in runtime.event_domains:
                 runtime.handle(
                     event,
@@ -1150,9 +1325,13 @@ class MonitoringEngine:
             if self.on_emit is not None:
                 self.on_emit(event, params)
             for index in count_only:
-                runtimes[index].stats.record_event()
+                counter = runtimes[index]
+                if counter is not None and counter.enabled:
+                    counter.stats.record_event()
             for index in prop_indexes:
                 runtime = runtimes[index]
+                if runtime is None or not runtime.enabled:
+                    continue
                 if event in runtime.event_domains:
                     runtime.handle(
                         event,
@@ -1209,7 +1388,9 @@ class MonitoringEngine:
                 dead_id
             )
         for runtime_index, dead in per_runtime.items():
-            self.runtimes[runtime_index].collect_deaths(dead)
+            runtime = self.runtimes[runtime_index]
+            if runtime is not None:
+                runtime.collect_deaths(dead)
 
     def flush_gc(self) -> None:
         """Fully scan every structure: purge dead keys, notify, compact.
@@ -1226,24 +1407,49 @@ class MonitoringEngine:
         del self._pending_dead[:]
         for _pass in range(2):
             for runtime in self.runtimes:
-                runtime.scan_all()
+                if runtime is not None:
+                    runtime.scan_all()
 
     # -- results ------------------------------------------------------------------------
 
+    def _iter_stats(self) -> Iterable[tuple[str, str, MonitorStats]]:
+        """Every stats record, live runtimes first, then retired slots."""
+        for runtime in self.runtimes:
+            if runtime is not None:
+                yield runtime.prop.spec_name, runtime.prop.formalism, runtime.stats
+        for spec_name, formalism, stats in self._retired.values():
+            yield spec_name, formalism, stats
+
     def stats(self) -> dict[tuple[str, str], MonitorStats]:
-        """Per-property statistics keyed by (spec name, formalism)."""
-        return {
-            (runtime.prop.spec_name, runtime.prop.formalism): runtime.stats
-            for runtime in self.runtimes
-        }
+        """Per-property statistics keyed by (spec name, formalism).
+
+        Detached properties stay in the totals: their final statistics were
+        folded into the engine at detach time.  When a detached slot shares
+        its key with a live runtime (the property was re-registered), the
+        records are merged into a fresh object, leaving the live counters
+        untouched.
+        """
+        merged: dict[tuple[str, str], MonitorStats] = {}
+        for spec_name, formalism, stats in self._iter_stats():
+            key = (spec_name, formalism)
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = stats
+            else:
+                merged[key] = MonitorStats.merged([previous, stats])
+        return merged
 
     def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
-        for runtime in self.runtimes:
-            if runtime.prop.spec_name == spec_name and (
-                formalism is None or runtime.prop.formalism == formalism
-            ):
-                return runtime.stats
-        raise KeyError(f"no runtime for {spec_name}/{formalism}")
+        matches = [
+            stats
+            for name, form, stats in self._iter_stats()
+            if name == spec_name and (formalism is None or form == formalism)
+        ]
+        if not matches:
+            raise KeyError(f"no runtime for {spec_name}/{formalism}")
+        if len(matches) == 1:
+            return matches[0]
+        return MonitorStats.merged(matches)
 
     def config(self) -> dict[str, Any]:
         """The constructor knobs that must match across a snapshot/restore
@@ -1257,11 +1463,14 @@ class MonitoringEngine:
     def stats_snapshot(self) -> dict[str, dict]:
         """Every property's counters as plain JSON-serializable dicts,
         keyed ``"<spec name>/<formalism>"`` — the shape shard workers (or
-        operators' metric scrapers) ship across process boundaries."""
+        operators' metric scrapers) ship across process boundaries.
+        Includes retired properties' folded statistics."""
         return {
-            f"{runtime.prop.spec_name}/{runtime.prop.formalism}": runtime.stats.snapshot()
-            for runtime in self.runtimes
+            f"{spec_name}/{formalism}": stats.snapshot()
+            for (spec_name, formalism), stats in self.stats().items()
         }
 
     def total_live_monitors(self) -> int:
-        return sum(runtime.stats.live_monitors for runtime in self.runtimes)
+        return sum(
+            stats.live_monitors for _spec, _form, stats in self._iter_stats()
+        )

@@ -248,6 +248,24 @@ class _TreeBase:
 
         walk(self._root)
 
+    def release(self) -> None:
+        """Tear the structure down for property detach.
+
+        Recursively empties every level and severs the bound-method
+        callbacks that tie the RVMaps back to this tree (see
+        :meth:`RVMap.release`), so the whole structure — and every monitor
+        it holds — becomes reclaimable by reference counting the moment
+        the runtime lets go.
+        """
+
+        def walk(node: Any) -> None:
+            if isinstance(node, RVMap):
+                for value in node.all_values():
+                    walk(value)
+                node.release()
+
+        walk(self._root)
+
     def purge_ids(self, ids_by_depth: Mapping[int, set[int]]) -> None:
         """Targeted dead-key purge: scan only the buckets of known-dead ids.
 

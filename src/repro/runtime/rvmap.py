@@ -210,5 +210,20 @@ class RVMap:
                 del self._buckets[key]
         return cleaned
 
+    def release(self) -> None:
+        """Drop all entries and the owner callbacks.
+
+        ``on_dead_value`` / ``inspect_value`` are bound methods of the
+        owning indexing structure, making every level a reference cycle
+        with its owner; a property being detached must break those cycles
+        explicitly so its monitors are reclaimed by plain reference
+        counting instead of waiting for a cyclic-GC pass that a long-lived
+        worker process may never run.
+        """
+        self._buckets.clear()
+        self._scan_keys.clear()
+        self.on_dead_value = None
+        self.inspect_value = None
+
     def __repr__(self) -> str:
         return f"RVMap({len(self)} entries, {len(self._buckets)} buckets)"

@@ -45,6 +45,7 @@ from ..core.errors import ServiceError
 from ..persist.codec import restore_into, snapshot_engine, trace_symbol_of
 from ..runtime.engine import MonitoringEngine
 from ..runtime.tracelog import ReplayToken
+from ..spec.registry import materialize_origin
 
 __all__ = ["ProcessShardPool"]
 
@@ -107,6 +108,24 @@ def _worker_main(
             elif kind == "rt":
                 for symbol in message[1]:
                     tokens.pop(symbol, None)
+            elif kind == "rg":
+                # Hot-load: re-compile the property from its portable
+                # origin (source text / paper key) — compiled objects do
+                # not cross the pipe — and ack with the fingerprint so the
+                # parent can verify both sides compiled the same semantics.
+                payload = message[1]
+                prop = materialize_origin(payload["origin"])
+                indexes = engine.attach_property(
+                    prop, name=payload.get("name"), origin=payload["origin"]
+                )
+                resp_q.put(("rg", engine.properties[indexes[0]].fingerprint()))
+            elif kind == "ur":
+                engine.detach_property(message[1])
+                resp_q.put(("ur",))
+            elif kind == "en":
+                index, enabled = message[1]
+                engine.set_property_enabled(index, enabled)
+                resp_q.put(("en",))
             elif kind == "ba":
                 resp_q.put(("ba", message[1], verdicts_sent))
             elif kind == "st":
@@ -147,7 +166,12 @@ class ProcessShardPool:
                 "the process shard backend requires the fork start method "
                 "(POSIX); use mode='thread' on this platform"
             ) from exc
-        self._properties = tuple(properties)
+        #: Whatever :class:`MonitoringEngine` accepts — the service passes
+        #: its live :class:`~repro.spec.registry.PropertyRegistry`, so a
+        #: worker forked later (restart/migration) starts from the current
+        #: property set, not the construction-time one.  Fork inherits the
+        #: object; nothing is pickled.
+        self._properties = properties
         self._engine_kwargs = dict(engine_kwargs)
         self.shards = shards
         self._queue_capacity = queue_capacity
@@ -211,6 +235,31 @@ class ProcessShardPool:
     def send_retires(self, symbols: "list[str]") -> None:
         for shard in range(self.shards):
             self._put(shard, ("rt", symbols))
+
+    # -- registry operations -------------------------------------------------
+
+    def register_property(self, payload: Mapping[str, Any]) -> list[str]:
+        """Broadcast a hot-load; returns each worker's compiled fingerprint.
+
+        ``payload`` carries the registry entry's name and portable origin;
+        every worker re-compiles the property locally and acks with the
+        fingerprint (the caller verifies they all match the parent's).
+        """
+        for shard in range(self.shards):
+            self._put(shard, ("rg", dict(payload)))
+        return [self._response(shard, "rg")[1] for shard in range(self.shards)]
+
+    def unregister_property(self, index: int) -> None:
+        for shard in range(self.shards):
+            self._put(shard, ("ur", index))
+        for shard in range(self.shards):
+            self._response(shard, "ur")
+
+    def set_property_enabled(self, index: int, enabled: bool) -> None:
+        for shard in range(self.shards):
+            self._put(shard, ("en", (index, enabled)))
+        for shard in range(self.shards):
+            self._response(shard, "en")
 
     # -- control round-trips -------------------------------------------------
 

@@ -222,60 +222,108 @@ class ShardRouter:
     itself with an internal lock — safe to call from multiple emitters.
     """
 
-    def __init__(self, properties: Sequence[CompiledProperty], shards: int):
+    def __init__(self, properties: "Sequence[CompiledProperty | None]", shards: int):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
-        self.properties = tuple(properties)
+        #: Slot-aligned with the owning service's registry: removed slots
+        #: hold ``None`` and are never routed to.
+        self.properties: list[CompiledProperty | None] = list(properties)
         self._full_mask = (1 << shards) - 1
         self._lock = threading.RLock()
-        self.routes: tuple[PropertyRoute, ...] = tuple(
-            self._route_for(index, prop) for index, prop in enumerate(self.properties)
-        )
+        self.routes: list[PropertyRoute | None] = [
+            None if prop is None else self._route_for(index, prop)
+            for index, prop in enumerate(self.properties)
+        ]
         self._sticky: dict[int, _StickyState] = {
-            route.index: _StickyState() for route in self.routes if route.sticky
+            route.index: _StickyState()
+            for route in self.routes
+            if route is not None and route.sticky
         }
         #: id(obj) -> (shard, guard): restored objects whose monitors already
         #: live on a specific shard (their new ``id`` would hash elsewhere).
         self._pins: dict[int, tuple[int, Any]] = {}
         self._plans: dict[str, list[_PropPlan]] = {}
         for route in self.routes:
-            definition = route.prop.definition
-            free_domains = [
-                (definition.params_of(event), tuple(sorted(definition.params_of(event))))
-                for event in sorted(definition.alphabet)
-                if route.anchor is not None
-                and route.anchor not in definition.params_of(event)
-            ]
-            # Distinct anchor-free domains (several events may share one).
-            seen: set[frozenset[str]] = set()
-            distinct_free = []
-            for domain, params in free_domains:
-                if domain not in seen:
-                    seen.add(domain)
-                    distinct_free.append((domain, params))
-            for event in definition.alphabet:
-                event_domain = definition.params_of(event)
-                plan = _PropPlan(route.index, "pinned")
-                if route.is_pinned:
-                    pass
-                elif route.anchor in event_domain:
-                    plan.kind = "anchored"
-                    plan.anchor = route.anchor
-                    plan.params = tuple(sorted(event_domain))
-                    if route.sticky:
-                        plan.pretouch_candidates = tuple(
-                            (domain, params)
-                            for domain, params in distinct_free
-                            if domain <= event_domain
-                        )
-                elif route.sticky:
-                    plan.kind = "sticky_free"
-                    plan.params = tuple(sorted(event_domain))
-                    plan.free_key = (event_domain, plan.params)
+            if route is not None:
+                self._install_plans(route)
+
+    # -- dynamic property set ----------------------------------------------
+
+    def add_property(self, prop: CompiledProperty) -> int:
+        """Route a hot-loaded property; returns its (appended) slot index.
+
+        The caller (the service, under its emit lock and after a shard
+        barrier) guarantees no event is in flight across the switch, so
+        the new plans take effect between two routed events on every
+        shard simultaneously.
+        """
+        with self._lock:
+            index = len(self.properties)
+            route = self._route_for(index, prop)
+            self.properties.append(prop)
+            self.routes.append(route)
+            if route.sticky:
+                self._sticky[index] = _StickyState()
+            self._install_plans(route)
+            return index
+
+    def remove_property(self, index: int) -> None:
+        """Stop routing one slot: drop its plans and sticky state."""
+        with self._lock:
+            route = self.routes[index]
+            if route is None:
+                raise ValueError(f"property slot {index} is not routed")
+            for event in route.prop.definition.alphabet:
+                plans = self._plans.get(event)
+                if plans is None:
+                    continue
+                remaining = [plan for plan in plans if plan.index != index]
+                if remaining:
+                    self._plans[event] = remaining
                 else:
-                    plan.kind = "broadcast"
-                self._plans.setdefault(event, []).append(plan)
+                    del self._plans[event]
+            self._sticky.pop(index, None)
+            self.routes[index] = None
+            self.properties[index] = None
+
+    def _install_plans(self, route: PropertyRoute) -> None:
+        definition = route.prop.definition
+        free_domains = [
+            (definition.params_of(event), tuple(sorted(definition.params_of(event))))
+            for event in sorted(definition.alphabet)
+            if route.anchor is not None
+            and route.anchor not in definition.params_of(event)
+        ]
+        # Distinct anchor-free domains (several events may share one).
+        seen: set[frozenset[str]] = set()
+        distinct_free = []
+        for domain, params in free_domains:
+            if domain not in seen:
+                seen.add(domain)
+                distinct_free.append((domain, params))
+        for event in definition.alphabet:
+            event_domain = definition.params_of(event)
+            plan = _PropPlan(route.index, "pinned")
+            if route.is_pinned:
+                pass
+            elif route.anchor in event_domain:
+                plan.kind = "anchored"
+                plan.anchor = route.anchor
+                plan.params = tuple(sorted(event_domain))
+                if route.sticky:
+                    plan.pretouch_candidates = tuple(
+                        (domain, params)
+                        for domain, params in distinct_free
+                        if domain <= event_domain
+                    )
+            elif route.sticky:
+                plan.kind = "sticky_free"
+                plan.params = tuple(sorted(event_domain))
+                plan.free_key = (event_domain, plan.params)
+            else:
+                plan.kind = "broadcast"
+            self._plans.setdefault(event, []).append(plan)
 
     def _route_for(self, index: int, prop: CompiledProperty) -> PropertyRoute:
         anchor = choose_anchor(prop)
@@ -547,6 +595,8 @@ class ShardRouter:
         """Human-readable routing table (examples / debugging)."""
         table = []
         for route in self.routes:
+            if route is None:
+                continue
             free_events = sorted(
                 event
                 for event in route.prop.definition.alphabet

@@ -43,12 +43,17 @@ import threading
 from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..core.errors import PersistError, ServiceError, UnknownEventError
+from ..core.errors import PersistError, RegistryError, ServiceError, UnknownEventError
 from ..runtime.engine import MonitoringEngine
 from ..runtime.instance import MonitorInstance
 from ..runtime.refs import SymbolRegistry
 from ..runtime.statistics import MonitorStats
-from ..spec.compiler import CompiledProperty, CompiledSpec, compile_spec
+from ..spec.compiler import CompiledProperty
+from ..spec.registry import (
+    PORTABLE_ORIGIN_KINDS,
+    PropertyRegistry,
+    normalize_properties,
+)
 from .aggregate import StatsKey, VerdictLog, VerdictRecord, merge_stats
 from .router import ShardRouter
 
@@ -56,7 +61,8 @@ __all__ = ["MonitorService", "ingest_symbolic"]
 
 #: Service-checkpoint container identity (see :meth:`MonitorService.checkpoint`).
 SERVICE_CHECKPOINT_FORMAT = "repro-service-checkpoint"
-SERVICE_CHECKPOINT_VERSION = 1
+#: Version 2 added the dynamic property registry record.
+SERVICE_CHECKPOINT_VERSION = 2
 
 #: One routed delivery sitting in a shard queue: the event, its binding,
 #: and the router's per-shard :data:`repro.service.router.Delivery` plan.
@@ -66,25 +72,15 @@ _Delivery = tuple[str, Mapping[str, Any], "tuple"]
 ServiceVerdictCallback = Callable[[VerdictRecord], None]
 
 
-def _as_properties(specs: Any) -> list[CompiledProperty]:
-    """Normalize the accepted spec forms into a flat property list."""
-    if isinstance(specs, (str, CompiledSpec, CompiledProperty)) or hasattr(specs, "make"):
-        specs = [specs]
-    properties: list[CompiledProperty] = []
-    for item in specs:
-        if isinstance(item, str):
-            item = compile_spec(item)
-        elif hasattr(item, "make") and not isinstance(item, (CompiledSpec, CompiledProperty)):
-            item = item.make()  # a PaperProperty-style provider
-        if isinstance(item, CompiledSpec):
-            properties.extend(item.properties)
-        elif isinstance(item, CompiledProperty):
-            properties.append(item)
-        else:
-            raise TypeError(f"cannot monitor {item!r}")
-    if not properties:
+def _as_registry(specs: Any) -> PropertyRegistry:
+    """Normalize the accepted spec forms into a property registry."""
+    if isinstance(specs, PropertyRegistry):
+        registry = specs.clone()
+    else:
+        registry = PropertyRegistry.from_specs(specs)
+    if not any(True for _ in registry.loaded()):
         raise ValueError("MonitorService needs at least one property")
-    return properties
+    return registry
 
 
 def _check_service_checkpoint(checkpoint: Mapping[str, Any], shards: int) -> list:
@@ -118,10 +114,12 @@ def _anchor_pin_assignments(
     """
     pins: dict[str, int] = {}
     for route in router.routes:
-        if route.anchor is None:
+        if route is None or route.anchor is None:
             continue
         for shard, snapshot in enumerate(checkpoint["engines"]):
             runtime = snapshot["runtimes"][route.index]
+            if runtime is None:
+                continue
             candidates = [
                 payload["params"].get(route.anchor)
                 for payload in runtime["monitors"]
@@ -143,6 +141,8 @@ def _checkpoint_symbols(checkpoint: Mapping[str, Any]) -> set[str]:
     symbols: set[str] = set()
     for snapshot in checkpoint["engines"]:
         for runtime in snapshot["runtimes"]:
+            if runtime is None:
+                continue
             for record in runtime["touched"]:
                 symbols.update(record["params"].values())
             for monitor in runtime["monitors"]:
@@ -273,7 +273,10 @@ class MonitorService:
             raise ValueError(f"unknown service mode {mode!r}")
         if queue_capacity < 1 or batch_size < 1:
             raise ValueError("queue_capacity and batch_size must be >= 1")
-        self.properties = _as_properties(specs)
+        #: The authoritative dynamic property registry; shard engines hold
+        #: independent clones mirroring every registry operation.
+        self.registry = _as_registry(specs)
+        self.properties: list[CompiledProperty | None] = self.registry.properties()
         self.router = ShardRouter(self.properties, shards)
         self.shards = shards
         self.mode = mode
@@ -328,7 +331,7 @@ class MonitorService:
                 )
                 self._apply_shard_pins(_restore_from)
             self._pool = ProcessShardPool(
-                self.properties,
+                self.registry,
                 shards,
                 {
                     "system": system,
@@ -347,7 +350,7 @@ class MonitorService:
 
         self.engines = [
             MonitoringEngine(
-                self.properties,
+                self.registry,
                 system=system,
                 gc=gc,
                 propagation=propagation,
@@ -595,6 +598,161 @@ class MonitorService:
             raise ServiceError("a shard worker process died")
         return accepted
 
+    # -- dynamic property registry -------------------------------------------
+
+    @property
+    def registry_epoch(self) -> int:
+        return self.registry.epoch
+
+    def _quiesce_locked(self) -> None:
+        """Shard barrier under the emit lock.
+
+        Every event routed before now is fully processed on every shard,
+        and no emitter can interleave (the emit lock is held) — so a
+        registry operation applied next switches all shards between the
+        same two events, keeping the determinism suite's verdict-multiset
+        equality valid across hot load/unload.
+        """
+        if self.mode == "thread":
+            for queue in self._queues:
+                queue.wait_idle()
+            self._check_failure()
+        elif self.mode == "process":
+            self._flush_retires()
+            with self._control_lock:
+                counts = self._pool.barrier()
+            self._await_verdicts(counts)
+
+    def register_property(self, item: Any, name: str | None = None) -> list[int]:
+        """Hot-load properties into the running service; returns new slots.
+
+        ``item`` is anything the constructor accepts.  The service drains
+        in-flight events behind a barrier, attaches the new properties to
+        every shard engine (process-mode workers re-compile them from
+        source text or a paper-property key and their fingerprints are
+        verified against the parent's), extends the routing table, and
+        bumps the registry epoch — all between two event sequence numbers.
+        """
+        if self._closed:
+            raise ServiceError("register_property on a closed MonitorService")
+        self._check_failure()
+        normalized = normalize_properties(item)
+        if name is not None and len(normalized) != 1:
+            raise RegistryError(
+                f"cannot register {len(normalized)} properties under one "
+                f"name {name!r}"
+            )
+        if self.mode == "process":
+            for _prop, origin in normalized:
+                if origin.get("kind") not in PORTABLE_ORIGIN_KINDS:
+                    raise ServiceError(
+                        "process mode can only hot-load properties that are "
+                        "re-materializable from data: pass specification "
+                        "source text or a PaperProperty"
+                    )
+        with self._emit_lock:
+            if name is not None and self.registry.has_name(name):
+                raise RegistryError(f"property name {name!r} is already registered")
+            self._quiesce_locked()
+            indexes: list[int] = []
+            for prop, origin in normalized:
+                # Fallible work first (worker broadcasts can fail), the
+                # registry/router bookkeeping only once it succeeded —
+                # otherwise a failure would leave the registry one slot
+                # ahead of the router and misroute the next registration.
+                entry_name = (
+                    name
+                    if name is not None
+                    else self.registry.unique_name(
+                        f"{prop.spec_name}/{prop.formalism}"
+                    )
+                )
+                want_fingerprint = prop.fingerprint()
+                if self.mode == "process":
+                    with self._control_lock:
+                        fingerprints = self._pool.register_property(
+                            {"name": entry_name, "origin": dict(origin)}
+                        )
+                    for shard, fingerprint in enumerate(fingerprints):
+                        if fingerprint != want_fingerprint:
+                            # The workers now hold a slot the parent will
+                            # not commit: unrecoverable divergence.
+                            failure = ServiceError(
+                                f"shard {shard} compiled {entry_name!r} to "
+                                f"fingerprint {fingerprint}, parent has "
+                                f"{want_fingerprint}"
+                            )
+                            with self._failure_lock:
+                                if self._failure is None:
+                                    self._failure = failure
+                            raise failure
+                else:
+                    for engine in self.engines:
+                        engine.attach_property(
+                            prop, name=entry_name, origin=origin
+                        )
+                self.router.add_property(prop)
+                entry = self.registry.add(prop, name=entry_name, origin=origin)
+                self.properties.append(prop)
+                indexes.append(entry.index)
+            return indexes
+
+    def unregister_property(self, ref: Any) -> None:
+        """Hot-unload one property (by name, slot index, or object).
+
+        Behind the same barrier as :meth:`register_property`: every shard
+        quiesces the property's runtime, folds its final statistics into
+        the shard totals (so :meth:`stats` keeps reporting it), and drops
+        its indexing state; the router stops delivering its events.
+        """
+        if self._closed:
+            raise ServiceError("unregister_property on a closed MonitorService")
+        self._check_failure()
+        with self._emit_lock:
+            entry = self.registry.entry(ref)
+            if entry.removed:
+                # Validate before broadcasting: a worker-side RegistryError
+                # would kill every shard process over a caller mistake.
+                raise RegistryError(
+                    f"property {entry.name!r} is already removed"
+                )
+            self._quiesce_locked()
+            if self.mode == "process":
+                with self._control_lock:
+                    self._pool.unregister_property(entry.index)
+            else:
+                for engine in self.engines:
+                    engine.detach_property(entry.index)
+            self.router.remove_property(entry.index)
+            self.registry.remove(entry.index)
+            self.properties[entry.index] = None
+
+    def set_property_enabled(self, ref: Any, enabled: bool) -> None:
+        """Pause or resume one property on every shard, state intact.
+
+        A disabled property receives no events (they are dropped at the
+        shard engines, uncounted) but keeps its monitors, statistics, and
+        routing slot for a later :meth:`set_property_enabled` resume.
+        """
+        if self._closed:
+            raise ServiceError("set_property_enabled on a closed MonitorService")
+        self._check_failure()
+        with self._emit_lock:
+            entry = self.registry.entry(ref)
+            if entry.removed:
+                raise RegistryError(f"property {entry.name!r} has been removed")
+            self._quiesce_locked()
+            if self.mode == "process":
+                with self._control_lock:
+                    self._pool.set_property_enabled(entry.index, enabled)
+            else:
+                for engine in self.engines:
+                    engine.set_property_enabled(entry.index, enabled)
+            if enabled:
+                self.registry.enable(entry.index)
+            else:
+                self.registry.disable(entry.index)
+
     # -- lifecycle -----------------------------------------------------------
 
     def drain(self) -> None:
@@ -702,6 +860,8 @@ class MonitorService:
                         registry.register(token, symbol)
                 for engine in self.engines:
                     for runtime in engine.runtimes:
+                        if runtime is None:
+                            continue
                         for monitor in runtime.iter_reachable_instances():
                             for ref in monitor.params.values():
                                 value = ref.get()
@@ -716,6 +876,7 @@ class MonitorService:
             "format": SERVICE_CHECKPOINT_FORMAT,
             "version": SERVICE_CHECKPOINT_VERSION,
             "shards": self.shards,
+            "registry": self.registry.snapshot(),
             "engines": engines,
             "router": router,
         }
@@ -729,7 +890,10 @@ class MonitorService:
         ``specs`` must compile to the same properties (fingerprints are
         verified); ``kwargs`` are the usual constructor options — the
         shard count comes from the checkpoint, and the engine
-        configuration defaults to the snapshot's.  Restored parameter
+        configuration defaults to the snapshot's.  Properties that were
+        hot-loaded from source text or a paper key before the checkpoint
+        are re-materialized from the recorded registry automatically;
+        removed slots are restored as tombstones.  Restored parameter
         objects are fresh tokens: feed the service through
         :attr:`restored_tokens` (e.g. ``ingest_symbolic(service, entries,
         start=..., tokens=service.restored_tokens)``).
@@ -741,8 +905,14 @@ class MonitorService:
             kwargs.setdefault("propagation", config["propagation"])
             kwargs.setdefault("scan_budget", config["scan_budget"])
         kwargs.pop("shards", None)
+        registry_payload = checkpoint.get("registry")
+        if registry_payload is None:
+            raise PersistError("service checkpoint lacks a registry record")
+        registry = PropertyRegistry.from_snapshot(
+            registry_payload, normalize_properties(specs)
+        )
         return cls(
-            specs,
+            registry,
             shards=checkpoint.get("shards", 0),
             _restore_from=dict(checkpoint),
             **kwargs,

@@ -9,6 +9,7 @@ pointcut declarations with the instrumentation API of
 from .ast import EventDecl, HandlerDecl, LogicBlock, SpecAst
 from .compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
 from .parser import parse_spec
+from .registry import PropertyEntry, PropertyRegistry, normalize_properties
 
 __all__ = [
     "EventDecl",
@@ -17,7 +18,10 @@ __all__ = [
     "SpecAst",
     "CompiledProperty",
     "CompiledSpec",
+    "PropertyEntry",
+    "PropertyRegistry",
     "compile_spec",
     "load_spec",
+    "normalize_properties",
     "parse_spec",
 ]

@@ -1,0 +1,451 @@
+"""The dynamic property registry: a versioned, slot-stable property set.
+
+Every layer built so far — compiled dispatch plans, shard routing, the
+snapshot codec — assumed the set of monitored properties was frozen at
+construction time.  A production monitoring service cannot restart to pick
+up a new property or drop a retired one, so this module turns the implicit
+frozen list into an explicit :class:`PropertyRegistry` that the engine, the
+sharded service, and the persistence layer all consume:
+
+* **slot-stable indexes** — every property occupies one slot for the
+  registry's lifetime; removal *tombstones* the slot instead of renumbering
+  the rest.  Routing plans, per-shard delivery tuples, statistics keys and
+  snapshot payloads all reference slots, so hot load/unload never
+  invalidates in-flight state;
+* **a monotonic epoch** — every mutation (add / remove / enable / disable)
+  bumps ``epoch``.  The sharded service broadcasts registry operations
+  behind a barrier, so every shard applies the same operation between the
+  same two events and the per-shard epochs advance in lock step; snapshots
+  record the epoch and restore verifies it;
+* **fingerprints** — each entry carries the property's
+  :meth:`~repro.spec.compiler.CompiledProperty.fingerprint` (the same
+  identity the checkpoint codec verifies), so a registry restored from a
+  snapshot can prove the supplied properties mean what the snapshot meant;
+* **origins** — how a property can be *re-materialized* from data alone:
+  specification source text or a paper-property key.  Process-mode shard
+  workers and crash recovery re-compile properties from origins; compiled
+  objects handed in directly get an ``opaque`` origin and must be supplied
+  again by the caller at restore time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.errors import PersistError, RegistryError
+from .compiler import CompiledProperty, CompiledSpec, compile_spec
+
+__all__ = [
+    "PORTABLE_ORIGIN_KINDS",
+    "PropertyEntry",
+    "PropertyRegistry",
+    "normalize_properties",
+    "materialize_origin",
+]
+
+#: Origin kinds a registry can re-materialize without caller help — the
+#: single source of truth for the process backend's and the durable
+#: engine's "can this property cross a data-only boundary?" checks.
+PORTABLE_ORIGIN_KINDS = ("source", "paper")
+_PORTABLE_KINDS = PORTABLE_ORIGIN_KINDS
+
+
+@dataclass
+class PropertyEntry:
+    """One registry slot: a property plus its lifecycle metadata."""
+
+    index: int
+    name: str
+    spec_name: str
+    formalism: str
+    fingerprint: str
+    #: How to re-compile this property from data (see module docstring).
+    origin: dict[str, Any]
+    #: The compiled property; ``None`` only for removed slots restored from
+    #: a snapshot (their semantics survive as the fingerprint).
+    prop: CompiledProperty | None = None
+    enabled: bool = True
+    removed: bool = False
+    added_epoch: int = 0
+    removed_epoch: int | None = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """This slot as a JSON-safe record (part of the persist format)."""
+        return {
+            "name": self.name,
+            "spec": self.spec_name,
+            "formalism": self.formalism,
+            "fingerprint": self.fingerprint,
+            "origin": dict(self.origin),
+            "enabled": self.enabled,
+            "removed": self.removed,
+            "added_epoch": self.added_epoch,
+            "removed_epoch": self.removed_epoch,
+        }
+
+
+def normalize_properties(specs: Any) -> list[tuple[CompiledProperty, dict]]:
+    """Flatten any accepted property form into ``(property, origin)`` pairs.
+
+    Accepts what the engine and service constructors always accepted —
+    specification source text, compiled specs/properties, paper-property
+    providers with a ``make()`` method — singly or as a sequence.  The
+    origin records how to re-materialize the property from data: source
+    text and paper keys are portable; pre-compiled objects are ``opaque``.
+    """
+    if isinstance(specs, (str, CompiledSpec, CompiledProperty)) or hasattr(specs, "make"):
+        specs = [specs]
+    normalized: list[tuple[CompiledProperty, dict]] = []
+    for item in specs:
+        if isinstance(item, str):
+            compiled = compile_spec(item)
+            for logic, prop in enumerate(compiled.properties):
+                normalized.append(
+                    (prop, {"kind": "source", "text": item, "logic": logic,
+                            "silent": not prop._callbacks})
+                )
+        elif hasattr(item, "make") and not isinstance(item, (CompiledSpec, CompiledProperty)):
+            key = getattr(item, "key", None)
+            compiled = item.make()
+            properties = (
+                compiled.properties
+                if isinstance(compiled, CompiledSpec)
+                else [compiled]
+            )
+            for logic, prop in enumerate(properties):
+                origin = (
+                    {"kind": "paper", "key": key, "logic": logic,
+                     "silent": not prop._callbacks}
+                    if isinstance(key, str)
+                    else {"kind": "opaque"}
+                )
+                normalized.append((prop, origin))
+        elif isinstance(item, CompiledSpec):
+            normalized.extend((prop, {"kind": "opaque"}) for prop in item.properties)
+        elif isinstance(item, CompiledProperty):
+            normalized.append((item, {"kind": "opaque"}))
+        else:
+            raise TypeError(f"cannot monitor {item!r}")
+    return normalized
+
+
+def materialize_origin(origin: Mapping[str, Any]) -> CompiledProperty:
+    """Re-compile one property from its portable origin record.
+
+    Raises :class:`~repro.core.errors.RegistryError` for ``opaque``
+    origins — the compiled object was never representable as data, so the
+    caller must supply it again.
+    """
+    kind = origin.get("kind")
+    if kind == "source":
+        compiled = compile_spec(origin["text"])
+    elif kind == "paper":
+        from ..properties import ALL_PROPERTIES
+
+        key = origin["key"]
+        if key not in ALL_PROPERTIES:
+            raise RegistryError(f"unknown paper property key {key!r}")
+        compiled = ALL_PROPERTIES[key].make()
+    else:
+        raise RegistryError(
+            f"origin kind {kind!r} cannot be re-materialized; supply the "
+            "compiled property explicitly"
+        )
+    logic = origin.get("logic", 0)
+    try:
+        prop = compiled.properties[logic]
+    except IndexError:
+        raise RegistryError(
+            f"origin names logic block {logic}, but the specification has "
+            f"{len(compiled.properties)}"
+        ) from None
+    if origin.get("silent"):
+        # The registered property carried no handlers (e.g. it was
+        # silenced for programmatic monitoring); re-materialization must
+        # not resurrect the specification's declared print handlers.
+        prop.silence()
+    return prop
+
+
+class PropertyRegistry:
+    """A versioned set of compiled properties with stable slot indexes.
+
+    Mutations never renumber: :meth:`remove` tombstones its slot, and new
+    properties always append.  Each mutation bumps :attr:`epoch`.  The
+    registry is a plain in-process object — thread safety is the owning
+    layer's job (the engine is single-threaded per shard; the service
+    serializes registry operations under its emit lock).
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[PropertyEntry] = []
+        self.epoch = 0
+        self._names: dict[str, int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_specs(cls, specs: Any) -> "PropertyRegistry":
+        """A fresh registry over any accepted property form (epoch counts
+        one add per property, like loading them one by one)."""
+        registry = cls()
+        if specs is None:
+            return registry
+        for prop, origin in normalize_properties(specs):
+            registry.add(prop, origin=origin)
+        return registry
+
+    def clone(self) -> "PropertyRegistry":
+        """An independent copy sharing the compiled property objects.
+
+        Shard engines clone the service's registry so each can mirror
+        registry operations on its own copy; compiled artifacts are
+        immutable at runtime and safe to share.
+        """
+        registry = PropertyRegistry()
+        registry.epoch = self.epoch
+        registry._names = dict(self._names)
+        registry.entries = [
+            replace(entry, origin=dict(entry.origin)) for entry in self.entries
+        ]
+        return registry
+
+    # -- mutation ------------------------------------------------------------
+
+    def unique_name(self, base: str) -> str:
+        """The name a default-named add would assign right now.
+
+        Exposed so callers that must know the name *before* committing the
+        add (the service names worker-side attaches; the durable engine
+        logs before applying) derive exactly what :meth:`add` will use.
+        """
+        unique = base
+        suffix = 2
+        while unique in self._names:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        return unique
+
+    def add(
+        self,
+        prop: CompiledProperty,
+        name: str | None = None,
+        origin: Mapping[str, Any] | None = None,
+        enabled: bool = True,
+    ) -> PropertyEntry:
+        """Register one compiled property in a fresh slot; bumps the epoch."""
+        unique = self.unique_name(
+            name if name else f"{prop.spec_name}/{prop.formalism}"
+        )
+        if name is not None and unique != name:
+            raise RegistryError(f"property name {name!r} is already registered")
+        self.epoch += 1
+        entry = PropertyEntry(
+            index=len(self.entries),
+            name=unique,
+            spec_name=prop.spec_name,
+            formalism=prop.formalism,
+            fingerprint=prop.fingerprint(),
+            origin=dict(origin) if origin is not None else {"kind": "opaque"},
+            prop=prop,
+            enabled=enabled,
+            added_epoch=self.epoch,
+        )
+        self.entries.append(entry)
+        self._names[unique] = entry.index
+        return entry
+
+    def remove(self, ref: Any) -> PropertyEntry:
+        """Tombstone one slot; bumps the epoch.  The entry (and its
+        fingerprint) stays addressable for snapshots and statistics."""
+        entry = self.entry(ref)
+        if entry.removed:
+            raise RegistryError(f"property {entry.name!r} is already removed")
+        self.epoch += 1
+        entry.removed = True
+        entry.enabled = False
+        entry.removed_epoch = self.epoch
+        return entry
+
+    def enable(self, ref: Any) -> PropertyEntry:
+        return self._set_enabled(ref, True)
+
+    def disable(self, ref: Any) -> PropertyEntry:
+        return self._set_enabled(ref, False)
+
+    def _set_enabled(self, ref: Any, enabled: bool) -> PropertyEntry:
+        entry = self.entry(ref)
+        if entry.removed:
+            raise RegistryError(f"property {entry.name!r} has been removed")
+        if entry.enabled != enabled:
+            self.epoch += 1
+            entry.enabled = enabled
+        return entry
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Adopt a snapshot's epoch (restore may only move it forward)."""
+        if epoch < self.epoch:
+            raise PersistError(
+                f"snapshot epoch {epoch} is older than the registry's "
+                f"{self.epoch}"
+            )
+        self.epoch = epoch
+
+    # -- lookup --------------------------------------------------------------
+
+    def entry(self, ref: Any) -> PropertyEntry:
+        """Resolve a slot index, a registered name, an entry, or a compiled
+        property object to its entry."""
+        if isinstance(ref, PropertyEntry):
+            return ref
+        if isinstance(ref, int):
+            if not 0 <= ref < len(self.entries):
+                raise RegistryError(f"no property slot {ref}")
+            return self.entries[ref]
+        if isinstance(ref, str):
+            index = self._names.get(ref)
+            if index is None:
+                raise RegistryError(
+                    f"no registered property named {ref!r} "
+                    f"(known: {sorted(self._names)})"
+                )
+            return self.entries[index]
+        if isinstance(ref, CompiledProperty):
+            for entry in self.entries:
+                if entry.prop is ref and not entry.removed:
+                    return entry
+            raise RegistryError(f"{ref!r} is not registered")
+        raise RegistryError(f"cannot resolve property reference {ref!r}")
+
+    def index_of(self, ref: Any) -> int:
+        return self.entry(ref).index
+
+    def has_name(self, name: str) -> bool:
+        """Whether ``name`` is already taken (pre-flight for callers that
+        must validate an add before committing it elsewhere, e.g. the
+        durable engine's write-ahead log)."""
+        return name in self._names
+
+    def loaded(self) -> Iterator[PropertyEntry]:
+        """Entries that occupy their slot (includes disabled ones)."""
+        return (entry for entry in self.entries if not entry.removed)
+
+    def active(self) -> Iterator[PropertyEntry]:
+        """Entries currently receiving events (loaded and enabled)."""
+        return (
+            entry for entry in self.entries if not entry.removed and entry.enabled
+        )
+
+    def properties(self) -> list[CompiledProperty | None]:
+        """Per-slot compiled properties (``None`` for removed slots)."""
+        return [None if entry.removed else entry.prop for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The registry as a JSON-safe record (epoch + per-slot entries)."""
+        return {
+            "epoch": self.epoch,
+            "entries": [entry.snapshot() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: Mapping[str, Any],
+        supplied: Iterable[tuple[CompiledProperty, dict]] | None = None,
+    ) -> "PropertyRegistry":
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        ``supplied`` are caller-provided ``(property, origin)`` pairs (from
+        :func:`normalize_properties`), consumed in slot order wherever the
+        fingerprint matches; slots the caller did not cover are re-compiled
+        from their recorded origins.  Removed slots become tombstones
+        without a compiled property.  Raises
+        :class:`~repro.core.errors.PersistError` when a slot can neither be
+        matched nor re-materialized, or when supplied properties are left
+        over — the caller's property set disagrees with the snapshot.
+        """
+        registry = cls()
+        pending = list(supplied) if supplied is not None else []
+
+        def take_supplied(fingerprint: str):
+            # Match by fingerprint anywhere in the supplied list: slot
+            # order need not equal supply order once tombstones and
+            # hot-loaded slots exist (a caller restoring with the original
+            # constructor specs after an unregister is the common case).
+            for position, (candidate, candidate_origin) in enumerate(pending):
+                if candidate.fingerprint() == fingerprint:
+                    del pending[position]
+                    return candidate, candidate_origin
+            return None
+
+        for slot, record in enumerate(payload.get("entries", ())):
+            prop: CompiledProperty | None = None
+            origin = dict(record.get("origin") or {"kind": "opaque"})
+            if record.get("removed"):
+                # A tombstone still consumes its supplied property (the
+                # caller passed the constructor-time set; the slot just no
+                # longer runs), keeping the leftover check meaningful.
+                take_supplied(record["fingerprint"])
+            else:
+                fingerprint = record["fingerprint"]
+                taken = take_supplied(fingerprint)
+                if taken is not None:
+                    prop, supplied_origin = taken
+                    if origin.get("kind") not in _PORTABLE_KINDS:
+                        origin = supplied_origin
+                elif origin.get("kind") in _PORTABLE_KINDS:
+                    prop = materialize_origin(origin)
+                    if prop.fingerprint() != fingerprint:
+                        raise PersistError(
+                            f"registry slot {slot} ({record.get('name')!r}): "
+                            "re-materialized property fingerprint does not "
+                            "match the snapshot"
+                        )
+                elif pending:
+                    raise PersistError(
+                        f"property {slot} ({record['spec']}/{record['formalism']}) "
+                        "does not match the snapshot: no supplied property has "
+                        f"fingerprint {fingerprint} — the specification "
+                        "semantics changed"
+                    )
+                else:
+                    raise PersistError(
+                        f"registry slot {slot} ({record.get('name')!r}) cannot "
+                        "be restored: its origin is opaque — supply the "
+                        "compiled property"
+                    )
+            entry = PropertyEntry(
+                index=slot,
+                name=record["name"],
+                spec_name=record["spec"],
+                formalism=record["formalism"],
+                fingerprint=record["fingerprint"],
+                origin=origin,
+                prop=prop,
+                enabled=record.get("enabled", True),
+                removed=bool(record.get("removed")),
+                added_epoch=record.get("added_epoch", 0),
+                removed_epoch=record.get("removed_epoch"),
+            )
+            registry.entries.append(entry)
+            registry._names[entry.name] = entry.index
+        if pending:
+            raise PersistError(
+                f"{len(pending)} supplied properties do not correspond to "
+                "any registry slot in the snapshot"
+            )
+        registry.epoch = payload.get("epoch", 0)
+        return registry
+
+    def __repr__(self) -> str:
+        live = sum(1 for _ in self.loaded())
+        return (
+            f"PropertyRegistry(epoch={self.epoch}, slots={len(self.entries)}, "
+            f"loaded={live})"
+        )

@@ -1,0 +1,296 @@
+"""Registry persistence: snapshot round-trips, WAL ops, ordered recovery.
+
+The acceptance criteria of ISSUE 4's persistence layer: snapshots record
+the registry (epoch + fingerprints + per-property enabled state), the WAL
+interleaves registry-op records with event segments, and recovery replays
+property adds/removes at exactly the trace positions they originally
+happened — so the recovered engine's verdicts and E/M accounting equal the
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import PersistError
+from repro.persist import (
+    DurableEngine,
+    WalWriter,
+    iter_wal,
+    iter_wal_records,
+    restore_engine,
+    snapshot_engine,
+)
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+from repro.spec import PropertyRegistry, compile_spec
+
+from .conftest import seed_for, symbolic_verdict_key, synth_entries
+
+HOT_SOURCE = """
+HotPair(p, q) {
+  event open(p)
+  event use(p, q)
+  ere: open use
+  @match
+}
+"""
+
+
+def _ops_engine(gc_kind="coenable"):
+    """An engine that lived through attach / disable / detach operations."""
+    engine = MonitoringEngine(
+        ALL_PROPERTIES["unsafeiter"].make().silence(), gc=gc_kind
+    )
+    entries = synth_entries(
+        ALL_PROPERTIES["unsafeiter"].make().definition, seed_for("persist-ops"),
+        events=60,
+    )
+    tokens: dict = {}
+    replay_entries(entries, engine, stop=20, tokens=tokens)
+    engine.attach_property(HOT_SOURCE)
+    # Attach via the provider so the origin is portable (kind "paper") and
+    # restore can re-materialize the slots without caller help.
+    engine.attach_property(ALL_PROPERTIES["hasnext"])
+    replay_entries(entries, engine, start=20, stop=40, tokens=tokens)
+    engine.set_property_enabled("HasNext/fsm", False)
+    engine.detach_property("HotPair/ere")
+    replay_entries(entries, engine, start=40, tokens=tokens)
+    return engine
+
+
+class TestSnapshotRegistry:
+    def test_epoch_and_enabled_round_trip(self):
+        engine = _ops_engine()
+        snapshot = snapshot_engine(engine)
+        assert snapshot["registry"]["epoch"] == engine.registry_epoch
+        restored, _tokens = restore_engine(
+            snapshot, ALL_PROPERTIES["unsafeiter"].make().silence()
+        )
+        assert restored.registry_epoch == engine.registry_epoch
+        for original, copy in zip(engine.registry.entries, restored.registry.entries):
+            assert (original.name, original.fingerprint, original.enabled,
+                    original.removed) == (
+                copy.name, copy.fingerprint, copy.enabled, copy.removed)
+        # The disabled slot stays paused after restore.
+        fsm = restored.registry.entry("HasNext/fsm")
+        assert not restored.runtimes[fsm.index].enabled
+
+    def test_hot_loaded_source_rematerializes_from_origin(self):
+        engine = MonitoringEngine(ALL_PROPERTIES["unsafeiter"].make().silence())
+        engine.attach_property(HOT_SOURCE)
+        snapshot = snapshot_engine(engine)
+        # Restore supplies only the constructor-time property; the hot one
+        # comes back from its recorded source text.
+        restored, _ = restore_engine(
+            snapshot, ALL_PROPERTIES["unsafeiter"].make().silence()
+        )
+        entry = restored.registry.entry("HotPair/ere")
+        assert restored.runtimes[entry.index] is not None
+        assert entry.origin["kind"] == "source"
+
+    def test_retired_stats_round_trip(self):
+        engine = _ops_engine()
+        want = {
+            key: stats.as_row() for key, stats in engine.stats().items()
+        }
+        restored, _ = restore_engine(
+            snapshot_engine(engine), ALL_PROPERTIES["unsafeiter"].make().silence()
+        )
+        got = {key: stats.as_row() for key, stats in restored.stats().items()}
+        for key in want:
+            assert want[key]["E"] == got[key]["E"], key
+            assert want[key]["M"] == got[key]["M"], key
+
+    def test_tombstone_mismatch_rejected(self):
+        engine = _ops_engine()
+        snapshot = snapshot_engine(engine)
+        # A target whose slot layout disagrees (no ops applied) is refused.
+        other = MonitoringEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), gc="coenable"
+        )
+        from repro.persist import restore_into
+
+        with pytest.raises(PersistError, match="propert"):
+            restore_into(other, snapshot)
+
+    def test_restore_with_original_specs_after_unregister(self):
+        """The common operator flow: restore passes the constructor-time
+        spec list even though a slot was unregistered since — the
+        tombstone consumes its supplied property and the rest match by
+        fingerprint, not list position."""
+        from repro.service import MonitorService
+
+        def specs():
+            return [
+                ALL_PROPERTIES["unsafeiter"].make().silence(),
+                ALL_PROPERTIES["hasnext"].make().silence(),
+            ]
+
+        service = MonitorService(specs(), shards=2, mode="inline")
+        service.unregister_property("UnsafeIter/ere")
+        checkpoint = service.checkpoint()
+        service.close()
+        restored = MonitorService.restore(checkpoint, specs(), mode="inline")
+        assert restored.registry.entry("UnsafeIter/ere").removed
+        assert not restored.registry.entry("HasNext/fsm").removed
+        restored.close()
+
+    def test_registry_clone_is_independent(self):
+        registry = PropertyRegistry.from_specs(
+            ALL_PROPERTIES["unsafeiter"].make().silence()
+        )
+        clone = registry.clone()
+        clone.add(compile_spec(HOT_SOURCE).properties[0])
+        assert len(clone) == 2 and len(registry) == 1
+        assert clone.epoch == registry.epoch + 1
+
+
+class TestWalRegistryOps:
+    def test_records_interleave_in_sequence_order(self, tmp_path):
+        directory = str(tmp_path)
+        wal = WalWriter(directory, segment_events=4)
+        wal.append("open", {"p": "o1"})
+        wal.append_registry_op({"op": "add", "name": None,
+                                "origin": {"kind": "source", "text": HOT_SOURCE}})
+        wal.append("use", {"p": "o1", "q": "o2"})
+        wal.append_registry_op({"op": "remove", "index": 1})
+        wal.append("open", {"p": "o3"})
+        wal.close()
+        records = list(iter_wal_records(directory, 0))
+        assert [seq for seq, _kind, _payload in records] == [1, 2, 3, 4, 5]
+        assert [kind for _seq, kind, _payload in records] == [
+            "event", "registry", "event", "registry", "event",
+        ]
+        assert records[1][2]["op"] == "add"
+        assert records[3][2] == {"op": "remove", "index": 1}
+        # The events-only view skips ops but keeps the gap check honest.
+        assert [seq for seq, _entry in iter_wal(directory, 0)] == [1, 3, 5]
+
+    def test_ops_survive_rotation_and_tail_repair(self, tmp_path):
+        directory = str(tmp_path)
+        wal = WalWriter(directory, segment_events=2)
+        for n in range(3):
+            wal.append("open", {"p": f"o{n}"})
+            wal.append_registry_op({"op": "disable", "index": 0})
+        wal.close()
+        # A torn trailing line must not hide the intact registry ops.
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        with open(segments[-1], "ab") as handle:
+            handle.write(b'{"q": 99, "r": {"op": tr')
+        kinds = [kind for _seq, kind, _payload in iter_wal_records(directory, 0)]
+        assert kinds == ["event", "registry"] * 3
+
+
+class TestDurableRecovery:
+    @pytest.mark.parametrize("checkpoint_at", (None, "before", "between"))
+    def test_recovery_replays_ops_in_order(self, tmp_path, checkpoint_at):
+        directory = str(tmp_path)
+        base = ALL_PROPERTIES["unsafeiter"]
+        hot = ALL_PROPERTIES["hasnext"]
+        entries = synth_entries(hot.make().definition, seed_for("durable-ops"),
+                                events=45)
+
+        verdicts: Counter = Counter()
+
+        def on_verdict(prop, category, monitor):
+            verdicts[symbolic_verdict_key(prop, category, monitor)] += 1
+
+        durable = DurableEngine(
+            base.make().silence(), directory, gc="coenable",
+            on_verdict=on_verdict,
+        )
+        c = object
+        tokens: dict = {}
+        replay_entries(entries, durable.engine, stop=15, tokens=tokens)
+        if checkpoint_at == "before":
+            durable.checkpoint()
+        durable.register_property(hot)
+        replay_entries(entries, durable.engine, start=15, stop=30, tokens=tokens)
+        if checkpoint_at == "between":
+            durable.checkpoint()
+        durable.unregister_property("HasNext/ltl")
+        replay_entries(entries, durable.engine, start=30, tokens=tokens)
+        live_rows = {
+            key: (stats.events, stats.monitors_created)
+            for key, stats in durable.engine.stats().items()
+        }
+        live_epoch = durable.engine.registry_epoch
+        durable.close()
+
+        recovered, _tokens = DurableEngine.recover(base.make().silence(), directory)
+        assert recovered.engine.registry_epoch == live_epoch
+        got_rows = {
+            key: (stats.events, stats.monitors_created)
+            for key, stats in recovered.engine.stats().items()
+        }
+        assert got_rows == live_rows
+        # Slot layout reproduced exactly: HasNext/ltl removed, fsm loaded.
+        assert recovered.engine.registry.entry("HasNext/ltl").removed
+        assert not recovered.engine.registry.entry("HasNext/fsm").removed
+        recovered.close()
+
+    def test_failed_ops_never_reach_the_wal(self, tmp_path):
+        """A registry op that raises must not be logged: a poisoned WAL
+        would make every later recovery replay the failure and refuse the
+        whole log suffix."""
+        from repro.core.errors import RegistryError
+
+        directory = str(tmp_path)
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), directory
+        )
+        durable.register_property(ALL_PROPERTIES["hasnext"])
+        durable.unregister_property("HasNext/fsm")
+        with pytest.raises(RegistryError):
+            durable.unregister_property("HasNext/fsm")  # already removed
+        with pytest.raises(RegistryError):
+            durable.set_property_enabled("HasNext/fsm", True)
+        with pytest.raises(RegistryError):
+            durable.register_property(HOT_SOURCE, name="HasNext/ltl")  # taken
+        epoch = durable.engine.registry_epoch
+        durable.close()
+        recovered, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), directory
+        )
+        assert recovered.engine.registry_epoch == epoch
+        recovered.close()
+
+    def test_silenced_paper_origin_rematerializes_silenced(self):
+        from repro.spec.registry import materialize_origin, normalize_properties
+
+        _prop, origin = normalize_properties(ALL_PROPERTIES["hasnext"])[0]
+        # Registered with live handlers: re-materialization keeps them.
+        assert origin["kind"] == "paper" and not origin["silent"]
+        assert materialize_origin(origin)._callbacks
+        # Silenced before registration: the origin records it and the
+        # restored property stays quiet (no resurrected print handlers).
+        silent_origin = dict(origin, silent=True)
+        assert not materialize_origin(silent_origin)._callbacks
+
+    def test_opaque_registration_refused(self, tmp_path):
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), str(tmp_path)
+        )
+        with pytest.raises(PersistError, match="re-materializable"):
+            durable.register_property(compile_spec(HOT_SOURCE).silence())
+        durable.close()
+
+    def test_registered_source_recovers_without_caller_help(self, tmp_path):
+        directory = str(tmp_path)
+        durable = DurableEngine(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), directory
+        )
+        durable.register_property(HOT_SOURCE)
+        durable.emit("open", p="p1", _strict=False)
+        durable.emit("use", p="p1", q="q1", _strict=False)
+        want = durable.engine.stats_for("HotPair", "ere").as_row()
+        durable.close()
+        recovered, _ = DurableEngine.recover(
+            ALL_PROPERTIES["unsafeiter"].make().silence(), directory
+        )
+        assert recovered.engine.stats_for("HotPair", "ere").as_row() == want
+        recovered.close()

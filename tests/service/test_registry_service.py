@@ -1,0 +1,234 @@
+"""Service-level registry operations: determinism, barriers, all backends.
+
+Registry operations go through a shard barrier under the emit lock, so a
+property registered (or unregistered) mid-stream switches every shard
+between the same two events.  The acceptance check mirrors the service
+determinism suite: a 4-shard service with hot ops produces the same
+verdict multiset and merged statistics as a single engine applying the
+identical ops at the identical trace positions — in inline, thread, and
+process modes.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.service import MonitorService, ingest_symbolic
+from repro.runtime.tracelog import replay_entries
+
+from ..persist.conftest import (
+    seed_for,
+    symbolic_record_key,
+    symbolic_verdict_key,
+    synth_entries,
+)
+
+BASE = "unsafeiter"
+HOT = "hasnext"
+
+
+def _entries(seed: int, events: int = 240):
+    base_spec = ALL_PROPERTIES[BASE].make()
+    hot_spec = ALL_PROPERTIES[HOT].make()
+
+    class _Definition:
+        parameters = sorted(
+            set(base_spec.definition.parameters)
+            | set(hot_spec.definition.parameters)
+        )
+        alphabet = sorted(set(base_spec.alphabet) | set(hot_spec.alphabet))
+
+        @staticmethod
+        def params_of(event):
+            if event in base_spec.alphabet:
+                return base_spec.definition.params_of(event)
+            return hot_spec.definition.params_of(event)
+
+    return synth_entries(_Definition, seed, events=events)
+
+
+def _single_engine_with_ops(entries, k_register, k_unregister):
+    """The reference run: one engine, ops applied at the same positions."""
+    verdicts: Counter = Counter()
+
+    def on_verdict(prop, category, monitor):
+        verdicts[symbolic_verdict_key(prop, category, monitor)] += 1
+
+    engine = MonitoringEngine(
+        ALL_PROPERTIES[BASE].make().silence(), gc="coenable", on_verdict=on_verdict
+    )
+    tokens: dict = {}
+    replay_entries(entries, engine, retire_after_last_use=True,
+                   stop=k_register, tokens=tokens)
+    engine.attach_property(ALL_PROPERTIES[HOT].make().silence())
+    replay_entries(entries, engine, retire_after_last_use=True,
+                   start=k_register, stop=k_unregister, tokens=tokens)
+    engine.detach_property("HasNext/fsm")
+    replay_entries(entries, engine, retire_after_last_use=True,
+                   start=k_unregister, tokens=tokens)
+    engine.flush_gc()
+    rows = {
+        key: (stats.events, stats.monitors_created)
+        for key, stats in engine.stats().items()
+    }
+    return verdicts, rows
+
+
+def _service_with_ops(mode, entries, k_register, k_unregister):
+    service = MonitorService(
+        ALL_PROPERTIES[BASE] if mode == "process"
+        else ALL_PROPERTIES[BASE].make().silence(),
+        shards=4, gc="coenable", mode=mode,
+    )
+    tokens: dict = {}
+    try:
+        ingest_symbolic(service, entries, retire_after_last_use=True,
+                        stop=k_register, tokens=tokens)
+        service.register_property(ALL_PROPERTIES[HOT])
+        ingest_symbolic(service, entries, retire_after_last_use=True,
+                        start=k_register, stop=k_unregister, tokens=tokens)
+        service.unregister_property("HasNext/fsm")
+        ingest_symbolic(service, entries, retire_after_last_use=True,
+                        start=k_unregister, tokens=tokens)
+        service.drain()
+        verdicts = Counter(
+            symbolic_record_key(record) for record in service.verdicts()
+        )
+        rows = {
+            key: (stats.events, stats.monitors_created)
+            for key, stats in service.stats().items()
+        }
+        return verdicts, rows
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("mode", ("inline", "thread", "process"))
+def test_hot_ops_match_single_engine(mode):
+    entries = _entries(seed_for("service-ops", mode))
+    k_register, k_unregister = len(entries) // 4, 3 * len(entries) // 4
+    want_verdicts, want_rows = _single_engine_with_ops(
+        entries, k_register, k_unregister
+    )
+    got_verdicts, got_rows = _service_with_ops(
+        mode, entries, k_register, k_unregister
+    )
+    assert got_verdicts == want_verdicts
+    assert got_rows == want_rows
+
+
+def test_unregister_under_load_leaks_nothing_in_process_backend():
+    entries = _entries(seed_for("service-leak"), events=300)
+    service = MonitorService(
+        ALL_PROPERTIES[BASE], shards=2, gc="coenable", mode="process"
+    )
+    try:
+        tokens: dict = {}
+        k = len(entries) // 2
+        ingest_symbolic(service, entries, retire_after_last_use=True,
+                        stop=k, tokens=tokens)
+        service.drain()
+        before = service.stats_for("UnsafeIter", "ere")
+        assert before.monitors_created > 0
+        service.unregister_property("UnsafeIter/ere")
+        # The stream keeps flowing; the retired property's events are
+        # unknown to the service now and dropped (non-strict replay).
+        ingest_symbolic(service, entries, retire_after_last_use=True,
+                        start=k, tokens=tokens)
+        service.drain()
+        tokens.clear()
+        gc.collect()
+        after = service.stats_for("UnsafeIter", "ere")
+        assert after.events == before.events
+        # Workers report the retired slot's folded statistics, and every
+        # monitor it ever created has been reclaimed in the workers once
+        # its parameters retired: nothing pins a detached runtime.
+        assert after.live_monitors == 0
+        assert after.monitors_collected == after.monitors_created
+    finally:
+        service.close()
+
+
+def test_double_unregister_rejected_without_killing_workers():
+    """Validation happens parent-side, before broadcasting: a repeated
+    unregister raises instead of detonating a RegistryError inside every
+    shard worker process."""
+    from repro.core.errors import RegistryError
+
+    service = MonitorService(
+        [ALL_PROPERTIES[BASE], ALL_PROPERTIES[HOT]], shards=2,
+        gc="coenable", mode="process",
+    )
+    try:
+        service.unregister_property("HasNext/fsm")
+        with pytest.raises(RegistryError, match="already removed"):
+            service.unregister_property("HasNext/fsm")
+        with pytest.raises(RegistryError, match="removed"):
+            service.set_property_enabled("HasNext/fsm", True)
+        # The workers survived the rejected operations.
+        service.emit("next", i=object())
+        service.drain()
+        assert service.stats_for("HasNext", "ltl").events == 1
+    finally:
+        service.close()
+
+
+def test_register_requires_portable_origin_in_process_mode():
+    service = MonitorService(
+        ALL_PROPERTIES[BASE], shards=2, gc="coenable", mode="process"
+    )
+    try:
+        with pytest.raises(ServiceError, match="re-materializable"):
+            service.register_property(ALL_PROPERTIES[HOT].make().silence())
+    finally:
+        service.close()
+
+
+def test_registered_property_routes_and_epoch_advances():
+    service = MonitorService(
+        ALL_PROPERTIES[BASE].make().silence(), shards=4, mode="inline"
+    )
+    try:
+        epoch = service.registry_epoch
+        assert not service.router.declared("hasnexttrue")
+        indexes = service.register_property(ALL_PROPERTIES[HOT])
+        assert service.registry_epoch == epoch + len(indexes)
+        assert service.router.declared("hasnexttrue")
+        routing = {row["property"] for row in service.describe_routing()}
+        assert "HasNext/fsm" in routing
+        service.unregister_property("HasNext/fsm")
+        service.unregister_property("HasNext/ltl")
+        assert not service.router.declared("hasnexttrue")
+        # Every shard engine mirrored the operations in lock step.
+        for engine in service.engines:
+            assert engine.registry_epoch == service.registry_epoch
+    finally:
+        service.close()
+
+
+def test_disable_enable_round_trip_inline():
+    entries = _entries(seed_for("service-disable"), events=120)
+    service = MonitorService(
+        [ALL_PROPERTIES[BASE].make().silence(),
+         ALL_PROPERTIES[HOT].make().silence()],
+        shards=4, mode="inline",
+    )
+    try:
+        k = len(entries) // 3
+        tokens: dict = {}
+        ingest_symbolic(service, entries, stop=k, tokens=tokens)
+        paused = service.stats_for("HasNext", "fsm").events
+        service.set_property_enabled("HasNext/fsm", False)
+        ingest_symbolic(service, entries, start=k, stop=2 * k, tokens=tokens)
+        assert service.stats_for("HasNext", "fsm").events == paused
+        service.set_property_enabled("HasNext/fsm", True)
+        ingest_symbolic(service, entries, start=2 * k, tokens=tokens)
+        assert service.stats_for("HasNext", "fsm").events > paused
+    finally:
+        service.close()
