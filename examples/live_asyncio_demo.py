@@ -1,0 +1,45 @@
+"""Live monitoring: TASKLOOP on real asyncio programs.
+
+TASKLOOP catches the fire-and-forget bug: a task spawned on a loop that
+never runs to completion before the loop closes.  ``asyncio.run`` hides
+the failure — it cancels pending tasks during shutdown — but the monitor
+distinguishes ``task_cancelled`` from ``task_done`` and still reports the
+abandonment.
+
+The property's instrumentation is a *weave hook* (not a declarative
+pointcut): it patches the ``BaseEventLoop.create_task`` funnel and
+attaches a done-callback per task — the seam every task construction
+flows through.
+
+Run:  PYTHONPATH=src python examples/live_asyncio_demo.py
+"""
+
+import asyncio
+
+from repro import LiveSession
+
+
+async def fetch(label: str, delay: float) -> str:
+    await asyncio.sleep(delay)
+    return f"{label}: done"
+
+
+async def main_coro() -> None:
+    awaited = asyncio.create_task(fetch("awaited", 0.01))
+    print(await awaited)
+    # Fire-and-forget: nobody awaits this one, the loop shutdown kills it.
+    asyncio.create_task(fetch("abandoned", 10.0))
+
+
+def main() -> None:
+    session = LiveSession(properties=["taskloop"], gc="coenable")
+    with session:
+        asyncio.run(main_coro())
+        stats = session.engine.stats_for("TaskLoop")
+        print(f"tasks observed: {stats.monitors_created}, "
+              f"abandonments reported: {stats.verdicts.get('match', 0)}")
+        assert stats.verdicts.get("match") == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Live monitoring: TEMPDIR on real temporary directories.
+
+Class pointcuts on ``tempfile.TemporaryDirectory`` (a pure-Python class)
+observe creation and cleanup; the ``dir_use`` event comes from the
+application's own path-resolution helper, annotated once with the
+:func:`repro.instrument.live.emits` decorator — it only reports while a
+session is active, and costs a plain wrapper call otherwise.
+
+Resolving a path under a directory that was already cleaned up is the
+classic stale-tempdir bug; the monitor reports it even though the
+filesystem call itself may appear to "work" (or fail much later).
+
+Run:  PYTHONPATH=src python examples/live_tempfile_demo.py
+"""
+
+import os
+import tempfile
+
+from repro import LiveSession, emits
+
+
+@emits("dir_use", bind={"d": "arg:tmp"})
+def path_in(tmp: tempfile.TemporaryDirectory, name: str) -> str:
+    """The application's helper for files inside its scratch directory."""
+    return os.path.join(tmp.name, name)
+
+
+def main() -> None:
+    session = LiveSession(properties=["tempdir"], gc="coenable")
+    with session:
+        scratch = tempfile.TemporaryDirectory()
+        with open(path_in(scratch, "data.txt"), "w") as handle:
+            handle.write("scratch data")
+        scratch.cleanup()
+
+        stale = path_in(scratch, "late.txt")  # use after cleanup!
+        print("stale path handed out:", stale)
+        print("exists?", os.path.exists(os.path.dirname(stale)))
+
+        stats = session.engine.stats_for("TempDirSafe")
+        print(f"violations reported: {stats.verdicts.get('error', 0)}")
+        assert stats.verdicts.get("error") == 1
+
+
+if __name__ == "__main__":
+    main()

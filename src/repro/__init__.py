@@ -12,7 +12,9 @@ The library implements the full RV-system stack from scratch:
 * the RV specification language (:mod:`repro.spec`);
 * a monitoring runtime with weak-keyed indexing trees and lazy monitor
   garbage collection (:mod:`repro.runtime`);
-* aspect-weaving instrumentation and a Java-collections substrate
+* aspect-weaving instrumentation, *live-program* monitoring (weakref-
+  driven monitor GC over real Python objects, ``sys.monitoring``/
+  ``settrace`` weaving), and a Java-collections substrate
   (:mod:`repro.instrument`);
 * the paper's ten properties (:mod:`repro.properties`) and the
   DaCapo-analog benchmark harness (:mod:`repro.bench`);
@@ -51,8 +53,9 @@ from .runtime.statistics import MonitorStats
 from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_spec
 from .spec.registry import PropertyRegistry
 from .instrument.aspects import Pointcut, Weaver, after_returning, before
+from .instrument.live import LiveSession, TraceWeaver, emits
 from .persist import DurableEngine, restore_engine, snapshot_engine
-from .properties import ALL_PROPERTIES, EVALUATED_PROPERTIES
+from .properties import ALL_PROPERTIES, CATALOGUE, EVALUATED_PROPERTIES, LIVE_PROPERTIES
 from .service import MonitorService, VerdictRecord
 
 __version__ = "1.0.0"
@@ -76,7 +79,12 @@ __all__ = [
     "Weaver",
     "after_returning",
     "before",
+    "LiveSession",
+    "TraceWeaver",
+    "emits",
     "ALL_PROPERTIES",
+    "LIVE_PROPERTIES",
+    "CATALOGUE",
     "EVALUATED_PROPERTIES",
     "MonitorService",
     "VerdictRecord",

@@ -1,6 +1,29 @@
-"""Instrumentation: aspect weaving and the monitored-program substrate."""
+"""Instrumentation: aspect weaving, live-program monitoring, and the
+monitored-program substrate.
+
+Three layers:
+
+* :mod:`~repro.instrument.aspects` — AspectJ-style pointcuts woven into
+  Python classes by monkey-patching (the Section 5 setting);
+* :mod:`~repro.instrument.live` — monitoring *real running programs*:
+  ``LiveSession`` (engine/service front door with a weakref-driven death
+  ledger), ``TraceWeaver`` (``sys.monitoring``/``settrace`` weaving of
+  plain functions), and the ``emits`` decorator;
+* :mod:`~repro.instrument.collections_shim` — the Java-collections
+  substrate the DaCapo-analog workloads run against.
+"""
 
 from .aspects import CallContext, Pointcut, Weaver, after_returning, before
+from .live import (
+    FunctionContext,
+    FunctionPointcut,
+    LiveBinding,
+    LiveSession,
+    TraceWeaver,
+    emits,
+    on_call,
+    on_return,
+)
 from .collections_shim import (
     ConcurrentModificationError,
     HashedObject,
@@ -24,6 +47,14 @@ __all__ = [
     "Weaver",
     "after_returning",
     "before",
+    "FunctionContext",
+    "FunctionPointcut",
+    "LiveBinding",
+    "LiveSession",
+    "TraceWeaver",
+    "emits",
+    "on_call",
+    "on_return",
     "ConcurrentModificationError",
     "HashedObject",
     "MethodBody",

@@ -64,6 +64,7 @@ class Pointcut:
     condition: Callable[[Any], bool] | None = None
 
     def extract(self, context: CallContext) -> dict[str, Any]:
+        """Bind the advice's spec parameters from one intercepted call."""
         values: dict[str, Any] = {}
         for param, source in self.bind:
             values[param] = _resolve(source, context)

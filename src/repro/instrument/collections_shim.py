@@ -164,6 +164,29 @@ class MonitoredMap:
         self._data.clear()
         self._mod_count += 1
 
+    def update(self, other: "MonitoredMap | dict") -> None:
+        """``Map.putAll`` analog; every inserted pair goes through ``put``
+        so woven ``updatemap`` advice observes bulk updates too."""
+        items = other._data if isinstance(other, MonitoredMap) else other
+        for key, value in dict(items).items():
+            self.put(key, value)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        """``putIfAbsent`` analog: only an actual insertion counts as a
+        modification (and emits the woven ``put`` event)."""
+        if key in self._data:
+            return self._data[key]
+        self.put(key, default)
+        return default
+
+    def __ior__(self, other: "MonitoredMap | dict") -> "MonitoredMap":
+        """``m |= other`` — pythonic spelling of :meth:`update`."""
+        self.update(other)
+        return self
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
     def size(self) -> int:
         return len(self._data)
 

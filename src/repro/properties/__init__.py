@@ -1,12 +1,29 @@
-"""The paper's property library (Section 5.1).
+"""The property library: the paper's ten properties + live-resource ones.
 
 The five iterator-family properties drive the evaluation's tables; the
 five non-iterator properties are the ones the paper reports as producing
-under 5% overhead everywhere.
+under 5% overhead everywhere; the five live-resource properties
+(:mod:`repro.properties.live_resources`) monitor real Python programs
+through the live instrumentation layer.
+
+:data:`CATALOGUE` is the **single source of truth** for what ships: every
+property key, everywhere — the benchmark CLI's ``--properties``, live
+sessions' key lookup, registry origin re-materialization, and the
+documentation's property table (asserted against it in
+``tests/docs/test_property_table.py``) — resolves through it.
 """
 
 from .base import PaperProperty
 from .iterators import HASNEXT, UNSAFEITER, UNSAFEMAPITER, UNSAFESYNCCOLL, UNSAFESYNCMAP
+from .live_resources import (
+    CURSORSAFE,
+    EXECUTOR,
+    LIVE_PROPERTIES,
+    SOCKETUSE,
+    TASKLOOP,
+    TEMPDIR,
+    LiveProperty,
+)
 from .locks_files import HASHSET, SAFEENUM, SAFEFILE, SAFEFILEWRITER, SAFELOCK
 
 #: The properties of Figures 9 and 10, in table order.
@@ -18,7 +35,7 @@ EVALUATED_PROPERTIES: tuple[PaperProperty, ...] = (
     UNSAFESYNCMAP,
 )
 
-#: Every property shipped with the library, keyed by short name.
+#: The paper's ten properties (the shim-substrate ones), keyed by short name.
 ALL_PROPERTIES: dict[str, PaperProperty] = {
     prop.key: prop
     for prop in (
@@ -35,28 +52,37 @@ ALL_PROPERTIES: dict[str, PaperProperty] = {
     )
 }
 
-def property_registry(keys: "tuple[str, ...] | list[str] | None" = None):
-    """A :class:`~repro.spec.registry.PropertyRegistry` over the library.
+#: The complete property catalogue — the single source of truth for every
+#: shipped property key (paper substrate properties + live-resource ones).
+CATALOGUE: "dict[str, PaperProperty | LiveProperty]" = {
+    **ALL_PROPERTIES,
+    **LIVE_PROPERTIES,
+}
 
-    Every selected paper property is compiled (silenced — registry
-    consumers monitor programmatically) and registered under
-    ``<key>:<formalism>`` with a portable ``paper`` origin, so anything
-    built from this registry can be checkpointed, recovered, and hot-
-    reloaded by key.  ``keys`` selects a subset (default: all ten); the
-    benchmark CLI resolves its ``--properties`` flag through this registry.
+def property_registry(keys: "tuple[str, ...] | list[str] | None" = None):
+    """A :class:`~repro.spec.registry.PropertyRegistry` over the catalogue.
+
+    Every selected property is compiled (silenced — registry consumers
+    monitor programmatically) and registered under ``<key>:<formalism>``
+    with a portable ``paper`` origin, so anything built from this registry
+    can be checkpointed, recovered, and hot-reloaded by key.  ``keys``
+    selects any subset of :data:`CATALOGUE`; the default is the paper's
+    ten (the set the Figure 9/10 harness evaluates — live-resource
+    properties are selected explicitly by key).  The benchmark CLI
+    resolves its ``--properties`` flag through this registry.
     """
     from ..spec.registry import PropertyRegistry
 
     registry = PropertyRegistry()
     selected = list(ALL_PROPERTIES) if keys is None else list(keys)
     for key in selected:
-        if key not in ALL_PROPERTIES:
+        if key not in CATALOGUE:
             from ..core.errors import RegistryError
 
             raise RegistryError(
-                f"unknown property key {key!r} (known: {sorted(ALL_PROPERTIES)})"
+                f"unknown property key {key!r} (known: {sorted(CATALOGUE)})"
             )
-        prop = ALL_PROPERTIES[key]
+        prop = CATALOGUE[key]
         for logic, compiled in enumerate(prop.make().silence().properties):
             registry.add(
                 compiled,
@@ -69,6 +95,7 @@ def property_registry(keys: "tuple[str, ...] | list[str] | None" = None):
 
 __all__ = [
     "PaperProperty",
+    "LiveProperty",
     "property_registry",
     "HASNEXT",
     "UNSAFEITER",
@@ -80,6 +107,13 @@ __all__ = [
     "SAFEFILE",
     "SAFEFILEWRITER",
     "HASHSET",
+    "SOCKETUSE",
+    "TASKLOOP",
+    "CURSORSAFE",
+    "TEMPDIR",
+    "EXECUTOR",
     "EVALUATED_PROPERTIES",
     "ALL_PROPERTIES",
+    "LIVE_PROPERTIES",
+    "CATALOGUE",
 ]

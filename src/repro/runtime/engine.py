@@ -56,6 +56,7 @@ sharded service's routing layer stay valid.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -1037,6 +1038,12 @@ class MonitoringEngine:
         #: Coalesced parameter deaths since the last event boundary:
         #: (runtime index, parameter name, dead object id).
         self._pending_dead: list[tuple[int, str, int]] = []
+        #: Guards every _pending_dead mutation: weakref death callbacks
+        #: (any thread), external note_deaths (emitter threads), and the
+        #: boundary swap in _propagate_deaths (shard worker threads) may
+        #: all touch it concurrently; an unguarded swap would strand
+        #: appends on the orphaned list and leak their dead-id buckets.
+        self._dead_lock = threading.Lock()
         #: id -> (weakref guard, positions the object is registered under).
         self._watched: dict[int, tuple[weakref.ref, set[tuple[int, str]]]] = {}
         #: Optional tap invoked as ``on_emit(event, params)`` for every
@@ -1098,6 +1105,7 @@ class MonitoringEngine:
 
     @property
     def registry_epoch(self) -> int:
+        """Monotonic version of the property set (bumped by every hot op)."""
         return self.registry.epoch
 
     def attach_property(
@@ -1156,14 +1164,15 @@ class MonitoringEngine:
         if runtime is None:
             raise RegistryError(f"property {entry.name!r} is already detached")
         if self._eager and self._pending_dead:
-            keep: list[tuple[int, str, int]] = []
             mine: dict[str, set[int]] = {}
-            for runtime_index, param, dead_id in self._pending_dead:
-                if runtime_index == index:
-                    mine.setdefault(param, set()).add(dead_id)
-                else:
-                    keep.append((runtime_index, param, dead_id))
-            self._pending_dead = keep
+            with self._dead_lock:
+                keep: list[tuple[int, str, int]] = []
+                for runtime_index, param, dead_id in self._pending_dead:
+                    if runtime_index == index:
+                        mine.setdefault(param, set()).add(dead_id)
+                    else:
+                        keep.append((runtime_index, param, dead_id))
+                self._pending_dead = keep
             if mine:
                 runtime.collect_deaths(mine)
         for _pass in range(2):
@@ -1342,6 +1351,43 @@ class MonitoringEngine:
 
     # -- GC control -----------------------------------------------------------------
 
+    def note_deaths(self, dead: Mapping[str, Iterable[int]]) -> None:
+        """Record externally observed parameter deaths for the next boundary.
+
+        ``dead`` maps parameter names to the ``id()``\\ s of objects that
+        died while bound under that name — the shape the live
+        instrumentation layer's :class:`~repro.instrument.live.LiveBinding`
+        drains from its ``weakref`` callbacks.  The deaths are queued and
+        propagated at the next *safe event boundary* (the top of the next
+        ``emit``), through exactly the coalesced ``purge_ids`` flow the
+        engine's own eager watcher uses.
+
+        Under lazy propagation this is a no-op: dead keys are discovered by
+        the weak-keyed structures themselves as they are touched, so
+        injected knowledge would never be drained.  The method exists so
+        external watchers can treat every engine uniformly.
+
+        The external watcher may know about objects the engine's own eager
+        watcher never saw (objects that appeared only in touched bindings,
+        never in a created monitor); their buckets are purged too, which
+        only removes provably dead state.
+        """
+        if not self._eager:
+            return
+        with self._dead_lock:
+            pending = self._pending_dead
+            for name, ids in dead.items():
+                # Paused runtimes receive deaths too — the engine's own
+                # watcher makes no enabled distinction, and a long-paused
+                # property must not accumulate dead-id buckets until it is
+                # resumed.
+                for index, runtime in enumerate(self.runtimes):
+                    if runtime is None:
+                        continue
+                    if name in runtime.prop.definition.parameters:
+                        for dead_id in ids:
+                            pending.append((index, name, dead_id))
+
     def _watch_param(self, runtime_index: int, name: str, value: Any) -> None:
         """Register one (runtime, parameter-name, object) for eager tracking."""
         key = id(value)
@@ -1371,17 +1417,18 @@ class MonitoringEngine:
         self._note_dead(entry[1], key)
 
     def _note_dead(self, positions: set[tuple[int, str]], dead_id: int) -> None:
-        pending = self._pending_dead
-        for runtime_index, name in positions:
-            pending.append((runtime_index, name, dead_id))
+        with self._dead_lock:
+            pending = self._pending_dead
+            for runtime_index, name in positions:
+                pending.append((runtime_index, name, dead_id))
 
     def _propagate_deaths(self) -> None:
         """Eager boundary propagation of all deaths since the last event."""
         if self.propagation == "eager_full":
-            del self._pending_dead[:]
             self.flush_gc()
             return
-        pending, self._pending_dead = self._pending_dead, []
+        with self._dead_lock:
+            pending, self._pending_dead = self._pending_dead, []
         per_runtime: dict[int, dict[str, set[int]]] = {}
         for runtime_index, name, dead_id in pending:
             per_runtime.setdefault(runtime_index, {}).setdefault(name, set()).add(
@@ -1404,7 +1451,8 @@ class MonitoringEngine:
         over the weak maps is arbitrary), so a second pass sweeps the
         now-flagged instances out of every remaining structure.
         """
-        del self._pending_dead[:]
+        with self._dead_lock:
+            del self._pending_dead[:]
         for _pass in range(2):
             for runtime in self.runtimes:
                 if runtime is not None:
@@ -1440,6 +1488,8 @@ class MonitoringEngine:
         return merged
 
     def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
+        """One property's counters, merged over formalisms unless one is
+        named; raises :class:`KeyError` for unknown properties."""
         matches = [
             stats
             for name, form, stats in self._iter_stats()
@@ -1471,6 +1521,7 @@ class MonitoringEngine:
         }
 
     def total_live_monitors(self) -> int:
+        """Created-minus-collected over every property (incl. retired)."""
         return sum(
             stats.live_monitors for _spec, _form, stats in self._iter_stats()
         )

@@ -12,24 +12,41 @@ symbol, and re-emits the events into a new engine — so a production trace
 can be re-monitored offline under a different property, GC strategy, or
 engine configuration.
 
-Caveat (documented, inherent): the log records *events*, not object
-deaths.  A replay keeps all tokens alive until the end unless
-``retire_after_last_use=True``, which drops each token right after its
-final occurrence — a faithful stand-in for the common pattern where
-objects die as soon as the program stops mentioning them (the paper's
-short-lived iterators), though not a reconstruction of the original
-collection points.
+Object deaths can be represented two ways:
+
+* **Implicitly** — ``replay(..., retire_after_last_use=True)`` drops each
+  token right after its final occurrence: a faithful stand-in for the
+  common pattern where objects die as soon as the program stops
+  mentioning them (the paper's short-lived iterators), though not a
+  reconstruction of the original collection points.
+* **Explicitly** — a recorder constructed with ``record_deaths=True``
+  interleaves ``{"die": [symbol, ...]}`` marker lines with the event
+  lines: whenever the interpreter reclaims a recorded parameter object,
+  the death is buffered and written out at the next safe boundary
+  (before the next event line), exactly where the engine's own coalesced
+  death propagation observes it.  :func:`replay` honors the markers by
+  dropping the named tokens between the same two events, so a replayed
+  trace reproduces the original run's monitor GC behavior — the
+  equivalence the live instrumentation layer
+  (:mod:`repro.instrument.live`) is tested against.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Iterable, TextIO
 
 from .engine import MonitoringEngine
 from .refs import SymbolRegistry
 
-__all__ = ["TraceRecorder", "replay", "replay_entries", "ReplayToken"]
+__all__ = [
+    "TraceRecorder",
+    "replay",
+    "replay_entries",
+    "split_death_markers",
+    "ReplayToken",
+]
 
 
 class ReplayToken:
@@ -51,12 +68,38 @@ class TraceRecorder:
     pass ``registry`` to share one symbol space with other consumers (the
     write-ahead log and checkpoint codec of :mod:`repro.persist` do this so
     snapshots and trace suffixes name objects consistently).
+
+    With ``record_deaths=True`` the recorder additionally registers as the
+    registry's death callback and interleaves ``{"die": [symbols]}`` marker
+    lines with the events.  Death callbacks run in whatever thread drops
+    the last strong reference (possibly mid-dispatch), so they only buffer;
+    the coalesced markers are written at the next :meth:`record` call —
+    i.e. between the two events the death actually fell between — or at an
+    explicit :meth:`flush_deaths`.
     """
 
-    def __init__(self, sink: TextIO, registry: SymbolRegistry | None = None):
+    def __init__(
+        self,
+        sink: TextIO,
+        registry: SymbolRegistry | None = None,
+        record_deaths: bool = False,
+    ):
         self._sink = sink
         self.registry = registry if registry is not None else SymbolRegistry()
         self.events_recorded = 0
+        self.deaths_recorded = 0
+        self._pending_deaths: list[str] = []
+        #: Guards the buffer swap against a death callback appending from
+        #: another thread mid-flush (a lost append would drop a marker and
+        #: break the live-vs-replay equivalence).
+        self._deaths_lock = threading.Lock()
+        if record_deaths:
+            if self.registry.on_death is not None:
+                raise ValueError(
+                    "the symbol registry already has a death callback; "
+                    "record_deaths needs exclusive ownership of it"
+                )
+            self.registry.on_death = self._note_death
 
     def attach(self, engine: MonitoringEngine) -> "TraceRecorder":
         """Register as the engine's emission tap (one tap per engine)."""
@@ -64,6 +107,9 @@ class TraceRecorder:
         return self
 
     def record(self, event: str, params: dict[str, Any]) -> None:
+        """Write one event line (flushing any buffered death markers)."""
+        if self._pending_deaths:
+            self.flush_deaths()
         symbol_for = self.registry.symbol_for
         entry = {
             "event": event,
@@ -71,6 +117,20 @@ class TraceRecorder:
         }
         self._sink.write(json.dumps(entry) + "\n")
         self.events_recorded += 1
+
+    def _note_death(self, symbol: str) -> None:
+        # Always appends through the attribute (never a captured bound
+        # method): flush_deaths swaps the buffer list out.
+        with self._deaths_lock:
+            self._pending_deaths.append(symbol)
+
+    def flush_deaths(self) -> None:
+        """Write buffered parameter deaths as one coalesced ``die`` marker."""
+        with self._deaths_lock:
+            pending, self._pending_deaths = self._pending_deaths, []
+        if pending:
+            self._sink.write(json.dumps({"die": pending}) + "\n")
+            self.deaths_recorded += len(pending)
 
 
 def read_trace(lines: Iterable[str]) -> list[dict]:
@@ -87,6 +147,7 @@ def replay_entries(
     stop: int | None = None,
     tokens: "dict[str, Any] | None" = None,
     batch_size: int | None = None,
+    deaths: "dict[int, list[str]] | None" = None,
 ) -> dict[str, Any]:
     """Re-emit pre-parsed ``(event, {param: symbol})`` pairs into ``target``.
 
@@ -111,6 +172,14 @@ def replay_entries(
     two events as the per-event replay, and verdicts/creation counts are
     identical while the per-call overhead amortizes over the chunk.
 
+    ``deaths`` carries *explicit death markers* (see
+    :class:`TraceRecorder` with ``record_deaths=True``): ``deaths[i]`` is
+    the list of symbols whose objects died after entry ``i - 1`` and
+    before entry ``i`` — those tokens are dropped right before entry ``i``
+    is emitted (``deaths[len(entries)]`` drops after the final entry), so
+    the replayed engine observes each death between exactly the same two
+    events as the recorded run.
+
     Returns the symbol -> token table of objects still alive at the end
     (with ``retire_after_last_use`` the retired ones are absent).  The
     ``tokens`` argument, when given, is used as that table and mutated in
@@ -132,6 +201,17 @@ def replay_entries(
     pending: list[tuple[str, dict[str, Any]]] = []
     emit_batch = target.emit_batch if batch_size else None
     for index in range(start, stop):
+        if deaths is not None:
+            dying = deaths.get(index)
+            if dying is not None:
+                if pending:
+                    # The marked deaths fell *before* this entry: the batched
+                    # prefix must be dispatched first so the engine observes
+                    # the deaths at the recorded boundary.
+                    emit_batch(pending, _strict=False)
+                    pending = []
+                for symbol in dying:
+                    tokens.pop(symbol, None)
         event, symbols = entries[index]
         params: dict[str, Any] = {}
         for name, symbol in symbols.items():
@@ -156,7 +236,34 @@ def replay_entries(
             del params
     if pending:
         emit_batch(pending, _strict=False)
+    if deaths is not None:
+        trailing = deaths.get(stop)
+        if trailing is not None:
+            for symbol in trailing:
+                tokens.pop(symbol, None)
     return tokens
+
+
+def split_death_markers(
+    records: Iterable[dict],
+) -> tuple[list[tuple[str, dict[str, str]]], dict[int, list[str]]]:
+    """Separate parsed trace records into entries and a death map.
+
+    ``records`` is :func:`read_trace` output possibly containing
+    ``{"die": [symbols]}`` markers.  Returns ``(entries, deaths)`` in the
+    shapes :func:`replay_entries` consumes: ``deaths[i]`` lists the
+    symbols that died right before entry ``i`` (``i == len(entries)`` for
+    deaths after the final event).
+    """
+    entries: list[tuple[str, dict[str, str]]] = []
+    deaths: dict[int, list[str]] = {}
+    for record in records:
+        dying = record.get("die")
+        if dying is not None:
+            deaths.setdefault(len(entries), []).extend(dying)
+        else:
+            entries.append((record["event"], record["params"]))
+    return entries, deaths
 
 
 def replay(
@@ -164,8 +271,13 @@ def replay(
     engine: MonitoringEngine,
     retire_after_last_use: bool = False,
 ) -> dict[str, ReplayToken]:
-    """Re-emit a recorded trace into ``engine`` (see :func:`replay_entries`)."""
-    entries = [
-        (entry["event"], entry["params"]) for entry in read_trace(lines)
-    ]
-    return replay_entries(entries, engine, retire_after_last_use)
+    """Re-emit a recorded trace into ``engine`` (see :func:`replay_entries`).
+
+    Traces recorded with death markers (``TraceRecorder(record_deaths=
+    True)``) have their markers honored: each marked token is dropped
+    between the same two events the original object died between.
+    """
+    entries, deaths = split_death_markers(read_trace(lines))
+    return replay_entries(
+        entries, engine, retire_after_last_use, deaths=deaths or None
+    )

@@ -598,10 +598,30 @@ class MonitorService:
             raise ServiceError("a shard worker process died")
         return accepted
 
+    def note_deaths(self, dead: Mapping[str, Iterable[int]]) -> None:
+        """Forward externally observed parameter deaths to the shard engines.
+
+        The live instrumentation layer (:mod:`repro.instrument.live`)
+        drains its ``weakref``-callback ledger at each event boundary and
+        hands the coalesced ``{param name: dead ids}`` map here; each
+        thread/inline shard engine queues it exactly like its own eager
+        watcher's observations (see
+        :meth:`~repro.runtime.engine.MonitoringEngine.note_deaths` — a
+        no-op under lazy propagation, where dead keys are discovered on
+        access).  In process mode this is a no-op: worker GC is driven by
+        the symbol registry's death-retire flow, which already watches
+        every routed parameter object.
+        """
+        if self.mode == "process":
+            return
+        for engine in self.engines:
+            engine.note_deaths(dead)
+
     # -- dynamic property registry -------------------------------------------
 
     @property
     def registry_epoch(self) -> int:
+        """Monotonic version of the property set (bumped by every hot op)."""
         return self.registry.epoch
 
     def _quiesce_locked(self) -> None:
@@ -944,6 +964,7 @@ class MonitorService:
         return merge_stats(self.per_shard_stats())
 
     def per_shard_stats(self) -> list[dict[StatsKey, MonitorStats]]:
+        """Each shard engine's statistics, indexed by shard number."""
         if self.mode == "process":
             if self._final_shard_stats is not None:
                 return [dict(shard_stats) for shard_stats in self._final_shard_stats]
@@ -953,6 +974,7 @@ class MonitorService:
         return [engine.stats() for engine in self.engines]
 
     def stats_for(self, spec_name: str, formalism: str | None = None) -> MonitorStats:
+        """One property's merged counters across every shard."""
         for (name, form), stats in self.stats().items():
             if name == spec_name and (formalism is None or form == formalism):
                 return stats
@@ -971,6 +993,7 @@ class MonitorService:
         return self.router.describe()
 
     def total_live_monitors(self) -> int:
+        """Created-minus-collected, summed over shards and properties."""
         if self.mode == "process":
             return sum(
                 stats.live_monitors

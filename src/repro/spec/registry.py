@@ -141,12 +141,12 @@ def materialize_origin(origin: Mapping[str, Any]) -> CompiledProperty:
     if kind == "source":
         compiled = compile_spec(origin["text"])
     elif kind == "paper":
-        from ..properties import ALL_PROPERTIES
+        from ..properties import CATALOGUE
 
         key = origin["key"]
-        if key not in ALL_PROPERTIES:
-            raise RegistryError(f"unknown paper property key {key!r}")
-        compiled = ALL_PROPERTIES[key].make()
+        if key not in CATALOGUE:
+            raise RegistryError(f"unknown catalogue property key {key!r}")
+        compiled = CATALOGUE[key].make()
     else:
         raise RegistryError(
             f"origin kind {kind!r} cannot be re-materialized; supply the "
@@ -269,9 +269,11 @@ class PropertyRegistry:
         return entry
 
     def enable(self, ref: Any) -> PropertyEntry:
+        """Resume a paused property (bumps the epoch if it was paused)."""
         return self._set_enabled(ref, True)
 
     def disable(self, ref: Any) -> PropertyEntry:
+        """Pause a property, keeping its slot and state intact."""
         return self._set_enabled(ref, False)
 
     def _set_enabled(self, ref: Any, enabled: bool) -> PropertyEntry:
@@ -319,6 +321,7 @@ class PropertyRegistry:
         raise RegistryError(f"cannot resolve property reference {ref!r}")
 
     def index_of(self, ref: Any) -> int:
+        """The stable slot index behind any accepted property reference."""
         return self.entry(ref).index
 
     def has_name(self, name: str) -> bool:

@@ -1,0 +1,45 @@
+"""Every file pointer in the docs pages must exist in the repository.
+
+The docs/ suite maps paper concepts to concrete files; a moved or
+renamed module must update its docs pointer in the same change.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_PAGES = sorted((REPO / "docs").glob("*.md"))
+
+#: Repo-relative file paths inside backticks, e.g. `src/repro/core/events.py`.
+POINTER = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs|tools)/[A-Za-z0-9_/.-]+\.[a-z]+)`"
+)
+#: Cross-page markdown links, e.g. [text](paper-mapping.md#anchor).
+PAGE_LINK = re.compile(r"\]\(([a-z-]+\.md)(?:#[a-z0-9-]+)?\)")
+
+
+def pointers(page: Path) -> list[str]:
+    return POINTER.findall(page.read_text())
+
+
+@pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
+def test_docs_exist_and_have_pointers(page: Path):
+    found = pointers(page)
+    assert found, f"{page.name} names no repository files"
+    missing = [pointer for pointer in found if not (REPO / pointer).exists()]
+    assert not missing, f"{page.name} points at missing files: {missing}"
+
+
+@pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
+def test_cross_page_links_resolve(page: Path):
+    for target in PAGE_LINK.findall(page.read_text()):
+        assert (REPO / "docs" / target).exists(), f"{page.name} -> {target}"
+
+
+def test_expected_pages_present():
+    names = {page.name for page in DOC_PAGES}
+    assert {"architecture.md", "paper-mapping.md", "gc-strategies.md"} <= names

@@ -1,0 +1,68 @@
+"""The documentation's property table must mirror the catalogue.
+
+``repro.properties.CATALOGUE`` is the single source of truth for the
+shipped property set; the human-readable table lives in
+``docs/architecture.md``.  This test parses the markdown table and
+asserts key set, titles, parameter sets, formalisms, and family
+membership against the live catalogue — so the two can never drift the
+way the old README property list did.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.properties import (
+    ALL_PROPERTIES,
+    CATALOGUE,
+    EVALUATED_PROPERTIES,
+    LIVE_PROPERTIES,
+)
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+ROW = re.compile(
+    r"^\|\s*`(?P<key>[a-z_]+)`\s*\|\s*(?P<title>[A-Z]+)\s*\|\s*"
+    r"`(?P<params>[a-z, ]+)`\s*\|\s*(?P<formalisms>[a-z+]+)\s*\|\s*"
+    r"(?P<family>evaluated|paper|live)\s*\|$"
+)
+
+
+def parse_table() -> dict[str, dict]:
+    rows: dict[str, dict] = {}
+    for line in (DOCS / "architecture.md").read_text().splitlines():
+        match = ROW.match(line.strip())
+        if match:
+            rows[match["key"]] = match.groupdict()
+    return rows
+
+
+def test_table_keys_equal_catalogue():
+    assert set(parse_table()) == set(CATALOGUE)
+
+
+def test_table_rows_match_compiled_properties():
+    evaluated = {prop.key for prop in EVALUATED_PROPERTIES}
+    for key, row in parse_table().items():
+        prop = CATALOGUE[key]
+        spec = prop.make()
+        assert row["title"] == prop.title, key
+        documented_params = {p.strip() for p in row["params"].split(",")}
+        assert documented_params == set(spec.definition.parameters), key
+        documented_formalisms = row["formalisms"].split("+")
+        assert documented_formalisms == [
+            compiled.formalism for compiled in spec.properties
+        ], key
+        if key in evaluated:
+            expected_family = "evaluated"
+        elif key in ALL_PROPERTIES:
+            expected_family = "paper"
+        else:
+            expected_family = "live"
+        assert row["family"] == expected_family, key
+
+
+def test_families_partition_catalogue():
+    assert set(ALL_PROPERTIES) | set(LIVE_PROPERTIES) == set(CATALOGUE)
+    assert not set(ALL_PROPERTIES) & set(LIVE_PROPERTIES)

@@ -1,0 +1,193 @@
+"""Edge cases of the collections shim — the thinnest-tested module.
+
+Covers nested iterators, bulk-modification entry points
+(``update`` / ``setdefault`` / ``|=``), iterator exhaustion vs.
+abandonment, fail-fast behavior, and map-view projection subtleties.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.instrument.collections_shim import (
+    ConcurrentModificationError,
+    MonitoredCollection,
+    MonitoredIterator,
+    MonitoredMap,
+    NoSuchElementError,
+    SynchronizedMap,
+)
+from repro.instrument.live import LiveSession
+from repro.properties import ALL_PROPERTIES
+
+
+class TestNestedIterators:
+    def test_independent_cursors_over_one_collection(self):
+        collection = MonitoredCollection([1, 2, 3])
+        outer = collection.iterator()
+        seen = []
+        while outer.has_next():
+            item = outer.next()
+            inner = collection.iterator()
+            while inner.has_next():
+                seen.append((item, inner.next()))
+        assert seen == [(a, b) for a in (1, 2, 3) for b in (1, 2, 3)]
+
+    def test_inner_iterator_survives_outer_abandonment(self):
+        collection = MonitoredCollection([1, 2])
+        outer = collection.iterator()
+        outer.next()
+        inner = collection.iterator()
+        del outer  # abandoned mid-iteration, not exhausted
+        assert [inner.next(), inner.next()] == [1, 2]
+        assert not inner.has_next()
+
+    def test_exhaustion_raises_but_abandonment_does_not(self):
+        collection = MonitoredCollection([1])
+        exhausted = collection.iterator()
+        exhausted.next()
+        with pytest.raises(NoSuchElementError):
+            exhausted.next()
+        abandoned = collection.iterator()  # never touched again
+        del abandoned
+
+    def test_fail_fast_nested_modification(self):
+        collection = MonitoredCollection([1, 2, 3])
+        collection.fail_fast = True
+        iterator = collection.iterator()
+        iterator.next()
+        collection.add(4)
+        with pytest.raises(ConcurrentModificationError):
+            iterator.next()
+
+    def test_non_fail_fast_reflects_growth(self):
+        collection = MonitoredCollection([1])
+        iterator = collection.iterator()
+        iterator.next()
+        assert not iterator.has_next()
+        collection.add(2)
+        assert iterator.has_next()  # live view of the backing list
+        assert iterator.next() == 2
+
+
+class TestMapBulkModification:
+    def test_update_from_dict_and_map(self):
+        target = MonitoredMap()
+        target.update({"a": 1, "b": 2})
+        other = MonitoredMap()
+        other.put("c", 3)
+        target.update(other)
+        assert target.size() == 3
+        assert target.get("c") == 3
+
+    def test_update_counts_every_insert_as_modification(self):
+        target = MonitoredMap()
+        before = target._mod_count
+        target.update({"a": 1, "b": 2})
+        assert target._mod_count == before + 2
+
+    def test_setdefault_inserts_once(self):
+        target = MonitoredMap()
+        assert target.setdefault("a", 1) == 1
+        before = target._mod_count
+        assert target.setdefault("a", 99) == 1
+        assert target._mod_count == before  # hit: not a modification
+        assert "a" in target
+
+    def test_ior_operator(self):
+        target = MonitoredMap()
+        target.put("a", 1)
+        target |= {"b": 2}
+        assert target.size() == 2
+
+    def test_bulk_updates_fire_woven_updatemap_events(self):
+        """update/setdefault/|= must be visible to UNSAFEMAPITER."""
+        verdicts: Counter = Counter()
+        session = LiveSession(
+            properties=[ALL_PROPERTIES["unsafemapiter"].make().silence()],
+            gc="coenable",
+            on_verdict=lambda _p, category, _m: verdicts.update([category]),
+        )
+        with session:
+            session.weave(ALL_PROPERTIES["unsafemapiter"].pointcuts())
+
+            def iterate_then(modify):
+                backing = MonitoredMap()
+                backing.put("k", "v")
+                view = backing.key_set()
+                iterator = view.iterator()
+                iterator.next()
+                modify(backing)
+                iterator.next() if iterator.has_next() else None
+                # One more use after the map changed: the violation.
+                try:
+                    iterator.next()
+                except NoSuchElementError:
+                    pass
+
+            iterate_then(lambda m: m.update({"x": 1}))
+            iterate_then(lambda m: m.setdefault("y", 2))
+            iterate_then(lambda m: m.__ior__({"z": 3}))
+        assert verdicts["match"] >= 3
+
+    def test_setdefault_hit_does_not_fire_update(self):
+        verdicts: Counter = Counter()
+        session = LiveSession(
+            properties=[ALL_PROPERTIES["unsafemapiter"].make().silence()],
+            gc="coenable",
+            on_verdict=lambda _p, category, _m: verdicts.update([category]),
+        )
+        with session:
+            session.weave(ALL_PROPERTIES["unsafemapiter"].pointcuts())
+            backing = MonitoredMap()
+            backing.put("k", "v")
+            iterator = backing.key_set().iterator()
+            iterator.next()
+            backing.setdefault("k", "other")  # present: no modification
+            assert not iterator.has_next()
+        assert verdicts == Counter()
+
+    def test_synchronized_map_inherits_bulk_updates(self):
+        target = SynchronizedMap()
+        target.update({"a": 1})
+        assert target.setdefault("b", 2) == 2
+        assert target.size() == 2
+
+
+class TestMapViewEdges:
+    def test_views_are_read_through(self):
+        backing = MonitoredMap()
+        backing.put("a", 1)
+        view = backing.key_set()
+        for operation in (lambda: view.add("x"), lambda: view.remove("a"),
+                          lambda: view.clear()):
+            with pytest.raises(ReproError):
+                operation()
+
+    def test_view_iterator_sees_backing_changes(self):
+        backing = MonitoredMap()
+        backing.put("a", 1)
+        values = backing.values()
+        iterator = values.iterator()
+        assert iterator.next() == 1
+        backing.put("b", 2)
+        assert iterator.has_next()
+        assert iterator.next() == 2
+
+    def test_view_mod_count_tracks_backing(self):
+        backing = MonitoredMap()
+        view = backing.key_set()
+        view.fail_fast = True
+        iterator = view.iterator()
+        backing.update({"a": 1})
+        with pytest.raises(ConcurrentModificationError):
+            iterator.next()
+
+    def test_iterator_source_property(self):
+        collection = MonitoredCollection([1])
+        iterator = collection.iterator()
+        assert isinstance(iterator, MonitoredIterator)
+        assert iterator.source is collection

@@ -1,0 +1,258 @@
+"""Semantics and catalogue integration of the live-resource properties."""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import socket
+import sqlite3
+import tempfile
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.instrument.live import LiveSession
+from repro.properties import (
+    ALL_PROPERTIES,
+    CATALOGUE,
+    LIVE_PROPERTIES,
+    property_registry,
+)
+from repro.runtime.engine import MonitoringEngine
+from repro.spec.registry import materialize_origin
+
+from ..conftest import Obj
+
+
+def run_events(key: str, events: list[tuple[str, dict]]) -> Counter:
+    """Feed one abstract event sequence to a property; count verdicts."""
+    verdicts: Counter = Counter()
+    engine = MonitoringEngine(
+        LIVE_PROPERTIES[key].make().silence(),
+        gc="coenable",
+        on_verdict=lambda _p, category, _m: verdicts.update([category]),
+    )
+    for event, params in events:
+        engine.emit(event, **params)
+    return verdicts
+
+
+# ---------------------------------------------------------------------------
+# Abstract semantics (pure event sequences, no real resources).
+# ---------------------------------------------------------------------------
+
+
+class TestAbstractSemantics:
+    def test_socketuse_use_after_close(self):
+        s = Obj("s")
+        assert run_events("socketuse", [
+            ("sock_create", {"s": s}),
+            ("sock_use", {"s": s}),
+            ("sock_close", {"s": s}),
+            ("sock_use", {"s": s}),
+        ]) == Counter({"error": 1})
+
+    def test_socketuse_clean_lifecycle(self):
+        s = Obj("s")
+        assert run_events("socketuse", [
+            ("sock_create", {"s": s}),
+            ("sock_use", {"s": s}),
+            ("sock_close", {"s": s}),
+            ("sock_close", {"s": s}),  # double close is harmless
+        ]) == Counter()
+
+    def test_taskloop_abandoned_and_cancelled(self):
+        loop, t1, t2, t3 = Obj("l"), Obj("t1"), Obj("t2"), Obj("t3")
+        assert run_events("taskloop", [
+            ("task_spawn", {"l": loop, "t": t1}),
+            ("task_done", {"t": t1}),            # completed: fine
+            ("task_spawn", {"l": loop, "t": t2}),
+            ("task_cancelled", {"t": t2}),       # shutdown sweep kill
+            ("task_spawn", {"l": loop, "t": t3}),  # never completed at all
+            ("loop_close", {"l": loop}),
+        ]) == Counter({"match": 2})
+
+    def test_cursorsafe_exec_after_cursor_close(self):
+        conn, cur = Obj("c"), Obj("k")
+        assert run_events("cursorsafe", [
+            ("cur_open", {"c": conn, "k": cur}),
+            ("cur_exec", {"k": cur}),
+            ("cur_close", {"k": cur}),
+            ("cur_exec", {"k": cur}),
+        ]) == Counter({"error": 1})
+
+    def test_cursorsafe_exec_after_connection_close(self):
+        conn, cur = Obj("c"), Obj("k")
+        assert run_events("cursorsafe", [
+            ("cur_open", {"c": conn, "k": cur}),
+            ("conn_close", {"c": conn}),
+            ("cur_exec", {"k": cur}),
+        ]) == Counter({"error": 1})
+
+    def test_cursorsafe_connection_close_hits_every_cursor(self):
+        conn, k1, k2 = Obj("c"), Obj("k1"), Obj("k2")
+        assert run_events("cursorsafe", [
+            ("cur_open", {"c": conn, "k": k1}),
+            ("cur_open", {"c": conn, "k": k2}),
+            ("conn_close", {"c": conn}),
+            ("cur_exec", {"k": k1}),
+            ("cur_exec", {"k": k2}),
+        ]) == Counter({"error": 2})
+
+    def test_tempdir_use_after_cleanup(self):
+        d = Obj("d")
+        assert run_events("tempdir", [
+            ("dir_create", {"d": d}),
+            ("dir_use", {"d": d}),
+            ("dir_cleanup", {"d": d}),
+            ("dir_use", {"d": d}),
+        ]) == Counter({"error": 1})
+
+    def test_tempdir_double_cleanup(self):
+        d = Obj("d")
+        assert run_events("tempdir", [
+            ("dir_create", {"d": d}),
+            ("dir_cleanup", {"d": d}),
+            ("dir_cleanup", {"d": d}),
+        ]) == Counter({"error": 1})
+
+    def test_executor_submit_after_shutdown(self):
+        x = Obj("x")
+        assert run_events("executor", [
+            ("exec_create", {"x": x}),
+            ("exec_submit", {"x": x}),
+            ("exec_shutdown", {"x": x}),
+            ("exec_submit", {"x": x}),
+        ]) == Counter({"error": 1})
+
+
+# ---------------------------------------------------------------------------
+# Default weaving against the real resources.
+# ---------------------------------------------------------------------------
+
+
+def live_session(key: str, verdicts: Counter) -> LiveSession:
+    return LiveSession(
+        properties=[LIVE_PROPERTIES[key].make().silence()],
+        gc="coenable",
+        on_verdict=lambda _p, category, _m: verdicts.update([category]),
+    )
+
+
+class TestLiveWeaving:
+    def test_socket_use_after_close(self):
+        verdicts: Counter = Counter()
+        session = live_session("socketuse", verdicts)
+        with session:
+            session.weave(LIVE_PROPERTIES["socketuse"].pointcuts())
+            left, right = socket.socketpair()
+            left.sendall(b"ping")
+            right.recv(16)
+            left.close()
+            right.close()
+            with pytest.raises(OSError):
+                left.sendall(b"pong")
+        assert verdicts == Counter({"error": 1})
+
+    def test_executor_submit_after_shutdown(self):
+        verdicts: Counter = Counter()
+        session = live_session("executor", verdicts)
+        with session:
+            session.weave(LIVE_PROPERTIES["executor"].pointcuts())
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(lambda: None).result()
+            with pytest.raises(RuntimeError):
+                pool.submit(lambda: None)
+        assert verdicts == Counter({"error": 1})
+
+    def test_tempdir_cleanup_discipline(self):
+        verdicts: Counter = Counter()
+        session = live_session("tempdir", verdicts)
+        with session:
+            session.weave(LIVE_PROPERTIES["tempdir"].pointcuts())
+            tmp = tempfile.TemporaryDirectory()
+            tmp.cleanup()
+            tmp.cleanup()  # double cleanup: silent in 3.11+, but a smell
+        assert verdicts == Counter({"error": 1})
+
+    def test_taskloop_abandoned_task(self):
+        verdicts: Counter = Counter()
+        session = live_session("taskloop", verdicts)
+        with session:
+            LIVE_PROPERTIES["taskloop"].weave_hook(session)
+            async def worker():
+                await asyncio.sleep(0.01)
+
+            async def main():
+                done = asyncio.get_running_loop().create_task(worker())
+                await done
+                asyncio.get_running_loop().create_task(worker())  # abandoned
+
+            asyncio.run(main())
+        assert verdicts["match"] == 1
+
+    def test_cursorsafe_with_user_code_weaving(self):
+        verdicts: Counter = Counter()
+        session = live_session("cursorsafe", verdicts)
+
+        from repro.instrument.live import on_call, on_return
+
+        def open_cursor(conn):
+            return conn.cursor()
+
+        def run_query(cur, sql):
+            return cur.execute(sql)
+
+        with session:
+            session.weave_functions([
+                on_return(open_cursor, "cur_open",
+                          {"c": "arg:conn", "k": "result"}),
+                on_call(run_query, "cur_exec", {"k": "arg:cur"}),
+            ])
+            conn = sqlite3.connect(":memory:")
+            cursor = open_cursor(conn)
+            run_query(cursor, "create table t (x)")
+            conn.close()
+            session.emit("conn_close", c=conn)  # C type: emitted by user code
+            with pytest.raises(sqlite3.ProgrammingError):
+                run_query(cursor, "select 1")
+        assert verdicts == Counter({"error": 1})
+
+
+# ---------------------------------------------------------------------------
+# Catalogue integration.
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogue:
+    def test_catalogue_is_paper_plus_live(self):
+        assert set(CATALOGUE) == set(ALL_PROPERTIES) | set(LIVE_PROPERTIES)
+        assert len(LIVE_PROPERTIES) >= 5
+        assert not (set(ALL_PROPERTIES) & set(LIVE_PROPERTIES))
+
+    def test_every_live_property_compiles(self):
+        for key, prop in LIVE_PROPERTIES.items():
+            spec = prop.make()
+            assert spec.properties, key
+            assert prop.key == key
+            assert prop.description
+
+    def test_property_registry_accepts_live_keys(self):
+        registry = property_registry(list(LIVE_PROPERTIES))
+        names = {entry.name for entry in registry.loaded()}
+        assert len(names) == len(LIVE_PROPERTIES)
+        for entry in registry.loaded():
+            assert entry.origin["kind"] == "paper"
+            assert entry.origin["key"] in LIVE_PROPERTIES
+
+    def test_live_origin_rematerializes(self):
+        registry = property_registry(["socketuse"])
+        entry = next(iter(registry.loaded()))
+        prop = materialize_origin(entry.origin)
+        assert prop.fingerprint() == entry.prop.fingerprint()
+
+    def test_default_registry_stays_paper_only(self):
+        registry = property_registry()
+        keys = {entry.origin["key"] for entry in registry.loaded()}
+        assert keys == set(ALL_PROPERTIES)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""D1xx-style docstring lint for the public API surface (stdlib-only).
+
+The container bakes no third-party linters, so this is a minimal
+pydocstyle/ruff-D1xx equivalent implemented on ``ast``: it reports
+**missing** docstrings on
+
+* the module itself (D100),
+* public classes (D101),
+* public methods of public classes (D102),
+* public module-level functions (D103).
+
+"Public" means the name has no leading underscore (dunder methods other
+than ``__init__`` are exempt, as are ``@overload``/``@property`` setters'
+duplicates — anything whose body is a bare ``...``/``pass`` stub).
+Nested (function-local) definitions are never required to carry
+docstrings.
+
+Usage::
+
+    python tools/check_docstrings.py FILE [FILE ...]
+
+Exit status 1 if any finding is reported.  CI runs it over the modules
+named in :data:`DEFAULT_TARGETS`; the tier-1 suite mirrors it in
+``tests/docs/test_docstring_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: The public-API modules the docstring gate protects (repo-relative).
+DEFAULT_TARGETS = (
+    "src/repro/runtime/engine.py",
+    "src/repro/runtime/tracelog.py",
+    "src/repro/service/service.py",
+    "src/repro/spec/registry.py",
+    "src/repro/persist/recovery.py",
+    "src/repro/instrument/live.py",
+    "src/repro/instrument/aspects.py",
+    "src/repro/properties/__init__.py",
+    "src/repro/properties/live_resources.py",
+)
+
+
+def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Bodies that are a bare ``...`` / ``pass`` / docstring-only stub."""
+    body = node.body
+    if len(body) != 1:
+        return False
+    only = body[0]
+    if isinstance(only, ast.Pass):
+        return True
+    return isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant)
+
+
+def _wants_docstring(name: str) -> bool:
+    if name == "__init__":
+        return False  # documented on the class (the codebase's convention)
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return not name.startswith("_")
+
+
+def check_file(path: Path) -> list[str]:
+    """All missing-docstring findings for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: list[str] = []
+    if ast.get_docstring(tree) is None:
+        findings.append(f"{path}:1 D100 missing module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _wants_docstring(node.name) and not _is_stub(node):
+                if ast.get_docstring(node) is None:
+                    findings.append(
+                        f"{path}:{node.lineno} D103 missing docstring on "
+                        f"function {node.name!r}"
+                    )
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    f"{path}:{node.lineno} D101 missing docstring on "
+                    f"class {node.name!r}"
+                )
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not _wants_docstring(member.name) or _is_stub(member):
+                    continue
+                if ast.get_docstring(member) is None:
+                    findings.append(
+                        f"{path}:{member.lineno} D102 missing docstring on "
+                        f"method {node.name}.{member.name!r}"
+                    )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: lint the given files (or the default targets)."""
+    targets = [Path(arg) for arg in argv] or [Path(t) for t in DEFAULT_TARGETS]
+    all_findings: list[str] = []
+    for target in targets:
+        if not target.exists():
+            all_findings.append(f"{target}: file does not exist")
+            continue
+        all_findings.extend(check_file(target))
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"\n{len(all_findings)} docstring finding(s)")
+        return 1
+    print(f"docstring lint clean over {len(targets)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
