@@ -39,13 +39,12 @@ throughput falls below the lazy 1-shard number recorded in
 from __future__ import annotations
 
 import argparse
-import gc
 import json
 import os
 import sys
-import time
 from collections import Counter
 
+from repro.bench.harness import best_of_n, timed_call
 from repro.bench.workloads import WORKLOADS, record_workload_events
 from repro.properties import UNSAFEITER
 from repro.runtime.engine import MonitoringEngine
@@ -62,13 +61,12 @@ def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
 
 def run_engine(
     entries, dispatch: str, propagation: str, batch_size: int | None = None,
-    repeats: int = 3,
+    repeats: int = 3, telemetry=None,
 ) -> dict:
     """Best-of-``repeats`` timing (each repeat is a fresh engine + replay);
     verdict/monitor counts are asserted identical across repeats."""
-    best = None
-    identity = None
-    for _ in range(repeats):
+
+    def repeat():
         verdicts: Counter = Counter()
         engine = MonitoringEngine(
             UNSAFEITER.make().silence(),
@@ -77,33 +75,33 @@ def run_engine(
             dispatch=dispatch,
             on_verdict=lambda prop, category, monitor: verdicts.update([category]),
         )
-        gc.collect()
-        start = time.perf_counter()
-        replay_entries(
-            entries, engine, retire_after_last_use=True, batch_size=batch_size
+        # Only the replay is timed — engine construction stays outside the
+        # window, preserving comparability with the recorded baselines.
+        _, elapsed = timed_call(
+            replay_entries,
+            entries,
+            engine,
+            retire_after_last_use=True,
+            batch_size=batch_size,
         )
-        elapsed = time.perf_counter() - start
         stats = engine.stats_for("UnsafeIter")
-        run_identity = (sum(verdicts.values()), stats.monitors_created)
-        if identity is None:
-            identity = run_identity
-        elif identity != run_identity:
-            raise AssertionError(f"repeat diverged: {identity} vs {run_identity}")
-        if best is None or elapsed < best:
-            best = elapsed
+        return elapsed, (sum(verdicts.values()), stats.monitors_created)
+
+    cell = f"dispatch/{dispatch}-{propagation}" + ("-batch" if batch_size else "")
+    run = best_of_n(repeat, repeats, cell=cell, telemetry=telemetry)
     return {
         "events": len(entries),
-        "seconds": best,
-        "events_per_second": len(entries) / best if best else 0.0,
-        "verdicts": identity[0],
-        "monitors_created": identity[1],
+        "seconds": run.seconds,
+        "events_per_second": len(entries) / run.seconds if run.seconds else 0.0,
+        "verdicts": run.identity[0],
+        "monitors_created": run.identity[1],
     }
 
 
-def run_service(entries, propagation: str, shards: int, repeats: int = 2) -> dict:
-    best = None
-    identity = None
-    for _ in range(repeats):
+def run_service(
+    entries, propagation: str, shards: int, repeats: int = 2, telemetry=None
+) -> dict:
+    def repeat():
         service = MonitorService(
             UNSAFEITER.make().silence(),
             shards=shards,
@@ -111,26 +109,23 @@ def run_service(entries, propagation: str, shards: int, repeats: int = 2) -> dic
             propagation=propagation,
             mode="inline",
         )
-        gc.collect()
-        start = time.perf_counter()
-        ingest_symbolic(service, entries, retire_after_last_use=True)
-        elapsed = time.perf_counter() - start
+        _, elapsed = timed_call(
+            ingest_symbolic, service, entries, retire_after_last_use=True
+        )
         verdicts = len(service.verdicts())
         stats = service.stats_for("UnsafeIter")
         service.close()
-        run_identity = (verdicts, stats.monitors_created)
-        if identity is None:
-            identity = run_identity
-        elif identity != run_identity:
-            raise AssertionError(f"repeat diverged: {identity} vs {run_identity}")
-        if best is None or elapsed < best:
-            best = elapsed
+        return elapsed, (verdicts, stats.monitors_created)
+
+    run = best_of_n(
+        repeat, repeats, cell=f"dispatch/service-x{shards}", telemetry=telemetry
+    )
     return {
         "events": len(entries),
-        "seconds": best,
-        "events_per_second": len(entries) / best if best else 0.0,
-        "verdicts": identity[0],
-        "monitors_created": identity[1],
+        "seconds": run.seconds,
+        "events_per_second": len(entries) / run.seconds if run.seconds else 0.0,
+        "verdicts": run.identity[0],
+        "monitors_created": run.identity[1],
     }
 
 

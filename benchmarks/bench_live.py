@@ -35,10 +35,10 @@ import os
 import platform
 import sys
 import tempfile
-import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.bench.harness import timed_call
 from repro.instrument.live import LiveSession, emits, on_call, on_return
 from repro.properties import LIVE_PROPERTIES
 from repro.runtime.engine import MonitoringEngine
@@ -125,9 +125,7 @@ def run_program(opener, user, closer, handles: int) -> int:
 
 
 def timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+    return timed_call(fn)[1]
 
 
 def make_engine(verdicts: Counter) -> MonitoringEngine:

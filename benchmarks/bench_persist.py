@@ -32,9 +32,9 @@ import gc
 import json
 import os
 import tempfile
-import time
 from collections import Counter
 
+from repro.bench.harness import timed_call
 from repro.bench.workloads import WORKLOADS, record_workload_events
 from repro.persist import (
     DurableEngine,
@@ -92,19 +92,18 @@ def bench_snapshot(entries) -> dict:
     )
     live_monitors = prefix.total_live_monitors()
 
-    start = time.perf_counter()
-    payload = snapshot_to_bytes(snapshot_engine(prefix))
-    snapshot_seconds = time.perf_counter() - start
+    payload, snapshot_seconds = timed_call(
+        lambda: snapshot_to_bytes(snapshot_engine(prefix))
+    )
     del prefix, prefix_tokens
     gc.collect()
 
-    start = time.perf_counter()
-    restored, tokens = restore_engine(
+    (restored, tokens), restore_seconds = timed_call(
+        restore_engine,
         snapshot_from_bytes(payload),
         UNSAFEITER.make().silence(),
         on_verdict=lambda p, c, m: got.update([verdict_key(p, c, m)]),
     )
-    restore_seconds = time.perf_counter() - start
     replay_entries(
         entries, restored, retire_after_last_use=True, start=cut, tokens=tokens
     )
@@ -148,18 +147,16 @@ def bench_wal(entries) -> dict:
             fsync_interval=256,
         )
         tokens: dict = {}
-        start = time.perf_counter()
-        replay_entries(entries, durable.engine, tokens=tokens)
-        append_seconds = time.perf_counter() - start
+        _, append_seconds = timed_call(
+            replay_entries, entries, durable.engine, tokens=tokens
+        )
         durable.checkpoint()
         del durable, tokens
         gc.collect()
 
-        start = time.perf_counter()
-        recovered, _tokens = DurableEngine.recover(
-            UNSAFEITER.make().silence(), directory
+        (recovered, _tokens), recover_seconds = timed_call(
+            DurableEngine.recover, UNSAFEITER.make().silence(), directory
         )
-        recover_seconds = time.perf_counter() - start
         events = recovered.engine.stats_for("UnsafeIter").events
         recovered.close()
     return {
@@ -209,10 +206,11 @@ def bench_backend(entries, mode: str) -> dict:
         mode=mode,
         keep_verdict_log=False,
     )
-    start = time.perf_counter()
-    ingest_batched(service, entries)
-    service.drain()
-    seconds = time.perf_counter() - start
+    def ingest_and_drain():
+        ingest_batched(service, entries)
+        service.drain()
+
+    _, seconds = timed_call(ingest_and_drain)
     stats = service.stats_for("UnsafeIter")
     verdicts = sum(stats.verdicts.values())
     service.close()

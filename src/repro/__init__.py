@@ -23,7 +23,10 @@ The library implements the full RV-system stack from scratch:
 * checkpoint & recovery — engine snapshots, a write-ahead tracelog, and
   crash recovery by snapshot + suffix replay (:mod:`repro.persist`);
 * a dynamic property registry — hot load/unload of properties across the
-  engine, the service, and persistence (:mod:`repro.spec.registry`).
+  engine, the service, and persistence (:mod:`repro.spec.registry`);
+* a runtime telemetry plane — exact counters, sampled timers, Prometheus
+  exposition, and verdict provenance with WAL-slice replay
+  (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from .spec.compiler import CompiledProperty, CompiledSpec, compile_spec, load_sp
 from .spec.registry import PropertyRegistry
 from .instrument.aspects import Pointcut, Weaver, after_returning, before
 from .instrument.live import LiveSession, TraceWeaver, emits
+from .obs.telemetry import Telemetry
 from .persist import DurableEngine, restore_engine, snapshot_engine
 from .properties import ALL_PROPERTIES, CATALOGUE, EVALUATED_PROPERTIES, LIVE_PROPERTIES
 from .service import MonitorService, VerdictRecord

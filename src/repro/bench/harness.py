@@ -27,13 +27,108 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from typing import Any, Callable
+
 from ..core.errors import UnsupportedFormalismError
 from ..properties import ALL_PROPERTIES, PaperProperty
 from ..runtime.engine import SYSTEMS, MonitoringEngine
 from ..runtime.statistics import MonitorStats
 from .workloads import WORKLOADS, WorkloadProfile, run_workload
 
-__all__ = ["CellResult", "run_cell", "run_grid", "GridResult", "baseline_time"]
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "GridResult",
+    "baseline_time",
+    "timed_call",
+    "best_of_n",
+    "BestOfN",
+]
+
+
+# -- shared timing loops (used by every benchmarks/bench_*.py script) ---------
+
+
+@dataclass
+class BestOfN:
+    """The outcome of one best-of-N timing loop."""
+
+    cell: str
+    #: The best (minimum) repeat — the number benchmarks report.
+    seconds: float
+    #: Every repeat's wall time, in run order.
+    times: list[float]
+    #: The identity payload the repeats agreed on (None when untracked).
+    identity: Any = None
+
+
+def timed_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    telemetry: Any = None,
+    cell: str = "call",
+    **kwargs: Any,
+) -> tuple[Any, float]:
+    """Time one call of ``fn`` after a full host GC; ``(result, seconds)``.
+
+    The ``gc.collect()`` keeps collector debt from a previous repeat out
+    of this one's window — the discipline every benchmark's inline timing
+    loop used before being deduplicated here.  With ``telemetry`` the
+    elapsed time is observed in ``repro_bench_run_seconds{cell=...}``.
+    """
+    gc.collect()
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        _observe_run(telemetry, cell, elapsed)
+    return result, elapsed
+
+
+def best_of_n(
+    repeat: Callable[[], "tuple[float, Any]"],
+    repeats: int = 3,
+    *,
+    cell: str = "cell",
+    telemetry: Any = None,
+) -> BestOfN:
+    """The shared best-of-N loop behind the benchmark scripts.
+
+    ``repeat()`` performs one full measurement — typically timing its
+    critical section with :func:`timed_call` — and returns ``(seconds,
+    identity)``.  The identity payload (verdict counts, monitors
+    created, ...) must be equal across repeats; a divergence raises
+    ``AssertionError``, which is how the benchmarks assert determinism
+    while they measure.  Every repeat's wall time feeds
+    ``repro_bench_run_seconds{cell=...}`` when ``telemetry`` is given;
+    the returned :class:`BestOfN` carries the minimum.
+    """
+    best: float | None = None
+    identity: Any = None
+    times: list[float] = []
+    for index in range(max(1, repeats)):
+        elapsed, run_identity = repeat()
+        times.append(elapsed)
+        if telemetry is not None:
+            _observe_run(telemetry, cell, elapsed)
+        if index == 0:
+            identity = run_identity
+        elif identity != run_identity:
+            raise AssertionError(
+                f"{cell}: repeat diverged: {identity} vs {run_identity}"
+            )
+        if best is None or elapsed < best:
+            best = elapsed
+    return BestOfN(cell=cell, seconds=best or 0.0, times=times, identity=identity)
+
+
+def _observe_run(telemetry: Any, cell: str, elapsed: float) -> None:
+    from ..obs.catalogue import declare as _declare_metric
+
+    _declare_metric(telemetry.registry, "repro_bench_run_seconds").labels(
+        cell
+    ).observe(elapsed)
 
 
 @dataclass
@@ -70,16 +165,15 @@ class CellResult:
 
 
 def _timed_run(profile: WorkloadProfile) -> float:
-    gc.collect()
-    start = time.perf_counter()
-    run_workload(profile)
-    return time.perf_counter() - start
+    return timed_call(run_workload, profile)[1]
 
 
 def baseline_time(workload: str, scale: float = 1.0, repeats: int = 1) -> float:
     """Best-of-N unwoven runtime for a workload (the ORIG column)."""
     profile = WORKLOADS[workload].scaled(scale)
-    return min(_timed_run(profile) for _ in range(max(1, repeats)))
+    return best_of_n(
+        lambda: (_timed_run(profile), None), repeats, cell=f"orig/{workload}"
+    ).seconds
 
 
 def run_cell(
@@ -109,7 +203,9 @@ def run_cell(
     result.original_seconds = (
         original_seconds
         if original_seconds is not None
-        else min(_timed_run(profile) for _ in range(max(1, repeats)))
+        else best_of_n(
+            lambda: (_timed_run(profile), None), repeats, cell=f"orig/{workload}"
+        ).seconds
     )
 
     gc_kind, propagation = SYSTEMS[system]
@@ -129,11 +225,11 @@ def run_cell(
     try:
         if measure_tracemalloc:
             tracemalloc.start()
-        best = None
-        for _ in range(max(1, repeats)):
-            elapsed = _timed_run(profile)
-            best = elapsed if best is None else min(best, elapsed)
-        result.monitored_seconds = best or 0.0
+        result.monitored_seconds = best_of_n(
+            lambda: (_timed_run(profile), None),
+            repeats,
+            cell=f"{workload}/{system}",
+        ).seconds
         if measure_tracemalloc:
             _current, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()

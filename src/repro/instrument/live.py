@@ -47,7 +47,11 @@ import weakref
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, TextIO
 
+from time import perf_counter
+
 from ..core.errors import ReproError
+from ..obs.catalogue import declare as _declare_metric
+from ..obs.telemetry import Telemetry, as_telemetry
 from ..runtime.engine import MonitoringEngine
 from ..runtime.tracelog import TraceRecorder
 from .aspects import Pointcut, Weaver
@@ -589,12 +593,20 @@ class LiveSession:
         *,
         record: TextIO | None = None,
         backend: str | None = None,
+        telemetry: "Telemetry | bool | None" = None,
         **engine_options: Any,
     ):
+        #: Weave-overhead telemetry: an exact per-pointcut-event counter
+        #: plus a sampled emit-boundary timer (watch + death drain +
+        #: dispatch — the full cost the weaving adds per woven event).
+        #: A session-built engine shares this registry.
+        self.telemetry = as_telemetry(telemetry)
         self._props = self._resolve_properties(properties)
         if sink is None:
             if not self._props:
                 raise ReproError("LiveSession needs a sink or properties")
+            if self.telemetry is not None:
+                engine_options.setdefault("telemetry", self.telemetry)
             sink = MonitoringEngine(
                 [prop for prop, _hook in self._props], **engine_options
             )
@@ -624,6 +636,20 @@ class LiveSession:
         #: (cls, method, original, patched) monkey-patches, LIFO-restored.
         self._patches: list[tuple[type, str, Any, Any]] = []
         self._active = False
+        self._m_live_events = None
+        self._m_live_latency = None
+        self._live_sampler = None
+        self._live_counters: dict[str, Any] = {}
+        self._live_timers: dict[str, Any] = {}
+        if self.telemetry is not None:
+            obs_registry = self.telemetry.registry
+            self._m_live_events = _declare_metric(
+                obs_registry, "repro_live_events_total"
+            )
+            self._m_live_latency = _declare_metric(
+                obs_registry, "repro_live_pointcut_seconds"
+            )
+            self._live_sampler = self.telemetry.sampler()
 
     @staticmethod
     def _sink_consumes_deaths(sink: Any) -> bool:
@@ -714,6 +740,28 @@ class LiveSession:
         skipped entirely — the weak-keyed structures (and the recorder's
         symbol registry, for death markers) observe deaths on their own.
         """
+        if self._m_live_events is not None:
+            counter = self._live_counters.get(event)
+            if counter is None:
+                counter = self._live_counters[event] = self._m_live_events.labels(
+                    event
+                )
+            counter.inc()
+            if self._live_sampler.sample():
+                timer = self._live_timers.get(event)
+                if timer is None:
+                    timer = self._live_timers[event] = self._m_live_latency.labels(
+                        event
+                    )
+                start = perf_counter()
+                try:
+                    self._emit_inner(event, _strict, params)
+                finally:
+                    timer.observe(perf_counter() - start)
+                return
+        self._emit_inner(event, _strict, params)
+
+    def _emit_inner(self, event: str, _strict: bool, params: dict[str, Any]) -> None:
         if self._track_deaths:
             watch = self.binding.watch
             for name, value in params.items():

@@ -1,0 +1,69 @@
+"""Observability plane: metrics, hot-path profiling, and verdict provenance.
+
+The paper's evaluation (Figures 9/10 of the PLDI'11 monitoring-GC paper)
+is an observability exercise — E/M/FM/CM counters and overhead curves.
+This package makes those quantities *live*:
+
+* :mod:`repro.obs.metrics` — thread-exact counters/gauges/fixed-bucket
+  histograms, registry snapshots, exact cross-thread/process merging,
+  Prometheus text rendering;
+* :mod:`repro.obs.catalogue` — the declared universe of metric names
+  (asserted against ``docs/observability.md``);
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade every layer
+  accepts (``telemetry=None`` keeps hot paths byte-identical to the
+  un-instrumented build), plus the MonitorStats→metrics bridge;
+* :mod:`repro.obs.sink` — NDJSON metrics/trace sink (tracelog idiom);
+* :mod:`repro.obs.http` — stdlib-only Prometheus exposition endpoint and
+  its strict validating parser;
+* :mod:`repro.obs.provenance` — verdict → WAL-slice extraction and
+  replay-level time-travel debugging.
+
+``python -m repro.obs`` snapshots, diffs, and validates a running
+service's exposition endpoint.
+"""
+
+from .catalogue import METRICS, MetricSpec, declare
+from .http import ExpositionServer, parse_exposition
+from .metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sampler,
+    merge_snapshots,
+    render_prometheus,
+)
+from .provenance import binding_symbols, extract_slice, replay_verdict, verify_verdict
+from .sink import NdjsonSink, read_ndjson
+from .telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry, as_telemetry, stats_to_metrics
+
+__all__ = [
+    "METRICS",
+    "MetricSpec",
+    "declare",
+    "ExpositionServer",
+    "parse_exposition",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Sampler",
+    "merge_snapshots",
+    "render_prometheus",
+    "binding_symbols",
+    "extract_slice",
+    "replay_verdict",
+    "verify_verdict",
+    "NdjsonSink",
+    "read_ndjson",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "Telemetry",
+    "as_telemetry",
+    "stats_to_metrics",
+]

@@ -1,0 +1,229 @@
+"""``python -m repro.obs`` — poke a running service's telemetry plane.
+
+Subcommands:
+
+* ``snapshot URL`` — fetch ``/metrics.json`` from an exposition endpoint
+  and print (or save) the raw registry snapshot;
+* ``diff BEFORE AFTER`` — what moved between two snapshots (files or
+  endpoint URLs): counter/gauge deltas and histogram count/sum deltas;
+* ``validate FILE|-`` — strictly parse Prometheus text exposition
+  (``-`` reads stdin); exit 1 with the offending line on failure — the
+  CI smoke step pipes ``curl /metrics`` through this;
+* ``slice --wal DIR --seq N [--first-seq M]`` — print the WAL records of
+  a verdict's provenance range as JSON lines (see
+  :mod:`repro.obs.provenance`);
+* ``serve-demo`` — run a small inline service with a steady synthetic
+  workload and serve its metrics for ``--duration`` seconds: a live
+  endpoint for smoke tests and manual poking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, Mapping
+
+
+def _fetch_snapshot(source: str) -> dict[str, Any]:
+    """A registry snapshot from an endpoint URL or a saved JSON file."""
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/")
+        if not url.endswith("/metrics.json"):
+            url += "/metrics.json"
+        with urllib.request.urlopen(url) as response:
+            return json.loads(response.read().decode("utf-8"))
+    with open(source, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _series_map(entry: Mapping[str, Any]) -> dict[tuple, Any]:
+    return {tuple(key): value for key, value in entry["series"]}
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    snapshot = _fetch_snapshot(args.url)
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = _fetch_snapshot(args.before)
+    after = _fetch_snapshot(args.after)
+    moved = 0
+    for name in sorted(set(before) | set(after)):
+        old = _series_map(before[name]) if name in before else {}
+        new_entry = after.get(name) or before[name]
+        new = _series_map(after[name]) if name in after else {}
+        kind = new_entry["kind"]
+        for key in sorted(set(old) | set(new)):
+            labels = ",".join(key)
+            label_text = f"{{{labels}}}" if labels else ""
+            if kind == "histogram":
+                old_count = old[key]["count"] if key in old else 0
+                old_sum = old[key]["sum"] if key in old else 0.0
+                new_count = new[key]["count"] if key in new else 0
+                new_sum = new[key]["sum"] if key in new else 0.0
+                if new_count != old_count or new_sum != old_sum:
+                    moved += 1
+                    print(
+                        f"{name}{label_text} count {old_count} -> {new_count} "
+                        f"(+{new_count - old_count}), "
+                        f"sum {old_sum:.6g} -> {new_sum:.6g}"
+                    )
+            else:
+                old_value = old.get(key, 0)
+                new_value = new.get(key, 0)
+                if new_value != old_value:
+                    moved += 1
+                    print(
+                        f"{name}{label_text} {old_value:g} -> {new_value:g} "
+                        f"({new_value - old_value:+g})"
+                    )
+    if not moved:
+        print("no series moved")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .http import parse_exposition
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        families = parse_exposition(text)
+    except ValueError as exc:
+        print(f"invalid exposition: {exc}", file=sys.stderr)
+        return 1
+    samples = sum(len(entry["samples"]) for entry in families.values())
+    print(f"ok: {len(families)} families, {samples} samples")
+    return 0
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    from .provenance import extract_slice
+
+    provenance = {"seq": args.seq, "first_seq": args.first_seq}
+    records = extract_slice(args.wal, provenance)
+    for seq, kind, payload in records:
+        if kind == "event":
+            event, params = payload
+            line = {"seq": seq, "kind": kind, "event": event, "params": params}
+        else:
+            line = {"seq": seq, "kind": kind, "op": payload}
+        print(json.dumps(line, sort_keys=True))
+    if not records:
+        print(
+            f"no records in ({args.first_seq}, {args.seq}] — "
+            "was the WAL synced?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+_DEMO_SPEC = """
+UnsafeIter(c, i) {
+  event create(c, i)
+  event update(c)
+  event next(i)
+  ere: update* create next* update+ next
+  @match
+}
+"""
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    from ..service.service import MonitorService
+    from ..spec.compiler import compile_spec
+
+    prop = compile_spec(_DEMO_SPEC).silence()
+    service = MonitorService(prop, shards=2, mode="inline", telemetry=True)
+    server = service.serve_metrics(host=args.host, port=args.port)
+    print(f"serving metrics at {server.url}/metrics", flush=True)
+
+    class _Obj:
+        pass
+
+    deadline = time.monotonic() + args.duration
+    try:
+        while time.monotonic() < deadline:
+            collection, iterator = _Obj(), _Obj()
+            service.emit_batch(
+                [
+                    ("create", {"c": collection, "i": iterator}),
+                    ("update", {"c": collection}),
+                    ("next", {"i": iterator}),
+                ]
+            )
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Snapshot, diff, and validate repro telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_snapshot = sub.add_parser("snapshot", help="fetch /metrics.json from a service")
+    p_snapshot.add_argument("url", help="exposition endpoint URL (or base URL)")
+    p_snapshot.add_argument("-o", "--output", help="write JSON here instead of stdout")
+    p_snapshot.set_defaults(func=_cmd_snapshot)
+
+    p_diff = sub.add_parser("diff", help="series deltas between two snapshots")
+    p_diff.add_argument("before", help="snapshot JSON file or endpoint URL")
+    p_diff.add_argument("after", help="snapshot JSON file or endpoint URL")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_validate = sub.add_parser(
+        "validate", help="strictly parse Prometheus text exposition"
+    )
+    p_validate.add_argument("file", help="exposition text file, or - for stdin")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_slice = sub.add_parser(
+        "slice", help="print a provenance range's WAL records as JSON lines"
+    )
+    p_slice.add_argument("--wal", required=True, help="WAL directory")
+    p_slice.add_argument("--seq", required=True, type=int, help="verdict seq (range end)")
+    p_slice.add_argument(
+        "--first-seq", type=int, default=0,
+        help="checkpoint floor (range start, exclusive; default 0)",
+    )
+    p_slice.set_defaults(func=_cmd_slice)
+
+    p_demo = sub.add_parser(
+        "serve-demo", help="serve a demo service's metrics for a while"
+    )
+    p_demo.add_argument("--host", default="127.0.0.1")
+    p_demo.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_demo.add_argument(
+        "--duration", type=float, default=30.0, help="seconds to keep serving"
+    )
+    p_demo.add_argument(
+        "--interval", type=float, default=0.01, help="seconds between demo batches"
+    )
+    p_demo.set_defaults(func=_cmd_serve_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Stdlib-only Prometheus exposition endpoint and its strict parser.
+
+:class:`ExpositionServer` serves whatever a snapshot callable returns:
+
+* ``GET /metrics`` — Prometheus text exposition format;
+* ``GET /metrics.json`` — the raw registry snapshot as JSON (what the
+  ``python -m repro.obs`` CLI diffs);
+* ``GET /healthz`` — liveness probe for smoke tests.
+
+It runs a daemon-threaded ``http.server.ThreadingHTTPServer`` so a
+``MonitorService`` can expose metrics without any third-party
+dependency.  :func:`parse_exposition` is the validating counterpart the
+CI smoke step pipes a curl of ``/metrics`` through: it rejects
+malformed lines, samples without a ``# TYPE``, and non-numeric values.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from .metrics import render_prometheus
+
+__all__ = ["ExpositionServer", "parse_exposition"]
+
+
+class ExpositionServer:
+    """Serve metric snapshots over HTTP from a background daemon thread."""
+
+    def __init__(
+        self,
+        snapshot_source: Callable[[], Mapping[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        source = snapshot_source
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+                try:
+                    if self.path in ("/metrics", "/"):
+                        body = render_prometheus(source()).encode("utf-8")
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif self.path == "/metrics.json":
+                        body = json.dumps(source(), sort_keys=True).encode("utf-8")
+                        ctype = "application/json"
+                    elif self.path == "/healthz":
+                        body, ctype = b"ok\n", "text/plain; charset=utf-8"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
+                except Exception as exc:  # surface snapshot failures as 500s
+                    self.send_error(500, f"snapshot failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                """Silence per-request stderr logging."""
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-obs-exposition", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (no trailing slash)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and join the background thread."""
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+
+
+_COMMENT = re.compile(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"  # labels
+    r" (\S+)$"  # value
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+_ESCAPE = re.compile(r"\\(.)")
+
+
+def _unescape(value: str) -> str:
+    """Invert the label-value escaping of the text renderer (single pass)."""
+    return _ESCAPE.sub(lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
+
+
+def parse_exposition(text: str) -> dict[str, dict[str, Any]]:
+    """Strictly parse Prometheus text exposition format.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, {label: value}, float), ...]}}``.  Raises
+    ``ValueError`` on any malformed line, a sample whose family has no
+    ``# TYPE``, an unknown type, or a non-numeric value — this is the
+    validator behind ``python -m repro.obs validate``.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str | None:
+        for base, entry in families.items():
+            if sample_name == base:
+                return base
+            if entry["type"] in ("histogram", "summary") and sample_name in (
+                f"{base}_bucket", f"{base}_sum", f"{base}_count",
+            ):
+                return base
+        return None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _COMMENT.match(line)
+            if match is None:
+                raise ValueError(f"line {lineno}: malformed comment: {raw!r}")
+            keyword, name, rest = match.groups()
+            entry = families.setdefault(name, {"type": None, "help": "", "samples": []})
+            if keyword == "TYPE":
+                if rest not in _TYPES:
+                    raise ValueError(f"line {lineno}: unknown metric type {rest!r}")
+                entry["type"] = rest
+            else:
+                entry["help"] = rest or ""
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        sample_name, label_blob, value_text = match.groups()
+        base = family_of(sample_name)
+        if base is None or families[base]["type"] is None:
+            raise ValueError(f"line {lineno}: sample {sample_name!r} has no # TYPE")
+        labels = (
+            {name: _unescape(value) for name, value in _LABEL.findall(label_blob)}
+            if label_blob
+            else {}
+        )
+        if value_text == "+Inf":
+            value = float("inf")
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-numeric value {value_text!r}"
+                ) from None
+        families[base]["samples"].append((sample_name, labels, value))
+    return families

@@ -1,0 +1,189 @@
+"""Verdict provenance: from a reported verdict back to its WAL slice.
+
+Every verdict fired by an engine under a :class:`~repro.persist.recovery.
+DurableEngine` carries a provenance dict stamped at fire time::
+
+    {"property": <spec name>, "formalism": <formalism>, "slot": <slot>,
+     "segment": <WAL segment index>, "seq": <WAL seq of the triggering
+     event>, "first_seq": <checkpoint floor at fire time>}
+
+(the sharded service adds ``"shard"``).  Because the WAL is write-ahead
+— the event is appended *before* dispatch — ``seq`` is exactly the
+sequence number of the event that fired the verdict, and the half-open
+range ``(first_seq, seq]`` is the WAL slice whose replay reproduces it.
+
+This module is the time-travel-debugging side: :func:`extract_slice`
+pulls that slice out of a WAL directory, :func:`replay_verdict` replays
+it into a fresh engine (restoring the newest covered checkpoint first
+when one exists, mirroring recovery), and :func:`verify_verdict` checks
+that a verdict with the same property, category, and symbolic binding
+is reproduced — the determinism-suite acceptance check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = [
+    "extract_slice",
+    "replay_verdict",
+    "verify_verdict",
+    "binding_symbols",
+]
+
+#: Replayed-verdict tuples: (spec name, formalism, category, {param: symbol}).
+ReplayedVerdict = tuple[str, str, str, dict[str, str]]
+
+
+def _iter_records(directory: str, after_seq: int) -> Iterator[tuple[int, str, Any]]:
+    from ..persist.wal import iter_wal_records
+
+    return iter_wal_records(directory, after_seq)
+
+
+def extract_slice(
+    directory: str,
+    provenance: Mapping[str, Any],
+    *,
+    events: set[str] | None = None,
+    include_registry_ops: bool = True,
+) -> list[tuple[int, str, Any]]:
+    """The WAL records in the verdict's ``(first_seq, seq]`` range.
+
+    Returns ``(seq, kind, payload)`` triples as yielded by
+    :func:`~repro.persist.wal.iter_wal_records`.  ``events`` optionally
+    narrows event records to an alphabet (e.g. one property's); registry
+    ops are kept by default because replay must apply hot-load/unload
+    ops at their original positions.
+    """
+    upto = int(provenance["seq"])
+    after = int(provenance.get("first_seq", 0))
+    out: list[tuple[int, str, Any]] = []
+    for seq, kind, payload in _iter_records(directory, after):
+        if seq > upto:
+            break
+        if kind == "event" and events is not None and payload[0] not in events:
+            continue
+        if kind == "registry" and not include_registry_ops:
+            continue
+        out.append((seq, kind, payload))
+    return out
+
+
+def _covering_checkpoint(directory: str, upto: int) -> tuple[int, dict] | None:
+    """The newest intact checkpoint with ``seq <= upto``, or ``None``.
+
+    Unlike ``latest_checkpoint`` this walks all checkpoints so a
+    checkpoint *newer* than the verdict cannot mask an older usable one.
+    """
+    from ..persist.recovery import _read_checkpoint, checkpoint_files
+
+    best: tuple[int, dict] | None = None
+    for seq, path in checkpoint_files(directory):
+        if seq > upto:
+            break
+        payload = _read_checkpoint(path)
+        if payload is not None:
+            best = (seq, payload)
+    return best
+
+
+def replay_verdict(
+    directory: str,
+    provenance: Mapping[str, Any],
+    specs: Any,
+    **engine_kwargs: Any,
+) -> list[ReplayedVerdict]:
+    """Replay the verdict's WAL slice into a fresh engine; return its verdicts.
+
+    Mirrors :meth:`DurableEngine.recover`, bounded at the verdict's
+    sequence: restore the newest intact checkpoint at or below
+    ``provenance["seq"]`` when one exists (required once segments behind
+    it were pruned), then replay the remaining records — events and
+    registry ops at their original positions — up to and including the
+    triggering event.  Restored/replayed parameters are
+    :class:`~repro.runtime.tracelog.ReplayToken` stand-ins, so returned
+    bindings are symbolic: compare with :func:`binding_symbols`.
+    ``engine_kwargs`` (``gc``/``propagation``/``system``/...) configure
+    the fresh engine on the no-checkpoint path.
+    """
+    from ..persist.codec import restore_engine
+    from ..persist.recovery import DurableEngine
+    from ..runtime.engine import MonitoringEngine
+    from ..runtime.tracelog import replay_entries
+
+    upto = int(provenance["seq"])
+    verdicts: list[ReplayedVerdict] = []
+
+    def on_verdict(prop: Any, verdict: str, monitor: Any) -> None:
+        verdicts.append(
+            (
+                prop.spec_name,
+                prop.formalism,
+                verdict,
+                {
+                    name: getattr(value, "symbol", None)
+                    for name, value in monitor.binding().items()
+                },
+            )
+        )
+
+    found = _covering_checkpoint(directory, upto)
+    if found is None:
+        engine = MonitoringEngine(specs, on_verdict=on_verdict, **engine_kwargs)
+        tokens: dict[str, Any] = {}
+        after = 0
+    else:
+        after, payload = found
+        engine, tokens = restore_engine(payload["engine"], specs, on_verdict=on_verdict)
+
+    pending: list[tuple[str, dict[str, str]]] = []
+    for seq, kind, payload in _iter_records(directory, after):
+        if seq > upto:
+            break
+        if kind == "event":
+            pending.append(payload)
+            continue
+        if pending:
+            replay_entries(pending, engine, tokens=tokens)
+            pending = []
+        DurableEngine._apply_registry_op(engine, payload)
+    replay_entries(pending, engine, tokens=tokens)
+    return verdicts
+
+
+def binding_symbols(registry: Any, binding: Iterable | Mapping[str, Any]) -> dict[str, str]:
+    """A verdict binding as ``{param name: symbol}`` under ``registry``.
+
+    Accepts a mapping or (name, value) pairs — i.e. either a monitor's
+    ``binding()`` dict or a :class:`~repro.service.aggregate.
+    VerdictRecord` binding tuple — and names each parameter object with
+    ``registry.symbol_for`` (a :class:`~repro.runtime.refs.
+    SymbolRegistry`, typically ``DurableEngine.registry``).
+    """
+    items = binding.items() if hasattr(binding, "items") else binding
+    return {name: registry.symbol_for(value) for name, value in items}
+
+
+def verify_verdict(
+    directory: str,
+    provenance: Mapping[str, Any],
+    specs: Any,
+    category: str,
+    binding: Mapping[str, str],
+    **engine_kwargs: Any,
+) -> bool:
+    """True iff replaying the provenance slice reproduces the verdict.
+
+    ``binding`` maps parameter names to the symbols the original run
+    registered (see :func:`binding_symbols`).  The replay reproduces the
+    verdict when some replayed verdict matches the provenance's property
+    and formalism, the given category, and the symbolic binding exactly.
+    """
+    want = (
+        str(provenance["property"]),
+        str(provenance["formalism"]),
+        category,
+        dict(binding),
+    )
+    return want in replay_verdict(directory, provenance, specs, **engine_kwargs)

@@ -1,0 +1,75 @@
+"""NDJSON metrics/trace sink — the tracelog idiom applied to telemetry.
+
+One JSON object per line, append-only, so a long-running service can
+stream periodic metric snapshots and sparse trace marks (verdicts,
+checkpoints, rotations) into a file that ordinary line tools and
+:func:`read_ndjson` can consume.  Record shape::
+
+    {"kind": "metrics"|"trace", "at": <seconds>, ...payload}
+
+``metrics`` records carry a full registry snapshot under ``"snapshot"``
+(see :mod:`repro.obs.metrics` for the schema); ``trace`` records carry
+an ``"event"`` name plus arbitrary JSON-safe fields.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["NdjsonSink", "read_ndjson"]
+
+
+class NdjsonSink:
+    """Append-only newline-delimited JSON writer (thread-safe)."""
+
+    def __init__(self, path: str | Path, *, clock=time.time) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._fh: io.TextIOWrapper | None = self.path.open("a", encoding="utf-8")
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("sink is closed")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def write_metrics(self, snapshot: Mapping[str, Any], label: str | None = None) -> None:
+        """Append one full registry snapshot."""
+        record: dict[str, Any] = {"kind": "metrics", "at": self._clock(), "snapshot": dict(snapshot)}
+        if label is not None:
+            record["label"] = label
+        self._write(record)
+
+    def write_trace(self, event: str, **fields: Any) -> None:
+        """Append one sparse trace mark (verdict, checkpoint, rotation...)."""
+        self._write({"kind": "trace", "at": self._clock(), "event": event, **fields})
+
+    def close(self) -> None:
+        """Flush and close the underlying file; further writes raise."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "NdjsonSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_ndjson(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield each record of an NDJSON file; blank lines are skipped."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -27,9 +27,12 @@ import json
 import os
 import re
 import zlib
+from time import perf_counter
 from typing import Any
 
 from ..core.errors import PersistError, RegistryError
+from ..obs.catalogue import declare as _declare_metric
+from ..obs.telemetry import as_telemetry
 from ..runtime.engine import MonitoringEngine, VerdictCallback
 from ..runtime.refs import SymbolRegistry
 from ..runtime.tracelog import replay_entries
@@ -129,10 +132,12 @@ class DurableEngine:
         fsync_interval: int = 256,
         checkpoint_every: int | None = None,
         prune_on_checkpoint: bool = True,
+        telemetry: Any = None,
         _engine: MonitoringEngine | None = None,
         _registry: SymbolRegistry | None = None,
         _start_seq: int = 0,
     ):
+        self.telemetry = as_telemetry(telemetry)
         if _engine is not None:
             self.engine = _engine
         else:
@@ -143,6 +148,7 @@ class DurableEngine:
                 system=system,
                 scan_budget=scan_budget,
                 on_verdict=on_verdict,
+                telemetry=self.telemetry,
             )
         self.directory = directory
         self.registry = _registry if _registry is not None else SymbolRegistry()
@@ -152,12 +158,34 @@ class DurableEngine:
             segment_events=segment_events,
             fsync_interval=fsync_interval,
             start_seq=_start_seq,
+            telemetry=self.telemetry,
         )
         self.checkpoint_every = checkpoint_every
         self.prune_on_checkpoint = prune_on_checkpoint
         self._events_since_checkpoint = 0
         self._closed = False
         self.engine.on_emit = self._on_emit
+        #: Checkpoint floor carried in verdict provenance (0 = the whole
+        #: log reproduces the verdict without restoring a snapshot first).
+        self._provenance_floor = 0
+        # Verdicts fired under this engine carry the WAL coordinates of
+        # the triggering event: the WAL is write-ahead, so at dispatch
+        # time ``wal.seq`` IS the current event's sequence number.
+        self.engine.provenance_source = self._provenance_coords
+        if self.telemetry is not None:
+            self._m_checkpoint = _declare_metric(
+                self.telemetry.registry, "repro_persist_checkpoint_seconds"
+            ).labels()
+        else:
+            self._m_checkpoint = None
+
+    def _provenance_coords(self) -> dict[str, int]:
+        """WAL coordinates of the event currently being dispatched."""
+        return {
+            "segment": self.wal.segment_index,
+            "seq": self.wal.seq,
+            "first_seq": self._provenance_floor,
+        }
 
     # -- ingestion -----------------------------------------------------------
 
@@ -266,6 +294,7 @@ class DurableEngine:
         """
         if self._closed:
             raise PersistError("checkpoint on a closed DurableEngine")
+        start = perf_counter()
         self.wal.sync()
         seq = self.wal.seq
         payload = {
@@ -279,6 +308,9 @@ class DurableEngine:
         if self.prune_on_checkpoint:
             self.wal.prune(seq)
         self._events_since_checkpoint = 0
+        self._provenance_floor = seq
+        if self._m_checkpoint is not None:
+            self._m_checkpoint.observe(perf_counter() - start)
         return path
 
     def close(self) -> None:
@@ -309,6 +341,7 @@ class DurableEngine:
         segment_events: int = 10_000,
         fsync_interval: int = 256,
         checkpoint_every: int | None = None,
+        telemetry: Any = None,
     ) -> tuple["DurableEngine", dict[str, Any]]:
         """Rebuild from ``directory``: last intact snapshot + WAL suffix.
 
@@ -320,6 +353,8 @@ class DurableEngine:
         the ``gc``/``propagation``/``system`` arguments; with a checkpoint
         the engine configuration comes from the snapshot.
         """
+        start = perf_counter()
+        telemetry = as_telemetry(telemetry)
         found = latest_checkpoint(directory)
         registry = SymbolRegistry()
         if found is None:
@@ -330,6 +365,7 @@ class DurableEngine:
                 system=system,
                 scan_budget=scan_budget,
                 on_verdict=on_verdict,
+                telemetry=telemetry,
             )
             tokens: dict[str, Any] = {}
             after = 0
@@ -338,6 +374,8 @@ class DurableEngine:
             engine, tokens = restore_engine(
                 payload["engine"], specs, on_verdict=on_verdict
             )
+            if telemetry is not None:
+                engine.enable_telemetry(telemetry)
             after = payload["seq"]
         # One pass over the log: collect the replay suffix (events *and*
         # registry ops, in sequence order), the last durable sequence, and
@@ -383,5 +421,11 @@ class DurableEngine:
             segment_events=segment_events,
             fsync_interval=fsync_interval,
             checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
         )
+        durable._provenance_floor = after
+        if telemetry is not None:
+            _declare_metric(
+                telemetry.registry, "repro_persist_restore_seconds"
+            ).labels().observe(perf_counter() - start)
         return durable, tokens

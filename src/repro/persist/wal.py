@@ -26,9 +26,12 @@ from __future__ import annotations
 import json
 import os
 import re
+from time import perf_counter
 from typing import Any, Iterator, Mapping
 
 from ..core.errors import PersistError
+from ..obs.catalogue import declare as _declare_metric
+from ..obs.telemetry import as_telemetry
 from ..runtime.refs import SymbolRegistry
 
 __all__ = [
@@ -82,6 +85,7 @@ class WalWriter:
         segment_events: int = 10_000,
         fsync_interval: int = 256,
         start_seq: int = 0,
+        telemetry: Any = None,
     ):
         if segment_events < 1:
             raise PersistError("segment_events must be >= 1")
@@ -107,6 +111,59 @@ class WalWriter:
         self._first_seqs: dict[int, int] = {}
         self._handle = None
         self._open_segment()
+        self.telemetry = as_telemetry(telemetry)
+        if self.telemetry is not None:
+            self._wire_telemetry(self.telemetry)
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the segment currently being written (provenance)."""
+        return self._segment_index
+
+    def _wire_telemetry(self, telemetry: Any) -> None:
+        """Interpose append/fsync/rotation instrumentation (off by default).
+
+        Appends get an exact counter plus a 1-in-N sampled latency
+        histogram (they sit on the durable ingest hot path); fsyncs and
+        rotations are rare boundary operations and are timed unsampled.
+        """
+        registry = telemetry.registry
+        appends = _declare_metric(registry, "repro_wal_appends_total").labels()
+        append_time = _declare_metric(registry, "repro_wal_append_seconds").labels()
+        fsync_time = _declare_metric(registry, "repro_wal_fsync_seconds").labels()
+        rotate_time = _declare_metric(registry, "repro_wal_rotation_seconds").labels()
+        sampler = telemetry.sampler()
+        inner_append = self.append
+        inner_sync = self.sync
+        inner_rotate = self._rotate
+
+        def append(event: str, params: Mapping[str, Any]) -> int:
+            appends.inc()
+            if not sampler.sample():
+                return inner_append(event, params)
+            start = perf_counter()
+            try:
+                return inner_append(event, params)
+            finally:
+                append_time.observe(perf_counter() - start)
+
+        def sync() -> None:
+            start = perf_counter()
+            try:
+                inner_sync()
+            finally:
+                fsync_time.observe(perf_counter() - start)
+
+        def _rotate() -> None:
+            start = perf_counter()
+            try:
+                inner_rotate()
+            finally:
+                rotate_time.observe(perf_counter() - start)
+
+        self.append = append  # type: ignore[method-assign]
+        self.sync = sync  # type: ignore[method-assign]
+        self._rotate = _rotate  # type: ignore[method-assign]
 
     # -- the tap side --------------------------------------------------------
 

@@ -58,10 +58,13 @@ from __future__ import annotations
 
 import threading
 import weakref
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import InconsistentEventError, RegistryError, UnknownEventError
 from ..core.params import Binding
+from ..obs.catalogue import declare as _declare_metric
+from ..obs.telemetry import Telemetry, as_telemetry
 from ..spec.compiler import CompiledProperty, CompiledSpec
 from ..spec.dispatch import DispatchPlan
 from ..spec.registry import PropertyRegistry, normalize_properties
@@ -223,8 +226,13 @@ class PropertyRuntime:
         on_verdict: VerdictCallback | None,
         on_param_registered: Callable[[str, Any], None] | None,
         dispatch: str = "compiled",
+        slot: int = -1,
+        telemetry: "Telemetry | None" = None,
+        provenance_get: Callable[[], Any] | None = None,
     ):
         self.prop = prop
+        self.slot = slot
+        self._provenance_get = provenance_get
         self.stats = MonitorStats()
         self.strategy: GcStrategy = make_strategy(gc, prop)
         self._on_verdict = on_verdict
@@ -281,6 +289,76 @@ class PropertyRuntime:
             self.handle = self._handle_compiled  # type: ignore[method-assign]
         else:
             self.handle = self._handle_reference  # type: ignore[method-assign]
+        # Telemetry interposes on the per-instance entry points only when
+        # enabled: with telemetry=None (the default) every hot path above
+        # is byte-identical to the un-instrumented build.
+        if telemetry is not None:
+            self._wire_telemetry(telemetry)
+
+    def _wire_telemetry(self, telemetry: "Telemetry") -> None:
+        """Wrap the hot entry points with exact counters and sampled timers.
+
+        ``handle`` gains an exact per-property handled counter plus a
+        1-in-N sampled latency histogram labelled (property, event);
+        ``collect_deaths`` gains a sampled purge timer (death boundaries
+        can be per-event under retire-on-last-use, so it is gated like a
+        hot path) and ``scan_all`` an unsampled one (budgeted sweeps are
+        rare; sampling them would record nothing).  The handled count
+        rides the sampler tick through :meth:`Counter.add_pull` — the
+        steady-state per-event cost is one wrapper call and one sampler
+        tick, no lock.
+        """
+        registry = telemetry.registry
+        # Label with spec/formalism, matching the stats bridge: two
+        # formalisms compiled from one spec are distinct properties.
+        spec = f"{self.prop.spec_name}/{self.prop.formalism}"
+        latency = _declare_metric(registry, "repro_engine_event_seconds")
+        handled = _declare_metric(registry, "repro_engine_handled_total").labels(spec)
+        pause = _declare_metric(registry, "repro_engine_gc_pause_seconds")
+        offset = self.slot if self.slot >= 0 else 0
+        sampler = telemetry.sampler(offset)
+        handled.add_pull(lambda: sampler.ticks)
+        inner_handle = self.handle
+        children: dict[str, Any] = {}
+
+        def handle(event, values, record=True, pretouched=None):
+            if not sampler.sample():
+                return inner_handle(event, values, record, pretouched)
+            start = perf_counter()
+            try:
+                return inner_handle(event, values, record, pretouched)
+            finally:
+                child = children.get(event)
+                if child is None:
+                    child = children[event] = latency.labels(spec, event)
+                child.observe(perf_counter() - start)
+
+        self.handle = handle  # type: ignore[method-assign]
+
+        purge_pause = pause.labels(spec, "purge")
+        scan_pause = pause.labels(spec, "scan")
+        purge_sampler = telemetry.sampler(offset + 1)
+        inner_collect = self.collect_deaths
+        inner_scan = self.scan_all
+
+        def collect_deaths(dead):
+            if not purge_sampler.sample():
+                return inner_collect(dead)
+            start = perf_counter()
+            try:
+                inner_collect(dead)
+            finally:
+                purge_pause.observe(perf_counter() - start)
+
+        def scan_all():
+            start = perf_counter()
+            try:
+                inner_scan()
+            finally:
+                scan_pause.observe(perf_counter() - start)
+
+        self.collect_deaths = collect_deaths  # type: ignore[method-assign]
+        self.scan_all = scan_all  # type: ignore[method-assign]
 
     # -- static precomputation ---------------------------------------------
 
@@ -733,6 +811,22 @@ class PropertyRuntime:
     def _fire_goal(self, monitor: MonitorInstance, verdict: str) -> None:
         self.stats.record_verdict(verdict)
         self.stats.record_handler()
+        # Stamp provenance before handlers run so both the property's own
+        # handler and the service's verdict callback can read it.  Under a
+        # DurableEngine the getter resolves to the WAL's current (segment,
+        # seq) coordinates — the WAL is write-ahead, so that seq IS the
+        # triggering event's sequence number (see repro.obs.provenance).
+        provenance: dict[str, Any] = {
+            "property": self.prop.spec_name,
+            "formalism": self.prop.formalism,
+            "slot": self.slot,
+        }
+        getter = self._provenance_get
+        if getter is not None:
+            source = getter()
+            if source is not None:
+                provenance.update(source())
+        monitor.provenance = provenance
         self.prop.fire(verdict, monitor.binding())
         if self._on_verdict is not None:
             self._on_verdict(self.prop, verdict, monitor)
@@ -1006,6 +1100,7 @@ class MonitoringEngine:
         scan_budget: int = 2,
         on_verdict: VerdictCallback | None = None,
         dispatch: str = "compiled",
+        telemetry: "Telemetry | bool | None" = None,
     ):
         if system is not None:
             if gc is not None or propagation is not None:
@@ -1022,6 +1117,18 @@ class MonitoringEngine:
         self.scan_budget = scan_budget
         self.dispatch = dispatch
         self._on_verdict = on_verdict
+        #: Telemetry plane (None = off: hot paths identical to the
+        #: un-instrumented build).  See :mod:`repro.obs`.
+        self.telemetry = as_telemetry(telemetry)
+        #: Set by a persistence wrapper (DurableEngine) to a zero-argument
+        #: callable returning the WAL coordinates of the event currently
+        #: being dispatched; runtimes merge it into verdict provenance.
+        self.provenance_source: Callable[[], Mapping[str, Any]] | None = None
+        self._batch_emit = self._batch_selected = None
+        if self.telemetry is not None:
+            batch = _declare_metric(self.telemetry.registry, "repro_engine_batch_size")
+            self._batch_emit = batch.labels("emit")
+            self._batch_selected = batch.labels("selected")
 
         #: The engine's own property registry.  A registry argument is
         #: cloned (shard engines mirror the service's registry operations
@@ -1066,6 +1173,28 @@ class MonitoringEngine:
         self._by_event: dict[str, list[PropertyRuntime]] = {}
         self._rebuild_event_index()
 
+    def enable_telemetry(self, telemetry: "Telemetry | bool") -> "Telemetry":
+        """Attach a telemetry plane to an already-built engine.
+
+        Used when the engine was constructed by a path that cannot thread
+        the ``telemetry`` argument (checkpoint restore); wires every live
+        runtime exactly as construction-time wiring would.  Raises if
+        telemetry is already attached.
+        """
+        if self.telemetry is not None:
+            raise ValueError("telemetry is already attached to this engine")
+        resolved = as_telemetry(telemetry)
+        if resolved is None:
+            raise ValueError("enable_telemetry requires a Telemetry (or True)")
+        self.telemetry = resolved
+        batch = _declare_metric(resolved.registry, "repro_engine_batch_size")
+        self._batch_emit = batch.labels("emit")
+        self._batch_selected = batch.labels("selected")
+        for runtime in self.runtimes:
+            if runtime is not None:
+                runtime._wire_telemetry(resolved)
+        return resolved
+
     def _build_runtime(self, index: int, prop: CompiledProperty) -> PropertyRuntime:
         return PropertyRuntime(
             prop,
@@ -1078,6 +1207,9 @@ class MonitoringEngine:
                 else None
             ),
             dispatch=self.dispatch,
+            slot=index,
+            telemetry=self.telemetry,
+            provenance_get=lambda: self.provenance_source,
         )
 
     def _rebuild_event_index(self) -> None:
@@ -1248,6 +1380,9 @@ class MonitoringEngine:
         eager = self._eager
         by_event = self._by_event
         accepted = 0
+        if self._batch_emit is not None:
+            events = list(events)
+            self._batch_emit.observe(len(events))
         for event, params in events:
             if eager and self._pending_dead:
                 self._propagate_deaths()
@@ -1328,6 +1463,8 @@ class MonitoringEngine:
         """
         eager = self._eager
         runtimes = self.runtimes
+        if self._batch_selected is not None:
+            self._batch_selected.observe(len(deliveries))
         for event, params, (prop_indexes, record_indexes, pretouched, count_only) in deliveries:
             if eager and self._pending_dead:
                 self._propagate_deaths()
@@ -1525,3 +1662,16 @@ class MonitoringEngine:
         return sum(
             stats.live_monitors for _spec, _form, stats in self._iter_stats()
         )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Live telemetry merged with the stats-derived ``repro_monitor_*``
+        series (the paper's E/M/FM/CM counters) — the single-engine
+        counterpart of ``MonitorService.metrics_snapshot``."""
+        from ..obs.metrics import merge_snapshots
+        from ..obs.telemetry import stats_to_metrics
+
+        parts = []
+        if self.telemetry is not None:
+            parts.append(self.telemetry.snapshot())
+        parts.append(stats_to_metrics(self.stats_snapshot()))
+        return merge_snapshots(*parts)

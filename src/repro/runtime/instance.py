@@ -35,6 +35,7 @@ class MonitorInstance:
         "last_event",
         "flagged",
         "serial",
+        "provenance",
         "__weakref__",
     )
 
@@ -54,6 +55,10 @@ class MonitorInstance:
         self.last_event: str | None = None
         self.flagged = False
         self.serial = serial
+        #: Stamped by the runtime at verdict time: property/slot identity
+        #: plus, under a durable engine, the WAL coordinates of the
+        #: triggering event (see :mod:`repro.obs.provenance`).
+        self.provenance: dict[str, Any] | None = None
 
     def param_alive(self, name: str) -> bool:
         """Liveness of one bound parameter; unbound parameters count as alive

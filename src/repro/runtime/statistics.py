@@ -40,6 +40,11 @@ class MonitorStats:
     monitors_collected: int = 0
     handler_fires: int = 0
     peak_live_monitors: int = 0
+    #: True once ``peak_live_monitors`` stopped being an observed value:
+    #: merging two records whose peaks both advanced sums peaks that need
+    #: not have coincided in time, so the merged number is only an upper
+    #: bound on the true simultaneous peak.
+    peak_is_upper_bound: bool = False
     #: Verdict-category tallies (how many times each category was reported).
     verdicts: dict[str, int] = field(default_factory=dict)
 
@@ -85,7 +90,9 @@ class MonitorStats:
         Additive counters (E/M/FM/CM, handler fires, per-category verdicts)
         merge exactly.  ``peak_live_monitors`` becomes the sum of peaks —
         an upper bound on the true global peak, since the per-shard peaks
-        may have occurred at different times.
+        may have occurred at different times; when that happens (both
+        sides contributed a nonzero peak, or an input was already merged)
+        ``peak_is_upper_bound`` records the loss of exactness.
         """
         for other in others:
             self.events += other.events
@@ -93,6 +100,10 @@ class MonitorStats:
             self.monitors_flagged += other.monitors_flagged
             self.monitors_collected += other.monitors_collected
             self.handler_fires += other.handler_fires
+            if other.peak_is_upper_bound or (
+                self.peak_live_monitors > 0 and other.peak_live_monitors > 0
+            ):
+                self.peak_is_upper_bound = True
             self.peak_live_monitors += other.peak_live_monitors
             for category, count in other.verdicts.items():
                 self.verdicts[category] = self.verdicts.get(category, 0) + count
@@ -112,6 +123,7 @@ class MonitorStats:
             "monitors_collected": self.monitors_collected,
             "handler_fires": self.handler_fires,
             "peak_live_monitors": self.peak_live_monitors,
+            "peak_is_upper_bound": self.peak_is_upper_bound,
             "live_monitors": self.live_monitors,
             "verdicts": dict(self.verdicts),
         }
@@ -121,9 +133,9 @@ class MonitorStats:
         """Rebuild a record from :meth:`snapshot` output.
 
         Tolerates missing counters (older snapshot versions default to 0)
-        and ignores derived fields like ``live_monitors``, so
+        and ignores unknown or derived fields like ``live_monitors``, so
         ``from_snapshot(snapshot())`` is an exact round trip and snapshots
-        stay loadable across format revisions.
+        stay loadable across format revisions in both directions.
         """
         return cls(
             events=data.get("events", 0),
@@ -132,6 +144,7 @@ class MonitorStats:
             monitors_collected=data.get("monitors_collected", 0),
             handler_fires=data.get("handler_fires", 0),
             peak_live_monitors=data.get("peak_live_monitors", 0),
+            peak_is_upper_bound=bool(data.get("peak_is_upper_bound", False)),
             verdicts=dict(data.get("verdicts", {})),
         )
 

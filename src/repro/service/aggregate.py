@@ -38,6 +38,13 @@ class VerdictRecord:
     #: The (still-live) parameter binding at firing time, as (name, object)
     #: pairs — objects, not copies: verdicts are consumed online.
     binding: tuple[tuple[str, Any], ...]
+    #: Where the verdict came from: property/slot identity stamped by the
+    #: engine, the owning shard, and — under a durable engine — the WAL
+    #: coordinates of the triggering event, which
+    #: :mod:`repro.obs.provenance` turns back into a replayable slice.
+    #: Excluded from :meth:`key` so determinism multisets stay comparable
+    #: across durable and non-durable runs.
+    provenance: Mapping[str, Any] | None = None
 
     def key(self) -> tuple:
         """Shard-independent identity used for multiset comparisons.

@@ -42,6 +42,7 @@ import traceback
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.errors import ServiceError
+from ..obs.telemetry import Telemetry
 from ..persist.codec import restore_into, snapshot_engine, trace_symbol_of
 from ..runtime.engine import MonitoringEngine
 from ..runtime.tracelog import ReplayToken
@@ -60,6 +61,7 @@ def _worker_main(
     shard: int,
     properties: Sequence[Any],
     engine_kwargs: Mapping[str, Any],
+    telemetry_config: "Mapping[str, Any] | None",
     snapshot: "dict | None",
     in_q: Any,
     resp_q: Any,
@@ -74,11 +76,24 @@ def _worker_main(
             (name, getattr(value, "symbol", value) if not isinstance(value, str) else value)
             for name, value in monitor.binding().items()
         )
-        verdict_q.put((shard, prop.spec_name, prop.formalism, category, binding))
+        verdict_q.put(
+            (shard, prop.spec_name, prop.formalism, category, binding, monitor.provenance)
+        )
         verdicts_sent += 1
 
     try:
-        engine = MonitoringEngine(properties, on_verdict=on_verdict, **engine_kwargs)
+        # A *fresh* Telemetry per worker: sharing the parent's registry
+        # across fork would double-count (both sides inherit the same
+        # counters), so only the sampling configuration crosses the pipe
+        # and the worker's snapshot merges back at stats/close time.
+        telemetry = (
+            Telemetry.from_config(telemetry_config)
+            if telemetry_config is not None
+            else None
+        )
+        engine = MonitoringEngine(
+            properties, on_verdict=on_verdict, telemetry=telemetry, **engine_kwargs
+        )
         tokens: dict[str, Any] = {}
         if snapshot is not None:
             restore_into(engine, snapshot, tokens)
@@ -130,11 +145,22 @@ def _worker_main(
                 resp_q.put(("ba", message[1], verdicts_sent))
             elif kind == "st":
                 resp_q.put(("st", engine.stats_snapshot()))
+            elif kind == "tl":
+                resp_q.put(
+                    ("tl", telemetry.snapshot() if telemetry is not None else None)
+                )
             elif kind == "ck":
                 resp_q.put(("ck", snapshot_engine(engine, trace_symbol_of())))
             elif kind == "cl":
                 engine.flush_gc()
-                resp_q.put(("cl", engine.stats_snapshot(), verdicts_sent))
+                resp_q.put(
+                    (
+                        "cl",
+                        engine.stats_snapshot(),
+                        verdicts_sent,
+                        telemetry.snapshot() if telemetry is not None else None,
+                    )
+                )
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ServiceError(f"unknown worker message {kind!r}")
@@ -158,6 +184,7 @@ class ProcessShardPool:
         engine_kwargs: Mapping[str, Any],
         snapshots: "Sequence[dict | None] | None" = None,
         queue_capacity: int = 0,
+        telemetry_config: "Mapping[str, Any] | None" = None,
     ):
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -173,8 +200,14 @@ class ProcessShardPool:
         #: object; nothing is pickled.
         self._properties = properties
         self._engine_kwargs = dict(engine_kwargs)
+        self._telemetry_config = (
+            dict(telemetry_config) if telemetry_config is not None else None
+        )
         self.shards = shards
         self._queue_capacity = queue_capacity
+        #: Telemetry snapshots of workers migrated away by restart_shard —
+        #: their counts would otherwise vanish with the old process.
+        self.retired_telemetry: list[dict] = []
         self.verdict_q = self._ctx.Queue()
         self._in_qs = []
         self._resp_qs = []
@@ -195,6 +228,7 @@ class ProcessShardPool:
                 shard,
                 self._properties,
                 self._engine_kwargs,
+                self._telemetry_config,
                 snapshot,
                 in_q,
                 resp_q,
@@ -315,6 +349,14 @@ class ProcessShardPool:
             self._put(shard, ("st",))
         return [self._response(shard, "st")[1] for shard in range(self.shards)]
 
+    def telemetry_snapshots(self) -> "list[dict | None]":
+        """Each live worker's registry snapshot (None when telemetry is off),
+        plus whatever migrated-away workers left behind."""
+        for shard in range(self.shards):
+            self._put(shard, ("tl",))
+        snapshots = [self._response(shard, "tl")[1] for shard in range(self.shards)]
+        return snapshots + list(self.retired_telemetry)
+
     def checkpoints(self) -> list[dict]:
         for shard in range(self.shards):
             self._put(shard, ("ck",))
@@ -329,23 +371,28 @@ class ProcessShardPool:
         snapshot.  The caller must have drained first (queued work on the
         old worker would be lost)."""
         self._put(shard, ("cl",))
-        self._response(shard, "cl")
+        message = self._response(shard, "cl")
+        if message[3] is not None:
+            self.retired_telemetry.append(message[3])
         self._procs[shard].join(timeout=10.0)
         self._spawn(shard, snapshot)
 
-    def close(self) -> tuple[list[dict], list[int]]:
-        """Stop all workers; returns (final stats snapshots, verdict counts)."""
+    def close(self) -> tuple[list[dict], list[int], "list[dict | None]"]:
+        """Stop all workers; returns (final stats snapshots, verdict counts,
+        final telemetry snapshots — including migrated-away workers')."""
         stats: list[dict] = []
         counts: list[int] = []
+        telemetry: "list[dict | None]" = []
         for shard in range(self.shards):
             self._put(shard, ("cl",))
         for shard in range(self.shards):
             message = self._response(shard, "cl")
             stats.append(message[1])
             counts.append(message[2])
+            telemetry.append(message[3])
         for process in self._procs:
             process.join(timeout=10.0)
-        return stats, counts
+        return stats, counts, telemetry + list(self.retired_telemetry)
 
     def terminate(self) -> None:
         """Hard-stop every worker (failure paths)."""

@@ -41,9 +41,12 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.errors import PersistError, RegistryError, ServiceError, UnknownEventError
+from ..obs.catalogue import declare as _declare_metric
+from ..obs.telemetry import Telemetry, as_telemetry
 from ..runtime.engine import MonitoringEngine
 from ..runtime.instance import MonitorInstance
 from ..runtime.refs import SymbolRegistry
@@ -159,11 +162,27 @@ def _checkpoint_symbols(checkpoint: Mapping[str, Any]) -> set[str]:
 
 
 class _ShardQueue:
-    """Bounded FIFO of deliveries with drain accounting and backpressure."""
+    """Bounded FIFO of deliveries with drain accounting and backpressure.
 
-    __slots__ = ("_items", "_capacity", "_pending", "_closed", "_failed", "_lock", "_changed")
+    Optionally instrumented: a depth gauge tracks the queued-delivery
+    level, a wait histogram records producer blocking time while the
+    queue is full, and a lag histogram records how long the queue head
+    sat waiting before a worker took it (the drain-loop lag).  All three
+    are pre-labelled children — the queue never touches a family.
+    """
 
-    def __init__(self, capacity: int):
+    __slots__ = (
+        "_items", "_capacity", "_pending", "_closed", "_failed", "_lock",
+        "_changed", "_depth", "_wait", "_lag", "_head_since",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        depth_gauge: Any = None,
+        wait_hist: Any = None,
+        lag_hist: Any = None,
+    ):
         self._items: list[_Delivery] = []
         self._capacity = capacity
         #: Deliveries enqueued but not yet fully processed by the worker.
@@ -172,26 +191,42 @@ class _ShardQueue:
         self._failed = False
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
+        self._depth = depth_gauge
+        self._wait = wait_hist
+        self._lag = lag_hist
+        #: When the current queue head was enqueued (None while empty).
+        self._head_since: float | None = None
 
     def put_many(self, deliveries: Sequence[_Delivery]) -> None:
         start = 0
         while start < len(deliveries):
             with self._changed:
+                waited_from = (
+                    perf_counter()
+                    if self._wait is not None and len(self._items) >= self._capacity
+                    else None
+                )
                 while (
                     len(self._items) >= self._capacity
                     and not self._closed
                     and not self._failed
                 ):
                     self._changed.wait()
+                if waited_from is not None:
+                    self._wait.observe(perf_counter() - waited_from)
                 if self._closed:
                     raise ServiceError("emit on a closed MonitorService")
                 if self._failed:
                     return  # the service surfaces the worker's error
                 room = max(1, self._capacity - len(self._items))
                 chunk = deliveries[start : start + room]
+                if not self._items and self._lag is not None:
+                    self._head_since = perf_counter()
                 self._items.extend(chunk)
                 self._pending += len(chunk)
                 start += len(chunk)
+                if self._depth is not None:
+                    self._depth.set(len(self._items))
                 self._changed.notify_all()
 
     def take(self, limit: int) -> list[_Delivery] | None:
@@ -203,6 +238,12 @@ class _ShardQueue:
                 return None
             batch = self._items[:limit]
             del self._items[:limit]
+            if self._lag is not None and self._head_since is not None:
+                now = perf_counter()
+                self._lag.observe(now - self._head_since)
+                self._head_since = now if self._items else None
+            if self._depth is not None:
+                self._depth.set(len(self._items))
             self._changed.notify_all()
             return batch
 
@@ -243,6 +284,13 @@ class MonitorService:
     ``"inline"`` (synchronous dispatch, deterministic).  ``on_verdict``
     receives every merged :class:`VerdictRecord` as it happens.
 
+    ``telemetry`` turns on the observability plane (pass ``True`` for
+    defaults or a configured :class:`repro.obs.telemetry.Telemetry`):
+    shard queues, drain loops, engines, and control round trips feed the
+    metric catalogue, :meth:`metrics_snapshot` merges every registry in
+    play, and :meth:`serve_metrics` exposes it over HTTP.  Off (the
+    default) the hot paths are exactly the un-instrumented ones.
+
     The verdict log retains every record — including strong references to
     the verdicts' parameter objects — for the service's lifetime.  For
     long-running, verdict-heavy deployments pass
@@ -265,6 +313,7 @@ class MonitorService:
         batch_size: int = 256,
         on_verdict: ServiceVerdictCallback | None = None,
         keep_verdict_log: bool = True,
+        telemetry: "Telemetry | bool | None" = None,
         _restore_from: "dict | None" = None,
     ):
         if backend is not None:
@@ -293,6 +342,31 @@ class MonitorService:
         self._emit_lock = threading.Lock()
         self.restored_tokens: dict[str, Any] = {}
 
+        #: The service-level telemetry plane (``True`` means "defaults").
+        #: Thread/inline shard engines share this registry — their locked
+        #: counters merge exactly across worker threads; process-mode
+        #: workers build fresh registries from its config and their
+        #: snapshots merge back at :meth:`metrics_snapshot` time.
+        self.telemetry = as_telemetry(telemetry)
+        self._exposition = None
+        self._m_events = None
+        self._m_roundtrip = None
+        self._verdict_counters: list[Any] = []
+        if self.telemetry is not None:
+            obs_registry = self.telemetry.registry
+            self._m_events = _declare_metric(
+                obs_registry, "repro_service_events_total"
+            ).labels()
+            verdict_family = _declare_metric(
+                obs_registry, "repro_service_verdicts_total"
+            )
+            self._verdict_counters = [
+                verdict_family.labels(str(shard)) for shard in range(shards)
+            ]
+            self._m_roundtrip = _declare_metric(
+                obs_registry, "repro_service_roundtrip_seconds"
+            )
+
         engine_snapshots = None
         if _restore_from is not None:
             engine_snapshots = _check_service_checkpoint(_restore_from, shards)
@@ -314,6 +388,7 @@ class MonitorService:
             self._retire_lock = threading.RLock()
             self._control_lock = threading.Lock()
             self._final_shard_stats: "list[dict[StatsKey, MonitorStats]] | None" = None
+            self._final_worker_telemetry: "list[dict] | None" = None
             self._verdict_cond = threading.Condition()
             self._verdicts_received = [0] * shards
             #: Consumed-verdict floor per shard: a restarted worker counts
@@ -341,6 +416,9 @@ class MonitorService:
                 },
                 snapshots=engine_snapshots,
                 queue_capacity=queue_capacity,
+                telemetry_config=(
+                    self.telemetry.config() if self.telemetry is not None else None
+                ),
             )
             self._drainer = threading.Thread(
                 target=self._verdict_drain_loop, name="repro-verdicts", daemon=True
@@ -356,6 +434,7 @@ class MonitorService:
                 propagation=propagation,
                 scan_budget=scan_budget,
                 on_verdict=self._verdict_callback(shard),
+                telemetry=self.telemetry,
             )
             for shard in range(shards)
         ]
@@ -368,7 +447,23 @@ class MonitorService:
             self._apply_shard_pins(_restore_from)
 
         if mode == "thread":
-            self._queues = [_ShardQueue(queue_capacity) for _ in range(shards)]
+            depth = wait = lag = None
+            if self.telemetry is not None:
+                obs_registry = self.telemetry.registry
+                depth = _declare_metric(obs_registry, "repro_service_queue_depth")
+                wait = _declare_metric(
+                    obs_registry, "repro_service_backpressure_wait_seconds"
+                )
+                lag = _declare_metric(obs_registry, "repro_service_drain_lag_seconds")
+            self._queues = [
+                _ShardQueue(
+                    queue_capacity,
+                    depth.labels(str(shard)) if depth is not None else None,
+                    wait.labels(str(shard)) if wait is not None else None,
+                    lag.labels(str(shard)) if lag is not None else None,
+                )
+                for shard in range(shards)
+            ]
             self._workers = [
                 threading.Thread(
                     target=self._worker_loop,
@@ -390,16 +485,24 @@ class MonitorService:
     # -- verdict plumbing ----------------------------------------------------
 
     def _verdict_callback(self, shard: int):
+        counter = self._verdict_counters[shard] if self._verdict_counters else None
+
         def on_verdict(
             prop: CompiledProperty, category: str, monitor: MonitorInstance
         ) -> None:
+            provenance = monitor.provenance
+            if provenance is not None:
+                provenance = {"shard": shard, **provenance}
             record = VerdictRecord(
                 shard=shard,
                 spec_name=prop.spec_name,
                 formalism=prop.formalism,
                 category=category,
                 binding=monitor.binding().items(),
+                provenance=provenance,
             )
+            if counter is not None:
+                counter.inc()
             if self._keep_verdict_log:
                 self.verdict_log.append(record)
             if self._on_verdict is not None:
@@ -438,7 +541,7 @@ class MonitorService:
             item = self._pool.verdict_q.get()
             if item is None:
                 return
-            shard, spec_name, formalism, category, symbol_binding = item
+            shard, spec_name, formalism, category, symbol_binding, provenance = item
             try:
                 pairs = []
                 for name, symbol in symbol_binding:
@@ -456,7 +559,14 @@ class MonitorService:
                     formalism=formalism,
                     category=category,
                     binding=tuple(pairs),
+                    provenance=(
+                        {"shard": shard, **provenance}
+                        if provenance is not None
+                        else None
+                    ),
                 )
+                if self._verdict_counters:
+                    self._verdict_counters[shard].inc()
                 if self._keep_verdict_log:
                     self.verdict_log.append(record)
                 if self._on_verdict is not None:
@@ -497,12 +607,22 @@ class MonitorService:
     # -- worker side ---------------------------------------------------------
 
     def _worker_loop(self, shard: int, queue: _ShardQueue, engine: MonitoringEngine) -> None:
+        batch_timer = None
+        if self.telemetry is not None:
+            batch_timer = _declare_metric(
+                self.telemetry.registry, "repro_service_drain_batch_seconds"
+            ).labels(str(shard))
         while True:
             batch = queue.take(self.batch_size)
             if batch is None:
                 return
             try:
-                engine.emit_selected_batch(batch)
+                if batch_timer is None:
+                    engine.emit_selected_batch(batch)
+                else:
+                    started = perf_counter()
+                    engine.emit_selected_batch(batch)
+                    batch_timer.observe(perf_counter() - started)
             except BaseException as exc:  # surface at drain()/close()/emit()
                 with self._failure_lock:
                     if self._failure is None:
@@ -512,6 +632,17 @@ class MonitorService:
                 return
             finally:
                 queue.mark_done(len(batch))
+
+    def _pool_roundtrip(self, op: str, call: Callable[[], Any]) -> Any:
+        """Run one process-backend control round trip, timed when telemetry
+        is on (``repro_service_roundtrip_seconds{op=...}``)."""
+        if self._m_roundtrip is None:
+            return call()
+        started = perf_counter()
+        try:
+            return call()
+        finally:
+            self._m_roundtrip.labels(op).observe(perf_counter() - started)
 
     def _check_failure(self) -> None:
         with self._failure_lock:
@@ -592,6 +723,8 @@ class MonitorService:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
                         self._queues[shard].put_many(deliveries)
+        if self._m_events is not None and accepted:
+            self._m_events.inc(accepted)
         if self.mode == "thread":
             self._check_failure()
         elif process and not self._pool.alive():
@@ -640,7 +773,7 @@ class MonitorService:
         elif self.mode == "process":
             self._flush_retires()
             with self._control_lock:
-                counts = self._pool.barrier()
+                counts = self._pool_roundtrip("barrier", self._pool.barrier)
             self._await_verdicts(counts)
 
     def register_property(self, item: Any, name: str | None = None) -> list[int]:
@@ -789,7 +922,7 @@ class MonitorService:
             with self._emit_lock:
                 self._flush_retires()
             with self._control_lock:
-                counts = self._pool.barrier()
+                counts = self._pool_roundtrip("barrier", self._pool.barrier)
             self._await_verdicts(counts)
         self._check_failure()
 
@@ -803,6 +936,9 @@ class MonitorService:
         """
         if self._closed:
             return
+        if self._exposition is not None:
+            self._exposition.close()
+            self._exposition = None
         failure_seen = None
         try:
             self.drain()
@@ -813,9 +949,14 @@ class MonitorService:
             try:
                 if failure_seen is None:
                     with self._control_lock:
-                        snapshots, counts = self._pool.close()
+                        snapshots, counts, worker_telemetry = self._pool_roundtrip(
+                            "close", self._pool.close
+                        )
                     self._final_shard_stats = [
                         _stats_from_snapshot(snapshot) for snapshot in snapshots
+                    ]
+                    self._final_worker_telemetry = [
+                        snap for snap in worker_telemetry if snap is not None
                     ]
                     self._await_verdicts(counts, workers_exited=True)
                 else:
@@ -856,7 +997,9 @@ class MonitorService:
         if self.mode == "process":
             with self._emit_lock:
                 with self._control_lock:
-                    engines = self._pool.checkpoints()
+                    engines = self._pool_roundtrip(
+                        "checkpoint", self._pool.checkpoints
+                    )
                 router = self.router.snapshot_sticky(self._symbol_of)
         else:
             from ..persist.codec import snapshot_engine, trace_symbol_of
@@ -950,12 +1093,67 @@ class MonitorService:
         self.drain()
         with self._emit_lock:
             with self._control_lock:
-                snapshot = self._pool.checkpoint_shard(shard)
+                snapshot = self._pool_roundtrip(
+                    "checkpoint", lambda: self._pool.checkpoint_shard(shard)
+                )
                 self._pool.restart_shard(shard, snapshot)
             # The fresh worker counts verdicts from zero; future barrier
             # counts are relative to everything consumed up to here.
             with self._verdict_cond:
                 self._verdict_base[shard] = self._verdicts_received[shard]
+
+    # -- telemetry exposure ----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The whole service's metrics as one merged registry snapshot.
+
+        Folds the parent registry (service + thread/inline engine
+        metrics), every process-mode worker's registry (fetched live, or
+        the finals cached at close), and the ``repro_monitor_*`` series
+        derived from the merged per-property statistics — the paper's
+        Figure 10 counters.  Works with telemetry off too (statistics
+        only).  JSON-safe; render with
+        :func:`repro.obs.metrics.render_prometheus`.
+        """
+        from ..obs.metrics import merge_snapshots
+        from ..obs.telemetry import stats_to_metrics
+
+        snapshots: list[dict[str, Any]] = []
+        if self.telemetry is not None:
+            snapshots.append(self.telemetry.snapshot())
+            if self.mode == "process":
+                snapshots.extend(snap for snap in self._worker_telemetry() if snap)
+        stats_view = {
+            f"{name}/{formalism}": stats.snapshot()
+            for (name, formalism), stats in self.stats().items()
+        }
+        snapshots.append(stats_to_metrics(stats_view))
+        return merge_snapshots(*snapshots)
+
+    def _worker_telemetry(self) -> "list[dict | None]":
+        if self._final_worker_telemetry is not None:
+            return list(self._final_worker_telemetry)
+        with self._control_lock:
+            return self._pool_roundtrip("stats", self._pool.telemetry_snapshots)
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (or return) the Prometheus exposition endpoint.
+
+        Serves :meth:`metrics_snapshot` over stdlib HTTP —
+        ``/metrics`` (text format), ``/metrics.json`` (raw snapshot),
+        ``/healthz`` — on a daemon thread; an OS-assigned port by
+        default.  Returns the :class:`repro.obs.http.ExpositionServer`
+        (``.url`` has the address); :meth:`close` shuts it down.
+        """
+        from ..obs.http import ExpositionServer
+
+        if self._closed:
+            raise ServiceError("serve_metrics on a closed MonitorService")
+        if self._exposition is None:
+            self._exposition = ExpositionServer(
+                self.metrics_snapshot, host=host, port=port
+            )
+        return self._exposition
 
     # -- aggregate results ---------------------------------------------------
 
@@ -969,7 +1167,7 @@ class MonitorService:
             if self._final_shard_stats is not None:
                 return [dict(shard_stats) for shard_stats in self._final_shard_stats]
             with self._control_lock:
-                snapshots = self._pool.stats_snapshots()
+                snapshots = self._pool_roundtrip("stats", self._pool.stats_snapshots)
             return [_stats_from_snapshot(snapshot) for snapshot in snapshots]
         return [engine.stats() for engine in self.engines]
 

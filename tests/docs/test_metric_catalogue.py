@@ -1,0 +1,62 @@
+"""The documentation's metric table must mirror the telemetry catalogue.
+
+``repro.obs.catalogue.METRICS`` is the single source of truth for every
+metric the plane emits; the human-readable table lives in
+``docs/observability.md``.  This test parses the markdown table and
+asserts name set, kind, label tuple, emitting layer, and help text
+against the live catalogue — so the two can never drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.catalogue import METRICS
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+ROW = re.compile(
+    r"^\|\s*`(?P<name>repro_[a-z_]+)`\s*\|\s*(?P<kind>counter|gauge|histogram)"
+    r"\s*\|\s*(?:`(?P<labels>[a-z_, ]+)`)?\s*\|\s*(?P<layer>[a-z]+)\s*\|\s*"
+    r"(?P<help>[^|]+?)\s*\|$"
+)
+
+
+def parse_table() -> dict[str, dict]:
+    rows: dict[str, dict] = {}
+    for line in (DOCS / "observability.md").read_text().splitlines():
+        match = ROW.match(line.strip())
+        if match:
+            rows[match["name"]] = match.groupdict()
+    return rows
+
+
+def test_table_names_equal_catalogue():
+    assert set(parse_table()) == set(METRICS)
+
+
+def test_table_rows_match_catalogue():
+    for name, row in parse_table().items():
+        spec = METRICS[name]
+        assert row["kind"] == spec.kind, name
+        documented_labels = (
+            tuple(part.strip() for part in row["labels"].split(","))
+            if row["labels"]
+            else ()
+        )
+        assert documented_labels == spec.labels, name
+        assert row["layer"] == spec.layer, name
+        assert row["help"] == spec.help, name
+
+
+def test_catalogue_names_follow_prometheus_conventions():
+    for name, spec in METRICS.items():
+        assert re.fullmatch(r"repro_[a-z0-9_]+", name), name
+        if spec.kind == "counter":
+            assert name.endswith("_total"), name
+        else:
+            assert not name.endswith("_total"), name
+        if spec.kind == "histogram":
+            assert len(spec.buckets) >= 2, name
+            assert list(spec.buckets) == sorted(set(spec.buckets)), name

@@ -1,0 +1,121 @@
+"""The exposition endpoint and the ``python -m repro.obs`` CLI.
+
+End-to-end over real sockets (loopback, ephemeral ports): the server's
+``/metrics`` text parses back to the exact registry values, the JSON
+route is byte-equivalent to the snapshot, and the CLI subcommands hit
+both routes the way the CI smoke step does.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.http import ExpositionServer, parse_exposition
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "events", ("kind",)).labels("a").inc(5)
+    registry.counter("demo_total", "events", ("kind",)).labels("b").inc(2)
+    registry.gauge("demo_depth", "queue depth").labels().set(3)
+    hist = registry.histogram("demo_seconds", "timings", (), (0.1, 1.0)).labels()
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return registry
+
+
+@pytest.fixture()
+def server(registry):
+    server = ExpositionServer(registry.snapshot)
+    yield server
+    server.close()
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestExpositionServer:
+    def test_metrics_route_round_trips_exact_values(self, registry, server):
+        status, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        families = parse_exposition(body.decode("utf-8"))
+        samples = dict(
+            ((name, tuple(sorted(labels.items()))), value)
+            for name, labels, value in families["demo_total"]["samples"]
+        )
+        assert samples[("demo_total", (("kind", "a"),))] == 5.0
+        assert samples[("demo_total", (("kind", "b"),))] == 2.0
+        count = [
+            s for s in families["demo_seconds"]["samples"] if s[0] == "demo_seconds_count"
+        ]
+        assert count[0][2] == 2.0
+
+    def test_json_route_is_the_snapshot(self, registry, server):
+        status, body = fetch(f"{server.url}/metrics.json")
+        assert status == 200
+        assert json.loads(body) == json.loads(json.dumps(registry.snapshot()))
+
+    def test_healthz_and_unknown_path(self, server):
+        assert fetch(f"{server.url}/healthz")[0] == 200
+        assert fetch(f"{server.url}/nope")[0] == 404
+
+    def test_snapshot_failure_is_a_500(self):
+        def boom():
+            raise RuntimeError("registry gone")
+
+        server = ExpositionServer(boom)
+        try:
+            assert fetch(f"{server.url}/metrics")[0] == 500
+        finally:
+            server.close()
+
+    def test_live_updates_visible_without_restart(self, registry, server):
+        registry.counter("demo_total", "events", ("kind",)).labels("a").inc(10)
+        families = parse_exposition(fetch(f"{server.url}/metrics")[1].decode("utf-8"))
+        assert ("demo_total", {"kind": "a"}, 15.0) in families["demo_total"]["samples"]
+
+
+class TestCli:
+    def test_snapshot_from_endpoint_to_file(self, registry, server, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        assert main(["snapshot", server.url, "-o", str(out)]) == 0
+        assert json.loads(out.read_text()) == json.loads(
+            json.dumps(registry.snapshot())
+        )
+
+    def test_diff_reports_moved_series(self, registry, server, tmp_path, capsys):
+        before = tmp_path / "before.json"
+        assert main(["snapshot", server.url, "-o", str(before)]) == 0
+        registry.counter("demo_total", "events", ("kind",)).labels("a").inc(7)
+        assert main(["diff", str(before), server.url]) == 0
+        moved = capsys.readouterr().out
+        assert "demo_total{a} 5 -> 12 (+7)" in moved
+
+    def test_diff_of_identical_snapshots_says_so(self, registry, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["diff", str(path), str(path)]) == 0
+        assert "no series moved" in capsys.readouterr().out
+
+    def test_validate_accepts_rendered_exposition(self, registry, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        path.write_text(render_prometheus(registry.snapshot()))
+        assert main(["validate", str(path)]) == 0
+        assert capsys.readouterr().out.startswith("ok: 3 families")
+
+    def test_validate_rejects_corrupt_exposition(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("# TYPE x counter\nx notanumber\n")
+        assert main(["validate", str(path)]) == 1
+        assert "invalid exposition" in capsys.readouterr().err

@@ -1,0 +1,262 @@
+"""Metric primitives: exactness, sampling, snapshots, merging, exposition.
+
+The registry is the telemetry plane's foundation; everything here is a
+contract other layers rely on — exact counters under concurrency, the
+deterministic sampler the determinism suite pins, snapshot/merge round
+trips across process boundaries, and a Prometheus render that the strict
+parser accepts back.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.http import parse_exposition
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    Sampler,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.sink import NdjsonSink, read_ndjson
+from repro.obs.telemetry import Telemetry, as_telemetry, stats_to_metrics
+
+
+class TestPrimitives:
+    def test_counter_counts_exactly(self):
+        child = MetricsRegistry().counter("c_total", "h", ("k",)).labels("a")
+        for _ in range(10):
+            child.inc()
+        child.inc(5)
+        assert child.snapshot_value() == 15
+
+    def test_counter_pull_sources_fold_into_snapshot(self):
+        child = MetricsRegistry().counter("c_total", "h").labels()
+        ticks = Sampler(interval=1)
+        child.add_pull(lambda: ticks.ticks)
+        child.inc(2)
+        for _ in range(7):
+            ticks.sample()
+        assert child.snapshot_value() == 9  # 2 pushed + 7 pulled
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g", "h").labels()
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.snapshot_value() == 12
+
+    def test_histogram_buckets_and_totals(self):
+        hist = MetricsRegistry().histogram("h", "h", (), (1.0, 10.0)).labels()
+        for value in (0.5, 1.0, 2.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot_value()
+        assert snap["counts"] == [2, 1, 1]  # <=1, <=10, overflow
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(53.5)
+
+    def test_histogram_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", "h", (), (2.0, 1.0))
+
+
+class TestSampler:
+    def test_deterministic_one_in_n(self):
+        sampler = Sampler(interval=4)
+        fired = [i for i in range(16) if sampler.sample()]
+        assert fired == [0, 4, 8, 12]
+        assert sampler.ticks == 16
+
+    def test_identical_seeds_fire_identically(self):
+        a, b = Sampler(interval=7, phase=3), Sampler(interval=7, phase=3)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_phase_decorrelates_owners(self):
+        ticks = range(12)
+        first = {i for i in ticks if Sampler(4, 0).interval and i % 4 == 0}
+        sampler = Sampler(4, 1)
+        second = {i for i in ticks if sampler.sample()}
+        assert first.isdisjoint(second)
+
+    def test_telemetry_sampler_offset(self):
+        telemetry = Telemetry(sample_interval=4, sample_phase=0)
+        assert telemetry.sampler(0).phase == 0
+        assert telemetry.sampler(1).phase == 1
+        assert telemetry.sampler(5).phase == 1  # wraps modulo interval
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Sampler(interval=0)
+
+
+class TestRegistry:
+    def test_declarations_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "h", ("k",))
+        assert registry.counter("c_total", "h", ("k",)) is first
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("k",))
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "h", ("k",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "h", ("other",))
+
+    def test_label_arity_is_checked(self):
+        family = MetricsRegistry().counter("c_total", "h", ("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+
+    def test_snapshot_shape_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("k",)).labels("x").inc()
+        registry.histogram("h_seconds", "h").labels().observe(0.01)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["c_total"]["series"] == [[["x"], 1]]
+        assert snap["h_seconds"]["kind"] == "histogram"
+
+
+class TestMergeSnapshots:
+    def _registry(self, count: int, observation: float) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("k",)).labels("x").inc(count)
+        registry.gauge("g", "h", ("k",)).labels("x").set(count)
+        registry.histogram("h_seconds", "h").labels().observe(observation)
+        return registry
+
+    def test_counters_histograms_and_gauges_add(self):
+        merged = merge_snapshots(
+            self._registry(3, 0.001).snapshot(), self._registry(4, 0.002).snapshot()
+        )
+        assert merged["c_total"]["series"] == [[["x"], 7]]
+        assert merged["g"]["series"] == [[["x"], 7]]  # per-shard levels sum
+        hist = merged["h_seconds"]["series"][0][1]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.003)
+
+    def test_disjoint_series_union(self):
+        left = MetricsRegistry()
+        left.counter("c_total", "h", ("k",)).labels("a").inc()
+        right = MetricsRegistry()
+        right.counter("c_total", "h", ("k",)).labels("b").inc(2)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["c_total"]["series"] == [[["a"], 1], [["b"], 2]]
+
+    def test_inputs_not_mutated(self):
+        snap = self._registry(1, 0.001).snapshot()
+        before = json.dumps(snap, sort_keys=True)
+        merge_snapshots(snap, snap)
+        assert json.dumps(snap, sort_keys=True) == before
+
+    def test_conflicting_kinds_raise(self):
+        left = MetricsRegistry()
+        left.counter("m_total", "h").labels().inc()
+        right = MetricsRegistry()
+        right.gauge("m_total", "h").labels().set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots(left.snapshot(), right.snapshot())
+
+
+class TestExpositionRoundTrip:
+    def test_render_parses_back_exactly(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counted things", ("k",)).labels("a b").inc(3)
+        registry.gauge("g", "level").labels().set(-2.5)
+        hist = registry.histogram("h_seconds", "timings", (), LATENCY_BUCKETS)
+        hist.labels().observe(0.002)
+        hist.labels().observe(7.0)  # overflow bucket
+        families = parse_exposition(render_prometheus(registry.snapshot()))
+        assert families["c_total"]["type"] == "counter"
+        assert ("c_total", {"k": "a b"}, 3.0) in families["c_total"]["samples"]
+        assert ("g", {}, -2.5) in families["g"]["samples"]
+        buckets = [
+            s for s in families["h_seconds"]["samples"] if s[0] == "h_seconds_bucket"
+        ]
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert buckets[-1][2] == 2.0  # cumulative includes the overflow
+        assert ("h_seconds_count", {}, 2.0) in families["h_seconds"]["samples"]
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("k",)).labels('we"ird\\v').inc()
+        families = parse_exposition(render_prometheus(registry.snapshot()))
+        assert families["c_total"]["samples"][0][1] == {"k": 'we"ird\\v'}
+
+    def test_parser_rejects_malformed_input(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all!\n")
+        with pytest.raises(ValueError):
+            parse_exposition("orphan_sample 1\n")  # no # TYPE
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x counter\nx notanumber\n")
+
+    def test_render_ends_with_newline(self):
+        assert render_prometheus({}).endswith("\n")
+
+
+class TestTelemetryFacade:
+    def test_as_telemetry_normalization(self):
+        assert as_telemetry(None) is None
+        assert as_telemetry(False) is None
+        fresh = as_telemetry(True)
+        assert isinstance(fresh, Telemetry)
+        assert as_telemetry(fresh) is fresh
+
+    def test_config_round_trip_is_fresh(self):
+        telemetry = Telemetry(sample_interval=16, sample_phase=2)
+        telemetry.registry.counter("c_total", "h").labels().inc(5)
+        rebuilt = Telemetry.from_config(telemetry.config())
+        assert rebuilt.sample_interval == 16
+        assert rebuilt.sample_phase == 2
+        assert rebuilt.snapshot() == {}  # fresh: no inherited counts
+
+    def test_stats_bridge_emits_catalogue_shaped_series(self):
+        bridged = stats_to_metrics(
+            {
+                "Spec/ere": {
+                    "events": 10,
+                    "monitors_created": 4,
+                    "monitors_collected": 1,
+                    "live_monitors": 3,
+                    "peak_live_monitors": 4,
+                    "verdicts": {"match": 2},
+                }
+            }
+        )
+        assert bridged["repro_monitor_events_total"]["series"] == [[["Spec/ere"], 10]]
+        assert bridged["repro_monitor_verdicts_total"]["series"] == [
+            [["Spec/ere", "match"], 2]
+        ]
+        # Mergeable with a live registry snapshot (same schema).
+        live = MetricsRegistry()
+        live.counter(
+            "repro_monitor_events_total", "E", ("property",)
+        ).labels("Spec/ere").inc(5)
+        merged = merge_snapshots(live.snapshot(), bridged)
+        assert merged["repro_monitor_events_total"]["series"] == [[["Spec/ere"], 15]]
+
+
+class TestNdjsonSink:
+    def test_metrics_and_trace_records_round_trip(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").labels().inc(3)
+        clock = iter([1.0, 2.0]).__next__
+        with NdjsonSink(path, clock=clock) as sink:
+            sink.write_metrics(registry.snapshot(), label="mid-run")
+            sink.write_trace("checkpoint", seq=42)
+        records = list(read_ndjson(path))
+        assert [r["kind"] for r in records] == ["metrics", "trace"]
+        assert records[0]["label"] == "mid-run"
+        assert records[0]["snapshot"]["c_total"]["series"] == [[[], 3]]
+        assert records[1] == {"kind": "trace", "at": 2.0, "event": "checkpoint", "seq": 42}
+
+    def test_closed_sink_refuses_writes(self, tmp_path):
+        sink = NdjsonSink(tmp_path / "x.ndjson")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write_trace("late")

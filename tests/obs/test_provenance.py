@@ -1,0 +1,200 @@
+"""Verdict provenance: every verdict names the WAL slice that reproduces it.
+
+The acceptance contract of the telemetry plane's time-travel side: a
+durable run stamps each verdict with (property, slot, WAL segment, seq,
+checkpoint floor); ``extract_slice`` pulls exactly that range back out,
+``replay_verdict``/``verify_verdict`` reproduce the verdict from it —
+including through a checkpoint whose older segments were pruned — and
+the sharded service prepends the shard that fired it.  All of it holds
+with telemetry off: provenance is correctness metadata, not a metric.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.__main__ import main
+from repro.obs.provenance import (
+    binding_symbols,
+    extract_slice,
+    replay_verdict,
+    verify_verdict,
+)
+from repro.persist.recovery import DurableEngine
+from repro.properties import UNSAFEITER
+from repro.service import MonitorService
+
+from ..conftest import Obj
+
+
+class _Capture:
+    """Collect (category, provenance, symbolic binding) per engine verdict."""
+
+    def __init__(self):
+        self.verdicts = []
+        self.registry = None  # set once the DurableEngine exists
+
+    def __call__(self, prop, verdict, monitor):
+        self.verdicts.append(
+            (
+                verdict,
+                dict(monitor.provenance),
+                binding_symbols(self.registry, monitor.binding()),
+            )
+        )
+
+
+def durable_run(tmp_path, triples=3, checkpoint_after=None, **kwargs):
+    """Run UnsafeIter triples through a DurableEngine; return capture + dir.
+
+    Each triple (create, update, next over fresh objects) fires exactly
+    one ``match``.  ``checkpoint_after`` checkpoints after that many
+    triples, exercising the restore-then-replay provenance path.
+    """
+    directory = tmp_path / "wal"
+    capture = _Capture()
+    durable = DurableEngine(
+        UNSAFEITER.make().silence(),
+        directory,
+        gc="coenable",
+        on_verdict=capture,
+        checkpoint_every=10_000,
+        **kwargs,
+    )
+    capture.registry = durable.registry
+    keepalive = []
+    for k in range(triples):
+        c, i = Obj(f"c{k}"), Obj(f"i{k}")
+        keepalive.append((c, i))
+        durable.emit("create", c=c, i=i)
+        durable.emit("update", c=c)
+        durable.emit("next", i=i)
+        if checkpoint_after is not None and k + 1 == checkpoint_after:
+            durable.checkpoint()
+    durable.close()
+    del keepalive
+    return capture, directory
+
+
+class TestStamping:
+    def test_provenance_names_the_triggering_event(self, tmp_path):
+        capture, _ = durable_run(tmp_path, triples=3)
+        assert len(capture.verdicts) == 3
+        for index, (category, provenance, binding) in enumerate(capture.verdicts):
+            assert category == "match"
+            assert provenance["property"] == "UnsafeIter"
+            assert provenance["formalism"] == "ere"
+            assert provenance["slot"] == 0
+            # Write-ahead: the k-th triple's verdict fires on its 3rd event.
+            assert provenance["seq"] == 3 * (index + 1)
+            assert provenance["first_seq"] == 0
+            # Symbols are allocated by the WAL's SymbolRegistry in first-seen
+            # order: the k-th triple binds (o<2k+1>, o<2k+2>).
+            assert binding == {"c": f"o{2 * index + 1}", "i": f"o{2 * index + 2}"}
+
+    def test_stamped_with_telemetry_off(self, tmp_path):
+        capture, _ = durable_run(tmp_path, triples=1)  # no telemetry= anywhere
+        _, provenance, _ = capture.verdicts[0]
+        assert {"segment", "seq", "first_seq", "slot"} <= set(provenance)
+
+    def test_service_prepends_the_firing_shard(self):
+        records = []
+        service = MonitorService(
+            UNSAFEITER.make().silence(),
+            shards=3,
+            mode="inline",
+            on_verdict=records.append,
+        )
+        keepalive = []
+        with service:
+            for k in range(6):
+                c, i = Obj(f"c{k}"), Obj(f"i{k}")
+                keepalive.append((c, i))
+                service.emit("create", c=c, i=i)
+                service.emit("update", c=c)
+                service.emit("next", i=i)
+            service.drain()
+        assert len(records) == 6
+        for record in records:
+            assert record.provenance["shard"] in range(3)
+            assert record.provenance["property"] == "UnsafeIter"
+        del keepalive
+
+
+class TestSliceAndReplay:
+    def test_extract_slice_ends_at_the_triggering_event(self, tmp_path):
+        capture, directory = durable_run(tmp_path, triples=3)
+        _, provenance, _ = capture.verdicts[1]  # seq 6
+        records = extract_slice(directory, provenance)
+        assert [seq for seq, _, _ in records] == [1, 2, 3, 4, 5, 6]
+        seq, kind, payload = records[-1]
+        assert (seq, kind, payload[0]) == (6, "event", "next")
+
+    def test_replay_reproduces_every_verdict(self, tmp_path):
+        capture, directory = durable_run(tmp_path, triples=3)
+        for category, provenance, binding in capture.verdicts:
+            assert verify_verdict(
+                directory,
+                provenance,
+                UNSAFEITER.make().silence(),
+                category,
+                binding,
+                gc="coenable",
+            )
+
+    def test_wrong_binding_or_category_fails_verification(self, tmp_path):
+        capture, directory = durable_run(tmp_path, triples=2)
+        category, provenance, binding = capture.verdicts[0]
+        specs = UNSAFEITER.make().silence()
+        assert not verify_verdict(
+            directory, provenance, specs, category, {"c": "c1", "i": "i1"}
+        )
+        assert not verify_verdict(directory, provenance, specs, "fail", binding)
+
+    def test_replay_through_a_pruning_checkpoint(self, tmp_path):
+        capture, directory = durable_run(
+            tmp_path, triples=4, checkpoint_after=2, prune_on_checkpoint=True,
+            segment_events=3,
+        )
+        category, provenance, binding = capture.verdicts[-1]
+        assert provenance["first_seq"] == 6  # the checkpoint floor
+        # Pre-checkpoint verdicts were stamped before the floor existed...
+        assert capture.verdicts[0][1]["first_seq"] == 0
+        # ...but the post-checkpoint one replays from the snapshot alone.
+        assert verify_verdict(
+            directory,
+            provenance,
+            UNSAFEITER.make().silence(),
+            category,
+            binding,
+            gc="coenable",
+        )
+
+    def test_replay_verdict_returns_symbolic_bindings(self, tmp_path):
+        capture, directory = durable_run(tmp_path, triples=2)
+        _, provenance, _ = capture.verdicts[1]
+        replayed = replay_verdict(
+            directory, provenance, UNSAFEITER.make().silence(), gc="coenable"
+        )
+        assert ("UnsafeIter", "ere", "match", {"c": "o3", "i": "o4"}) in replayed
+
+
+class TestCliSlice:
+    def test_slice_prints_the_range_as_json_lines(self, tmp_path, capsys):
+        capture, directory = durable_run(tmp_path, triples=2)
+        _, provenance, _ = capture.verdicts[0]
+        rc = main(
+            ["slice", "--wal", str(directory), "--seq", str(provenance["seq"])]
+        )
+        assert rc == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [line["seq"] for line in lines] == [1, 2, 3]
+        assert lines[-1]["event"] == "next"
+
+    def test_empty_range_hints_and_fails(self, tmp_path, capsys):
+        _, directory = durable_run(tmp_path, triples=1)
+        rc = main(
+            ["slice", "--wal", str(directory), "--seq", "99", "--first-seq", "98"]
+        )
+        assert rc == 1
+        assert "was the WAL synced?" in capsys.readouterr().err

@@ -84,6 +84,52 @@ class TestRoundTrip:
         del i1
 
 
+class TestPeakUpperBound:
+    """``peak_live_monitors`` merge semantics: summed peaks are only a bound."""
+
+    def _with_peak(self, peak: int) -> MonitorStats:
+        stats = MonitorStats()
+        for _ in range(peak):
+            stats.record_creation()
+        assert stats.peak_live_monitors == peak
+        return stats
+
+    def test_fresh_record_peak_is_exact(self):
+        assert populated().peak_is_upper_bound is False
+
+    def test_merging_two_observed_peaks_marks_upper_bound(self):
+        merged = MonitorStats.merged([self._with_peak(3), self._with_peak(2)])
+        assert merged.peak_live_monitors == 5
+        assert merged.peak_is_upper_bound is True
+
+    def test_merging_zero_peak_shards_stays_exact(self):
+        """Only one shard ever created monitors: the sum IS the true peak."""
+        merged = MonitorStats.merged([self._with_peak(3), MonitorStats()])
+        assert merged.peak_live_monitors == 3
+        assert merged.peak_is_upper_bound is False
+
+    def test_flag_is_sticky_through_further_merges(self):
+        bound = MonitorStats.merged([self._with_peak(1), self._with_peak(1)])
+        merged = MonitorStats.merged([bound, MonitorStats()])
+        assert merged.peak_is_upper_bound is True
+
+    def test_flag_survives_snapshot_round_trip(self):
+        bound = MonitorStats.merged([self._with_peak(1), self._with_peak(1)])
+        snapshot = bound.snapshot()
+        assert snapshot["peak_is_upper_bound"] is True
+        assert MonitorStats.from_snapshot(snapshot).peak_is_upper_bound is True
+
+    def test_old_snapshots_without_the_flag_default_to_exact(self):
+        rebuilt = MonitorStats.from_snapshot({"peak_live_monitors": 4})
+        assert rebuilt.peak_live_monitors == 4
+        assert rebuilt.peak_is_upper_bound is False
+
+    def test_unknown_snapshot_keys_are_ignored(self):
+        snapshot = populated().snapshot()
+        snapshot["future_counter"] = 123
+        assert MonitorStats.from_snapshot(snapshot) == populated()
+
+
 class TestMergeInteraction:
     def test_merge_of_round_tripped_records_is_exact(self):
         first, second = populated(), populated()

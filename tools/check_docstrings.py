@@ -38,6 +38,11 @@ DEFAULT_TARGETS = (
     "src/repro/service/service.py",
     "src/repro/spec/registry.py",
     "src/repro/persist/recovery.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/telemetry.py",
+    "src/repro/obs/http.py",
+    "src/repro/obs/provenance.py",
+    "src/repro/obs/sink.py",
     "src/repro/instrument/live.py",
     "src/repro/instrument/aspects.py",
     "src/repro/properties/__init__.py",
