@@ -10,12 +10,15 @@ over the ``bloat`` analog — the same trace ``bench_dispatch.py`` uses):
 * **off** — compiled-lazy engine, ``telemetry=None`` (the bench_dispatch
   configuration, i.e. the recorded-baseline code path);
 * **on**  — the same engine with a live :class:`~repro.obs.telemetry.Telemetry`
-  at the default sampling interval.
+  at the default sampling interval;
+* **attr** — telemetry plus sampled per-property stage attribution
+  (``Telemetry(attribution=True)``): the decomposed timed dispatch runs
+  on sampled calls, so this prices the tracing plane's deepest hook.
 
-Repeats of the two configurations are *interleaved* (off/on alternating,
+Repeats of the three configurations are *interleaved* (off/on/attr alternating,
 best-of-N per column via the shared ``timed_call`` helper) so machine
 drift hits both equally; verdict/monitor identity is asserted across
-every repeat *and* across the two configurations, and
+every repeat *and* across all three configurations, and
 the "on" run is checked to have actually recorded its exact counters
 (``repro_engine_handled_total`` must equal the trace length — a benchmark
 that silently measured disabled telemetry would gate nothing).
@@ -27,7 +30,9 @@ Run directly (writes ``BENCH_obs.json``)::
         --out BENCH_obs.json --check-gate
 
 ``--check-gate`` exits non-zero when the metrics-on overhead exceeds
-``--gate-pct`` (default ``REPRO_OBS_GATE_PCT`` or 5.0 percent).
+``--gate-pct`` (default ``REPRO_OBS_GATE_PCT`` or 5.0 percent) or the
+attribution-on overhead exceeds ``--attr-gate-pct`` (default
+``REPRO_OBS_ATTR_GATE_PCT`` or 8.0 percent).
 """
 
 from __future__ import annotations
@@ -51,10 +56,19 @@ def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
     return record_workload_events(profile, [UNSAFEITER])
 
 
-def run_once(entries, with_telemetry: bool) -> tuple[float, tuple, dict]:
-    """One compiled-lazy replay; ``(seconds, identity, telemetry snapshot)``."""
+def run_once(entries, label: str) -> tuple[float, tuple, dict]:
+    """One compiled-lazy replay; ``(seconds, identity, telemetry snapshot)``.
+
+    ``label`` picks the configuration: ``"off"`` (no telemetry), ``"on"``
+    (default telemetry), ``"attr"`` (telemetry + stage attribution).
+    """
     verdicts: Counter = Counter()
-    telemetry = Telemetry() if with_telemetry else None
+    if label == "off":
+        telemetry = None
+    elif label == "on":
+        telemetry = Telemetry()
+    else:
+        telemetry = Telemetry(attribution=True)
     engine = MonitoringEngine(
         UNSAFEITER.make().silence(),
         gc="coenable",
@@ -78,16 +92,19 @@ def run(scale: float, repeats: int) -> dict:
     # both to the same machine drift (shared-runner frequency scaling,
     # noisy neighbors), which back-to-back best-of-N groups would not —
     # the min of each column then compares like with like.
-    times: dict[str, list[float]] = {"off": [], "on": []}
+    times: dict[str, list[float]] = {"off": [], "on": [], "attr": []}
     identities: set[tuple] = set()
     snapshot: dict = {}
+    attr_snapshot: dict = {}
     for _ in range(max(1, repeats)):
-        for label in ("off", "on"):
-            elapsed, identity, snap = run_once(entries, label == "on")
+        for label in ("off", "on", "attr"):
+            elapsed, identity, snap = run_once(entries, label)
             times[label].append(elapsed)
             identities.add(identity)
-            if snap:
+            if snap and label == "on":
                 snapshot = snap
+            elif snap and label == "attr":
+                attr_snapshot = snap
     if len(identities) != 1:
         raise AssertionError(
             f"telemetry changed monitoring behavior: {identities}"
@@ -104,9 +121,22 @@ def run(scale: float, repeats: int) -> dict:
         value["count"]
         for _key, value in snapshot["repro_engine_event_seconds"]["series"]
     )
+    attr_family = attr_snapshot.get("repro_prop_stage_seconds_total", {})
+    attr_seconds = sum(value for _key, value in attr_family.get("series", ()))
+    attr_samples = sum(
+        value
+        for _key, value in attr_snapshot.get(
+            "repro_prop_stage_samples_total", {}
+        ).get("series", ())
+    )
+    if not attr_samples or attr_seconds <= 0.0:
+        raise AssertionError(
+            "attribution-on run recorded no stage samples — the attributed "
+            "dispatch path did not run"
+        )
     identity = identities.pop()
     rows = {}
-    for label in ("off", "on"):
+    for label in ("off", "on", "attr"):
         seconds = min(times[label])
         rows[label] = {
             "telemetry": label,
@@ -119,21 +149,32 @@ def run(scale: float, repeats: int) -> dict:
         }
     rows["on"]["handled_total"] = handled
     rows["on"]["sampled_latency_observations"] = sampled
-    off, on = rows["off"], rows["on"]
+    rows["attr"]["attributed_stage_seconds"] = attr_seconds
+    rows["attr"]["attributed_stage_samples"] = attr_samples
+    off, on, attr = rows["off"], rows["on"], rows["attr"]
     overhead_pct = (
         100.0 * (on["seconds"] - off["seconds"]) / off["seconds"]
         if off["seconds"]
         else 0.0
     )
-    for row in (off, on):
+    attr_overhead_pct = (
+        100.0 * (attr["seconds"] - off["seconds"]) / off["seconds"]
+        if off["seconds"]
+        else 0.0
+    )
+    for row in (off, on, attr):
         print(
-            f"  metrics {row['telemetry']:>3}: "
+            f"  metrics {row['telemetry']:>4}: "
             f"{row['events_per_second']:>10,.0f} ev/s  ({row['seconds']:.3f}s)"
         )
     print(
         f"overhead: {overhead_pct:+.2f}% at sampling interval "
         f"{DEFAULT_SAMPLE_INTERVAL} "
         f"({on['sampled_latency_observations']} sampled latency observations)"
+    )
+    print(
+        f"attribution overhead: {attr_overhead_pct:+.2f}% "
+        f"({attr_samples} stage samples, {attr_seconds:.4f}s attributed)"
     )
     return {
         "benchmark": "obs-overhead",
@@ -142,8 +183,9 @@ def run(scale: float, repeats: int) -> dict:
         "trace_events": len(entries),
         "repeats": repeats,
         "sample_interval": DEFAULT_SAMPLE_INTERVAL,
-        "results": [off, on],
+        "results": [off, on, attr],
         "overhead_pct": overhead_pct,
+        "attr_overhead_pct": attr_overhead_pct,
         "verdicts_identical_across_configs": True,
     }
 
@@ -176,21 +218,41 @@ def main() -> None:
         help="maximum allowed overhead percent (default: REPRO_OBS_GATE_PCT "
         "or 5.0; CI may loosen it to absorb shared-runner noise)",
     )
+    parser.add_argument(
+        "--attr-gate-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_OBS_ATTR_GATE_PCT", "8.0")),
+        help="maximum allowed attribution-on overhead percent (default: "
+        "REPRO_OBS_ATTR_GATE_PCT or 8.0)",
+    )
     args = parser.parse_args()
     report = run(args.scale, args.repeats)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"report -> {args.out}")
     if args.check_gate:
+        failed = False
         if report["overhead_pct"] > args.gate_pct:
             print(
                 f"OBS OVERHEAD REGRESSION: {report['overhead_pct']:+.2f}% "
                 f"exceeds the {args.gate_pct:.1f}% gate",
                 file=sys.stderr,
             )
+            failed = True
+        if report["attr_overhead_pct"] > args.attr_gate_pct:
+            print(
+                f"OBS ATTRIBUTION OVERHEAD REGRESSION: "
+                f"{report['attr_overhead_pct']:+.2f}% exceeds the "
+                f"{args.attr_gate_pct:.1f}% gate",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
             raise SystemExit(1)
         print(
-            f"obs gate OK: {report['overhead_pct']:+.2f}% <= {args.gate_pct:.1f}%"
+            f"obs gate OK: {report['overhead_pct']:+.2f}% <= "
+            f"{args.gate_pct:.1f}%, attribution "
+            f"{report['attr_overhead_pct']:+.2f}% <= {args.attr_gate_pct:.1f}%"
         )
 
 

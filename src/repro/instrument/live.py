@@ -727,6 +727,23 @@ class LiveSession:
     def __exit__(self, *_exc: Any) -> None:
         self.close()
 
+    def enable_flight_recorder(self, recorder: Any = None) -> Any:
+        """Attach a flight recorder to the session's sink engine.
+
+        Convenience passthrough to
+        :meth:`repro.runtime.engine.MonitoringEngine.enable_flight_recorder`
+        (the sink must expose it — a bare engine or a durable engine);
+        woven events then leave a bounded in-memory ring of recent
+        history, dumped on verdict bursts for postmortems of live runs.
+        """
+        target = self.engine if self.engine is not None else self.sink
+        enable = getattr(target, "enable_flight_recorder", None)
+        if enable is None:
+            raise ReproError(
+                "this session's sink does not support a flight recorder"
+            )
+        return enable(recorder)
+
     # -- emission ----------------------------------------------------------
 
     def emit(self, event: str, _strict: bool = False, **params: Any) -> None:

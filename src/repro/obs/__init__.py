@@ -16,12 +16,20 @@ This package makes those quantities *live*:
 * :mod:`repro.obs.http` — stdlib-only Prometheus exposition endpoint and
   its strict validating parser;
 * :mod:`repro.obs.provenance` — verdict → WAL-slice extraction and
-  replay-level time-travel debugging.
+  replay-level time-travel debugging;
+* :mod:`repro.obs.attribution` — sampled per-property, per-stage
+  overhead attribution (where did the millisecond go?);
+* :mod:`repro.obs.trace` — structured spans across the service
+  boundary, exportable as NDJSON or Chrome trace-event JSON;
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  recent engine history, dumped on trigger and replayable through the
+  provenance machinery.
 
-``python -m repro.obs`` snapshots, diffs, and validates a running
-service's exposition endpoint.
+``python -m repro.obs`` snapshots, diffs, validates, and ranks a
+running service's exposition endpoint, and records/exports traces.
 """
 
+from .attribution import STAGES, AttributionPlane, prop_label, stage_table
 from .catalogue import METRICS, MetricSpec, declare
 from .http import ExpositionServer, parse_exposition
 from .metrics import (
@@ -37,10 +45,31 @@ from .metrics import (
     render_prometheus,
 )
 from .provenance import binding_symbols, extract_slice, replay_verdict, verify_verdict
+from .recorder import FlightRecorder, replay_dump_verdict
 from .sink import NdjsonSink, read_ndjson
 from .telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry, as_telemetry, stats_to_metrics
+from .trace import (
+    Tracer,
+    merge_spans,
+    read_spans_ndjson,
+    spans_to_chrome,
+    validate_chrome_trace,
+    write_spans_ndjson,
+)
 
 __all__ = [
+    "STAGES",
+    "AttributionPlane",
+    "prop_label",
+    "stage_table",
+    "FlightRecorder",
+    "replay_dump_verdict",
+    "Tracer",
+    "merge_spans",
+    "read_spans_ndjson",
+    "spans_to_chrome",
+    "validate_chrome_trace",
+    "write_spans_ndjson",
     "METRICS",
     "MetricSpec",
     "declare",

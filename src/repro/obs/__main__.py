@@ -5,7 +5,16 @@ Subcommands:
 * ``snapshot URL`` — fetch ``/metrics.json`` from an exposition endpoint
   and print (or save) the raw registry snapshot;
 * ``diff BEFORE AFTER`` — what moved between two snapshots (files or
-  endpoint URLs): counter/gauge deltas and histogram count/sum deltas;
+  endpoint URLs): counter/gauge deltas and histogram count/sum deltas.
+  A counter that went *backwards* means the source restarted between the
+  two snapshots; its delta is clamped to zero and flagged ``[reset]``
+  (gauges are levels and keep their raw negative deltas);
+* ``top URL`` — rank properties by attributed cost: the per-stage
+  sampled seconds from ``repro_prop_stage_seconds_total`` (requires a
+  service running with ``Telemetry(attribution=True)``);
+* ``trace record`` / ``trace export`` — run a short traced workload and
+  write its spans as NDJSON / convert recorded spans to Chrome
+  trace-event JSON (load the result in ``chrome://tracing`` or Perfetto);
 * ``validate FILE|-`` — strictly parse Prometheus text exposition
   (``-`` reads stdin); exit 1 with the offending line on failure — the
   CI smoke step pipes ``curl /metrics`` through this;
@@ -73,19 +82,29 @@ def _cmd_diff(args: argparse.Namespace) -> int:
                 new_sum = new[key]["sum"] if key in new else 0.0
                 if new_count != old_count or new_sum != old_sum:
                     moved += 1
+                    # A histogram count going backwards means the source
+                    # restarted: clamp the monotone deltas to zero and say
+                    # so, instead of reporting a nonsense negative rate.
+                    reset = new_count < old_count
+                    count_delta = 0 if reset else new_count - old_count
                     print(
                         f"{name}{label_text} count {old_count} -> {new_count} "
-                        f"(+{new_count - old_count}), "
+                        f"(+{count_delta}), "
                         f"sum {old_sum:.6g} -> {new_sum:.6g}"
+                        + (" [reset]" if reset else "")
                     )
             else:
                 old_value = old.get(key, 0)
                 new_value = new.get(key, 0)
                 if new_value != old_value:
                     moved += 1
+                    delta = new_value - old_value
+                    reset = kind == "counter" and delta < 0
+                    if reset:
+                        delta = 0
                     print(
                         f"{name}{label_text} {old_value:g} -> {new_value:g} "
-                        f"({new_value - old_value:+g})"
+                        f"({delta:+g})" + (" [reset]" if reset else "")
                     )
     if not moved:
         print("no series moved")
@@ -129,6 +148,89 @@ def _cmd_slice(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _print_top(snapshot: Mapping[str, Any], limit: int) -> int:
+    from .attribution import STAGES, stage_table
+
+    table = stage_table(snapshot)
+    if not table:
+        print(
+            "no attributed samples — is the service running with "
+            "Telemetry(attribution=True)?"
+        )
+        return 0
+    grand_total = sum(row.get("total", 0.0) for row in table.values())
+    ranked = sorted(table.items(), key=lambda item: -item[1].get("total", 0.0))
+    header = ["property"] + [stage for stage in STAGES] + ["total", "share"]
+    widths = [max(24, len(header[0]))] + [11] * (len(header) - 1)
+    print("  ".join(title.rjust(width) for title, width in zip(header, widths)))
+    for label, row in ranked[:limit]:
+        total = row.get("total", 0.0)
+        share = 100.0 * total / grand_total if grand_total else 0.0
+        cells = [label.rjust(widths[0])]
+        cells += [
+            f"{row.get(stage, 0.0):.6f}".rjust(11) for stage in STAGES
+        ]
+        cells.append(f"{total:.6f}".rjust(11))
+        cells.append(f"{share:5.1f}%".rjust(11))
+        print("  ".join(cells))
+    if len(ranked) > limit:
+        print(f"... {len(ranked) - limit} more (raise --limit)")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    while True:
+        _print_top(_fetch_snapshot(args.url), args.limit)
+        if args.watch is None:
+            return 0
+        time.sleep(args.watch)
+        print()
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from ..bench.workloads import WORKLOADS, record_workload_events
+    from ..properties import UNSAFEITER
+    from ..service.service import MonitorService, ingest_symbolic
+    from .telemetry import Telemetry
+    from .trace import write_spans_ndjson
+
+    entries = record_workload_events(
+        WORKLOADS["bloat"].scaled(args.scale), [UNSAFEITER]
+    )
+    telemetry = Telemetry(trace=True)
+    service = MonitorService(
+        UNSAFEITER.make().silence(),
+        shards=args.shards,
+        mode=args.mode,
+        telemetry=telemetry,
+    )
+    try:
+        ingest_symbolic(service, entries)
+        service.drain()
+    finally:
+        service.close()
+    spans = service.trace_spans()
+    write_spans_ndjson(spans, args.out)
+    print(f"{len(spans)} spans ({len(entries)} events) -> {args.out}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .trace import read_spans_ndjson, spans_to_chrome
+
+    spans = read_spans_ndjson(args.spans)
+    try:
+        payload = spans_to_chrome(spans)
+    except ValueError as exc:
+        print(f"invalid spans: {exc}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    print(f"{len(payload['traceEvents'])} trace events -> {args.out}")
     return 0
 
 
@@ -196,6 +298,40 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_validate.add_argument("file", help="exposition text file, or - for stdin")
     p_validate.set_defaults(func=_cmd_validate)
+
+    p_top = sub.add_parser(
+        "top", help="rank properties by attributed per-stage cost"
+    )
+    p_top.add_argument("url", help="snapshot JSON file or endpoint URL")
+    p_top.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
+    p_top.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS instead of printing once",
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_trace = sub.add_parser("trace", help="record and export structured spans")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_record = trace_sub.add_parser(
+        "record", help="run a short traced workload, write spans as NDJSON"
+    )
+    p_record.add_argument(
+        "--scale", type=float, default=0.05, help="bloat workload scale"
+    )
+    p_record.add_argument("--shards", type=int, default=2)
+    p_record.add_argument(
+        "--mode", default="thread", choices=("thread", "inline", "process")
+    )
+    p_record.add_argument("--out", default="trace_spans.ndjson")
+    p_record.set_defaults(func=_cmd_trace_record)
+    p_export = trace_sub.add_parser(
+        "export", help="convert NDJSON spans to Chrome trace-event JSON"
+    )
+    p_export.add_argument("--spans", required=True, help="NDJSON spans file")
+    p_export.add_argument("--out", default="chrome_trace.json")
+    p_export.set_defaults(func=_cmd_trace_export)
 
     p_slice = sub.add_parser(
         "slice", help="print a provenance range's WAL records as JSON lines"

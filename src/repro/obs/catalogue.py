@@ -129,6 +129,23 @@ METRICS: dict[str, MetricSpec] = {
             "repro_bench_run_seconds", "histogram", ("cell",), "bench",
             "Wall-clock of each benchmark repeat fed by the shared best-of-N harness",
         ),
+        # -- obs (attribution / spans / flight recorder) --------------------
+        _spec(
+            "repro_prop_stage_seconds_total", "counter", ("property", "stage"), "obs",
+            "Sampled wall seconds attributed to one property and pipeline stage",
+        ),
+        _spec(
+            "repro_prop_stage_samples_total", "counter", ("property", "stage"), "obs",
+            "Attribution samples behind each property-stage seconds tally",
+        ),
+        _spec(
+            "repro_trace_spans_total", "counter", ("site",), "obs",
+            "Structured spans recorded per instrumentation site",
+        ),
+        _spec(
+            "repro_recorder_dumps_total", "counter", ("trigger",), "obs",
+            "Flight-recorder dumps taken, per trigger reason",
+        ),
         # -- stats bridge (derived from MonitorStats at snapshot time) ------
         _spec(
             "repro_monitor_events_total", "counter", ("property",), "stats",

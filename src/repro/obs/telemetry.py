@@ -27,18 +27,38 @@ from typing import Any, Mapping
 from .catalogue import METRICS
 from .metrics import MetricsRegistry, Sampler
 
-__all__ = ["Telemetry", "as_telemetry", "stats_to_metrics", "DEFAULT_SAMPLE_INTERVAL"]
+__all__ = [
+    "Telemetry",
+    "as_telemetry",
+    "stats_to_metrics",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "SHARD_PHASE_STRIDE",
+]
 
 #: Default 1-in-N sampling interval for hot-path timers.  At typical
 #: per-event dispatch costs this keeps timer overhead well under the 5%
 #: CI budget while still collecting hundreds of samples per bench run.
 DEFAULT_SAMPLE_INTERVAL = 128
 
+#: Per-shard sampler phase stride.  Odd (coprime with the power-of-two
+#: default interval), so forked shard workers rebuilt from
+#: ``Telemetry.config(shard=k)`` tick on pairwise-distinct phases instead
+#: of phase-aligning and biasing sampled attribution toward whatever the
+#: router happens to co-schedule.
+SHARD_PHASE_STRIDE = 17
+
 
 class Telemetry:
     """A metrics registry plus the sampling policy for hot-path timers."""
 
-    __slots__ = ("registry", "sample_interval", "sample_phase")
+    __slots__ = (
+        "registry",
+        "sample_interval",
+        "sample_phase",
+        "attribution",
+        "trace",
+        "tracer",
+    )
 
     def __init__(
         self,
@@ -46,12 +66,28 @@ class Telemetry:
         *,
         sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
         sample_phase: int = 0,
+        attribution: bool = False,
+        trace: bool = False,
+        trace_capacity: int | None = None,
     ) -> None:
         if sample_interval < 1:
             raise ValueError("sample_interval must be >= 1")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sample_interval = int(sample_interval)
         self.sample_phase = int(sample_phase)
+        self.attribution = bool(attribution)
+        self.trace = bool(trace)
+        if self.trace:
+            from .catalogue import declare
+            from .trace import Tracer
+
+            counter = declare(self.registry, "repro_trace_spans_total")
+            if trace_capacity is None:
+                self.tracer = Tracer(counter=counter)
+            else:
+                self.tracer = Tracer(capacity=trace_capacity, counter=counter)
+        else:
+            self.tracer = None
 
     def sampler(self, offset: int = 0) -> Sampler:
         """A fresh deterministic sampler; ``offset`` decorrelates owners.
@@ -61,11 +97,22 @@ class Telemetry:
         """
         return Sampler(self.sample_interval, self.sample_phase + offset)
 
-    def config(self) -> dict[str, int]:
-        """Picklable policy dict for rebuilding in a worker process."""
+    def config(self, shard: int | None = None) -> dict[str, int]:
+        """Picklable policy dict for rebuilding in a worker process.
+
+        Pass the worker's ``shard`` index to offset the sampler phase by
+        ``shard * SHARD_PHASE_STRIDE``: forked workers then sample on
+        decorrelated ticks rather than all timing the same positions of
+        every routed batch.
+        """
+        phase = self.sample_phase
+        if shard is not None:
+            phase += SHARD_PHASE_STRIDE * int(shard)
         return {
             "sample_interval": self.sample_interval,
-            "sample_phase": self.sample_phase,
+            "sample_phase": phase,
+            "attribution": self.attribution,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -74,6 +121,8 @@ class Telemetry:
         return cls(
             sample_interval=int(config.get("sample_interval", DEFAULT_SAMPLE_INTERVAL)),
             sample_phase=int(config.get("sample_phase", 0)),
+            attribution=bool(config.get("attribution", False)),
+            trace=bool(config.get("trace", False)),
         )
 
     def snapshot(self) -> dict[str, Any]:

@@ -204,6 +204,16 @@ class DurableEngine:
         ):
             self.checkpoint()
 
+    def enable_flight_recorder(self, recorder: Any = None) -> Any:
+        """Attach a flight recorder to the inner engine.
+
+        On a durable engine the recorder's entries carry WAL coordinates
+        (via ``provenance_source``), so a triggered dump is replayable:
+        hand it to :func:`repro.obs.recorder.replay_dump_verdict` with
+        this engine's directory after a :meth:`repro.persist.wal.WalWriter.sync`.
+        """
+        return self.engine.enable_flight_recorder(recorder)
+
     # -- dynamic property registry -------------------------------------------
 
     def register_property(self, item: Any, name: str | None = None) -> list[int]:

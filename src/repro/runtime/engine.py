@@ -229,6 +229,7 @@ class PropertyRuntime:
         slot: int = -1,
         telemetry: "Telemetry | None" = None,
         provenance_get: Callable[[], Any] | None = None,
+        attribution: Any = None,
     ):
         self.prop = prop
         self.slot = slot
@@ -291,7 +292,11 @@ class PropertyRuntime:
             self.handle = self._handle_reference  # type: ignore[method-assign]
         # Telemetry interposes on the per-instance entry points only when
         # enabled: with telemetry=None (the default) every hot path above
-        # is byte-identical to the un-instrumented build.
+        # is byte-identical to the un-instrumented build.  Attribution
+        # wraps first (closest to the raw handle) so the sampled latency
+        # timer above it still brackets the whole call.
+        if attribution is not None:
+            self._wire_attribution(attribution, dispatch == "compiled")
         if telemetry is not None:
             self._wire_telemetry(telemetry)
 
@@ -356,6 +361,83 @@ class PropertyRuntime:
                 inner_scan()
             finally:
                 scan_pause.observe(perf_counter() - start)
+
+        self.collect_deaths = collect_deaths  # type: ignore[method-assign]
+        self.scan_all = scan_all  # type: ignore[method-assign]
+
+    def _wire_attribution(self, plane: Any, compiled: bool) -> None:
+        """Wrap the entry points with per-stage attribution (see obs docs).
+
+        Outside a sampled emit (``plane.active`` false — the engine's
+        boundary wrapper owns that flag) every call falls straight
+        through to the raw path; inside one, the compiled handle runs
+        the timed decomposed clone and GC entry points charge the ``gc``
+        stage.  Each wrapper also adds its elapsed time to
+        ``plane.charged`` so the boundary can attribute the remainder of
+        the emit call to the engine-level ``emit-batch`` stage.
+        """
+        from ..obs.attribution import prop_label
+
+        label = prop_label(self.slot, self.prop.spec_name, self.prop.formalism)
+        tree_cell = plane.cell(label, "tree-walk")
+        fsm_cell = plane.cell(label, "fsm-step")
+        dispatch_cell = plane.cell(label, "dispatch")
+        gc_cell = plane.cell(label, "gc")
+        inner_handle = self.handle
+
+        if compiled:
+            attributed = self._handle_compiled_attributed
+
+            def handle(event, values, record=True, pretouched=None):
+                if not plane.active:
+                    return inner_handle(event, values, record, pretouched)
+                start = perf_counter()
+                try:
+                    return attributed(
+                        event, values, record, pretouched,
+                        tree_cell, fsm_cell, dispatch_cell,
+                    )
+                finally:
+                    plane.charged += perf_counter() - start
+        else:
+
+            def handle(event, values, record=True, pretouched=None):
+                if not plane.active:
+                    return inner_handle(event, values, record, pretouched)
+                start = perf_counter()
+                try:
+                    return inner_handle(event, values, record, pretouched)
+                finally:
+                    elapsed = perf_counter() - start
+                    dispatch_cell.add(elapsed)
+                    plane.charged += elapsed
+
+        self.handle = handle  # type: ignore[method-assign]
+
+        inner_collect = self.collect_deaths
+        inner_scan = self.scan_all
+
+        def collect_deaths(dead):
+            if not plane.active:
+                return inner_collect(dead)
+            start = perf_counter()
+            try:
+                inner_collect(dead)
+            finally:
+                elapsed = perf_counter() - start
+                gc_cell.add(elapsed)
+                plane.charged += elapsed
+
+        def scan_all():
+            if not plane.active:
+                return inner_scan()
+            start = perf_counter()
+            try:
+                inner_scan()
+            finally:
+                elapsed = perf_counter() - start
+                gc_cell.add(elapsed)
+                plane.charged += elapsed
 
         self.collect_deaths = collect_deaths  # type: ignore[method-assign]
         self.scan_all = scan_all  # type: ignore[method-assign]
@@ -605,6 +687,67 @@ class PropertyRuntime:
                     self._step(monitor, event)
         if ed.has_creation:
             self._create_compiled(ed, vals, leaf, pretouched)
+
+    def _handle_compiled_attributed(
+        self,
+        event: str,
+        values: Mapping[str, Any],
+        record: bool,
+        pretouched: frozenset[frozenset[str]] | None,
+        tree_cell: Any,
+        fsm_cell: Any,
+        dispatch_cell: Any,
+    ) -> None:
+        """Timed clone of :meth:`_handle_compiled`, identical semantics.
+
+        Runs only inside a sampled emit call: the indexing-tree lookup is
+        charged to ``tree-walk``, the monitor-stepping loop (including
+        any verdicts it fires) to ``fsm-step``, and the remainder of the
+        call (binding extraction, creation, bookkeeping) to ``dispatch``.
+        """
+        start = perf_counter()
+        if record:
+            self.stats.events += 1
+        self._event_serial += 1
+        ed = self._dispatch[event]
+        try:
+            vals = tuple([values[param] for param in ed.params])
+        except KeyError as exc:
+            raise InconsistentEventError(
+                f"event {event!r} of {self.prop.spec_name} requires parameter "
+                f"{exc.args[0]!r}"
+            ) from None
+        t0 = perf_counter()
+        leaf = ed.tree.lookup_vals(vals, True)
+        tree_seconds = perf_counter() - t0
+        if leaf.touched is None:
+            leaf.touched = self._event_serial
+        fsm_seconds = 0.0
+        extensions = leaf.extensions
+        if extensions is not None and extensions._items:
+            t0 = perf_counter()
+            rows = self._fsm_rows
+            if rows is not None:
+                event_id = ed.event_id
+                goal = self._fsm_goal
+                for monitor in extensions.iter_active():
+                    base = monitor.base
+                    state_id = rows[base._state_id][event_id]
+                    base._state_id = state_id
+                    monitor.last_event = event
+                    if goal[state_id]:
+                        self._fire_goal(monitor, self._fsm_verdicts[state_id])
+            else:
+                for monitor in extensions.iter_active():
+                    self._step(monitor, event)
+            fsm_seconds = perf_counter() - t0
+        if ed.has_creation:
+            self._create_compiled(ed, vals, leaf, pretouched)
+        tree_cell.add(tree_seconds)
+        fsm_cell.add(fsm_seconds)
+        dispatch_cell.add(
+            max(0.0, perf_counter() - start - tree_seconds - fsm_seconds)
+        )
 
     def _create_compiled(
         self,
@@ -1129,6 +1272,17 @@ class MonitoringEngine:
             batch = _declare_metric(self.telemetry.registry, "repro_engine_batch_size")
             self._batch_emit = batch.labels("emit")
             self._batch_selected = batch.labels("selected")
+        #: Per-stage overhead attribution plane (``repro.obs.attribution``),
+        #: built only when the telemetry policy asks for it; None otherwise
+        #: (no wrappers installed, hot paths untouched).
+        self.attribution = None
+        if self.telemetry is not None and self.telemetry.attribution:
+            from ..obs.attribution import AttributionPlane
+
+            self.attribution = AttributionPlane(self.telemetry)
+        #: Optional flight recorder (``enable_flight_recorder``); None by
+        #: default, in which case no recording wrappers exist.
+        self.flight_recorder = None
 
         #: The engine's own property registry.  A registry argument is
         #: cloned (shard engines mirror the service's registry operations
@@ -1172,6 +1326,8 @@ class MonitoringEngine:
             self.runtimes.append(runtime)
         self._by_event: dict[str, list[PropertyRuntime]] = {}
         self._rebuild_event_index()
+        if self.attribution is not None:
+            self._wire_attribution_boundary()
 
     def enable_telemetry(self, telemetry: "Telemetry | bool") -> "Telemetry":
         """Attach a telemetry plane to an already-built engine.
@@ -1190,10 +1346,201 @@ class MonitoringEngine:
         batch = _declare_metric(resolved.registry, "repro_engine_batch_size")
         self._batch_emit = batch.labels("emit")
         self._batch_selected = batch.labels("selected")
+        if resolved.attribution:
+            from ..obs.attribution import AttributionPlane
+
+            self.attribution = AttributionPlane(resolved)
         for runtime in self.runtimes:
             if runtime is not None:
+                if self.attribution is not None:
+                    runtime._wire_attribution(
+                        self.attribution, self.dispatch == "compiled"
+                    )
                 runtime._wire_telemetry(resolved)
+        if self.attribution is not None:
+            self._wire_attribution_boundary()
         return resolved
+
+    def _wire_attribution_boundary(self) -> None:
+        """Interpose the sampled attribution boundary on the emit paths.
+
+        One deterministic sampler tick per emit/batch call decides
+        whether the *entire* call is attributed: while it runs,
+        ``plane.active`` makes every runtime wrapper take the timed
+        decomposed path, and whatever wall time the runtimes did not
+        charge (routing, taps, death propagation bookkeeping, loop
+        overhead) lands on the engine-level ``emit-batch`` stage.
+        Unsampled calls pay a single sampler tick and fall through.
+        """
+        from ..obs.attribution import ENGINE_LABEL
+
+        plane = self.attribution
+        batch_cell = plane.cell(ENGINE_LABEL, "emit-batch")
+        sampler = plane.sampler
+        inner_emit = self.emit
+        inner_emit_batch = self.emit_batch
+        inner_selected = self.emit_selected
+        inner_selected_batch = self.emit_selected_batch
+
+        def attributed(call, args, kwargs):
+            plane.active = True
+            plane.charged = 0.0
+            start = perf_counter()
+            try:
+                return call(*args, **kwargs)
+            finally:
+                total = perf_counter() - start
+                plane.active = False
+                batch_cell.add(max(0.0, total - plane.charged))
+
+        def emit(event, _strict=True, **params):
+            if not sampler.sample():
+                return inner_emit(event, _strict, **params)
+            return attributed(inner_emit, (event, _strict), params)
+
+        def emit_batch(events, _strict=True):
+            if not sampler.sample():
+                return inner_emit_batch(events, _strict)
+            return attributed(inner_emit_batch, (events, _strict), {})
+
+        def emit_selected(*args, **kwargs):
+            if not sampler.sample():
+                return inner_selected(*args, **kwargs)
+            return attributed(inner_selected, args, kwargs)
+
+        def emit_selected_batch(deliveries):
+            if not sampler.sample():
+                return inner_selected_batch(deliveries)
+            return attributed(inner_selected_batch, (deliveries,), {})
+
+        self.emit = emit  # type: ignore[method-assign]
+        self.emit_batch = emit_batch  # type: ignore[method-assign]
+        self.emit_selected = emit_selected  # type: ignore[method-assign]
+        self.emit_selected_batch = emit_selected_batch  # type: ignore[method-assign]
+
+    def enable_flight_recorder(self, recorder: Any = None) -> Any:
+        """Attach a flight recorder (``repro.obs.recorder``) to this engine.
+
+        Interposes recording wrappers on the emit paths, ``note_deaths``,
+        and the registry operations, and taps the verdict callback —
+        per-instance rebinding, exactly like telemetry, so engines
+        without a recorder keep byte-identical hot paths.  Events are
+        recorded with the WAL coordinates of ``provenance_source`` when a
+        persistence wrapper set one.  Returns the attached recorder.
+        """
+        from ..obs.recorder import FlightRecorder
+
+        if self.flight_recorder is not None:
+            raise ValueError("a flight recorder is already attached to this engine")
+        if recorder is None:
+            recorder = FlightRecorder()
+        if self.telemetry is not None and recorder.dump_counter is None:
+            recorder.dump_counter = _declare_metric(
+                self.telemetry.registry, "repro_recorder_dumps_total"
+            )
+        self.flight_recorder = recorder
+
+        def wal_coords():
+            source = self.provenance_source
+            return source() if source is not None else None
+
+        previous_on_verdict = self._on_verdict
+
+        def on_verdict(prop, category, monitor):
+            recorder.record_verdict(prop, category, monitor)
+            if previous_on_verdict is not None:
+                previous_on_verdict(prop, category, monitor)
+
+        self._on_verdict = on_verdict
+        for runtime in self.runtimes:
+            if runtime is not None:
+                runtime._on_verdict = on_verdict
+
+        inner_emit = self.emit
+        inner_emit_batch = self.emit_batch
+        inner_selected = self.emit_selected
+        inner_selected_batch = self.emit_selected_batch
+        inner_note_deaths = self.note_deaths
+        inner_attach = self.attach_property
+        inner_detach = self.detach_property
+        inner_set_enabled = self.set_property_enabled
+
+        def emit(event, _strict=True, **params):
+            try:
+                return inner_emit(event, _strict, **params)
+            finally:
+                recorder.record_event(event, params, wal_coords())
+
+        def _record_batch(events):
+            # The WAL (when present) assigned consecutive sequence numbers
+            # ending at the post-batch cursor; back-count so every recorded
+            # event carries its own coordinates.
+            coords = wal_coords()
+            if coords is None or coords.get("seq") is None:
+                for event, params in events:
+                    recorder.record_event(event, params, None)
+                return
+            last = coords["seq"]
+            first = last - len(events) + 1
+            for offset, (event, params) in enumerate(events):
+                recorder.record_event(
+                    event, params, {**coords, "seq": first + offset}
+                )
+
+        def emit_batch(events, _strict=True):
+            events = list(events)
+            try:
+                return inner_emit_batch(events, _strict)
+            finally:
+                _record_batch([(event, params) for event, params in events])
+
+        def emit_selected(event, params, *args, **kwargs):
+            try:
+                return inner_selected(event, params, *args, **kwargs)
+            finally:
+                recorder.record_event(event, params, wal_coords())
+
+        def emit_selected_batch(deliveries):
+            deliveries = list(deliveries)
+            try:
+                return inner_selected_batch(deliveries)
+            finally:
+                _record_batch(
+                    [(event, params) for event, params, _ in deliveries]
+                )
+
+        def note_deaths(dead):
+            dead = {
+                param: list(ids) for param, ids in dict(dead).items()
+            }
+            recorder.record("deaths", params=sorted(dead))
+            return inner_note_deaths(dead)
+
+        def attach_property(item, name=None, origin=None, enabled=True):
+            indexes = inner_attach(item, name=name, origin=origin, enabled=enabled)
+            recorder.record_registry_op(
+                "attach", name=name, slots=list(indexes), enabled=enabled
+            )
+            return indexes
+
+        def detach_property(ref):
+            stats = inner_detach(ref)
+            recorder.record_registry_op("detach", ref=str(ref))
+            return stats
+
+        def set_property_enabled(ref, enabled):
+            inner_set_enabled(ref, enabled)
+            recorder.record_registry_op("enable", ref=str(ref), enabled=enabled)
+
+        self.emit = emit  # type: ignore[method-assign]
+        self.emit_batch = emit_batch  # type: ignore[method-assign]
+        self.emit_selected = emit_selected  # type: ignore[method-assign]
+        self.emit_selected_batch = emit_selected_batch  # type: ignore[method-assign]
+        self.note_deaths = note_deaths  # type: ignore[method-assign]
+        self.attach_property = attach_property  # type: ignore[method-assign]
+        self.detach_property = detach_property  # type: ignore[method-assign]
+        self.set_property_enabled = set_property_enabled  # type: ignore[method-assign]
+        return recorder
 
     def _build_runtime(self, index: int, prop: CompiledProperty) -> PropertyRuntime:
         return PropertyRuntime(
@@ -1210,6 +1557,7 @@ class MonitoringEngine:
             slot=index,
             telemetry=self.telemetry,
             provenance_get=lambda: self.provenance_source,
+            attribution=self.attribution,
         )
 
     def _rebuild_event_index(self) -> None:

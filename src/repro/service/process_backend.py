@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import time
 import traceback
+from time import perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.errors import ServiceError
@@ -62,6 +64,7 @@ def _worker_main(
     properties: Sequence[Any],
     engine_kwargs: Mapping[str, Any],
     telemetry_config: "Mapping[str, Any] | None",
+    recorder_capacity: "int | None",
     snapshot: "dict | None",
     in_q: Any,
     resp_q: Any,
@@ -81,19 +84,30 @@ def _worker_main(
         )
         verdicts_sent += 1
 
+    recorder = None
     try:
         # A *fresh* Telemetry per worker: sharing the parent's registry
         # across fork would double-count (both sides inherit the same
         # counters), so only the sampling configuration crosses the pipe
-        # and the worker's snapshot merges back at stats/close time.
+        # and the worker's snapshot (and span buffer) merges back at
+        # stats/close time.
         telemetry = (
             Telemetry.from_config(telemetry_config)
             if telemetry_config is not None
             else None
         )
+        tracer = telemetry.tracer if telemetry is not None else None
         engine = MonitoringEngine(
             properties, on_verdict=on_verdict, telemetry=telemetry, **engine_kwargs
         )
+        if recorder_capacity is not None:
+            from ..obs.recorder import FlightRecorder
+
+            recorder = engine.enable_flight_recorder(
+                FlightRecorder()
+                if recorder_capacity == 0
+                else FlightRecorder(capacity=recorder_capacity)
+            )
         tokens: dict[str, Any] = {}
         if snapshot is not None:
             restore_into(engine, snapshot, tokens)
@@ -119,7 +133,21 @@ def _worker_main(
                             tokens[symbol] = token
                         params[name] = token
                     batch.append((event, params, delivery))
-                engine.emit_selected_batch(batch)
+                if tracer is None:
+                    engine.emit_selected_batch(batch)
+                else:
+                    # The worker half of the service's batch span: the
+                    # parent's emit_batch span carries the same batch id,
+                    # so the stitched timeline shows enqueue → drain.
+                    wall = time.time()
+                    started = perf_counter()
+                    engine.emit_selected_batch(batch)
+                    tracer.record(
+                        "shard.drain", "service",
+                        start=wall, duration=perf_counter() - started,
+                        shard=shard, events=len(batch),
+                        batch=message[2] if len(message) > 2 else None,
+                    )
             elif kind == "rt":
                 for symbol in message[1]:
                     tokens.pop(symbol, None)
@@ -147,7 +175,11 @@ def _worker_main(
                 resp_q.put(("st", engine.stats_snapshot()))
             elif kind == "tl":
                 resp_q.put(
-                    ("tl", telemetry.snapshot() if telemetry is not None else None)
+                    (
+                        "tl",
+                        telemetry.snapshot() if telemetry is not None else None,
+                        tracer.snapshot() if tracer is not None else [],
+                    )
                 )
             elif kind == "ck":
                 resp_q.put(("ck", snapshot_engine(engine, trace_symbol_of())))
@@ -159,13 +191,26 @@ def _worker_main(
                         engine.stats_snapshot(),
                         verdicts_sent,
                         telemetry.snapshot() if telemetry is not None else None,
+                        tracer.snapshot() if tracer is not None else [],
+                        list(recorder.dumps) if recorder is not None else [],
                     )
                 )
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ServiceError(f"unknown worker message {kind!r}")
     except BaseException:
-        resp_q.put(("err", traceback.format_exc()))
+        # Dying with context: a recorder-equipped worker dumps its ring so
+        # the parent can see the shard's last moments alongside the
+        # traceback (and replay the most recent verdict when durable).
+        dump = None
+        if recorder is not None:
+            try:
+                dump = recorder.trigger(
+                    "worker-exception", shard=shard, error=traceback.format_exc()
+                )
+            except BaseException:  # pragma: no cover - best effort
+                dump = None
+        resp_q.put(("err", traceback.format_exc(), dump))
 
 
 class ProcessShardPool:
@@ -184,7 +229,8 @@ class ProcessShardPool:
         engine_kwargs: Mapping[str, Any],
         snapshots: "Sequence[dict | None] | None" = None,
         queue_capacity: int = 0,
-        telemetry_config: "Mapping[str, Any] | None" = None,
+        telemetry_configs: "Sequence[Mapping[str, Any]] | None" = None,
+        flight_recorder_capacity: "int | None" = None,
     ):
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -200,14 +246,25 @@ class ProcessShardPool:
         #: object; nothing is pickled.
         self._properties = properties
         self._engine_kwargs = dict(engine_kwargs)
-        self._telemetry_config = (
-            dict(telemetry_config) if telemetry_config is not None else None
+        #: Per-shard telemetry configs (shard-offset sampler phases); a
+        #: restarted worker rebuilds from its own shard's config.
+        self._telemetry_configs = (
+            [dict(config) for config in telemetry_configs]
+            if telemetry_configs is not None
+            else None
         )
+        self._recorder_capacity = flight_recorder_capacity
         self.shards = shards
         self._queue_capacity = queue_capacity
         #: Telemetry snapshots of workers migrated away by restart_shard —
         #: their counts would otherwise vanish with the old process.
         self.retired_telemetry: list[dict] = []
+        #: Span buffers and flight-recorder dumps of migrated-away workers.
+        self.retired_spans: list[list[dict]] = []
+        self.retired_dumps: list[dict] = []
+        #: Dumps shipped with "err" responses — a crashing worker's last
+        #: flight-recorder ring, captured before the error surfaces.
+        self.crash_dumps: list[dict] = []
         self.verdict_q = self._ctx.Queue()
         self._in_qs = []
         self._resp_qs = []
@@ -228,7 +285,12 @@ class ProcessShardPool:
                 shard,
                 self._properties,
                 self._engine_kwargs,
-                self._telemetry_config,
+                (
+                    self._telemetry_configs[shard]
+                    if self._telemetry_configs is not None
+                    else None
+                ),
+                self._recorder_capacity,
                 snapshot,
                 in_q,
                 resp_q,
@@ -263,8 +325,13 @@ class ProcessShardPool:
                         f"{self._procs[shard].exitcode}) with a full queue"
                     ) from None
 
-    def send_events(self, shard: int, deliveries: "list[SymbolicDelivery]") -> None:
-        self._put(shard, ("ev", deliveries))
+    def send_events(
+        self,
+        shard: int,
+        deliveries: "list[SymbolicDelivery]",
+        batch_id: "int | None" = None,
+    ) -> None:
+        self._put(shard, ("ev", deliveries, batch_id))
 
     def send_retires(self, symbols: "list[str]") -> None:
         for shard in range(self.shards):
@@ -316,6 +383,8 @@ class ProcessShardPool:
                     )
                 continue
             if message[0] == "err":
+                if len(message) > 2 and message[2] is not None:
+                    self.crash_dumps.append(message[2])
                 raise ServiceError(
                     f"shard worker {shard} failed:\n{message[1]}"
                 )
@@ -357,6 +426,14 @@ class ProcessShardPool:
         snapshots = [self._response(shard, "tl")[1] for shard in range(self.shards)]
         return snapshots + list(self.retired_telemetry)
 
+    def trace_snapshots(self) -> "list[list[dict]]":
+        """Each live worker's span buffer (empty when tracing is off),
+        plus the buffers of migrated-away workers."""
+        for shard in range(self.shards):
+            self._put(shard, ("tl",))
+        spans = [self._response(shard, "tl")[2] for shard in range(self.shards)]
+        return spans + list(self.retired_spans)
+
     def checkpoints(self) -> list[dict]:
         for shard in range(self.shards):
             self._put(shard, ("ck",))
@@ -374,15 +451,25 @@ class ProcessShardPool:
         message = self._response(shard, "cl")
         if message[3] is not None:
             self.retired_telemetry.append(message[3])
+        if message[4]:
+            self.retired_spans.append(message[4])
+        self.retired_dumps.extend(message[5])
         self._procs[shard].join(timeout=10.0)
         self._spawn(shard, snapshot)
 
-    def close(self) -> tuple[list[dict], list[int], "list[dict | None]"]:
+    def close(
+        self,
+    ) -> tuple[
+        list[dict], list[int], "list[dict | None]", "list[list[dict]]", list[dict]
+    ]:
         """Stop all workers; returns (final stats snapshots, verdict counts,
-        final telemetry snapshots — including migrated-away workers')."""
+        final telemetry snapshots, final span buffers, flight-recorder
+        dumps) — all including migrated-away workers' contributions."""
         stats: list[dict] = []
         counts: list[int] = []
         telemetry: "list[dict | None]" = []
+        spans: "list[list[dict]]" = []
+        dumps: list[dict] = []
         for shard in range(self.shards):
             self._put(shard, ("cl",))
         for shard in range(self.shards):
@@ -390,9 +477,17 @@ class ProcessShardPool:
             stats.append(message[1])
             counts.append(message[2])
             telemetry.append(message[3])
+            spans.append(message[4])
+            dumps.extend(message[5])
         for process in self._procs:
             process.join(timeout=10.0)
-        return stats, counts, telemetry + list(self.retired_telemetry)
+        return (
+            stats,
+            counts,
+            telemetry + list(self.retired_telemetry),
+            spans + list(self.retired_spans),
+            dumps + list(self.retired_dumps),
+        )
 
     def terminate(self) -> None:
         """Hard-stop every worker (failure paths)."""

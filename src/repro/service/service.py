@@ -40,6 +40,7 @@ the compiled properties fire in shard worker threads under thread mode.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
@@ -173,7 +174,8 @@ class _ShardQueue:
 
     __slots__ = (
         "_items", "_capacity", "_pending", "_closed", "_failed", "_lock",
-        "_changed", "_depth", "_wait", "_lag", "_head_since",
+        "_changed", "_depth", "_wait", "_lag", "_head_since", "_wait_cell",
+        "_saturation",
     )
 
     def __init__(
@@ -182,6 +184,8 @@ class _ShardQueue:
         depth_gauge: Any = None,
         wait_hist: Any = None,
         lag_hist: Any = None,
+        wait_cell: Any = None,
+        saturation_cb: Any = None,
     ):
         self._items: list[_Delivery] = []
         self._capacity = capacity
@@ -194,12 +198,17 @@ class _ShardQueue:
         self._depth = depth_gauge
         self._wait = wait_hist
         self._lag = lag_hist
+        #: Attribution cell charged with queue-head wait (``queue-wait``).
+        self._wait_cell = wait_cell
+        #: Flight-recorder hook fired when the producer had to block.
+        self._saturation = saturation_cb
         #: When the current queue head was enqueued (None while empty).
         self._head_since: float | None = None
 
     def put_many(self, deliveries: Sequence[_Delivery]) -> None:
         start = 0
         while start < len(deliveries):
+            saturated = False
             with self._changed:
                 waited_from = (
                     perf_counter()
@@ -211,6 +220,7 @@ class _ShardQueue:
                     and not self._closed
                     and not self._failed
                 ):
+                    saturated = True
                     self._changed.wait()
                 if waited_from is not None:
                     self._wait.observe(perf_counter() - waited_from)
@@ -220,7 +230,9 @@ class _ShardQueue:
                     return  # the service surfaces the worker's error
                 room = max(1, self._capacity - len(self._items))
                 chunk = deliveries[start : start + room]
-                if not self._items and self._lag is not None:
+                if not self._items and (
+                    self._lag is not None or self._wait_cell is not None
+                ):
                     self._head_since = perf_counter()
                 self._items.extend(chunk)
                 self._pending += len(chunk)
@@ -228,6 +240,8 @@ class _ShardQueue:
                 if self._depth is not None:
                     self._depth.set(len(self._items))
                 self._changed.notify_all()
+            if saturated and self._saturation is not None:
+                self._saturation()
 
     def take(self, limit: int) -> list[_Delivery] | None:
         """Up to ``limit`` deliveries; ``None`` once closed and empty."""
@@ -238,9 +252,12 @@ class _ShardQueue:
                 return None
             batch = self._items[:limit]
             del self._items[:limit]
-            if self._lag is not None and self._head_since is not None:
+            if self._head_since is not None:
                 now = perf_counter()
-                self._lag.observe(now - self._head_since)
+                if self._lag is not None:
+                    self._lag.observe(now - self._head_since)
+                if self._wait_cell is not None:
+                    self._wait_cell.add(now - self._head_since)
                 self._head_since = now if self._items else None
             if self._depth is not None:
                 self._depth.set(len(self._items))
@@ -314,6 +331,7 @@ class MonitorService:
         on_verdict: ServiceVerdictCallback | None = None,
         keep_verdict_log: bool = True,
         telemetry: "Telemetry | bool | None" = None,
+        flight_recorder: "bool | int | None" = None,
         _restore_from: "dict | None" = None,
     ):
         if backend is not None:
@@ -352,6 +370,29 @@ class MonitorService:
         self._m_events = None
         self._m_roundtrip = None
         self._verdict_counters: list[Any] = []
+        #: Span buffer shared with thread/inline shard workers (None when
+        #: the telemetry policy has tracing off); see :meth:`trace_spans`.
+        self._tracer = self.telemetry.tracer if self.telemetry is not None else None
+        self._batch_seq = 0
+        #: Service-side attribution cells (queue-wait); the shard engines
+        #: own the per-property stages.
+        self._attribution = None
+        if self.telemetry is not None and self.telemetry.attribution:
+            from ..obs.attribution import AttributionPlane
+
+            self._attribution = AttributionPlane(self.telemetry)
+        #: Per-shard flight recorders (thread/inline); process workers hold
+        #: their own and ship dumps back over the control channel.
+        self.flight_recorders: list[Any] = []
+        if flight_recorder is True:
+            self._recorder_capacity: "int | None" = 0  # 0 → recorder default
+        elif flight_recorder:
+            self._recorder_capacity = int(flight_recorder)
+        else:
+            self._recorder_capacity = None
+        self._final_worker_spans: "list[list[dict]] | None" = None
+        #: Dumps shipped back from process workers (crash-time or at close).
+        self._worker_dumps: list[dict] = []
         if self.telemetry is not None:
             obs_registry = self.telemetry.registry
             self._m_events = _declare_metric(
@@ -416,9 +457,16 @@ class MonitorService:
                 },
                 snapshots=engine_snapshots,
                 queue_capacity=queue_capacity,
-                telemetry_config=(
-                    self.telemetry.config() if self.telemetry is not None else None
+                # Per-shard configs: each forked worker rebuilds its own
+                # Telemetry with a shard-offset sampler phase, so sampled
+                # ticks do not phase-align across shards and bias
+                # attribution toward co-routed events.
+                telemetry_configs=(
+                    [self.telemetry.config(shard=s) for s in range(shards)]
+                    if self.telemetry is not None
+                    else None
                 ),
+                flight_recorder_capacity=self._recorder_capacity,
             )
             self._drainer = threading.Thread(
                 target=self._verdict_drain_loop, name="repro-verdicts", daemon=True
@@ -446,6 +494,17 @@ class MonitorService:
             self.router.restore_sticky(_restore_from["router"], self.restored_tokens)
             self._apply_shard_pins(_restore_from)
 
+        if self._recorder_capacity is not None:
+            from ..obs.recorder import FlightRecorder
+
+            for engine in self.engines:
+                recorder = (
+                    FlightRecorder()
+                    if self._recorder_capacity == 0
+                    else FlightRecorder(capacity=self._recorder_capacity)
+                )
+                self.flight_recorders.append(engine.enable_flight_recorder(recorder))
+
         if mode == "thread":
             depth = wait = lag = None
             if self.telemetry is not None:
@@ -455,12 +514,25 @@ class MonitorService:
                     obs_registry, "repro_service_backpressure_wait_seconds"
                 )
                 lag = _declare_metric(obs_registry, "repro_service_drain_lag_seconds")
+
+            def _saturation_cb(shard: int) -> Any:
+                if not self.flight_recorders:
+                    return None
+                recorder = self.flight_recorders[shard]
+                return lambda: recorder.trigger("queue-saturation", shard=shard)
+
             self._queues = [
                 _ShardQueue(
                     queue_capacity,
                     depth.labels(str(shard)) if depth is not None else None,
                     wait.labels(str(shard)) if wait is not None else None,
                     lag.labels(str(shard)) if lag is not None else None,
+                    (
+                        self._attribution.cell(f"shard:{shard}", "queue-wait")
+                        if self._attribution is not None
+                        else None
+                    ),
+                    _saturation_cb(shard),
                 )
                 for shard in range(shards)
             ]
@@ -505,6 +577,12 @@ class MonitorService:
                 counter.inc()
             if self._keep_verdict_log:
                 self.verdict_log.append(record)
+            if self._tracer is not None:
+                self._tracer.record(
+                    "service.verdict_merge", "service",
+                    start=time.time(), duration=0.0,
+                    shard=shard, property=prop.spec_name, category=category,
+                )
             if self._on_verdict is not None:
                 self._on_verdict(record)
 
@@ -569,6 +647,12 @@ class MonitorService:
                     self._verdict_counters[shard].inc()
                 if self._keep_verdict_log:
                     self.verdict_log.append(record)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        "service.verdict_merge", "service",
+                        start=time.time(), duration=0.0,
+                        shard=shard, property=spec_name, category=category,
+                    )
                 if self._on_verdict is not None:
                     self._on_verdict(record)
             except BaseException as exc:
@@ -612,21 +696,35 @@ class MonitorService:
             batch_timer = _declare_metric(
                 self.telemetry.registry, "repro_service_drain_batch_seconds"
             ).labels(str(shard))
+        tracer = self._tracer
         while True:
             batch = queue.take(self.batch_size)
             if batch is None:
                 return
             try:
-                if batch_timer is None:
+                if batch_timer is None and tracer is None:
                     engine.emit_selected_batch(batch)
                 else:
+                    wall = time.time()
                     started = perf_counter()
                     engine.emit_selected_batch(batch)
-                    batch_timer.observe(perf_counter() - started)
+                    elapsed = perf_counter() - started
+                    if batch_timer is not None:
+                        batch_timer.observe(elapsed)
+                    if tracer is not None:
+                        tracer.record(
+                            "shard.drain", "service",
+                            start=wall, duration=elapsed,
+                            shard=shard, events=len(batch),
+                        )
             except BaseException as exc:  # surface at drain()/close()/emit()
                 with self._failure_lock:
                     if self._failure is None:
                         self._failure = exc
+                if self.flight_recorders:
+                    self.flight_recorders[shard].trigger(
+                        "worker-exception", shard=shard, error=repr(exc)
+                    )
                 for other in self._queues:
                     other.fail()
                 return
@@ -684,10 +782,18 @@ class MonitorService:
         route = self.router.route
         accepted = 0
         process = self.mode == "process"
+        tracer = self._tracer
+        batch_id = None
+        if tracer is not None:
+            span_wall = time.time()
+            span_started = perf_counter()
         # Route and enqueue under one lock: per-shard delivery order must
         # equal routing order (the sticky state assumes it), so concurrent
         # emitters may not interleave between routing and enqueueing.
         with self._emit_lock:
+            if tracer is not None:
+                self._batch_seq += 1
+                batch_id = self._batch_seq
             if process:
                 # Deaths recorded since the last batch precede these events
                 # on every shard queue (their objects died, so no event in
@@ -718,11 +824,17 @@ class MonitorService:
             elif process:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
-                        self._pool.send_events(shard, deliveries)
+                        self._pool.send_events(shard, deliveries, batch_id)
             else:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
                         self._queues[shard].put_many(deliveries)
+        if tracer is not None and accepted:
+            tracer.record(
+                "service.emit_batch", "service",
+                start=span_wall, duration=perf_counter() - span_started,
+                batch=batch_id, events=accepted,
+            )
         if self._m_events is not None and accepted:
             self._m_events.inc(accepted)
         if self.mode == "thread":
@@ -949,15 +1061,23 @@ class MonitorService:
             try:
                 if failure_seen is None:
                     with self._control_lock:
-                        snapshots, counts, worker_telemetry = self._pool_roundtrip(
-                            "close", self._pool.close
-                        )
+                        (
+                            snapshots,
+                            counts,
+                            worker_telemetry,
+                            worker_spans,
+                            worker_dumps,
+                        ) = self._pool_roundtrip("close", self._pool.close)
                     self._final_shard_stats = [
                         _stats_from_snapshot(snapshot) for snapshot in snapshots
                     ]
                     self._final_worker_telemetry = [
                         snap for snap in worker_telemetry if snap is not None
                     ]
+                    self._final_worker_spans = [
+                        spans for spans in worker_spans if spans
+                    ]
+                    self._worker_dumps.extend(worker_dumps)
                     self._await_verdicts(counts, workers_exited=True)
                 else:
                     self._pool.terminate()
@@ -1135,6 +1255,47 @@ class MonitorService:
             return list(self._final_worker_telemetry)
         with self._control_lock:
             return self._pool_roundtrip("stats", self._pool.telemetry_snapshots)
+
+    def trace_spans(self) -> list[dict[str, Any]]:
+        """Every structured span the service has recorded, merged in time.
+
+        Thread/inline shards record into the parent tracer directly;
+        process workers keep per-worker buffers that ship back over the
+        snapshot channel (live polls while running, the final buffers at
+        close) and are stitched into one stream here — the cross-process
+        analog of ``merge_snapshots`` for spans.  Export with
+        :func:`repro.obs.trace.spans_to_chrome` or
+        :func:`repro.obs.trace.write_spans_ndjson`.
+        """
+        from ..obs.trace import merge_spans
+
+        if self._tracer is None:
+            return []
+        buffers = [self._tracer.snapshot()]
+        if self.mode == "process":
+            if self._final_worker_spans is not None:
+                buffers.extend(self._final_worker_spans)
+            else:
+                with self._control_lock:
+                    buffers.extend(
+                        self._pool_roundtrip("stats", self._pool.trace_snapshots)
+                    )
+        return merge_spans(*buffers)
+
+    def flight_recorder_dumps(self) -> list[dict[str, Any]]:
+        """Every flight-recorder dump taken so far, across all shards.
+
+        Thread/inline mode reads the per-shard recorders directly;
+        process mode returns the dumps workers shipped back (on a worker
+        crash, and the remainder when the pool closes).
+        """
+        dumps = [
+            dump for recorder in self.flight_recorders for dump in recorder.dumps
+        ]
+        dumps.extend(self._worker_dumps)
+        if self._pool is not None:
+            dumps.extend(self._pool.crash_dumps)
+        return dumps
 
     def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
         """Start (or return) the Prometheus exposition endpoint.

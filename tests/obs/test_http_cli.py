@@ -119,3 +119,131 @@ class TestCli:
         path.write_text("# TYPE x counter\nx notanumber\n")
         assert main(["validate", str(path)]) == 1
         assert "invalid exposition" in capsys.readouterr().err
+
+
+class TestDiffResets:
+    """Counter/histogram resets: clamp the monotone delta, flag the series."""
+
+    def _snap(self, tmp_path, name, build):
+        registry = MetricsRegistry()
+        build(registry)
+        path = tmp_path / name
+        path.write_text(json.dumps(registry.snapshot()))
+        return str(path)
+
+    def test_counter_going_backwards_is_clamped_and_flagged(self, tmp_path, capsys):
+        before = self._snap(
+            tmp_path, "before.json",
+            lambda r: r.counter("demo_total", "events", ("kind",)).labels("a").inc(10),
+        )
+        after = self._snap(
+            tmp_path, "after.json",
+            lambda r: r.counter("demo_total", "events", ("kind",)).labels("a").inc(3),
+        )
+        assert main(["diff", before, after]) == 0
+        assert "demo_total{a} 10 -> 3 (+0) [reset]" in capsys.readouterr().out
+
+    def test_gauge_keeps_its_raw_negative_delta(self, tmp_path, capsys):
+        before = self._snap(
+            tmp_path, "before.json",
+            lambda r: r.gauge("demo_depth", "depth").labels().set(5),
+        )
+        after = self._snap(
+            tmp_path, "after.json",
+            lambda r: r.gauge("demo_depth", "depth").labels().set(2),
+        )
+        assert main(["diff", before, after]) == 0
+        out = capsys.readouterr().out
+        assert "demo_depth 5 -> 2 (-3)" in out
+        assert "[reset]" not in out
+
+    def test_histogram_count_going_backwards_is_flagged(self, tmp_path, capsys):
+        def observe(registry, times):
+            hist = registry.histogram("demo_seconds", "t", (), (1.0,)).labels()
+            for _ in range(times):
+                hist.observe(0.5)
+
+        before = self._snap(tmp_path, "before.json", lambda r: observe(r, 4))
+        after = self._snap(tmp_path, "after.json", lambda r: observe(r, 1))
+        assert main(["diff", before, after]) == 0
+        out = capsys.readouterr().out
+        assert "count 4 -> 1 (+0)" in out
+        assert "[reset]" in out
+
+
+class TestTopCli:
+    def test_top_ranks_attributed_properties(self, tmp_path, capsys):
+        from repro.obs.telemetry import Telemetry
+        from repro.properties import UNSAFEITER
+        from repro.runtime.engine import MonitoringEngine
+
+        from .test_attribution import emit_triples
+
+        telemetry = Telemetry(sample_interval=1, attribution=True)
+        engine = MonitoringEngine(
+            UNSAFEITER.make().silence(), telemetry=telemetry
+        )
+        keepalive = emit_triples(engine, 10)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(telemetry.snapshot()))
+        assert main(["top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0:UnsafeIter/ere" in out
+        assert "dispatch" in out and "emit-batch" in out
+        assert "%" in out
+        del keepalive
+
+    def test_top_without_attribution_says_so(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["top", str(path)]) == 0
+        assert "no attributed samples" in capsys.readouterr().out
+
+    def test_top_limit_truncates_the_table(self, tmp_path, capsys):
+        from repro.obs.catalogue import declare
+        from repro.obs.metrics import MetricsRegistry as _Registry
+
+        registry = _Registry()
+        seconds = declare(registry, "repro_prop_stage_seconds_total")
+        samples = declare(registry, "repro_prop_stage_samples_total")
+        for k in range(5):
+            seconds.labels(f"{k}:Prop/ere", "dispatch").inc(1.0 + k)
+            samples.labels(f"{k}:Prop/ere", "dispatch").inc(1)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["top", str(path), "--limit", "2"]) == 0
+        assert "... 3 more (raise --limit)" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def test_record_then_export_round_trip(self, tmp_path, capsys):
+        from repro.obs.trace import validate_chrome_trace
+
+        spans_path = tmp_path / "spans.ndjson"
+        chrome_path = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "record", "--scale", "0.02", "--out", str(spans_path)]
+        ) == 0
+        recorded = capsys.readouterr().out
+        assert "spans" in recorded and str(spans_path) in recorded
+        assert main(
+            ["trace", "export", "--spans", str(spans_path),
+             "--out", str(chrome_path)]
+        ) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(chrome_path.read_text())
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"]
+        assert {e["name"] for e in payload["traceEvents"]} >= {
+            "service.emit_batch", "shard.drain"
+        }
+
+    def test_export_rejects_corrupt_spans(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text('{"kind": "span", "name": "s", "ts": -5}\n')
+        out = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "export", "--spans", str(bad), "--out", str(out)]
+        ) == 1
+        assert "invalid spans" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Structured spans: the Tracer ring, Chrome export, and service wiring.
+
+Covers the span half of the trace plane: the bounded thread-safe
+:class:`Tracer`, cross-buffer stitching via :func:`merge_spans`, the
+Chrome trace-event export and its schema validator (the acceptance
+criterion — an exported trace validates against the trace-event schema),
+the NDJSON at-rest format, and the three service span sites
+(``service.emit_batch``, ``shard.drain``, ``service.verdict_merge``)
+in thread and process mode — process workers ship their buffers back
+over the snapshot channel, so a merged trace spans multiple pids.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.bench.workloads import WORKLOADS, record_workload_events
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    Tracer,
+    merge_spans,
+    read_spans_ndjson,
+    spans_to_chrome,
+    validate_chrome_trace,
+    write_spans_ndjson,
+)
+from repro.properties import UNSAFEITER
+from repro.service import MonitorService
+from repro.service.service import ingest_symbolic
+
+from .test_attribution import emit_triples
+
+
+class TestTracer:
+    def test_record_stores_microsecond_units(self):
+        tracer = Tracer()
+        span = tracer.record(
+            "site", "service", start=10.0, duration=0.25, shard=3
+        )
+        assert span["ts"] == 10.0 * 1e6
+        assert span["dur"] == 0.25 * 1e6
+        assert span["args"] == {"shard": 3}
+        assert len(tracer) == 1
+        assert tracer.snapshot() == [span]
+
+    def test_negative_duration_is_clamped(self):
+        tracer = Tracer()
+        assert tracer.record("s", start=1.0, duration=-5.0)["dur"] == 0.0
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=8)
+        for k in range(20):
+            tracer.record("s", start=float(k), duration=0.0, k=k)
+        assert len(tracer) == 8
+        assert [s["args"]["k"] for s in tracer.snapshot()] == list(range(12, 20))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_span_context_manager_times_its_body(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", batch=7):
+            pass
+        (span,) = tracer.snapshot()
+        assert span["name"] == "work"
+        assert span["args"] == {"batch": 7}
+        assert span["dur"] >= 0.0
+
+    def test_merge_spans_orders_by_timestamp(self):
+        a, b = Tracer(), Tracer()
+        a.record("late", start=2.0, duration=0.0)
+        b.record("early", start=1.0, duration=0.0)
+        b.record("middle", start=1.5, duration=0.0)
+        merged = merge_spans(a.snapshot(), b.snapshot())
+        assert [s["name"] for s in merged] == ["early", "middle", "late"]
+
+
+class TestChromeExport:
+    def test_spans_become_complete_duration_events(self):
+        tracer = Tracer()
+        tracer.record("site", "service", start=1.0, duration=0.5, shard=0)
+        payload = spans_to_chrome(tracer.snapshot())
+        assert payload["displayTimeUnit"] == "ms"
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "site"
+        assert event["ts"] == 1.0 * 1e6
+        assert event["dur"] == 0.5 * 1e6
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        # The export self-validates; the loader's check must agree.
+        validate_chrome_trace(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],  # not an object
+            {"traceEvents": "nope"},  # events not an array
+            {"traceEvents": [{"ph": "X", "ts": 0, "pid": 0, "tid": 0}]},  # no name
+            {"traceEvents": [{"name": "s", "ph": "Q", "ts": 0, "pid": 0, "tid": 0}]},
+            {"traceEvents": [{"name": "s", "ph": "X", "ts": -1, "pid": 0, "tid": 0}]},
+            {"traceEvents": [{"name": "s", "ph": "X", "ts": 0, "pid": 0.5, "tid": 0}]},
+            {"traceEvents": [{"name": "s", "ph": "X", "ts": 0, "pid": 0, "tid": 0, "args": 3}]},
+        ],
+    )
+    def test_validator_rejects_malformed_payloads(self, payload):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
+
+    def test_ndjson_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("a", start=1.0, duration=0.1, shard=0)
+        tracer.record("b", start=2.0, duration=0.2, batch=1)
+        path = str(tmp_path / "spans.ndjson")
+        assert write_spans_ndjson(tracer.snapshot(), path) == 2
+        assert read_spans_ndjson(path) == tracer.snapshot()
+
+    def test_ndjson_lines_are_tagged_and_blank_tolerant(self):
+        tracer = Tracer()
+        tracer.record("a", start=1.0, duration=0.0)
+        buffer = io.StringIO()
+        write_spans_ndjson(tracer.snapshot(), buffer)
+        line = buffer.getvalue().splitlines()[0]
+        assert json.loads(line)["kind"] == "span"
+        assert read_spans_ndjson(io.StringIO("\n" + line + "\n\n")) == tracer.snapshot()
+
+
+class TestServiceSpans:
+    def test_thread_mode_records_all_three_sites(self):
+        service = MonitorService(
+            UNSAFEITER.make().silence(), shards=2, telemetry=Telemetry(trace=True)
+        )
+        keepalive = emit_triples(service, 30)
+        service.drain()
+        spans = service.trace_spans()
+        service.close()
+        names = {span["name"] for span in spans}
+        assert {"service.emit_batch", "shard.drain", "service.verdict_merge"} <= names
+        assert spans == sorted(spans, key=lambda s: (s["ts"], s["pid"], s["tid"]))
+        # Spans are metered into the catalogue as they are recorded.
+        snap = service.metrics_snapshot()
+        sites = {tuple(key): value for key, value in snap["repro_trace_spans_total"]["series"]}
+        assert sites[("service.emit_batch",)] > 0
+        del keepalive
+
+    def test_no_tracer_means_no_spans(self):
+        service = MonitorService(UNSAFEITER.make().silence(), shards=2)
+        keepalive = emit_triples(service, 5)
+        service.drain()
+        assert service.trace_spans() == []
+        service.close()
+        del keepalive
+
+    def test_process_mode_ships_worker_buffers_across_pids(self):
+        entries = record_workload_events(
+            WORKLOADS["bloat"].scaled(0.02), [UNSAFEITER]
+        )
+        service = MonitorService(
+            UNSAFEITER.make().silence(),
+            shards=2,
+            mode="process",
+            telemetry=Telemetry(trace=True),
+        )
+        try:
+            ingest_symbolic(service, entries)
+            service.drain()
+            live = service.trace_spans()
+        finally:
+            service.close()
+        after_close = service.trace_spans()
+        for spans in (live, after_close):
+            pids = {span["pid"] for span in spans}
+            assert len(pids) >= 2  # parent + at least one forked worker
+            assert {s["name"] for s in spans} >= {
+                "service.emit_batch", "shard.drain"
+            }
+        # The merged buffer exports as a valid Chrome trace end-to-end.
+        payload = spans_to_chrome(after_close)
+        assert payload["traceEvents"]
