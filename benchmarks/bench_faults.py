@@ -1,0 +1,214 @@
+"""Chaos benchmark: supervised recovery under a seeded crash campaign.
+
+The fault-tolerance plane's acceptance gate, run as a benchmark so CI can
+hold the line: a supervised sharded service is subjected to a seeded
+crash campaign (up to 3 kills) over the bloat workload (UNSAFEITER, the
+paper's pathological leak case) in **thread and process mode**, and its
+verdict multiset must equal an unfaulted single-engine run over the same
+symbolic stream — restarts recover shard state from the last checkpoint
+plus the supervision journal's suffix without creating, losing, or
+duplicating a single verdict.  Zero deliveries may be quarantined or
+shed along the way.
+
+Token lifetimes are pinned for the whole run (no mid-stream
+retirement, ``keep_verdict_log=False``) so the gate isolates fault
+recovery: under queued dispatch a parameter death is observed at
+delivery-batch granularity, not between the exact two events the
+synchronous reference sees, so mid-stream retirement would make the
+comparison measure the dispatch mode's death timing instead of the
+supervisor's recovery fidelity (``docs/robustness.md`` has the full
+story).  The supervision suite pins lifetimes the same way.
+
+The JSON report records, per mode: restarts fired, per-restart recovery
+latency (detection → healthy, including backoff and journal replay),
+verdict counts, and the events-lost figure (always 0, or the run fails).
+
+Run directly (writes ``BENCH_faults.json`` for the perf trajectory)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+    REPRO_BENCH_SCALE=0.2 PYTHONPATH=src python benchmarks/bench_faults.py --out BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from collections import Counter
+
+from repro.bench.workloads import WORKLOADS, record_workload_events
+from repro.faults import FaultPlan
+from repro.properties import UNSAFEITER
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+from repro.service import ingest_symbolic, supervise
+
+SHARDS = 2
+CRASHES = 3
+SEED = 20110604  # the paper's publication week; any fixed seed works
+
+
+def build_trace(scale: float):
+    return record_workload_events(WORKLOADS["bloat"].scaled(scale), [UNSAFEITER])
+
+
+def engine_key(prop, category, monitor):
+    pairs = [
+        (name, getattr(value, "symbol", value))
+        for name, value in monitor.binding().items()
+    ]
+    return (prop.spec_name, prop.formalism, category, tuple(sorted(pairs)))
+
+
+def record_key(record):
+    pairs = [(name, getattr(value, "symbol", value)) for name, value in record.binding]
+    return (record.spec_name, record.formalism, record.category, tuple(sorted(pairs)))
+
+
+def reference_multiset(entries) -> tuple[Counter, int]:
+    """The unfaulted single-engine run: verdict multiset + events seen."""
+    want: Counter = Counter()
+    engine = MonitoringEngine(
+        UNSAFEITER.make().silence(),
+        system="rv",
+        on_verdict=lambda p, c, m: want.update([engine_key(p, c, m)]),
+    )
+    tokens = replay_entries(entries, engine)
+    events = engine.stats_for("UnsafeIter").events
+    del tokens
+    return want, events
+
+
+def campaign(entries) -> FaultPlan:
+    """A seeded ≤3-kill campaign whose ordinals every shard can reach.
+
+    Campaign positions land in the middle 80% of the per-shard delivery
+    estimate — conservative enough that routing imbalance does not park a
+    kill past the ordinals a shard actually reaches.
+    """
+    per_shard = max(50, len(entries) // (2 * SHARDS))
+    return FaultPlan.crash_campaign(
+        seed=SEED, shards=SHARDS, deliveries=per_shard, crashes=CRASHES
+    )
+
+
+def run_mode(mode: str, entries, want: Counter, want_events: int) -> dict:
+    plan = campaign(entries)
+    armed = len(plan.armed())
+    got: Counter = Counter()
+    with tempfile.TemporaryDirectory(prefix=f"bench-faults-{mode}-") as scratch:
+        started = time.perf_counter()
+        sup = supervise(
+            UNSAFEITER.make().silence(),
+            os.path.join(scratch, "sup"),
+            plan=plan,
+            shards=SHARDS,
+            system="rv",
+            mode=mode,
+            keep_verdict_log=False,
+            on_verdict=lambda record: got.update([record_key(record)]),
+        )
+        with sup:
+            tokens = ingest_symbolic(sup.service, entries)
+            sup.drain()
+            events = sup.service.stats_for("UnsafeIter").events
+            restarts = sup.restarts()
+            latencies = sup.restart_latencies()
+            quarantined = len(sup.quarantined())
+            shed = sup.shed_counts()
+            del tokens
+        seconds = time.perf_counter() - started
+
+    equivalent = got == want
+    events_lost = want_events - events
+    report = {
+        "mode": mode,
+        "shards": SHARDS,
+        "crashes_armed": armed,
+        "restarts": restarts,
+        "recovery_latency_seconds": {
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max": max(latencies) if latencies else 0.0,
+            "all": [round(latency, 6) for latency in latencies],
+        },
+        "verdicts": sum(got.values()),
+        "verdicts_expected": sum(want.values()),
+        "equivalent": equivalent,
+        "events": events,
+        "events_lost": events_lost,
+        "quarantined": quarantined,
+        "shed": shed,
+        "seconds": seconds,
+    }
+    if not equivalent:
+        missing = want - got
+        extra = got - want
+        report["missing_verdicts"] = sum(missing.values())
+        report["extra_verdicts"] = sum(extra.values())
+    return report
+
+
+def run(scale: float) -> dict:
+    entries = build_trace(scale)
+    print(f"trace: {len(entries)} events (scale {scale})")
+    want, want_events = reference_multiset(entries)
+    print(f"reference: {sum(want.values())} verdicts over {want_events} events")
+
+    modes = []
+    failures = []
+    for mode in ("thread", "process"):
+        row = run_mode(mode, entries, want, want_events)
+        modes.append(row)
+        verdict_note = "exact" if row["equivalent"] else "DIVERGED"
+        print(
+            f"{mode:>7}: {row['restarts']} restart(s) "
+            f"(mean recovery {row['recovery_latency_seconds']['mean']*1e3:.1f} ms), "
+            f"{row['verdicts']} verdicts [{verdict_note}], "
+            f"events lost {row['events_lost']}, "
+            f"quarantined {row['quarantined']}, shed {sum(row['shed'].values())}"
+        )
+        if not row["equivalent"]:
+            failures.append(f"{mode}: verdict multiset diverged")
+        if row["events_lost"] != 0:
+            failures.append(f"{mode}: {row['events_lost']} events lost")
+        if row["quarantined"] != 0:
+            failures.append(f"{mode}: {row['quarantined']} deliveries quarantined")
+        if sum(row["shed"].values()) != 0:
+            failures.append(f"{mode}: load shedding fired under a crash campaign")
+        if row["restarts"] == 0:
+            failures.append(f"{mode}: the campaign never fired (no recovery exercised)")
+
+    return {
+        "benchmark": "faults",
+        "workload": "bloat (unsafe-iterator)",
+        "scale": scale,
+        "seed": SEED,
+        "trace_events": len(entries),
+        "modes": modes,
+        "chaos_equivalence": not failures,
+        "failures": failures,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        help="workload scale factor (default: REPRO_BENCH_SCALE or 0.5)",
+    )
+    parser.add_argument("--out", default="BENCH_faults.json", help="JSON report path")
+    args = parser.parse_args()
+    report = run(args.scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"-> {args.out}")
+    if not report["chaos_equivalence"]:
+        raise SystemExit("; ".join(report["failures"]))
+
+
+if __name__ == "__main__":
+    main()

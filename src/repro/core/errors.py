@@ -80,3 +80,23 @@ class PersistError(ReproError):
     """Raised by the checkpoint/recovery subsystem (:mod:`repro.persist`):
     unsupported monitor state, format/version mismatches, property
     fingerprints that do not match a snapshot, corrupt WAL segments."""
+
+
+class WalWriteError(PersistError):
+    """Raised when the write-ahead log cannot persist a record.
+
+    Wraps the underlying ``OSError`` (``ENOSPC``, ``EACCES``, ...) so the
+    shard supervisor can distinguish a full or read-only log device from
+    logical corruption; :attr:`errno` carries the OS error number and the
+    originating :class:`~repro.persist.wal.WalWriter` marks itself failed.
+    """
+
+    def __init__(self, message: str, errno: int | None = None):
+        super().__init__(message)
+        self.errno = errno
+
+
+class SupervisionError(ServiceError):
+    """Raised when shard supervision cannot keep the service healthy:
+    a shard exhausted its restart budget, or recovery state (checkpoint +
+    journal suffix) is missing or unusable."""

@@ -23,7 +23,12 @@ Subcommands:
   :mod:`repro.obs.provenance`);
 * ``serve-demo`` — run a small inline service with a steady synthetic
   workload and serve its metrics for ``--duration`` seconds: a live
-  endpoint for smoke tests and manual poking.
+  endpoint for smoke tests and manual poking;
+* ``health URL`` — the supervision plane at a glance, derived from the
+  same snapshot channel: per-shard liveness and restart counts
+  (``repro_shard_alive`` / ``repro_shard_restarts_total``), queue
+  depths, quarantine depth, and the load-shedding ladder state (see
+  ``docs/robustness.md``).  Exit 1 when any shard is down.
 """
 
 from __future__ import annotations
@@ -190,6 +195,73 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print()
 
 
+def _series_of(snapshot: Mapping[str, Any], name: str) -> dict[tuple, Any]:
+    entry = snapshot.get(name)
+    return _series_map(entry) if entry else {}
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    snapshot = _fetch_snapshot(args.url)
+    alive = _series_of(snapshot, "repro_shard_alive")
+    restarts = _series_of(snapshot, "repro_shard_restarts_total")
+    depths = _series_of(snapshot, "repro_service_queue_depth")
+    quarantined = _series_of(snapshot, "repro_events_quarantined_total")
+
+    shards = sorted(
+        {key[0] for key in alive}
+        | {key[0] for key in restarts}
+        | {key[0] for key in depths},
+        key=lambda label: (len(label), label),
+    )
+    if not shards:
+        print(
+            "no supervision series — is a ShardSupervisor running with "
+            "telemetry on?"
+        )
+        return 0
+    down = 0
+    header = ("shard", "alive", "restarts", "queue", "quarantined", "reasons")
+    widths = (6, 6, 9, 7, 12, 24)
+    print("  ".join(title.rjust(w) for title, w in zip(header, widths)))
+    for shard in shards:
+        shard_key = (shard,)
+        up = alive.get(shard_key, 1)
+        if not up:
+            down += 1
+        shard_restarts = {
+            key[1]: value for key, value in restarts.items() if key[0] == shard
+        }
+        reasons = ",".join(
+            f"{reason}:{count:g}"
+            for reason, count in sorted(shard_restarts.items())
+        )
+        cells = (
+            shard,
+            "up" if up else "DOWN",
+            f"{sum(shard_restarts.values()):g}",
+            f"{depths.get(shard_key, 0):g}",
+            f"{quarantined.get(shard_key, 0):g}",
+            reasons or "-",
+        )
+        print("  ".join(str(c).rjust(w) for c, w in zip(cells, widths)))
+
+    q_depth = _series_of(snapshot, "repro_quarantine_depth").get((), 0)
+    shed_level = _series_of(snapshot, "repro_shed_level").get((), 0)
+    shed = _series_of(snapshot, "repro_events_shed_total")
+    shed_text = (
+        ", ".join(
+            f"{key[0]}={value:g}" for key, value in sorted(shed.items())
+        )
+        or "none"
+    )
+    print(f"quarantine depth: {q_depth:g}")
+    print(f"shed level: {shed_level:g} (dropped: {shed_text})")
+    if down:
+        print(f"{down} shard(s) down", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from ..bench.workloads import WORKLOADS, record_workload_events
     from ..properties import UNSAFEITER
@@ -343,6 +415,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="checkpoint floor (range start, exclusive; default 0)",
     )
     p_slice.set_defaults(func=_cmd_slice)
+
+    p_health = sub.add_parser(
+        "health", help="supervision-plane summary from a metrics snapshot"
+    )
+    p_health.add_argument("url", help="snapshot JSON file or endpoint URL")
+    p_health.set_defaults(func=_cmd_health)
 
     p_demo = sub.add_parser(
         "serve-demo", help="serve a demo service's metrics for a while"

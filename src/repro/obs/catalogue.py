@@ -90,6 +90,30 @@ METRICS: dict[str, MetricSpec] = {
             "repro_service_roundtrip_seconds", "histogram", ("op",), "service",
             "Process-backend control round trips (barrier / stats / checkpoint / close)",
         ),
+        _spec(
+            "repro_shard_restarts_total", "counter", ("shard", "reason"), "service",
+            "Supervised shard restarts by failure reason (crash / exit / hang / exception)",
+        ),
+        _spec(
+            "repro_shard_alive", "gauge", ("shard",), "service",
+            "Shard worker liveness as seen by the supervisor (1 alive, 0 down)",
+        ),
+        _spec(
+            "repro_events_quarantined_total", "counter", ("shard",), "service",
+            "Poison deliveries moved to the dead-letter sink after retries",
+        ),
+        _spec(
+            "repro_quarantine_depth", "gauge", (), "service",
+            "Records currently in the quarantine dead-letter sink",
+        ),
+        _spec(
+            "repro_events_shed_total", "counter", ("policy",), "service",
+            "Events dropped by load shedding (policy: property / sampled)",
+        ),
+        _spec(
+            "repro_shed_level", "gauge", (), "service",
+            "Current load-shedding ladder level (0 none, 1 property, 2 sampled)",
+        ),
         # -- persist --------------------------------------------------------
         _spec(
             "repro_wal_appends_total", "counter", (), "persist",

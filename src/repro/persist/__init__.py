@@ -31,7 +31,14 @@ from .codec import (
     snapshot_to_bytes,
     trace_symbol_of,
 )
-from .recovery import CHECKPOINT_VERSION, DurableEngine, checkpoint_files, latest_checkpoint
+from .recovery import (
+    CHECKPOINT_VERSION,
+    DurableEngine,
+    checkpoint_files,
+    latest_checkpoint,
+    read_checkpoint_file,
+    write_checkpoint_file,
+)
 from .wal import WAL_VERSION, WalWriter, iter_wal, iter_wal_records, read_wal, wal_segments
 
 __all__ = [
@@ -54,4 +61,6 @@ __all__ = [
     "DurableEngine",
     "latest_checkpoint",
     "checkpoint_files",
+    "write_checkpoint_file",
+    "read_checkpoint_file",
 ]

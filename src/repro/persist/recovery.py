@@ -44,7 +44,14 @@ from ..spec.registry import (
 from .codec import restore_engine, snapshot_engine, trace_symbol_of
 from .wal import WalWriter, iter_wal_records
 
-__all__ = ["CHECKPOINT_VERSION", "DurableEngine", "latest_checkpoint", "checkpoint_files"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DurableEngine",
+    "latest_checkpoint",
+    "checkpoint_files",
+    "write_checkpoint_file",
+    "read_checkpoint_file",
+]
 
 CHECKPOINT_VERSION = 1
 
@@ -96,6 +103,25 @@ def _read_checkpoint(path: str) -> dict | None:
     if payload.get("checkpoint_version") != CHECKPOINT_VERSION:
         return None
     return payload
+
+
+def write_checkpoint_file(directory: str, seq: int, payload: dict) -> str:
+    """Write one CRC-guarded checkpoint file; returns its path.
+
+    The public form of the :class:`DurableEngine` checkpoint write — the
+    shard supervisor stores its per-shard checkpoints in the same torn-
+    tolerant format.  ``payload`` gains ``checkpoint_version`` so
+    :func:`read_checkpoint_file` / :func:`latest_checkpoint` accept it.
+    """
+    payload = {"checkpoint_version": CHECKPOINT_VERSION, **payload}
+    path = os.path.join(directory, _checkpoint_name(seq))
+    _write_checkpoint(path, payload)
+    return path
+
+
+def read_checkpoint_file(path: str) -> dict | None:
+    """The checkpoint payload at ``path``, or ``None`` when torn/corrupt."""
+    return _read_checkpoint(path)
 
 
 def latest_checkpoint(directory: str) -> tuple[int, dict] | None:

@@ -27,9 +27,9 @@ import json
 import os
 import re
 from time import perf_counter
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, Sequence
 
-from ..core.errors import PersistError
+from ..core.errors import PersistError, WalWriteError
 from ..obs.catalogue import declare as _declare_metric
 from ..obs.telemetry import as_telemetry
 from ..runtime.refs import SymbolRegistry
@@ -86,11 +86,21 @@ class WalWriter:
         fsync_interval: int = 256,
         start_seq: int = 0,
         telemetry: Any = None,
+        on_write_error: "Any | None" = None,
+        fault_hook: "Any | None" = None,
     ):
         if segment_events < 1:
             raise PersistError("segment_events must be >= 1")
         if fsync_interval < 1:
             raise PersistError("fsync_interval must be >= 1")
+        #: Set once any I/O failed; the writer refuses further appends.
+        self.failed = False
+        #: Supervisor-visible failure signal: called with the
+        #: :class:`~repro.core.errors.WalWriteError` before it is raised.
+        self.on_write_error = on_write_error
+        #: Deterministic fault injection point: called with the operation
+        #: name ("append" / "rotate" / "sync") before the real I/O.
+        self._fault_hook = fault_hook
         os.makedirs(directory, exist_ok=True)
         # A previous crash may have left a torn trailing line in the last
         # segment.  Readers tolerate it only while that segment is last —
@@ -172,21 +182,105 @@ class WalWriter:
         engine.on_emit = self.append
         return self
 
+    def _write_failed(self, op: str, exc: OSError) -> None:
+        """Convert an ``OSError`` into the typed, supervisor-visible failure.
+
+        Marks the writer failed (further appends refuse immediately — a
+        half-written log must not keep growing past the failure point),
+        notifies :attr:`on_write_error`, and raises
+        :class:`~repro.core.errors.WalWriteError` carrying the errno.
+        """
+        self.failed = True
+        error = WalWriteError(
+            f"WAL {op} failed in {self.directory}: {exc}",
+            errno=getattr(exc, "errno", None),
+        )
+        callback = self.on_write_error
+        if callback is not None:
+            try:
+                callback(error)
+            except Exception:  # pragma: no cover - observer must not mask
+                pass
+        raise error from exc
+
+    def _write_record(self, entry: dict, op: str) -> None:
+        try:
+            # The injection point sits inside the conversion so a
+            # simulated ENOSPC takes the exact path a real one does.
+            if self._fault_hook is not None:
+                self._fault_hook(op)
+            self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        except OSError as exc:
+            self._write_failed(op, exc)
+        self._segment_entries += 1
+
+    def _check_writable(self, op: str) -> None:
+        if self._handle is None:
+            raise PersistError(f"{op} on a closed WalWriter")
+        if self.failed:
+            raise WalWriteError(
+                f"{op} on a failed WalWriter in {self.directory}"
+            )
+
     def append(self, event: str, params: Mapping[str, Any]) -> int:
         """Durably record one parametric event; returns its sequence number."""
-        if self._handle is None:
-            raise PersistError("append on a closed WalWriter")
+        self._check_writable("append")
         if self._segment_entries >= self.segment_events:
             self._rotate()
-        self.seq += 1
+        # The sequence counter commits only after the write lands: a
+        # failed append must not consume a number, or the replacement
+        # writer seeded from ``seq`` would leave a permanent gap that
+        # poisons every future recovery read of the directory.
+        seq = self.seq + 1
         symbol_for = self.registry.symbol_for
         entry = {
-            "q": self.seq,
+            "q": seq,
             "e": event,
             "p": {name: symbol_for(value) for name, value in params.items()},
         }
-        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
-        self._segment_entries += 1
+        self._write_record(entry, "append")
+        self.seq = seq
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_interval:
+            self.sync()
+        return self.seq
+
+    def append_delivery(
+        self, event: str, symbols: Mapping[str, str], plan: Any
+    ) -> int:
+        """Record one routed shard delivery for supervised crash recovery.
+
+        ``symbols`` is the already-symbolized parameter binding and
+        ``plan`` a JSON-safe encoding of the router's per-shard delivery
+        plan — recovery replays the plan verbatim, bypassing the router,
+        whose sticky state has moved on since the original routing.
+        """
+        self._check_writable("append_delivery")
+        if self._segment_entries >= self.segment_events:
+            self._rotate()
+        seq = self.seq + 1
+        entry = {"q": seq, "e": event, "p": dict(symbols), "d": plan}
+        self._write_record(entry, "append")
+        self.seq = seq
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_interval:
+            self.sync()
+        return self.seq
+
+    def append_deaths(self, symbols: "Sequence[str] | list[str]") -> int:
+        """Record a batch of parameter deaths (retire broadcast) in order.
+
+        Death positions matter for recovery exactness: a replayed shard
+        must drop its tokens between the same two deliveries the live
+        worker did, because verdict bindings omit dead parameters.
+        """
+        self._check_writable("append_deaths")
+        if self._segment_entries >= self.segment_events:
+            self._rotate()
+        seq = self.seq + 1
+        entry = {"q": seq, "x": list(symbols)}
+        self._write_record(entry, "append")
+        self.seq = seq
         self._since_fsync += 1
         if self._since_fsync >= self.fsync_interval:
             self.sync()
@@ -201,14 +295,13 @@ class WalWriter:
         fsynced immediately — a lost registry op would silently change the
         meaning of every event after it.
         """
-        if self._handle is None:
-            raise PersistError("append_registry_op on a closed WalWriter")
+        self._check_writable("append_registry_op")
         if self._segment_entries >= self.segment_events:
             self._rotate()
-        self.seq += 1
-        entry = {"q": self.seq, "r": dict(op)}
-        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
-        self._segment_entries += 1
+        seq = self.seq + 1
+        entry = {"q": seq, "r": dict(op)}
+        self._write_record(entry, "append")
+        self.seq = seq
         self.sync()
         return self.seq
 
@@ -216,8 +309,13 @@ class WalWriter:
         """An explicit fsync point: everything appended so far is durable."""
         if self._handle is None:
             return
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            if self._fault_hook is not None:
+                self._fault_hook("sync")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            self._write_failed("sync", exc)
         self._since_fsync = 0
         self.fsyncs += 1
 
@@ -238,14 +336,24 @@ class WalWriter:
     def _open_segment(self) -> None:
         index = self._segment_index
         path = os.path.join(self.directory, _segment_name(index))
-        self._handle = open(path, "a", encoding="utf-8")
-        if self._handle.tell() == 0:
-            header = {"wal": WAL_VERSION, "segment": index, "first_seq": self.seq + 1}
-            self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        try:
+            self._handle = open(path, "a", encoding="utf-8")
+            if self._handle.tell() == 0:
+                header = {
+                    "wal": WAL_VERSION, "segment": index, "first_seq": self.seq + 1,
+                }
+                self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        except OSError as exc:
+            self._write_failed("rotate", exc)
         self._first_seqs[index] = self.seq + 1
         self._segment_entries = 0
 
     def _rotate(self) -> None:
+        try:
+            if self._fault_hook is not None:
+                self._fault_hook("rotate")
+        except OSError as exc:
+            self._write_failed("rotate", exc)
         self.sync()
         self._handle.close()
         self._segment_index += 1
@@ -313,7 +421,11 @@ def repair_tail(directory: str) -> int:
                     break
             elif not (
                 isinstance(record, dict)
-                and ({"q", "e", "p"} <= record.keys() or {"q", "r"} <= record.keys())
+                and (
+                    {"q", "e", "p"} <= record.keys()
+                    or {"q", "r"} <= record.keys()
+                    or {"q", "x"} <= record.keys()
+                )
             ):
                 break
             good += len(line)
@@ -361,11 +473,15 @@ def iter_wal_records(
 ) -> Iterator[tuple[int, str, Any]]:
     """The full WAL stream: ``(seq, kind, payload)`` triples in order.
 
-    ``kind`` is ``"event"`` (payload ``(event, {param: symbol})``) or
+    ``kind`` is ``"event"`` (payload ``(event, {param: symbol})``),
     ``"registry"`` (payload: the registry-op dict recorded by
-    :meth:`WalWriter.append_registry_op`).  Recovery consumes this form so
-    property adds/removes replay at exactly the trace positions they
-    originally happened.
+    :meth:`WalWriter.append_registry_op`), ``"delivery"`` (payload
+    ``(event, {param: symbol}, encoded plan)`` from
+    :meth:`WalWriter.append_delivery` — the shard supervisor's journal
+    records), or ``"deaths"`` (payload: the symbol list recorded by
+    :meth:`WalWriter.append_deaths`).  Recovery consumes this form so
+    property adds/removes — and supervised replays' retire points —
+    replay at exactly the trace positions they originally happened.
     """
     segments = wal_segments(directory)
     last_index = segments[-1][0] if segments else None
@@ -393,6 +509,10 @@ def iter_wal_records(
                     seq = entry["q"]
                     if "r" in entry:
                         kind, payload = "registry", entry["r"]
+                    elif "x" in entry:
+                        kind, payload = "deaths", entry["x"]
+                    elif "d" in entry:
+                        kind, payload = "delivery", (entry["e"], entry["p"], entry["d"])
                     else:
                         kind, payload = "event", (entry["e"], entry["p"])
                 except (KeyError, TypeError):

@@ -16,10 +16,13 @@ from .service import (
     MonitorService,
     ingest_symbolic,
 )
+from .supervisor import ShardSupervisor, supervise
 
 __all__ = [
     "MonitorService",
     "ingest_symbolic",
+    "ShardSupervisor",
+    "supervise",
     "SERVICE_CHECKPOINT_FORMAT",
     "SERVICE_CHECKPOINT_VERSION",
     "ShardRouter",

@@ -37,6 +37,7 @@ worker processes.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import time
 import traceback
@@ -44,16 +45,26 @@ from time import perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.errors import ServiceError
+from ..faults import (
+    InjectedCrash,
+    QuarantinePolicy,
+    WorkerFaultState,
+    supervised_dispatch,
+)
 from ..obs.telemetry import Telemetry
 from ..persist.codec import restore_into, snapshot_engine, trace_symbol_of
 from ..runtime.engine import MonitoringEngine
 from ..runtime.tracelog import ReplayToken
 from ..spec.registry import materialize_origin
 
-__all__ = ["ProcessShardPool"]
+__all__ = ["ProcessShardPool", "CRASH_EXIT_CODE"]
 
 #: One routed, symbolized delivery: (event, {param: symbol}, delivery plan).
 SymbolicDelivery = tuple[str, "dict[str, str]", tuple]
+
+#: Exit code of a worker killed by an injected crash fault — lets the
+#: supervisor (and tests) tell engineered kills from real failures.
+CRASH_EXIT_CODE = 70
 
 _POLL_SECONDS = 0.1
 _CONTROL_TIMEOUT = 60.0
@@ -66,6 +77,9 @@ def _worker_main(
     telemetry_config: "Mapping[str, Any] | None",
     recorder_capacity: "int | None",
     snapshot: "dict | None",
+    epoch: int,
+    fault_config: "Mapping[str, Any] | None",
+    quarantine_config: "Mapping[str, Any] | None",
     in_q: Any,
     resp_q: Any,
     verdict_q: Any,
@@ -79,8 +93,13 @@ def _worker_main(
             (name, getattr(value, "symbol", value) if not isinstance(value, str) else value)
             for name, value in monitor.binding().items()
         )
+        # Epoch + per-worker ordinal make parent-side admission exactly
+        # once across worker restarts (replays regenerate low ordinals).
         verdict_q.put(
-            (shard, prop.spec_name, prop.formalism, category, binding, monitor.provenance)
+            (
+                shard, prop.spec_name, prop.formalism, category,
+                binding, monitor.provenance, epoch, verdicts_sent,
+            )
         )
         verdicts_sent += 1
 
@@ -111,6 +130,35 @@ def _worker_main(
         tokens: dict[str, Any] = {}
         if snapshot is not None:
             restore_into(engine, snapshot, tokens)
+        fault_state = (
+            WorkerFaultState(fault_config) if fault_config is not None else None
+        )
+        quarantine = QuarantinePolicy.from_config(quarantine_config)
+        supervised = fault_state is not None or quarantine is not None
+
+        def quarantine_record(item: tuple, failure: BaseException, attempts: int) -> None:
+            event, params, _delivery = item
+            record = {
+                "shard": shard,
+                "event": event,
+                "params": {
+                    name: getattr(value, "symbol", value)
+                    for name, value in params.items()
+                },
+                "error": repr(failure),
+                "attempts": attempts,
+                "position": (fault_state.count + 1) if fault_state is not None else None,
+            }
+            if recorder is not None:
+                try:
+                    recorder.trigger(
+                        "poison-event", shard=shard, event=event,
+                        error=record["error"],
+                    )
+                except BaseException:  # pragma: no cover - best effort
+                    pass
+            verdict_q.put(("qa", record))
+
         while True:
             message = in_q.get()
             kind = message[0]
@@ -133,7 +181,34 @@ def _worker_main(
                             tokens[symbol] = token
                         params[name] = token
                     batch.append((event, params, delivery))
-                if tracer is None:
+                if supervised:
+                    # Per-delivery guarded dispatch: faults fire at exact
+                    # ordinals, poison deliveries quarantine individually.
+                    try:
+                        supervised_dispatch(
+                            engine, batch,
+                            state=fault_state,
+                            quarantine=quarantine,
+                            on_quarantine=quarantine_record,
+                        )
+                    except InjectedCrash:
+                        # Die the way a real crash does: no unwinding, no
+                        # ack — the supervisor detects, respawns, replays.
+                        # One concession to simulation: flush the verdict
+                        # queue's feeder before exiting.  The queue's write
+                        # lock is shared by every shard; dying while the
+                        # feeder holds it would poison the channel for all
+                        # replacement workers (their verdicts would sit in
+                        # feeder buffers forever).  Already-sent verdicts
+                        # are harmless — parent-side epoch/ordinal
+                        # admission dedups the replay.
+                        try:
+                            verdict_q.close()
+                            verdict_q.join_thread()
+                        except BaseException:
+                            pass
+                        os._exit(CRASH_EXIT_CODE)
+                elif tracer is None:
                     engine.emit_selected_batch(batch)
                 else:
                     # The worker half of the service's batch span: the
@@ -170,7 +245,11 @@ def _worker_main(
                 engine.set_property_enabled(index, enabled)
                 resp_q.put(("en",))
             elif kind == "ba":
-                resp_q.put(("ba", message[1], verdicts_sent))
+                resp_q.put(("ba", message[1], verdicts_sent, epoch))
+            elif kind == "hb":
+                # Heartbeat: FIFO behind every queued event batch, so the
+                # ack proves the worker is draining, not merely alive.
+                resp_q.put(("hb", message[1]))
             elif kind == "st":
                 resp_q.put(("st", engine.stats_snapshot()))
             elif kind == "tl":
@@ -182,7 +261,9 @@ def _worker_main(
                     )
                 )
             elif kind == "ck":
-                resp_q.put(("ck", snapshot_engine(engine, trace_symbol_of())))
+                resp_q.put(
+                    ("ck", snapshot_engine(engine, trace_symbol_of()), verdicts_sent)
+                )
             elif kind == "cl":
                 engine.flush_gc()
                 resp_q.put(
@@ -193,6 +274,7 @@ def _worker_main(
                         telemetry.snapshot() if telemetry is not None else None,
                         tracer.snapshot() if tracer is not None else [],
                         list(recorder.dumps) if recorder is not None else [],
+                        epoch,
                     )
                 )
                 return
@@ -231,6 +313,8 @@ class ProcessShardPool:
         queue_capacity: int = 0,
         telemetry_configs: "Sequence[Mapping[str, Any]] | None" = None,
         flight_recorder_capacity: "int | None" = None,
+        fault_configs: "Sequence[dict | None] | None" = None,
+        quarantine_config: "dict | None" = None,
     ):
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -265,6 +349,18 @@ class ProcessShardPool:
         #: Dumps shipped with "err" responses — a crashing worker's last
         #: flight-recorder ring, captured before the error surfaces.
         self.crash_dumps: list[dict] = []
+        #: Per-shard worker fault configs (plain dicts); the supervisor
+        #: replaces a shard's slot when respawning it mid-plan.
+        self._fault_configs: "list[dict | None]" = (
+            [dict(c) if c is not None else None for c in fault_configs]
+            if fault_configs is not None
+            else [None] * shards
+        )
+        self._quarantine_config = (
+            dict(quarantine_config) if quarantine_config is not None else None
+        )
+        #: Current worker incarnation per shard (mirrors the service's).
+        self._epochs = [0] * shards
         self.verdict_q = self._ctx.Queue()
         self._in_qs = []
         self._resp_qs = []
@@ -274,7 +370,7 @@ class ProcessShardPool:
             snapshot = snapshots[shard] if snapshots is not None else None
             self._spawn(shard, snapshot)
 
-    def _spawn(self, shard: int, snapshot: "dict | None") -> None:
+    def _spawn(self, shard: int, snapshot: "dict | None", epoch: int = 0) -> None:
         # Bounded queues give cross-process backpressure: put() blocks while
         # a shard is `queue_capacity` message batches behind.
         in_q = self._ctx.Queue(self._queue_capacity)
@@ -292,6 +388,9 @@ class ProcessShardPool:
                 ),
                 self._recorder_capacity,
                 snapshot,
+                epoch,
+                self._fault_configs[shard],
+                self._quarantine_config,
                 in_q,
                 resp_q,
                 self.verdict_q,
@@ -304,6 +403,7 @@ class ProcessShardPool:
             self._in_qs[shard] = in_q
             self._resp_qs[shard] = resp_q
             self._procs[shard] = process
+            self._epochs[shard] = epoch
         else:
             self._in_qs.append(in_q)
             self._resp_qs.append(resp_q)
@@ -333,9 +433,21 @@ class ProcessShardPool:
     ) -> None:
         self._put(shard, ("ev", deliveries, batch_id))
 
-    def send_retires(self, symbols: "list[str]") -> None:
+    def send_retires_to(self, shard: int, symbols: "list[str]") -> None:
+        """Retire broadcast to a single shard (supervised journal replay
+        re-sends deaths at their original positions)."""
+        self._put(shard, ("rt", symbols))
+
+    def send_retires(self, symbols: "list[str]", lossy: bool = False) -> None:
         for shard in range(self.shards):
-            self._put(shard, ("rt", symbols))
+            try:
+                self._put(shard, ("rt", symbols))
+            except ServiceError:
+                # Supervised mode: the dead shard's journal recorded the
+                # deaths; its replacement replays them.  The remaining
+                # shards must still hear about the retires.
+                if not lossy:
+                    raise
 
     # -- registry operations -------------------------------------------------
 
@@ -395,8 +507,8 @@ class ProcessShardPool:
                 )
             return message
 
-    def barrier(self) -> list[int]:
-        """Ack from every shard; returns per-shard verdict send counts.
+    def barrier(self) -> "list[tuple[int, int]]":
+        """Ack from every shard; returns per-shard ``(verdicts sent, epoch)``.
 
         Because each shard queue is FIFO with a single consumer, the ack
         proves every previously sent event batch was fully processed.
@@ -408,10 +520,47 @@ class ProcessShardPool:
         counts = []
         for shard in range(self.shards):
             message = self._response(shard, "ba")
+            # An earlier barrier abandoned mid-read (a sibling shard died
+            # before this shard's ack was consumed) leaves stale acks
+            # queued; skip forward to this round's token.
+            while message[1] < token:
+                message = self._response(shard, "ba")
             if message[1] != token:  # pragma: no cover - protocol misuse
-                raise ServiceError(f"shard {shard}: stale barrier ack")
-            counts.append(message[2])
+                raise ServiceError(f"shard {shard}: barrier ack from the future")
+            counts.append((message[2], message[3]))
         return counts
+
+    def heartbeat(self, shard: int, token: int, timeout: float = 5.0) -> bool:
+        """Send + await one heartbeat; False when the worker missed the
+        deadline (the supervisor treats that as a hang).  Must be called
+        under the service's control lock — the response queue is shared
+        with control round trips.
+
+        The probe is non-blocking on the input side: a saturated queue
+        returns True (backlog is not evidence of a hang — queue-depth
+        progress tracking covers that case)."""
+        try:
+            self._in_qs[shard].put_nowait(("hb", token))
+        except queue_module.Full:
+            return True
+        except (ValueError, OSError):  # queue torn down under us
+            return False
+        deadline = timeout
+        while True:
+            try:
+                message = self._resp_qs[shard].get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                deadline -= _POLL_SECONDS
+                if deadline <= 0 or not self._procs[shard].is_alive():
+                    return False
+                continue
+            if message[0] == "err":
+                if len(message) > 2 and message[2] is not None:
+                    self.crash_dumps.append(message[2])
+                return False
+            if message[0] == "hb" and message[1] == token:
+                return True
+            # Stale response from an interrupted round trip: drop it.
 
     def stats_snapshots(self) -> list[dict]:
         for shard in range(self.shards):
@@ -443,7 +592,14 @@ class ProcessShardPool:
         self._put(shard, ("ck",))
         return self._response(shard, "ck")[1]
 
-    def restart_shard(self, shard: int, snapshot: "dict | None") -> None:
+    def checkpoint_shard_counted(self, shard: int) -> "tuple[dict, int]":
+        """One shard's snapshot plus its verdicts-sent count at the
+        checkpoint — the admission floor a replacement epoch starts at."""
+        self._put(shard, ("ck",))
+        message = self._response(shard, "ck")
+        return message[1], message[2]
+
+    def restart_shard(self, shard: int, snapshot: "dict | None", epoch: int = 0) -> None:
         """Migrate one shard: stop its worker, start a fresh one from a
         snapshot.  The caller must have drained first (queued work on the
         old worker would be lost)."""
@@ -455,18 +611,77 @@ class ProcessShardPool:
             self.retired_spans.append(message[4])
         self.retired_dumps.extend(message[5])
         self._procs[shard].join(timeout=10.0)
-        self._spawn(shard, snapshot)
+        self._spawn(shard, snapshot, epoch)
+
+    def respawn_dead(
+        self,
+        shard: int,
+        snapshot: "dict | None",
+        epoch: int,
+        fault_config: "dict | None" = None,
+    ) -> None:
+        """Replace a dead (or hung) worker without a close handshake.
+
+        Tears down the old incarnation's queues — anything still on its
+        input queue is lost here and recovered from the supervisor's
+        journal — drains stale responses, installs the replacement fault
+        config, and forks the new worker from ``snapshot`` in ``epoch``.
+        """
+        process = self._procs[shard]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=10.0)
+        # A hard kill can land while the worker's feeder thread holds the
+        # verdict queue's shared write lock, wedging every other shard's
+        # verdict sends.  Probe it: a live holder writes a small message
+        # in microseconds, so a timeout means the lock died with the
+        # worker — release it on the dead holder's behalf.
+        wlock = getattr(self.verdict_q, "_wlock", None)
+        if wlock is not None:
+            try:
+                if wlock.acquire(timeout=0.25):
+                    wlock.release()
+                else:
+                    wlock.release()
+            except (OSError, ValueError):  # pragma: no cover - teardown races
+                pass
+        # Stale control responses (e.g. a missed heartbeat ack racing the
+        # kill) must not satisfy the replacement's round trips.
+        while True:
+            try:
+                self._resp_qs[shard].get_nowait()
+            except (queue_module.Empty, OSError, EOFError):
+                break
+        old_in = self._in_qs[shard]
+        try:
+            old_in.cancel_join_thread()
+            old_in.close()
+        except (OSError, EOFError):  # pragma: no cover - teardown races
+            pass
+        self._fault_configs[shard] = fault_config
+        self._spawn(shard, snapshot, epoch)
+
+    def shard_alive(self, shard: int) -> bool:
+        return self._procs[shard].is_alive()
+
+    def shard_exitcode(self, shard: int) -> "int | None":
+        return self._procs[shard].exitcode
 
     def close(
         self,
     ) -> tuple[
-        list[dict], list[int], "list[dict | None]", "list[list[dict]]", list[dict]
+        list[dict],
+        "list[tuple[int, int]]",
+        "list[dict | None]",
+        "list[list[dict]]",
+        list[dict],
     ]:
-        """Stop all workers; returns (final stats snapshots, verdict counts,
-        final telemetry snapshots, final span buffers, flight-recorder
-        dumps) — all including migrated-away workers' contributions."""
+        """Stop all workers; returns (final stats snapshots, per-shard
+        ``(verdict count, epoch)`` pairs, final telemetry snapshots, final
+        span buffers, flight-recorder dumps) — all including migrated-away
+        workers' contributions."""
         stats: list[dict] = []
-        counts: list[int] = []
+        counts: "list[tuple[int, int]]" = []
         telemetry: "list[dict | None]" = []
         spans: "list[list[dict]]" = []
         dumps: list[dict] = []
@@ -475,7 +690,7 @@ class ProcessShardPool:
         for shard in range(self.shards):
             message = self._response(shard, "cl")
             stats.append(message[1])
-            counts.append(message[2])
+            counts.append((message[2], message[6]))
             telemetry.append(message[3])
             spans.append(message[4])
             dumps.extend(message[5])

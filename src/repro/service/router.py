@@ -591,6 +591,11 @@ class ShardRouter:
         """Whether any routed property declares ``event``."""
         return event in self._plans
 
+    def declaring_indexes(self, event: str) -> frozenset[int]:
+        """Property slots declaring ``event`` (load-shedding's drop test:
+        an event only sheddable properties declare can be dropped whole)."""
+        return frozenset(plan.index for plan in self._plans.get(event, ()))
+
     def describe(self) -> list[dict[str, Any]]:
         """Human-readable routing table (examples / debugging)."""
         table = []

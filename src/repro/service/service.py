@@ -175,7 +175,7 @@ class _ShardQueue:
     __slots__ = (
         "_items", "_capacity", "_pending", "_closed", "_failed", "_lock",
         "_changed", "_depth", "_wait", "_lag", "_head_since", "_wait_cell",
-        "_saturation",
+        "_saturation", "delay",
     )
 
     def __init__(
@@ -204,8 +204,14 @@ class _ShardQueue:
         self._saturation = saturation_cb
         #: When the current queue head was enqueued (None while empty).
         self._head_since: float | None = None
+        #: Fault-injection hook: seconds to stall this put (queue faults).
+        self.delay: "Callable[[], float] | None" = None
 
     def put_many(self, deliveries: Sequence[_Delivery]) -> None:
+        if self.delay is not None:
+            pause = self.delay()
+            if pause > 0:
+                time.sleep(pause)
         start = 0
         while start < len(deliveries):
             saturated = False
@@ -268,6 +274,15 @@ class _ShardQueue:
         with self._changed:
             self._pending -= count
             self._changed.notify_all()
+
+    def depth(self) -> int:
+        """Deliveries currently queued (saturation watch; racy by nature)."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def fail(self) -> None:
         """Worker died: drop queued work, zero accounting, unblock everyone."""
@@ -333,6 +348,8 @@ class MonitorService:
         telemetry: "Telemetry | bool | None" = None,
         flight_recorder: "bool | int | None" = None,
         _restore_from: "dict | None" = None,
+        _fault_configs: "Sequence[dict | None] | None" = None,
+        _quarantine: "dict | None" = None,
     ):
         if backend is not None:
             mode = backend
@@ -359,6 +376,44 @@ class MonitorService:
         #: sticky state and the shard queues must advance in lock step.
         self._emit_lock = threading.Lock()
         self.restored_tokens: dict[str, Any] = {}
+        #: Engine construction kwargs, kept for supervised shard rebuilds.
+        self._engine_kwargs = {
+            "system": system, "gc": gc,
+            "propagation": propagation, "scan_budget": scan_budget,
+        }
+        self._queue_capacity = queue_capacity
+
+        # -- supervision hooks (installed by ShardSupervisor) --------------
+        #: True once a ShardSupervisor owns this service: single-shard
+        #: failures stay isolated (journal + replay recover them) instead
+        #: of failing the whole service.
+        self._supervised = False
+        #: fn(shard, deliveries) — called under the emit lock before a
+        #: shard's deliveries are enqueued (the supervisor's journal tap).
+        self._delivery_tap: "Callable[[int, list], None] | None" = None
+        #: fn(symbols) — called under the emit lock before a retire
+        #: broadcast (process mode's death markers).
+        self._retire_tap: "Callable[[list], None] | None" = None
+        #: fn(shard, engine, batch) — replaces the thread workers' batch
+        #: dispatch (fault injection + quarantine).
+        self._dispatch_guard: "Callable[[int, MonitoringEngine, list], None] | None" = None
+        #: fn(shard, exc) — a supervised thread worker died; fired from
+        #: the dying worker thread after it failed its own queue.
+        self._on_shard_failure: "Callable[[int, BaseException], None] | None" = None
+        #: fn(record) — a process worker quarantined a delivery.
+        self._on_worker_quarantine: "Callable[[dict], None] | None" = None
+        #: fn(event, params) -> bool — load shedding: True drops the event
+        #: (counted by the supervisor, not delivered to any shard).
+        self._shed_filter: "Callable[[str, Mapping[str, Any]], bool] | None" = None
+        #: Per-shard failure record for supervised restarts (thread mode).
+        self._shard_failures: "list[BaseException | None]" = [None] * shards
+        #: Worker incarnation per shard; verdicts from older epochs are
+        #: stale (their replacement replays them) and must not re-admit.
+        self._shard_epochs = [0] * shards
+        #: Exactly-once verdict admission: the next global verdict ordinal
+        #: each shard may admit.  A replayed worker regenerates ordinals
+        #: below this floor; the drain paths skip them.
+        self._admitted = [0] * shards
 
         #: The service-level telemetry plane (``True`` means "defaults").
         #: Thread/inline shard engines share this registry — their locked
@@ -431,11 +486,14 @@ class MonitorService:
             self._final_shard_stats: "list[dict[StatsKey, MonitorStats]] | None" = None
             self._final_worker_telemetry: "list[dict] | None" = None
             self._verdict_cond = threading.Condition()
-            self._verdicts_received = [0] * shards
-            #: Consumed-verdict floor per shard: a restarted worker counts
-            #: its verdicts from zero again, so barrier counts are offset
-            #: by what the parent had consumed at the restart.
-            self._verdict_base = [0] * shards
+            #: Verdicts consumed per (shard, epoch): barrier counts are
+            #: per-epoch, so waits stay exact across worker restarts.
+            self._epoch_received: dict[tuple[int, int], int] = {}
+            #: Global verdict ordinal each (shard, epoch) starts at — the
+            #: admission floor covered by the epoch's starting snapshot.
+            self._epoch_bases: dict[tuple[int, int], int] = {
+                (shard, 0): 0 for shard in range(shards)
+            }
             if engine_snapshots is not None:
                 symbols = _checkpoint_symbols(_restore_from)
                 materialize_tokens(symbols, self.restored_tokens)
@@ -467,6 +525,8 @@ class MonitorService:
                     else None
                 ),
                 flight_recorder_capacity=self._recorder_capacity,
+                fault_configs=_fault_configs,
+                quarantine_config=_quarantine,
             )
             self._drainer = threading.Thread(
                 target=self._verdict_drain_loop, name="repro-verdicts", daemon=True
@@ -506,35 +566,20 @@ class MonitorService:
                 self.flight_recorders.append(engine.enable_flight_recorder(recorder))
 
         if mode == "thread":
-            depth = wait = lag = None
+            self._q_depth = self._q_wait = self._q_lag = None
             if self.telemetry is not None:
                 obs_registry = self.telemetry.registry
-                depth = _declare_metric(obs_registry, "repro_service_queue_depth")
-                wait = _declare_metric(
+                self._q_depth = _declare_metric(
+                    obs_registry, "repro_service_queue_depth"
+                )
+                self._q_wait = _declare_metric(
                     obs_registry, "repro_service_backpressure_wait_seconds"
                 )
-                lag = _declare_metric(obs_registry, "repro_service_drain_lag_seconds")
-
-            def _saturation_cb(shard: int) -> Any:
-                if not self.flight_recorders:
-                    return None
-                recorder = self.flight_recorders[shard]
-                return lambda: recorder.trigger("queue-saturation", shard=shard)
-
-            self._queues = [
-                _ShardQueue(
-                    queue_capacity,
-                    depth.labels(str(shard)) if depth is not None else None,
-                    wait.labels(str(shard)) if wait is not None else None,
-                    lag.labels(str(shard)) if lag is not None else None,
-                    (
-                        self._attribution.cell(f"shard:{shard}", "queue-wait")
-                        if self._attribution is not None
-                        else None
-                    ),
-                    _saturation_cb(shard),
+                self._q_lag = _declare_metric(
+                    obs_registry, "repro_service_drain_lag_seconds"
                 )
-                for shard in range(shards)
+            self._queues = [
+                self._make_thread_queue(shard) for shard in range(shards)
             ]
             self._workers = [
                 threading.Thread(
@@ -548,6 +593,70 @@ class MonitorService:
             for worker in self._workers:
                 worker.start()
 
+    def _make_thread_queue(self, shard: int) -> _ShardQueue:
+        """One shard's bounded queue, with its telemetry children wired.
+
+        Late-binds the flight-recorder saturation hook through
+        ``self.flight_recorders[shard]`` so a queue built for a restarted
+        shard triggers the *replacement* engine's recorder.
+        """
+        saturation = None
+        if self._recorder_capacity is not None:
+
+            def saturation(shard: int = shard) -> None:
+                if self.flight_recorders:
+                    self.flight_recorders[shard].trigger(
+                        "queue-saturation", shard=shard
+                    )
+
+        return _ShardQueue(
+            self._queue_capacity,
+            self._q_depth.labels(str(shard)) if self._q_depth is not None else None,
+            self._q_wait.labels(str(shard)) if self._q_wait is not None else None,
+            self._q_lag.labels(str(shard)) if self._q_lag is not None else None,
+            (
+                self._attribution.cell(f"shard:{shard}", "queue-wait")
+                if self._attribution is not None
+                else None
+            ),
+            saturation,
+        )
+
+    def _replace_thread_shard(self, shard: int, engine: MonitoringEngine) -> None:
+        """Install a replacement engine + queue + worker for one shard.
+
+        The supervised-restart primitive (thread mode): the caller holds
+        the emit lock, has already bumped the shard's epoch, built and
+        replayed the replacement engine, and cleared the failure record.
+        The failed queue's producers were unblocked by its ``fail()``;
+        anything it dropped is in the supervisor's journal.
+        """
+        old_queue = self._queues[shard]
+        old_queue.fail()
+        old_queue.close()
+        self._shard_failures[shard] = None
+        self.engines[shard] = engine
+        if self._recorder_capacity is not None and self.flight_recorders:
+            from ..obs.recorder import FlightRecorder
+
+            recorder = (
+                FlightRecorder()
+                if self._recorder_capacity == 0
+                else FlightRecorder(capacity=self._recorder_capacity)
+            )
+            self.flight_recorders[shard] = engine.enable_flight_recorder(recorder)
+        queue = self._make_thread_queue(shard)
+        queue.delay = old_queue.delay
+        self._queues[shard] = queue
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(shard, queue, engine),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        self._workers[shard] = worker
+        worker.start()
+
     def _apply_shard_pins(self, checkpoint: Mapping[str, Any]) -> None:
         for symbol, shard in _anchor_pin_assignments(checkpoint, self.router).items():
             token = self.restored_tokens.get(symbol)
@@ -556,12 +665,30 @@ class MonitorService:
 
     # -- verdict plumbing ----------------------------------------------------
 
-    def _verdict_callback(self, shard: int):
+    def _verdict_callback(self, shard: int, epoch: int = 0, base: int = 0):
+        """Per-shard engine verdict sink with exactly-once admission.
+
+        ``epoch``/``base`` support supervised thread-shard restarts: a
+        replacement engine replaying from a checkpoint regenerates the
+        verdicts the old incarnation already delivered; assigning each
+        verdict the global ordinal ``base + n`` and admitting only ordinals
+        at or above the shard's floor dedups the replay without comparing
+        verdict contents.  Callbacks from a superseded incarnation (its
+        thread may still be unwinding) are dropped by the epoch check.
+        """
         counter = self._verdict_counters[shard] if self._verdict_counters else None
+        sent = [0]
 
         def on_verdict(
             prop: CompiledProperty, category: str, monitor: MonitorInstance
         ) -> None:
+            if self._shard_epochs[shard] != epoch:
+                return
+            ordinal = base + sent[0]
+            sent[0] += 1
+            if ordinal < self._admitted[shard]:
+                return
+            self._admitted[shard] = ordinal + 1
             provenance = monitor.provenance
             if provenance is not None:
                 provenance = {"shard": shard, **provenance}
@@ -605,7 +732,14 @@ class MonitorService:
         with self._retire_lock:
             pending, self._pending_retires = self._pending_retires, []
         if pending:
-            self._pool.send_retires(pending)
+            tap = self._retire_tap
+            if tap is not None:
+                tap(pending)
+            try:
+                self._pool.send_retires(pending, lossy=self._supervised)
+            except ServiceError:
+                if not self._supervised:
+                    raise
 
     def _verdict_drain_loop(self) -> None:
         """Parent-side consumer of the shared worker verdict queue.
@@ -619,54 +753,83 @@ class MonitorService:
             item = self._pool.verdict_q.get()
             if item is None:
                 return
-            shard, spec_name, formalism, category, symbol_binding, provenance = item
+            if item[0] == "qa":
+                # A worker quarantined a poisoned delivery: hand the
+                # dead-letter record to the supervisor, not the verdict log.
+                try:
+                    sink = self._on_worker_quarantine
+                    if sink is not None:
+                        sink(item[1])
+                except BaseException as exc:
+                    with self._failure_lock:
+                        if self._failure is None:
+                            self._failure = exc
+                continue
+            (
+                shard, spec_name, formalism, category,
+                symbol_binding, provenance, epoch, idx,
+            ) = item
             try:
-                pairs = []
-                for name, symbol in symbol_binding:
-                    value = self._registry.resolve(symbol)
-                    if value is None and symbol.startswith("v:"):
-                        # A symbolic stream's immortal literal: the text
-                        # *is* the parent-side value (live immortals
-                        # resolve above, matching thread mode's bindings).
-                        value = symbol
-                    if value is not None:
+                # Exactly-once admission across worker restarts: a replayed
+                # worker regenerates verdicts the old incarnation already
+                # delivered; its ordinals fall below the shard's floor.
+                base = self._epoch_bases.get((shard, epoch), 0)
+                ordinal = base + idx
+                admit = ordinal >= self._admitted[shard]
+                if admit:
+                    self._admitted[shard] = ordinal + 1
+                    pairs = []
+                    for name, symbol in symbol_binding:
+                        value = self._registry.resolve(symbol)
+                        if value is None:
+                            # The parent-side object died (or was a symbolic
+                            # stream's immortal literal, whose text *is* the
+                            # value): keep the symbol string — it keys
+                            # identically under symbolic comparison, and a
+                            # GC race between the worker's send and this
+                            # resolve must not change the binding shape.
+                            value = symbol
                         pairs.append((name, value))
-                record = VerdictRecord(
-                    shard=shard,
-                    spec_name=spec_name,
-                    formalism=formalism,
-                    category=category,
-                    binding=tuple(pairs),
-                    provenance=(
-                        {"shard": shard, **provenance}
-                        if provenance is not None
-                        else None
-                    ),
-                )
-                if self._verdict_counters:
-                    self._verdict_counters[shard].inc()
-                if self._keep_verdict_log:
-                    self.verdict_log.append(record)
-                if self._tracer is not None:
-                    self._tracer.record(
-                        "service.verdict_merge", "service",
-                        start=time.time(), duration=0.0,
-                        shard=shard, property=spec_name, category=category,
+                    record = VerdictRecord(
+                        shard=shard,
+                        spec_name=spec_name,
+                        formalism=formalism,
+                        category=category,
+                        binding=tuple(pairs),
+                        provenance=(
+                            {"shard": shard, **provenance}
+                            if provenance is not None
+                            else None
+                        ),
                     )
-                if self._on_verdict is not None:
-                    self._on_verdict(record)
+                    if self._verdict_counters:
+                        self._verdict_counters[shard].inc()
+                    if self._keep_verdict_log:
+                        self.verdict_log.append(record)
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            "service.verdict_merge", "service",
+                            start=time.time(), duration=0.0,
+                            shard=shard, property=spec_name, category=category,
+                        )
+                    if self._on_verdict is not None:
+                        self._on_verdict(record)
             except BaseException as exc:
                 with self._failure_lock:
                     if self._failure is None:
                         self._failure = exc
             finally:
                 with self._verdict_cond:
-                    self._verdicts_received[shard] += 1
+                    key = (shard, epoch)
+                    self._epoch_received[key] = self._epoch_received.get(key, 0) + 1
                     self._verdict_cond.notify_all()
 
-    def _await_verdicts(self, counts: "list[int]", workers_exited: bool = False) -> None:
-        """Block until the drainer consumed each worker's reported count
-        (offset by the per-shard floor recorded at worker restarts).
+    def _await_verdicts(
+        self, counts: "list[tuple[int, int]]", workers_exited: bool = False
+    ) -> None:
+        """Block until the drainer consumed each worker's reported
+        ``(verdicts sent, epoch)`` — counts are per worker incarnation, so
+        waits stay exact across supervised restarts.
 
         ``workers_exited`` marks the clean-close path: the workers already
         sent every verdict before acking close and have legitimately
@@ -676,16 +839,31 @@ class MonitorService:
 
         def lagging() -> bool:
             return any(
-                received < base + wanted
-                for received, base, wanted in zip(
-                    self._verdicts_received, self._verdict_base, counts
-                )
+                self._epoch_received.get((shard, epoch), 0) < wanted
+                for shard, (wanted, epoch) in enumerate(counts)
+            )
+
+        def voided() -> bool:
+            # A supervisor restart bumps the shard's epoch; the crashed
+            # incarnation's remaining verdicts died with its queue feeder,
+            # so a barrier against the old epoch can never fill.
+            return any(
+                self._shard_epochs[shard] != epoch
+                and self._epoch_received.get((shard, epoch), 0) < wanted
+                for shard, (wanted, epoch) in enumerate(counts)
             )
 
         with self._verdict_cond:
             while lagging():
                 self._verdict_cond.wait(timeout=1.0)
-                if not workers_exited and not self._pool.alive() and lagging():
+                if workers_exited or not lagging():
+                    continue
+                if voided():
+                    raise ServiceError("a shard worker restarted mid-drain")
+                if not self._pool.alive():
+                    # Supervised or not, this barrier cannot complete: the
+                    # dead worker's backlog needs a respawn + replay first
+                    # (the supervisor catches this and heals the shard).
                     raise ServiceError("a shard worker died mid-drain")
 
     # -- worker side ---------------------------------------------------------
@@ -702,7 +880,10 @@ class MonitorService:
             if batch is None:
                 return
             try:
-                if batch_timer is None and tracer is None:
+                guard = self._dispatch_guard
+                if guard is not None:
+                    guard(shard, engine, batch)
+                elif batch_timer is None and tracer is None:
                     engine.emit_selected_batch(batch)
                 else:
                     wall = time.time()
@@ -718,13 +899,26 @@ class MonitorService:
                             shard=shard, events=len(batch),
                         )
             except BaseException as exc:  # surface at drain()/close()/emit()
-                with self._failure_lock:
-                    if self._failure is None:
-                        self._failure = exc
                 if self.flight_recorders:
                     self.flight_recorders[shard].trigger(
                         "worker-exception", shard=shard, error=repr(exc)
                     )
+                if self._supervised:
+                    # Contain the blast radius to this shard: record the
+                    # failure, unblock this queue's producers, and let the
+                    # supervisor rebuild the shard from checkpoint+journal.
+                    self._shard_failures[shard] = exc
+                    queue.fail()
+                    cb = self._on_shard_failure
+                    if cb is not None:
+                        try:
+                            cb(shard, exc)
+                        except BaseException:
+                            pass
+                    return
+                with self._failure_lock:
+                    if self._failure is None:
+                        self._failure = exc
                 for other in self._queues:
                     other.fail()
                 return
@@ -799,12 +993,17 @@ class MonitorService:
                 # on every shard queue (their objects died, so no event in
                 # this batch can mention them).
                 self._flush_retires()
+            shed = self._shed_filter
             for event, params in events:
                 if not self.router.declared(event):
                     if _strict:
                         raise UnknownEventError(
                             f"no monitored specification declares event {event!r}"
                         )
+                    continue
+                if shed is not None and shed(event, params):
+                    # Load shedding: the supervisor counted the drop; the
+                    # event reaches no shard and no statistics.
                     continue
                 accepted += 1
                 if process:
@@ -817,17 +1016,30 @@ class MonitorService:
                     continue
                 for shard, delivery in route(event, params):
                     per_shard[shard].append((event, params, delivery))
+            tap = self._delivery_tap
             if self.mode == "inline":
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
+                        if tap is not None:
+                            tap(shard, deliveries)
                         self.engines[shard].emit_selected_batch(deliveries)
             elif process:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
-                        self._pool.send_events(shard, deliveries, batch_id)
+                        if tap is not None:
+                            tap(shard, deliveries)
+                        try:
+                            self._pool.send_events(shard, deliveries, batch_id)
+                        except ServiceError:
+                            # Supervised: the journal holds these deliveries;
+                            # the respawned worker replays them.
+                            if not self._supervised:
+                                raise
             else:
                 for shard, deliveries in enumerate(per_shard):
                     if deliveries:
+                        if tap is not None:
+                            tap(shard, deliveries)
                         self._queues[shard].put_many(deliveries)
         if tracer is not None and accepted:
             tracer.record(
@@ -839,7 +1051,7 @@ class MonitorService:
             self._m_events.inc(accepted)
         if self.mode == "thread":
             self._check_failure()
-        elif process and not self._pool.alive():
+        elif process and not self._supervised and not self._pool.alive():
             raise ServiceError("a shard worker process died")
         return accepted
 
@@ -1213,14 +1425,21 @@ class MonitorService:
         self.drain()
         with self._emit_lock:
             with self._control_lock:
-                snapshot = self._pool_roundtrip(
-                    "checkpoint", lambda: self._pool.checkpoint_shard(shard)
+                snapshot, sent = self._pool_roundtrip(
+                    "checkpoint",
+                    lambda: self._pool.checkpoint_shard_counted(shard),
                 )
-                self._pool.restart_shard(shard, snapshot)
-            # The fresh worker counts verdicts from zero; future barrier
-            # counts are relative to everything consumed up to here.
-            with self._verdict_cond:
-                self._verdict_base[shard] = self._verdicts_received[shard]
+                # The fresh worker counts verdicts from zero in a new
+                # epoch whose admission floor covers everything the old
+                # incarnation sent — barrier counts and dedup stay exact.
+                old = self._shard_epochs[shard]
+                new = old + 1
+                with self._verdict_cond:
+                    self._epoch_bases[(shard, new)] = (
+                        self._epoch_bases.get((shard, old), 0) + sent
+                    )
+                    self._shard_epochs[shard] = new
+                self._pool.restart_shard(shard, snapshot, epoch=new)
 
     # -- telemetry exposure ----------------------------------------------------
 

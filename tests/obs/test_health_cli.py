@@ -1,0 +1,102 @@
+"""The ``python -m repro.obs health`` supervision summary.
+
+The CLI is the operator's first stop during an incident: it must render
+the shard table straight from catalogue-declared series, exit non-zero
+exactly when a shard is down, and degrade gracefully when pointed at a
+service that runs no supervisor.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.catalogue import declare
+from repro.obs.metrics import MetricsRegistry
+
+from ..service.test_supervisor import synth_trace
+
+
+def _snapshot_file(tmp_path, registry: MetricsRegistry) -> str:
+    path = tmp_path / "snapshot.json"
+    path.write_text(json.dumps(registry.snapshot()), encoding="utf-8")
+    return str(path)
+
+
+def _supervision_registry(*, shard0_alive: int = 1) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    declare(registry, "repro_shard_alive").labels("0").set(shard0_alive)
+    declare(registry, "repro_shard_alive").labels("1").set(1)
+    declare(registry, "repro_shard_restarts_total").labels("0", "crash").inc(2)
+    declare(registry, "repro_shard_restarts_total").labels("1", "hang").inc(1)
+    declare(registry, "repro_events_quarantined_total").labels("0").inc(3)
+    declare(registry, "repro_quarantine_depth").labels().set(3)
+    declare(registry, "repro_events_shed_total").labels("property").inc(7)
+    declare(registry, "repro_shed_level").labels().set(1)
+    return registry
+
+
+class TestHealthCommand:
+    def test_renders_shard_table_and_exits_zero(self, tmp_path, capsys):
+        source = _snapshot_file(tmp_path, _supervision_registry())
+        assert main(["health", source]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "restarts" in out
+        assert "crash:2" in out
+        assert "hang:1" in out
+        assert "quarantine depth: 3" in out
+        assert "shed level: 1" in out
+        assert "property=7" in out
+
+    def test_down_shard_exits_nonzero(self, tmp_path, capsys):
+        source = _snapshot_file(
+            tmp_path, _supervision_registry(shard0_alive=0)
+        )
+        assert main(["health", source]) == 1
+        captured = capsys.readouterr()
+        assert "DOWN" in captured.out
+        assert "down" in captured.err
+
+    def test_without_supervision_series_is_friendly(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("unrelated_total", "noise").labels().inc()
+        source = _snapshot_file(tmp_path, registry)
+        assert main(["health", source]) == 0
+        assert "no supervision series" in capsys.readouterr().out
+
+
+class TestHealthEndToEnd:
+    def test_reads_a_live_supervised_snapshot(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+        from repro.properties import ALL_PROPERTIES
+        from repro.service import supervise
+
+        plan = FaultPlan()
+        for shard in range(2):
+            plan.add("crash", shard=shard, at=15)
+        paper = ALL_PROPERTIES["hasnext"]
+        sup = supervise(
+            paper.make().silence(),
+            str(tmp_path / "sup"),
+            plan=plan,
+            shards=2,
+            system="rv",
+            mode="thread",
+            telemetry=True,
+        )
+        spec = paper.make().silence()
+        trace, pools = synth_trace(spec.definition, seed=5)
+        with sup:
+            sup.service.emit_batch(trace)
+            sup.drain()
+            snapshot = sup.service.metrics_snapshot()
+            restarts = sup.restarts()
+        assert restarts >= 1
+        path = tmp_path / "live.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        assert main(["health", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "up" in out
+        assert "crash" in out

@@ -1,0 +1,235 @@
+"""Deterministic fault injection: plans, worker state, guarded dispatch.
+
+The fault layer is the chaos benchmark's foundation, so its own contract
+must be exact: seeded campaigns replay bit-identically, faults fire at
+their scheduled delivery ordinals and exactly once, and the guarded
+dispatch loop's retry/quarantine behaviour is observable delivery by
+delivery.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedCrash,
+    InjectedPoison,
+    QuarantinePolicy,
+    WorkerFaultState,
+    supervised_dispatch,
+    tear_wal_tail,
+)
+from repro.persist.wal import WalWriter, iter_wal_records, repair_tail
+
+
+class _Recorder:
+    """An engine double recording every dispatched delivery."""
+
+    def __init__(self, fail_events: "set[str] | None" = None):
+        self.dispatched: list[tuple] = []
+        self.fail_events = fail_events or set()
+
+    def emit_selected_batch(self, items):
+        for item in items:
+            if item[0] in self.fail_events:
+                raise RuntimeError(f"real bug on {item[0]}")
+            self.dispatched.append(item)
+
+
+def _items(n: int, event: str = "e"):
+    return [(f"{event}{i}", {}, ((0,), None, None, ())) for i in range(n)]
+
+
+# -- FaultPlan -----------------------------------------------------------------
+
+
+def test_crash_campaign_is_deterministic():
+    a = FaultPlan.crash_campaign(seed=42, shards=4, deliveries=1000, crashes=3)
+    b = FaultPlan.crash_campaign(seed=42, shards=4, deliveries=1000, crashes=3)
+    assert a.armed() == b.armed()
+    assert len(a.armed()) == 3
+    # Positions land in the middle 80% of the run.
+    for fault in a.armed():
+        assert 100 <= fault["at"] <= 900
+        assert 0 <= fault["shard"] < 4
+    # A different seed moves the schedule.
+    c = FaultPlan.crash_campaign(seed=43, shards=4, deliveries=1000, crashes=3)
+    assert [f["at"] for f in c.armed()] != [f["at"] for f in a.armed()]
+
+
+def test_add_validates_kind_and_position():
+    plan = FaultPlan()
+    with pytest.raises(ValueError):
+        plan.add("meteor", shard=0, at=1)
+    with pytest.raises(ValueError):
+        plan.add("crash", shard=0)  # dispatch faults need a position
+    plan.add("wal", shard=0)  # wal faults may be positionless ("next write")
+    assert plan.armed(kind="wal")
+
+
+def test_disarm_is_one_shot_and_earliest_picks_by_position():
+    plan = FaultPlan()
+    late = plan.add("crash", shard=1, at=50)
+    early = plan.add("crash", shard=1, at=10)
+    other = plan.add("crash", shard=0, at=5)
+    fired = plan.disarm_earliest(1)
+    assert fired is not None and fired["id"] == early
+    assert plan.disarm(late) is True
+    assert plan.disarm(late) is False  # already fired
+    assert [f["id"] for f in plan.armed()] == [other]
+    assert plan.disarm_earliest(1) is None
+
+
+def test_worker_config_carries_only_dispatch_kinds():
+    plan = FaultPlan()
+    plan.add("crash", shard=0, at=3)
+    plan.add("queue", shard=0, at=1, duration=0.1)
+    plan.add("wal", shard=0, at=1)
+    plan.add("poison", shard=0, at=7)
+    config = plan.worker_config(0, start_count=40)
+    assert config["start_count"] == 40
+    assert sorted(f["kind"] for f in config["faults"]) == ["crash", "poison"]
+    assert plan.worker_config(3) is None
+    assert set(FAULT_KINDS) >= {f["kind"] for f in plan.armed()}
+
+
+def test_queue_delay_hook_counts_puts_and_disarms():
+    plan = FaultPlan()
+    plan.add("queue", shard=2, at=3, duration=0.5)
+    assert plan.queue_delay_hook(0) is None
+    delay = plan.queue_delay_hook(2)
+    assert [delay(), delay(), delay(), delay()] == [0.0, 0.0, 0.5, 0.0]
+    assert not plan.armed(kind="queue")
+
+
+def test_wal_fault_hook_raises_enospc_once(tmp_path):
+    plan = FaultPlan()
+    plan.add("wal", shard=0, at=2)
+    hook = plan.wal_fault_hook(0)
+    hook("append")
+    with pytest.raises(OSError) as exc_info:
+        hook("append")
+    assert exc_info.value.errno == errno.ENOSPC
+    hook("append")  # disarmed: the third write is clean
+    assert not plan.armed(kind="wal")
+
+
+# -- WorkerFaultState + supervised_dispatch ------------------------------------
+
+
+def test_crash_fires_before_dispatch_and_stays_armed():
+    plan = FaultPlan()
+    fault_id = plan.add("crash", shard=0, at=3)
+    state = WorkerFaultState(plan.worker_config(0))
+    engine = _Recorder()
+    with pytest.raises(InjectedCrash) as exc_info:
+        supervised_dispatch(engine, _items(5), state=state)
+    assert exc_info.value.fault_id == fault_id
+    # Two deliveries landed; the crashing third did not dispatch.
+    assert [item[0] for item in engine.dispatched] == ["e0", "e1"]
+    assert state.count == 2
+    # The crash is NOT consumed by the worker — the supervisor disarms it
+    # when it handles the restart (that is what makes it one-shot).
+    assert state.due(3) is not None
+
+
+def test_start_count_resumes_absolute_ordinals():
+    plan = FaultPlan()
+    plan.add("crash", shard=0, at=3)
+    # A recovering worker that already dispatched 10 deliveries never
+    # reaches ordinal 3 again: the fault cannot re-fire.
+    state = WorkerFaultState(plan.worker_config(0, start_count=10))
+    engine = _Recorder()
+    assert supervised_dispatch(engine, _items(5), state=state) == 5
+    assert state.count == 15
+
+
+def test_stall_consumes_and_dispatch_proceeds():
+    plan = FaultPlan()
+    plan.add("stall", shard=0, at=2, duration=0.0)
+    state = WorkerFaultState(plan.worker_config(0))
+    engine = _Recorder()
+    assert supervised_dispatch(engine, _items(3), state=state) == 3
+    assert len(engine.dispatched) == 3
+    assert state.due(2) is None  # consumed
+
+
+def test_poison_retries_then_quarantines():
+    plan = FaultPlan()
+    plan.add("poison", shard=0, at=2)
+    state = WorkerFaultState(plan.worker_config(0))
+    engine = _Recorder()
+    quarantined = []
+    consumed = supervised_dispatch(
+        engine,
+        _items(4),
+        state=state,
+        quarantine=QuarantinePolicy(retries=2, backoff=0.0),
+        on_quarantine=lambda item, exc, attempts: quarantined.append(
+            (item[0], exc, attempts)
+        ),
+    )
+    assert consumed == 4
+    # The poisoned delivery is skipped; its neighbours each dispatch once.
+    assert [item[0] for item in engine.dispatched] == ["e0", "e2", "e3"]
+    assert len(quarantined) == 1
+    name, failure, attempts = quarantined[0]
+    assert name == "e1" and attempts == 3
+    assert isinstance(failure, InjectedPoison)
+    assert state.quarantined == 1 and state.count == 4
+
+
+def test_real_exception_quarantines_like_poison():
+    engine = _Recorder(fail_events={"bad"})
+    quarantined = []
+    items = [("ok", {}, ()), ("bad", {}, ()), ("ok2", {}, ())]
+    supervised_dispatch(
+        engine,
+        items,
+        quarantine=QuarantinePolicy(retries=1, backoff=0.0),
+        on_quarantine=lambda item, exc, attempts: quarantined.append(item[0]),
+    )
+    assert quarantined == ["bad"]
+    assert [item[0] for item in engine.dispatched] == ["ok", "ok2"]
+
+
+def test_without_handler_poison_reraises():
+    engine = _Recorder(fail_events={"bad"})
+    with pytest.raises(RuntimeError):
+        supervised_dispatch(
+            engine,
+            [("bad", {}, ())],
+            quarantine=QuarantinePolicy(retries=0, backoff=0.0),
+        )
+
+
+def test_quarantine_policy_round_trips_config():
+    policy = QuarantinePolicy(retries=5, backoff=0.25)
+    clone = QuarantinePolicy.from_config(policy.to_config())
+    assert (clone.retries, clone.backoff) == (5, 0.25)
+    assert QuarantinePolicy.from_config(None) is None
+
+
+# -- corruption helpers --------------------------------------------------------
+
+
+def test_tear_wal_tail_leaves_repairable_torn_record(tmp_path):
+    directory = str(tmp_path / "wal")
+    writer = WalWriter(directory, fsync_interval=1)
+    for n in range(5):
+        writer.append_delivery(f"e{n}", {"p": f"o:{n}"}, [[0], None, None, []])
+    writer.close()
+    removed = tear_wal_tail(directory)
+    assert removed > 0
+    # The four intact records survive; the torn fifth is gone.
+    suffix = [
+        payload
+        for _seq, kind, payload in iter_wal_records(directory)
+        if kind == "delivery"
+    ]
+    assert [event for event, _symbols, _plan in suffix] == ["e0", "e1", "e2", "e3"]
+    assert repair_tail(directory) > 0  # the torn bytes are cut for good
