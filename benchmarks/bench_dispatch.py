@@ -11,19 +11,28 @@ path:
 * ``compiled lazy batch`` — same, ingested through ``emit_batch``
   (deaths still land at per-event boundaries, see
   ``repro.runtime.tracelog.replay_entries``);
+* ``codegen lazy``        — exec-specialized per-(property, event) kernels
+  (``repro.spec.codegen``): straight-line generated source, no plan
+  interpretation (the **headline of the codegen optimization**);
+* ``codegen lazy batch``  — same, ingested through ``emit_batch`` so runs
+  of the same event id hit the vectorized FSM batch kernels;
 * ``reference eager_full``— the historical full-scan-per-boundary eager
   regime (the ablation the paper warns about);
 * ``compiled eager``      — the targeted eager propagation (purge only the
   trees whose domain holds a dead parameter's position, evict flagged
   monitors directly);
+* ``codegen eager``       — generated kernels under targeted eager;
 * ``compiled eager x4``   — a 4-shard inline ``MonitorService`` on the
   targeted eager regime (the README table's sharded row).
 
 Every configuration ingests the *same* recorded symbolic trace with
 ``retire_after_last_use=True``, so parameter deaths — the GC driver —
 happen during ingestion exactly as in live traffic; the benchmark asserts
-the verdict count and created-monitor count are identical across all
-configurations and records that as ``verdicts_identical_across_configs``.
+the full per-category verdict multiset and created-monitor count are
+identical across all configurations (reference, compiled AND codegen) and
+records that as ``verdicts_identical_across_configs``.  Each row also
+carries the best-of-N repeat spread (min/max/stdev seconds) so a reader
+can tell a real delta from host jitter.
 
 Run directly (writes ``BENCH_dispatch.json`` for the perf trajectory)::
 
@@ -31,9 +40,15 @@ Run directly (writes ``BENCH_dispatch.json`` for the perf trajectory)::
     REPRO_BENCH_SCALE=0.2 PYTHONPATH=src python benchmarks/bench_dispatch.py \
         --out BENCH_dispatch.json --check-baseline
 
-``--check-baseline`` exits non-zero when the compiled lazy single-engine
-throughput falls below the lazy 1-shard number recorded in
-``BENCH_service.json`` (the seed baseline) — the CI perf smoke.
+``--check-baseline`` exits non-zero when (a) the compiled lazy
+single-engine throughput falls below the lazy 1-shard number recorded in
+``BENCH_service.json`` (the seed baseline), or (b) the codegen lazy
+throughput falls below ``1.8 x`` the recorded pre-codegen compiled-lazy
+number (:data:`RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND`) — both scaled by
+``REPRO_BENCH_GATE_FACTOR`` to absorb shared-runner slowness.  When the
+codegen gate fails, the generated kernel module source is dumped to
+``codegen_kernels_dump.py`` next to ``--out`` so CI can upload it as an
+artifact for offline inspection.
 """
 
 from __future__ import annotations
@@ -52,6 +67,17 @@ from repro.runtime.tracelog import replay_entries
 from repro.service import MonitorService, ingest_symbolic
 
 BATCH_SIZE = 256
+
+#: The compiled-lazy throughput recorded in ``BENCH_dispatch.json`` at scale
+#: 0.5 *before* the codegen layer landed — the fixed yardstick the codegen
+#: perf gate measures against (the ratio on the recording host; CI scales it
+#: by ``REPRO_BENCH_GATE_FACTOR`` because absolute ev/s do not transfer
+#: across hosts).
+RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND = 77546.4
+
+#: The codegen gate's required multiple of the recorded compiled-lazy
+#: number (before the gate factor).
+CODEGEN_GATE_MULTIPLE = 1.8
 
 
 def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
@@ -85,16 +111,19 @@ def run_engine(
             batch_size=batch_size,
         )
         stats = engine.stats_for("UnsafeIter")
-        return elapsed, (sum(verdicts.values()), stats.monitors_created)
+        return elapsed, (tuple(sorted(verdicts.items())), stats.monitors_created)
 
     cell = f"dispatch/{dispatch}-{propagation}" + ("-batch" if batch_size else "")
     run = best_of_n(repeat, repeats, cell=cell, telemetry=telemetry)
+    multiset, monitors_created = run.identity
     return {
         "events": len(entries),
         "seconds": run.seconds,
         "events_per_second": len(entries) / run.seconds if run.seconds else 0.0,
-        "verdicts": run.identity[0],
-        "monitors_created": run.identity[1],
+        "verdicts": sum(count for _category, count in multiset),
+        "verdict_multiset": dict(multiset),
+        "monitors_created": monitors_created,
+        "spread_seconds": run.spread(),
     }
 
 
@@ -112,21 +141,44 @@ def run_service(
         _, elapsed = timed_call(
             ingest_symbolic, service, entries, retire_after_last_use=True
         )
-        verdicts = len(service.verdicts())
+        verdicts: Counter = Counter(
+            record.category for record in service.verdicts()
+        )
         stats = service.stats_for("UnsafeIter")
         service.close()
-        return elapsed, (verdicts, stats.monitors_created)
+        return elapsed, (tuple(sorted(verdicts.items())), stats.monitors_created)
 
     run = best_of_n(
         repeat, repeats, cell=f"dispatch/service-x{shards}", telemetry=telemetry
     )
+    multiset, monitors_created = run.identity
     return {
         "events": len(entries),
         "seconds": run.seconds,
         "events_per_second": len(entries) / run.seconds if run.seconds else 0.0,
-        "verdicts": run.identity[0],
-        "monitors_created": run.identity[1],
+        "verdicts": sum(count for _category, count in multiset),
+        "verdict_multiset": dict(multiset),
+        "monitors_created": monitors_created,
+        "spread_seconds": run.spread(),
     }
+
+
+def dump_kernel_source(out_path: str) -> str:
+    """Write the benchmark property's generated kernel module next to the
+    report (the artifact CI uploads when the codegen gate fails, so the
+    regressed generated code can be inspected without reproducing the run)."""
+    from repro.spec.codegen import kernel_source_for
+
+    engine = MonitoringEngine(
+        UNSAFEITER.make().silence(), gc="coenable", dispatch="codegen"
+    )
+    prop = next(p for p in engine.properties if p is not None)
+    dump = os.path.join(
+        os.path.dirname(os.path.abspath(out_path)), "codegen_kernels_dump.py"
+    )
+    with open(dump, "w", encoding="utf-8") as handle:
+        handle.write(kernel_source_for(prop))
+    return dump
 
 
 def read_recorded_baseline() -> dict:
@@ -163,8 +215,14 @@ def run_matrix(scale: float) -> dict:
             "compiled lazy batch",
             lambda: run_engine(entries, "compiled", "lazy", batch_size=BATCH_SIZE),
         ),
+        ("codegen lazy", lambda: run_engine(entries, "codegen", "lazy")),
+        (
+            "codegen lazy batch",
+            lambda: run_engine(entries, "codegen", "lazy", batch_size=BATCH_SIZE),
+        ),
         ("reference eager_full", lambda: run_engine(entries, "reference", "eager_full")),
         ("compiled eager", lambda: run_engine(entries, "compiled", "eager")),
+        ("codegen eager", lambda: run_engine(entries, "codegen", "eager")),
         ("compiled eager x4", lambda: run_service(entries, "eager", shards=4)),
     ]
     results = []
@@ -172,21 +230,29 @@ def run_matrix(scale: float) -> dict:
         cell = runner()
         cell["config"] = label
         results.append(cell)
+        spread = cell["spread_seconds"]
         print(
             f"{label:>22}: {cell['events_per_second']:>10,.0f} ev/s  "
-            f"({cell['seconds']:.2f}s, {cell['verdicts']} verdicts, "
+            f"({cell['seconds']:.2f}s min, {spread['max']:.2f}s max, "
+            f"{spread['stdev']:.3f}s stdev; {cell['verdicts']} verdicts, "
             f"{cell['monitors_created']} monitors)"
         )
-    identities = {(row["verdicts"], row["monitors_created"]) for row in results}
+    identities = {
+        (tuple(sorted(row["verdict_multiset"].items())), row["monitors_created"])
+        for row in results
+    }
     if len(identities) != 1:
         raise AssertionError(
-            f"verdicts/monitors diverged across configurations: {identities}"
+            f"verdict multisets/monitors diverged across configurations: {identities}"
         )
 
     def rate(label: str) -> float:
         return next(r["events_per_second"] for r in results if r["config"] == label)
 
     baseline = read_recorded_baseline()
+    baseline["recorded_compiled_lazy_events_per_second"] = (
+        RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND
+    )
     recorded_lazy = baseline["lazy_events_per_second"]
     report = {
         "benchmark": "dispatch",
@@ -205,6 +271,15 @@ def run_matrix(scale: float) -> dict:
         "headline_speedup_vs_recorded_lazy_baseline": (
             rate("compiled lazy") / recorded_lazy if recorded_lazy else None
         ),
+        # Two views of the codegen win: the same-run ratio (both sides
+        # measured on this host this run — host-speed independent) and the
+        # ratio against the fixed recorded pre-codegen number.
+        "speedup_codegen_vs_compiled_lazy_same_run": rate("codegen lazy")
+        / rate("compiled lazy"),
+        "speedup_codegen_vs_reference_lazy_same_run": rate("codegen lazy")
+        / rate("reference lazy"),
+        "codegen_speedup_vs_recorded_compiled_lazy": rate("codegen lazy")
+        / RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND,
     }
     return report
 
@@ -240,8 +315,16 @@ def main() -> None:
     headline = report["headline_speedup_vs_recorded_lazy_baseline"]
     if headline is not None:
         print(f"\nheadline: compiled lazy {headline:.2f}x the recorded seed baseline")
+    print(
+        "codegen: "
+        f"{report['speedup_codegen_vs_compiled_lazy_same_run']:.2f}x compiled "
+        "lazy (same run), "
+        f"{report['codegen_speedup_vs_recorded_compiled_lazy']:.2f}x the "
+        "recorded compiled-lazy number"
+    )
     print(f"report -> {args.out}")
     if args.check_baseline:
+        failed = False
         recorded = report["baseline"]["lazy_events_per_second"]
         measured = next(
             r["events_per_second"]
@@ -260,12 +343,43 @@ def main() -> None:
                     f"{recorded:,.0f} ev/s)",
                     file=sys.stderr,
                 )
-                raise SystemExit(1)
+                failed = True
+            else:
+                print(
+                    f"perf gate OK: {measured:,.0f} ev/s >= gate {gate:,.0f} ev/s "
+                    f"({args.baseline_factor:.2f}x recorded baseline "
+                    f"{recorded:,.0f} ev/s)"
+                )
+        codegen_measured = next(
+            r["events_per_second"]
+            for r in report["results"]
+            if r["config"] == "codegen lazy"
+        )
+        codegen_gate = (
+            RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND
+            * CODEGEN_GATE_MULTIPLE
+            * args.baseline_factor
+        )
+        if codegen_measured < codegen_gate:
+            dump = dump_kernel_source(args.out)
             print(
-                f"perf gate OK: {measured:,.0f} ev/s >= gate {gate:,.0f} ev/s "
-                f"({args.baseline_factor:.2f}x recorded baseline "
-                f"{recorded:,.0f} ev/s)"
+                f"CODEGEN PERF REGRESSION: codegen lazy {codegen_measured:,.0f} "
+                f"ev/s is below the gate {codegen_gate:,.0f} ev/s "
+                f"({CODEGEN_GATE_MULTIPLE}x the recorded compiled-lazy "
+                f"{RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND:,.0f} ev/s, scaled "
+                f"by the {args.baseline_factor:.2f} gate factor); generated "
+                f"kernel source dumped to {dump}",
+                file=sys.stderr,
             )
+            failed = True
+        else:
+            print(
+                f"codegen gate OK: {codegen_measured:,.0f} ev/s >= gate "
+                f"{codegen_gate:,.0f} ev/s ({CODEGEN_GATE_MULTIPLE}x recorded "
+                f"compiled lazy, {args.baseline_factor:.2f} gate factor)"
+            )
+        if failed:
+            raise SystemExit(1)
 
 
 if __name__ == "__main__":

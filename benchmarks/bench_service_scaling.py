@@ -39,15 +39,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 from collections import Counter
 
+from repro.bench.harness import best_of_n, timed_call
 from repro.bench.workloads import WORKLOADS, record_workload_events
 from repro.properties import UNSAFEITER
 from repro.service import MonitorService, ingest_symbolic
 
 SHARD_COUNTS = (1, 2, 4)
 PROPAGATIONS = ("eager_full", "lazy")
+REPEATS = 2
 
 
 def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
@@ -58,29 +59,40 @@ def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
 def run_config(
     entries: list[tuple[str, dict[str, str]]], shards: int, propagation: str
 ) -> dict:
-    service = MonitorService(
-        UNSAFEITER.make().silence(),
-        shards=shards,
-        gc="coenable",
-        propagation=propagation,
-        mode="inline",
+    """Best-of-``REPEATS`` timing (fresh service per repeat); the verdict
+    multiset and created-monitor count must agree across repeats."""
+
+    def repeat():
+        service = MonitorService(
+            UNSAFEITER.make().silence(),
+            shards=shards,
+            gc="coenable",
+            propagation=propagation,
+            mode="inline",
+        )
+        _, elapsed = timed_call(
+            ingest_symbolic, service, entries, retire_after_last_use=True
+        )
+        verdicts = Counter(
+            (record.spec_name, record.category) for record in service.verdicts()
+        )
+        stats = service.stats_for("UnsafeIter")
+        service.close()
+        return elapsed, (tuple(sorted(verdicts.items())), stats.monitors_created)
+
+    run = best_of_n(
+        repeat, REPEATS, cell=f"service/{propagation}-x{shards}"
     )
-    start = time.perf_counter()
-    ingest_symbolic(service, entries, retire_after_last_use=True)
-    elapsed = time.perf_counter() - start
-    verdicts = Counter(
-        (record.spec_name, record.category) for record in service.verdicts()
-    )
-    stats = service.stats_for("UnsafeIter")
-    service.close()
+    multiset, monitors_created = run.identity
     return {
         "shards": shards,
         "propagation": propagation,
         "events": len(entries),
-        "seconds": elapsed,
-        "events_per_second": len(entries) / elapsed if elapsed else 0.0,
-        "verdicts": sum(verdicts.values()),
-        "monitors_created": stats.monitors_created,
+        "seconds": run.seconds,
+        "events_per_second": len(entries) / run.seconds if run.seconds else 0.0,
+        "verdicts": sum(count for _key, count in multiset),
+        "monitors_created": monitors_created,
+        "spread_seconds": run.spread(),
     }
 
 
@@ -123,9 +135,25 @@ def run_matrix(scale: float) -> dict:
         "property": "unsafeiter",
         "scale": scale,
         "trace_events": len(entries),
+        "interpreter": interpreter_info(),
         "results": results,
         "headline_speedup_eager_4_shards": eager_4["speedup_vs_1_shard"],
         "verdicts_identical_across_configs": True,
+    }
+
+
+def interpreter_info() -> dict:
+    """Which Python produced the numbers — the CI matrix includes a
+    free-threaded (PEP 703) leg, whose artifact is distinguishable from the
+    with-GIL legs only by this stamp."""
+    import platform
+    import sys
+
+    gil_probe = getattr(sys, "_is_gil_enabled", None)
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "free_threading": (not gil_probe()) if gil_probe is not None else False,
     }
 
 
@@ -140,8 +168,15 @@ def main() -> None:
     parser.add_argument(
         "--out", default="BENCH_service.json", help="JSON report path"
     )
+    parser.add_argument(
+        "--note", action="append", default=[],
+        help="free-text note(s) recorded in the report (the free-threaded "
+        "CI leg stamps its smoke result here)",
+    )
     args = parser.parse_args()
     report = run_matrix(args.scale)
+    if args.note:
+        report["notes"] = args.note
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     headline = report["headline_speedup_eager_4_shards"]

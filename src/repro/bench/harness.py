@@ -62,6 +62,32 @@ class BestOfN:
     #: The identity payload the repeats agreed on (None when untracked).
     identity: Any = None
 
+    @property
+    def max_seconds(self) -> float:
+        return max(self.times) if self.times else 0.0
+
+    @property
+    def stdev_seconds(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        mean = sum(self.times) / len(self.times)
+        return (sum((t - mean) ** 2 for t in self.times) / (len(self.times) - 1)) ** 0.5
+
+    def spread(self) -> dict[str, float]:
+        """The repeat spread benchmarks persist next to the best number.
+
+        Best-of-N hides run-to-run variance; on shared/noisy hosts that
+        variance is often larger than the effect being measured, so the
+        recorded JSON carries ``{min, max, stdev}`` seconds alongside the
+        reported minimum — a reader can judge whether two rows differ by
+        more than the machine's own jitter.
+        """
+        return {
+            "min": self.seconds,
+            "max": self.max_seconds,
+            "stdev": self.stdev_seconds,
+        }
+
 
 def timed_call(
     fn: Callable[..., Any],
@@ -184,8 +210,15 @@ def run_cell(
     repeats: int = 1,
     measure_tracemalloc: bool = False,
     original_seconds: float | None = None,
+    dispatch: str = "compiled",
 ) -> CellResult:
-    """Measure one cell; ``properties`` may be one key or several ("ALL")."""
+    """Measure one cell; ``properties`` may be one key or several ("ALL").
+
+    ``dispatch`` selects the engine's event-dispatch implementation
+    (``reference``, ``compiled`` or ``codegen``) — all three are
+    verdict-equivalent (tests/runtime/test_dispatch_equivalence.py), so
+    the flag only moves the overhead numbers.
+    """
     if isinstance(properties, (str, PaperProperty)):
         properties = [properties]
     props: list[PaperProperty] = [
@@ -211,7 +244,9 @@ def run_cell(
     gc_kind, propagation = SYSTEMS[system]
     specs = [prop.make().silence() for prop in props]
     try:
-        engine = MonitoringEngine(specs, gc=gc_kind, propagation=propagation)
+        engine = MonitoringEngine(
+            specs, gc=gc_kind, propagation=propagation, dispatch=dispatch
+        )
     except UnsupportedFormalismError:
         # The Tracematches analog cannot host CFG properties (Section 3).
         result.unsupported = True
@@ -276,6 +311,7 @@ def run_grid(
     scale: float = 1.0,
     repeats: int = 1,
     include_all_column: bool = False,
+    dispatch: str = "compiled",
 ) -> GridResult:
     """Run the full Figure 9/10 grid.
 
@@ -301,6 +337,7 @@ def run_grid(
                         scale=scale,
                         repeats=repeats,
                         original_seconds=baseline,
+                        dispatch=dispatch,
                     )
                 )
         if include_all_column:
@@ -312,6 +349,7 @@ def run_grid(
                     scale=scale,
                     repeats=repeats,
                     original_seconds=baseline,
+                    dispatch=dispatch,
                 )
             )
     return grid

@@ -30,10 +30,15 @@ class AlivenessFormula:
     sets removes the other source).
     """
 
-    __slots__ = ("disjuncts",)
+    __slots__ = ("disjuncts", "_conjuncts")
 
     def __init__(self, disjuncts: frozenset[frozenset[str]]):
         self.disjuncts = _absorb(disjuncts)
+        #: Flat evaluation form: the GC notification path walks this with
+        #: plain loops instead of building generator frames per check.
+        self._conjuncts: tuple[tuple[str, ...], ...] = tuple(
+            tuple(sorted(conjunct)) for conjunct in sorted(self.disjuncts, key=sorted)
+        )
 
     @classmethod
     def false(cls) -> "AlivenessFormula":
@@ -70,8 +75,15 @@ class AlivenessFormula:
         if callable(live):
             is_live = live
         else:
-            is_live = lambda name: live.get(name, True)  # noqa: E731 - tiny adapter
-        return any(all(is_live(name) for name in conjunct) for conjunct in self.disjuncts)
+            get = live.get
+            is_live = lambda name: get(name, True)  # noqa: E731 - tiny adapter
+        for conjunct in self._conjuncts:
+            for name in conjunct:
+                if not is_live(name):
+                    break
+            else:
+                return True
+        return False
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AlivenessFormula):

@@ -43,6 +43,20 @@ class Binding:
         self._hash = hash(tuple((name, id(value)) for name, value in self._pairs))
 
     @classmethod
+    def _of_unique(cls, pairs: "list[tuple[str, Any]]") -> "Binding":
+        """Construct from pairs with *unique* parameter names (verdict path).
+
+        Unique names mean ``sorted`` never falls through to comparing the
+        values, so arbitrary (uncomparable) parameter objects are safe.
+        """
+        self = object.__new__(cls)
+        items = sorted(pairs)
+        self._pairs = tuple(items)
+        self._lookup = dict(items)
+        self._hash = hash(tuple([(name, id(value)) for name, value in items]))
+        return self
+
+    @classmethod
     def of(cls, **params: Any) -> "Binding":
         """Build a binding from keyword arguments: ``Binding.of(c=c1, i=i1)``."""
         return cls(params.items())

@@ -286,17 +286,44 @@ class PropertyRuntime:
         else:
             self._fsm_rows = self._fsm_goal = self._fsm_verdicts = None
         self._dispatch = self._resolve_dispatch(plan)
+        #: Keeps the generated kernels' collection-watch weak references
+        #: alive until their monitors are reclaimed (the codegen stand-in
+        #: for ``weakref.finalize``'s global registry).
+        self._collection_refs: set[Any] = set()
+        #: Generated per-event kernels (codegen dispatch only; empty dicts
+        #: otherwise so the engine's batch fast path can probe cheaply).
+        self._kernels: dict[str, Any] = {}
+        self._batch_kernels: dict[str, Any] = {}
+        self._kernel_module = None
         if dispatch == "compiled":
             self.handle = self._handle_compiled  # type: ignore[method-assign]
+        elif dispatch == "codegen":
+            from ..spec.codegen import bind_kernels
+
+            kernels, batch_kernels, module = bind_kernels(self)
+            self._kernels = kernels
+            self._batch_kernels = batch_kernels
+            self._kernel_module = module
+
+            def _codegen_handle(
+                event, values, record=True, pretouched=None, _kernels=kernels
+            ):
+                return _kernels[event](values, record, pretouched)
+
+            self.handle = _codegen_handle  # type: ignore[method-assign]
         else:
             self.handle = self._handle_reference  # type: ignore[method-assign]
+        #: The raw (unwrapped) handle: the engine's codegen batch fast path
+        #: may only call kernels directly while ``handle`` is still this
+        #: object — telemetry/attribution wrappers must not be bypassed.
+        self._unwrapped_handle = self.handle
         # Telemetry interposes on the per-instance entry points only when
         # enabled: with telemetry=None (the default) every hot path above
         # is byte-identical to the un-instrumented build.  Attribution
         # wraps first (closest to the raw handle) so the sampled latency
         # timer above it still brackets the whole call.
         if attribution is not None:
-            self._wire_attribution(attribution, dispatch == "compiled")
+            self._wire_attribution(attribution, dispatch in ("compiled", "codegen"))
         if telemetry is not None:
             self._wire_telemetry(telemetry)
 
@@ -375,6 +402,14 @@ class PropertyRuntime:
         stage.  Each wrapper also adds its elapsed time to
         ``plane.charged`` so the boundary can attribute the remainder of
         the emit call to the engine-level ``emit-batch`` stage.
+
+        ``compiled`` is true for both the ``"compiled"`` and
+        ``"codegen"`` dispatch modes: the generated kernels are
+        semantically identical to :meth:`_handle_compiled`, so a sampled
+        emit runs the decomposed compiled clone and keeps the
+        ``dispatch`` / ``tree-walk`` / ``fsm-step`` stage labels exact
+        (see docs/dispatch-kernels.md for the one caveat: attributed
+        samples measure the interpreted plan, not the generated code).
         """
         from ..obs.attribution import prop_label
 
@@ -569,6 +604,10 @@ class PropertyRuntime:
         self._join_indices.clear()
         self._dispatch.clear()
         self._plans.clear()
+        # Generated kernels close over this runtime (and it over them, via
+        # these dicts) — clear them for the same refcount-only guarantee.
+        self._kernels.clear()
+        self._batch_kernels.clear()
 
     def collect_deaths(self, dead: Mapping[str, set[int]]) -> None:
         """Targeted eager propagation of coalesced parameter deaths.
@@ -1230,8 +1269,11 @@ class MonitoringEngine:
     profile) or ``eager_full`` (the historical full-scan ablation);
     ``system`` is a convenience preset: ``rv`` / ``mop`` / ``tm`` /
     ``none`` (see :data:`SYSTEMS`).  ``dispatch`` selects the compiled
-    fast path (default) or the retained ``"reference"`` interpretation —
-    both produce bit-identical verdicts and creation counts.
+    fast path (default), the retained ``"reference"`` interpretation, or
+    ``"codegen"`` — per-(property, event) kernels generated and
+    ``exec``-compiled from the dispatch plan (:mod:`repro.spec.codegen`)
+    plus a grouped batch-stepping path in :meth:`emit_batch` — all three
+    produce bit-identical verdicts and creation counts.
     """
 
     def __init__(
@@ -1253,7 +1295,7 @@ class MonitoringEngine:
         propagation = propagation if propagation is not None else "lazy"
         if propagation not in PROPAGATIONS:
             raise ValueError(f"unknown propagation {propagation!r}")
-        if dispatch not in ("compiled", "reference"):
+        if dispatch not in ("compiled", "reference", "codegen"):
             raise ValueError(f"unknown dispatch {dispatch!r}")
         self.gc = gc
         self.propagation = propagation
@@ -1354,11 +1396,14 @@ class MonitoringEngine:
             if runtime is not None:
                 if self.attribution is not None:
                     runtime._wire_attribution(
-                        self.attribution, self.dispatch == "compiled"
+                        self.attribution,
+                        self.dispatch in ("compiled", "codegen"),
                     )
                 runtime._wire_telemetry(resolved)
         if self.attribution is not None:
             self._wire_attribution_boundary()
+        # Wrapped handles invalidate the codegen direct-kernel routes.
+        self._rebuild_event_index()
         return resolved
 
     def _wire_attribution_boundary(self) -> None:
@@ -1378,6 +1423,7 @@ class MonitoringEngine:
         batch_cell = plane.cell(ENGINE_LABEL, "emit-batch")
         sampler = plane.sampler
         inner_emit = self.emit
+        inner_emit_values = self.emit_values
         inner_emit_batch = self.emit_batch
         inner_selected = self.emit_selected
         inner_selected_batch = self.emit_selected_batch
@@ -1398,6 +1444,15 @@ class MonitoringEngine:
                 return inner_emit(event, _strict, **params)
             return attributed(inner_emit, (event, _strict), params)
 
+        def emit_values(event, values, _strict=True):
+            # Rebinding this alongside ``emit`` keeps the replay hot loop
+            # (``tracelog.replay_entries``) on its repack-free entry: the
+            # loop trusts an instance-level ``emit_values`` to observe
+            # events exactly as the wrapped ``emit`` would.
+            if not sampler.sample():
+                return inner_emit_values(event, values, _strict)
+            return attributed(inner_emit_values, (event, values, _strict), {})
+
         def emit_batch(events, _strict=True):
             if not sampler.sample():
                 return inner_emit_batch(events, _strict)
@@ -1414,6 +1469,7 @@ class MonitoringEngine:
             return attributed(inner_selected_batch, (deliveries,), {})
 
         self.emit = emit  # type: ignore[method-assign]
+        self.emit_values = emit_values  # type: ignore[method-assign]
         self.emit_batch = emit_batch  # type: ignore[method-assign]
         self.emit_selected = emit_selected  # type: ignore[method-assign]
         self.emit_selected_batch = emit_selected_batch  # type: ignore[method-assign]
@@ -1457,6 +1513,7 @@ class MonitoringEngine:
                 runtime._on_verdict = on_verdict
 
         inner_emit = self.emit
+        inner_emit_values = self.emit_values
         inner_emit_batch = self.emit_batch
         inner_selected = self.emit_selected
         inner_selected_batch = self.emit_selected_batch
@@ -1470,6 +1527,14 @@ class MonitoringEngine:
                 return inner_emit(event, _strict, **params)
             finally:
                 recorder.record_event(event, params, wal_coords())
+
+        def emit_values(event, values, _strict=True):
+            # Rebound alongside ``emit`` so replay's repack-free entry
+            # (which trusts an instance-level ``emit_values``) records too.
+            try:
+                return inner_emit_values(event, values, _strict)
+            finally:
+                recorder.record_event(event, values, wal_coords())
 
         def _record_batch(events):
             # The WAL (when present) assigned consecutive sequence numbers
@@ -1533,6 +1598,7 @@ class MonitoringEngine:
             recorder.record_registry_op("enable", ref=str(ref), enabled=enabled)
 
         self.emit = emit  # type: ignore[method-assign]
+        self.emit_values = emit_values  # type: ignore[method-assign]
         self.emit_batch = emit_batch  # type: ignore[method-assign]
         self.emit_selected = emit_selected  # type: ignore[method-assign]
         self.emit_selected_batch = emit_selected_batch  # type: ignore[method-assign]
@@ -1580,6 +1646,29 @@ class MonitoringEngine:
                     by_event.setdefault(event, []).append(runtime)
         self._by_event = by_event
         self._paused_events = declared - set(by_event)
+        # Codegen batch routing: per event, (runtime, kernel, batch kernel).
+        # Kernels are entered directly only while the runtime's handle is
+        # still unwrapped — telemetry/attribution/recording wrappers must
+        # see every call, so wrapped runtimes degrade to ``handle``.
+        routes: dict[str, list[tuple[PropertyRuntime, Any, Any]]] = {}
+        singles: dict[str, Any] = {}
+        if self.dispatch == "codegen":
+            for event, runtimes in by_event.items():
+                entries = []
+                for runtime in runtimes:
+                    direct = runtime.handle is runtime._unwrapped_handle
+                    entries.append((
+                        runtime,
+                        runtime._kernels.get(event) if direct else None,
+                        runtime._batch_kernels.get(event) if direct else None,
+                    ))
+                routes[event] = entries
+                # Single-receiver events skip even the route loop: the
+                # emit surface calls the kernel through one dict lookup.
+                if len(entries) == 1 and entries[0][1] is not None:
+                    singles[event] = entries[0][1]
+        self._codegen_routes = routes
+        self._codegen_single = singles
 
     # -- dynamic property lifecycle ----------------------------------------------
 
@@ -1698,6 +1787,24 @@ class MonitoringEngine:
         uses this because a woven program point may produce events for
         specifications that are not currently monitored.
         """
+        routes = self._codegen_routes
+        if routes and not self._eager and self.on_emit is None:
+            # Codegen fast route: straight from the emit surface into the
+            # generated kernel, skipping the per-runtime handle closure.
+            # Routes cover every declared event, so a miss below falls
+            # through to the unknown-event handling.
+            kernel = self._codegen_single.get(event)
+            if kernel is not None:
+                kernel(params)
+                return
+            targets = routes.get(event)
+            if targets is not None:
+                for runtime, kernel, _batch in targets:
+                    if kernel is not None:
+                        kernel(params)
+                    else:
+                        runtime.handle(event, params)
+                return
         if self._eager and self._pending_dead:
             self._propagate_deaths()
         if self.on_emit is not None:
@@ -1712,6 +1819,46 @@ class MonitoringEngine:
         for runtime in runtimes:
             runtime.handle(event, params)
 
+    def emit_values(
+        self, event: str, values: Mapping[str, Any], _strict: bool = True
+    ) -> None:
+        """:meth:`emit` with the parameter binding as one mapping.
+
+        Semantically identical to ``emit(event, **values)`` without the
+        keyword repack — the replay hot loop already holds the dict.
+        Callers that wrap ``emit`` per instance (telemetry, attribution,
+        flight recorder, durability) are respected by going through this
+        method only when ``emit`` is unwrapped — see
+        :func:`repro.runtime.tracelog.replay_entries`.
+        """
+        routes = self._codegen_routes
+        if routes and not self._eager and self.on_emit is None:
+            kernel = self._codegen_single.get(event)
+            if kernel is not None:
+                kernel(values)
+                return
+            targets = routes.get(event)
+            if targets is not None:
+                for runtime, kernel, _batch in targets:
+                    if kernel is not None:
+                        kernel(values)
+                    else:
+                        runtime.handle(event, values)
+                return
+        if self._eager and self._pending_dead:
+            self._propagate_deaths()
+        if self.on_emit is not None:
+            self.on_emit(event, values)
+        runtimes = self._by_event.get(event)
+        if not runtimes:
+            if _strict and event not in self._paused_events:
+                raise UnknownEventError(
+                    f"no monitored specification declares event {event!r}"
+                )
+            return
+        for runtime in runtimes:
+            runtime.handle(event, values)
+
     def emit_batch(
         self,
         events: Iterable[tuple[str, Mapping[str, Any]]],
@@ -1724,7 +1871,15 @@ class MonitoringEngine:
         propagation still happens at every event boundary — but the
         per-call overhead (tap/attribute lookups, the Python call itself)
         is amortized across the batch.
+
+        Under ``dispatch="codegen"`` with lazy propagation and no emit
+        tap, the batch is processed by the grouped kernel path instead:
+        consecutive same-event runs step through generated kernels (and,
+        for creation-free FSM events, through the vectorized batch
+        kernel) — see :meth:`_emit_batch_codegen`.
         """
+        if self._codegen_routes and not self._eager and self.on_emit is None:
+            return self._emit_batch_codegen(events, _strict)
         eager = self._eager
         by_event = self._by_event
         accepted = 0
@@ -1746,6 +1901,82 @@ class MonitoringEngine:
             accepted += 1
             for runtime in runtimes:
                 runtime.handle(event, params)
+        return accepted
+
+    def _emit_batch_codegen(
+        self,
+        events: Iterable[tuple[str, Mapping[str, Any]]],
+        _strict: bool = True,
+    ) -> int:
+        """Grouped codegen batch dispatch (lazy propagation only).
+
+        Splits the batch into maximal runs of consecutive identical
+        events and dispatches each run once per receiving runtime:
+        creation-free FSM events step the whole run through the
+        generated batch kernel (one call, array-backed transition
+        column); anything else — creating events, non-FSM properties,
+        wrapped handles — falls back to the scalar kernel per event.
+        Only *consecutive* events are grouped, never reordered: lazy GC
+        discovers deaths on access, so the exact operation order is part
+        of the observable semantics the equivalence suite pins down.
+        Eager propagation never reaches this path (its death boundaries
+        interleave with dispatch), nor does an engine with an ``on_emit``
+        tap (the tap must see every event in order).
+        """
+        events = events if isinstance(events, list) else list(events)
+        if self._batch_emit is not None:
+            self._batch_emit.observe(len(events))
+        n = len(events)
+        if n == 1:
+            # Tiny chunks dominate replayed traces (death boundaries flush
+            # the pending batch, so the mean chunk tracks object lifetime,
+            # not batch_size) — skip the grouping scaffolding entirely.
+            event, params = events[0]
+            kernel = self._codegen_single.get(event)
+            if kernel is not None:
+                kernel(params)
+                return 1
+        routes = self._codegen_routes
+        paused = self._paused_events
+        accepted = 0
+        i = 0
+        while i < n:
+            event = events[i][0]
+            j = i + 1
+            while j < n and events[j][0] == event:
+                j += 1
+            targets = routes.get(event)
+            if not targets:
+                if _strict and event not in paused:
+                    raise UnknownEventError(
+                        f"no monitored specification declares event {event!r}"
+                    )
+                i = j
+                continue
+            run = j - i
+            accepted += run
+            if run == 1:
+                params = events[i][1]
+                for runtime, kernel, _batch in targets:
+                    if kernel is not None:
+                        kernel(params)
+                    else:
+                        runtime.handle(event, params)
+            else:
+                for runtime, kernel, batch in targets:
+                    # The vectorized kernel pays a per-call prelude (FSM
+                    # column binds, group list build); below ~8 events the
+                    # scalar kernel loop wins.  Either path is legal — the
+                    # batch kernel is verdict-identical to the scalar loop.
+                    if batch is not None and run >= 8:
+                        batch([entry[1] for entry in events[i:j]])
+                    elif kernel is not None:
+                        for k in range(i, j):
+                            kernel(events[k][1])
+                    else:
+                        for k in range(i, j):
+                            runtime.handle(event, events[k][1])
+            i = j
         return accepted
 
     def emit_binding(self, event: str, binding: Binding) -> None:

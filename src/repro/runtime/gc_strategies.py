@@ -95,7 +95,22 @@ class CoenableGc(GcStrategy):
         formula = self._aliveness.get(monitor.last_event)
         if formula is None:
             return monitor.all_params_dead()
-        return not formula.evaluate(monitor.param_alive)
+        # Fused formula.evaluate(monitor.param_alive): one notification per
+        # parameter death makes this the hottest interpreted check in the
+        # lazy path, so the liveness atoms read the raw ref fields directly
+        # (unbound parameters count as alive — Theorem 1).
+        params = monitor.params
+        for conjunct in formula._conjuncts:
+            for name in conjunct:
+                ref = params.get(name)
+                if ref is None:
+                    continue
+                weak = ref._weak
+                if (weak() if weak is not None else ref._strong) is None:
+                    break
+            else:
+                return False
+        return True
 
 
 class StateBasedGc(GcStrategy):

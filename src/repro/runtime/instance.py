@@ -77,17 +77,25 @@ class MonitorInstance:
         instance binding one is never collectable under this rule — the same
         would be true of a Java object pinned by a static field.
         """
-        return all(not ref.is_alive for ref in self.params.values()) and bool(self.params)
+        params = self.params
+        if not params:
+            return False
+        for ref in params.values():
+            weak = ref._weak
+            if (weak() if weak is not None else ref._strong) is not None:
+                return False
+        return True
 
     def binding(self) -> Binding:
         """Rebuild a :class:`Binding` of the still-live parameter objects
         (dead parameters are omitted) — used when firing handlers."""
         pairs = []
         for name, ref in self.params.items():
-            value = ref.get()
+            weak = ref._weak
+            value = weak() if weak is not None else ref._strong
             if value is not None:
                 pairs.append((name, value))
-        return Binding(pairs)
+        return Binding._of_unique(pairs)
 
     def snapshot_payload(self, symbol_of: Callable[[Any], str]) -> dict:
         """This instance as checkpoint-codec data.

@@ -200,6 +200,42 @@ def replay_entries(
     tokens_get = tokens.get
     pending: list[tuple[str, dict[str, Any]]] = []
     emit_batch = target.emit_batch if batch_size else None
+    # Mapping-taking fast entry: skips the per-event keyword repack of
+    # ``emit(event, **params)``.  Per-instance wrappers (telemetry
+    # boundaries, attribution, flight recorder, durability) must see every
+    # event, and all of them rebind ``emit`` in the instance dict — so the
+    # fast entry is used only while ``emit`` is the plain class method,
+    # *unless* the wrapper also rebound ``emit_values`` (the attribution
+    # boundary and the flight recorder do), in which case the instance
+    # ``emit_values`` observes events exactly as the wrapped ``emit`` would.
+    emit_values = getattr(target, "emit_values", None)
+    if (
+        emit_values is not None
+        and "emit" in vars(target)
+        and "emit_values" not in vars(target)
+    ):
+        emit_values = None
+    if deaths is None and emit_batch is None and emit_values is not None:
+        # Dedicated hot loop for the common bench/replay shape (no death
+        # markers, per-event ingestion, unwrapped emit): identical per-event
+        # semantics to the general loop below, minus its branch overhead.
+        retire_get = retire_at.get
+        for index in range(start, stop):
+            event, symbols = entries[index]
+            params: dict[str, Any] = {}
+            for name, symbol in symbols.items():
+                token = tokens_get(symbol)
+                if token is None:
+                    token = symbol if symbol.startswith("v:") else ReplayToken(symbol)
+                    tokens[symbol] = token
+                params[name] = token
+            emit_values(event, params, _strict=False)
+            retiring = retire_get(index)
+            if retiring is not None:
+                for symbol in retiring:
+                    tokens.pop(symbol, None)
+                del params
+        return tokens
     for index in range(start, stop):
         if deaths is not None:
             dying = deaths.get(index)
@@ -228,6 +264,8 @@ def replay_entries(
             if retiring is not None or len(pending) >= batch_size:
                 emit_batch(pending, _strict=False)
                 pending = []
+        elif emit_values is not None:
+            emit_values(event, params, _strict=False)
         else:
             target.emit(event, _strict=False, **params)
         if retiring is not None:

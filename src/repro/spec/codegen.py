@@ -1,0 +1,1034 @@
+"""Generated per-(property, event) dispatch kernels.
+
+:mod:`repro.spec.dispatch` lowers a compiled property to a static
+:class:`~repro.spec.dispatch.DispatchPlan`; the runtime's compiled path
+then *interprets* that plan — every event walks ``_EventDispatch``
+attributes, loops over check tuples, and calls through the shared
+``RVMap`` helpers.  This module goes one step further, the JavaMOP move
+of specializing the whole per-event code path at property-compile time
+(JinMGR11 Section 4.1): for each ``(property, event)`` pair it generates
+*straight-line Python source* with
+
+* the slot-tuple shape unrolled (``v0 = values["c"]`` …, no list
+  comprehension, no loop over ``ed.params``),
+* the interned event id folded into a precomputed per-event transition
+  *column* (one subscript per monitor step instead of two),
+* the indexing-tree walk — including the ``RVMap`` incremental dead-key
+  scan and the leaf inspection it performs — inlined level by level, and
+* the creation strategy (self sources, fresh creation, validity checks)
+  unrolled into nested branches with literal extraction indices.
+
+The generated source is compiled once with :func:`exec` and cached in a
+process-wide :class:`KernelCache` keyed by the property's registry slot
+:meth:`~repro.spec.compiler.CompiledProperty.fingerprint` (which covers
+spec name, formalism, alphabet, and formalism-level semantics), so hot
+load/unload cycles and process-backend recompiles of the *same*
+property reuse the compiled code object, while any semantic change —
+a different FSM, a different alphabet — produces a different
+fingerprint and forces regeneration.  Factories close over one
+:class:`~repro.runtime.engine.PropertyRuntime`'s trees and statistics at
+bind time, so one cached module serves any number of runtimes.
+
+Equivalence contract
+--------------------
+The kernels must be *bit-identical in observable behaviour* to
+``PropertyRuntime._handle_compiled``: not just the same verdicts, but the
+same sequence of ``RVMap`` scan operations.  Lazy GC discovers deaths on
+access, so the set of monitors a later event still steps depends on how
+many buckets every earlier operation scanned — reordering or eliding a
+single ``scan_some`` would change flag-discovery timing and, with it,
+observable verdict streams.  Every inlined walk therefore performs
+exactly the operations of ``_TreeBase.lookup_vals`` (scan, probe,
+create) in the same order; the inlining removes call overhead, never
+operations.  ``tests/runtime/test_dispatch_equivalence.py`` holds all
+three dispatch modes to the same oracle.
+
+Batch stepping
+--------------
+For events that can never create monitors and whose property lowers to
+a flat FSM table, a second *batch* factory is generated: it steps a
+whole group of same-event bindings through an :mod:`array`-backed
+transition column in one call, amortizing the per-event call and
+attribute overhead.  Events with creation (or engines under eager
+propagation, whose death boundaries interleave with dispatch) fall back
+to the scalar kernel — see ``MonitoringEngine._emit_batch_codegen``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from .dispatch import DispatchPlan, EventPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compiler import CompiledProperty
+
+__all__ = [
+    "KernelModule",
+    "KernelCache",
+    "shared_kernel_cache",
+    "kernel_module_source",
+    "kernel_source_for",
+    "bind_kernels",
+]
+
+
+_INDENT = "    "
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"\W", "_", name)
+
+
+class _Writer:
+    """Tiny indented-source builder for the generated module."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(_INDENT * depth + text)
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _KernelEmitter:
+    """Emits one event's factory (and optional batch factory).
+
+    ``prelude`` lines run once at bind time inside the factory (closure
+    bindings pulled off the runtime and its resolved ``_EventDispatch``);
+    the kernel body references only those locals, literals, and the
+    event's ``v0..vN`` slot variables.
+    """
+
+    def __init__(self, plan: DispatchPlan, ep: EventPlan, has_fsm: bool):
+        self.plan = plan
+        self.ep = ep
+        self.has_fsm = has_fsm
+        self.depth = len(ep.params)
+        self.prelude: list[str] = []
+        self._uid = 0
+        self._tree_ctxs: dict[str, dict[str, str]] = {}
+        #: ``v{i}`` -> hoisted ``_id{i}`` variable (ids are stable while the
+        #: values dict keeps the parameters alive, i.e. the whole kernel body).
+        self._id_cache: dict[str, str] = {}
+        #: ``v{i}`` -> lazily-built shared ``_pr{i}`` ParamRef variable.
+        #: ParamRef identity is not observable (only referent deadness is),
+        #: so one ref per parameter per invocation serves every tree entry
+        #: and the monitor's own params table.
+        self._pr_cache: dict[str, str] = {}
+        # Domains that actually have trees at runtime: the runtime builds
+        # one per monitor domain plus one per event domain, and
+        # ``_resolve_dispatch`` filters self-sources by the same predicate
+        # — mirrored here so source indices line up with ``ed``.
+        self.available = set(plan.monitor_domains) | set(plan.event_domains)
+        self.sources = tuple(
+            src for src in ep.self_sources if src.domain in self.available
+        )
+
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def bind(self, name: str, expr: str) -> str:
+        self.prelude.append(f"{name} = {expr}")
+        return name
+
+    def tree_ctx(self, tree_expr: str) -> dict[str, str]:
+        """Bind-time handles on one ``IndexingTree``'s GC plumbing.
+
+        Memoized per tree expression: every walk over the same tree in one
+        kernel shares the notify/inspector/extension bindings.
+        """
+        ctx = self._tree_ctxs.get(tree_expr)
+        if ctx is None:
+            n = self.uid()
+            ctx = {
+                "nmon": self.bind(f"t{n}_nmon", f"{tree_expr}._notify"),
+                "nsub": self.bind(f"t{n}_nsub", f"{tree_expr}._notify_subtree"),
+                "trx": self.bind(
+                    f"t{n}_trx", f"{tree_expr}.tracks_extensions"
+                ),
+                "il": self.bind(f"t{n}_il", f"{tree_expr}._inspect_leaf"),
+                "im": self.bind(f"t{n}_im", f"{tree_expr}._inspect_map"),
+            }
+            self._tree_ctxs[tree_expr] = ctx
+        return ctx
+
+    # -- inlined RVMap machinery -------------------------------------------
+
+    def emit_scan(
+        self,
+        w: _Writer,
+        d: int,
+        node: str,
+        buckets: str,
+        holds_leaves: bool,
+        ctx: dict[str, str],
+    ) -> None:
+        """Inline ``RVMap.scan_some`` on ``node`` (exact op-for-op copy).
+
+        ``holds_leaves`` selects the inlined inspector: the fused
+        ``IndexingTree._inspect_leaf`` for leaf-holding maps, the
+        emptiness test of ``_inspect_map`` otherwise.  Dirty buckets are
+        rebuilt by the inlined ``_scan_bucket`` tail (:meth:`emit_rebuild`),
+        which owns the death-notification plumbing.
+        """
+        u = self.uid()
+        w.emit(d, f"if {buckets}:")
+        w.emit(d + 1, f"_ks{u} = {node}._scan_keys")
+        w.emit(d + 1, f"_p{u} = {node}._scan_pos")
+        # The key list only changes at the wrap refresh below (bucket
+        # rebuilds touch the dict, never ``_scan_keys``), so its length is
+        # loop-invariant between refreshes.
+        w.emit(d + 1, f"_kn{u} = len(_ks{u})")
+        w.emit(d + 1, f"for _s{u} in _brange:")
+        w.emit(d + 2, f"if _p{u} >= _kn{u}:")
+        w.emit(d + 3, f"_ks{u} = {node}._scan_keys = list({buckets})")
+        w.emit(d + 3, f"_p{u} = 0")
+        w.emit(d + 3, f"_kn{u} = len(_ks{u})")
+        w.emit(d + 3, f"if not _kn{u}:")
+        w.emit(d + 4, "break")
+        w.emit(d + 2, f"_b{u} = {buckets}.get(_ks{u}[_p{u}])")
+        w.emit(d + 2, f"_p{u} += 1")
+        w.emit(d + 2, f"if _b{u} is None:")
+        w.emit(d + 3, "continue")
+        w.emit(d + 2, f"_dt{u} = False")
+        w.emit(d + 2, f"for _r{u}, _v{u} in _b{u}:")
+        w.emit(d + 3, f"_w{u} = _r{u}._weak")
+        w.emit(
+            d + 3,
+            f"if (_w{u}() if _w{u} is not None else _r{u}._strong) is None:",
+        )
+        w.emit(d + 4, f"_dt{u} = True")
+        w.emit(d + 4, "break")
+        if holds_leaves:
+            # Inlined IndexingTree._inspect_leaf (fused clean + emptiness).
+            w.emit(d + 3, f"_o{u} = _v{u}.own")
+            w.emit(d + 3, f"if _o{u} is not None and _o{u}.flagged:")
+            w.emit(d + 4, f"_v{u}.own = _o{u} = None")
+            w.emit(d + 3, f"_x{u} = _v{u}.extensions")
+            w.emit(d + 3, f"_lv{u} = False")
+            w.emit(d + 3, f"if _x{u} is not None:")
+            w.emit(d + 4, f"for _m{u} in _x{u}._items:")
+            w.emit(d + 5, f"if _m{u}.flagged:")
+            w.emit(d + 6, f"_x{u}.compact()")
+            w.emit(d + 6, f"_lv{u} = bool(_x{u}._items)")
+            w.emit(d + 6, "break")
+            w.emit(d + 5, f"_lv{u} = True")
+            w.emit(
+                d + 3,
+                f"if _v{u}.touched is None and _o{u} is None and not _lv{u}:",
+            )
+            w.emit(d + 4, f"_dt{u} = True")
+            w.emit(d + 4, "break")
+        else:
+            w.emit(d + 3, f"if not _v{u}._buckets:")
+            w.emit(d + 4, f"_dt{u} = True")
+            w.emit(d + 4, "break")
+        w.emit(d + 2, f"if _dt{u}:")
+        self.emit_rebuild(
+            w, d + 3, buckets, f"_ks{u}[_p{u} - 1]", holds_leaves, ctx
+        )
+        w.emit(d + 1, f"{node}._scan_pos = _p{u}")
+
+    def emit_rebuild(
+        self,
+        w: _Writer,
+        d: int,
+        buckets: str,
+        key_expr: str,
+        holds_leaves: bool,
+        ctx: dict[str, str],
+    ) -> None:
+        """Inline ``RVMap._scan_bucket(key, known_dirty=True)``.
+
+        Same entry order as the interpreted rebuild: each dead key is
+        notified (Figure 7A) then dropped (7B); each live entry is
+        re-inspected — idempotently, the fast pass may already have
+        cleaned it — and kept or dropped.  For leaf-holding maps the
+        ``_notify_subtree`` leaf case (own + extension snapshot through
+        ``tree._notify``) is inlined too; interior maps recurse through
+        the bound ``_notify_subtree``.
+        """
+        u = self.uid()
+        nmon, nsub = ctx["nmon"], ctx["nsub"]
+        w.emit(d, f"_dk{u} = {key_expr}")
+        w.emit(d, f"_db{u} = {buckets}.get(_dk{u})")
+        w.emit(d, f"if _db{u} is not None:")
+        d += 1
+        w.emit(d, f"_sv{u} = []")
+        w.emit(d, f"_cn{u} = 0")
+        w.emit(d, f"for _dr{u}, _dv{u} in _db{u}:")
+        w.emit(d + 1, f"_dw{u} = _dr{u}._weak")
+        w.emit(
+            d + 1,
+            f"if (_dw{u}() if _dw{u} is not None else _dr{u}._strong) is None:",
+        )
+        if holds_leaves:
+            w.emit(d + 2, f"_do{u} = _dv{u}.own")
+            w.emit(d + 2, f"if _do{u} is not None:")
+            w.emit(d + 3, f"{nmon}(_do{u})")
+            w.emit(d + 2, f"_dx{u} = _dv{u}.extensions")
+            w.emit(d + 2, f"if _dx{u} is not None:")
+            w.emit(d + 3, f"for _dm{u} in tuple(_dx{u}._items):")
+            w.emit(d + 4, f"{nmon}(_dm{u})")
+        else:
+            w.emit(d + 2, f"{nsub}(_dv{u})")
+        w.emit(d + 2, f"_cn{u} += 1")
+        if holds_leaves:
+            w.emit(d + 1, "else:")
+            w.emit(d + 2, f"_do{u} = _dv{u}.own")
+            w.emit(d + 2, f"if _do{u} is not None and _do{u}.flagged:")
+            w.emit(d + 3, f"_dv{u}.own = _do{u} = None")
+            w.emit(d + 2, f"_dx{u} = _dv{u}.extensions")
+            w.emit(d + 2, f"_dl{u} = False")
+            w.emit(d + 2, f"if _dx{u} is not None:")
+            w.emit(d + 3, f"for _dm{u} in _dx{u}._items:")
+            w.emit(d + 4, f"if _dm{u}.flagged:")
+            w.emit(d + 5, f"_dx{u}.compact()")
+            w.emit(d + 5, f"_dl{u} = bool(_dx{u}._items)")
+            w.emit(d + 5, "break")
+            w.emit(d + 4, f"_dl{u} = True")
+            w.emit(
+                d + 2,
+                f"if _dv{u}.touched is not None or _do{u} is not None"
+                f" or _dl{u}:",
+            )
+            w.emit(d + 3, f"_sv{u}.append((_dr{u}, _dv{u}))")
+            w.emit(d + 2, "else:")
+            w.emit(d + 3, f"_cn{u} += 1")
+        else:
+            w.emit(d + 1, f"elif _dv{u}._buckets:")
+            w.emit(d + 2, f"_sv{u}.append((_dr{u}, _dv{u}))")
+            w.emit(d + 1, "else:")
+            w.emit(d + 2, f"_cn{u} += 1")
+        w.emit(d, f"if _cn{u}:")
+        w.emit(d + 1, f"if _sv{u}:")
+        w.emit(d + 2, f"{buckets}[_dk{u}] = _sv{u}")
+        w.emit(d + 1, "else:")
+        w.emit(d + 2, f"del {buckets}[_dk{u}]")
+
+    def id_expr(self, val: str) -> str:
+        """``id(val)``, through the hoisted per-parameter variable if any."""
+        return self._id_cache.get(val, f"id({val})")
+
+    def emit_paramref(self, w: _Writer, d: int, val: str, out: str) -> str:
+        """Inline the ``ParamRef`` constructor (weak with immortal fallback).
+
+        Returns the variable holding the ref: for event parameters that is
+        the lazily-built shared ``_pr{i}`` (built at most once per kernel
+        invocation), otherwise ``out``.
+        """
+        cached = self._pr_cache.get(val)
+        if cached is not None:
+            w.emit(d, f"if {cached} is None:")
+            self._emit_paramref_body(w, d + 1, val, cached)
+            return cached
+        self._emit_paramref_body(w, d, val, out)
+        return out
+
+    def _emit_paramref_body(self, w: _Writer, d: int, val: str, out: str) -> None:
+        w.emit(d, f"{out} = _PR_new(_ParamRef)")
+        w.emit(d, f"{out}.param_id = {self.id_expr(val)}")
+        w.emit(d, "try:")
+        w.emit(d + 1, f"{out}._weak = _wref({val})")
+        w.emit(d + 1, f"{out}._strong = None")
+        w.emit(d, "except TypeError:")
+        w.emit(d + 1, f"{out}._weak = None")
+        w.emit(d + 1, f"{out}._strong = {val}")
+
+    def emit_put_fresh(
+        self, w: _Writer, d: int, buckets: str, val: str, child: str
+    ) -> None:
+        """Inline ``RVMap.put_fresh`` (the post-probe insert)."""
+        u = self.uid()
+        ref = self.emit_paramref(w, d, val, f"_pf{u}")
+        w.emit(d, f"_ky{u} = {self.id_expr(val)}")
+        w.emit(d, f"_pb{u} = {buckets}.get(_ky{u})")
+        w.emit(d, f"if _pb{u} is None:")
+        w.emit(d + 1, f"{buckets}[_ky{u}] = [({ref}, {child})]")
+        w.emit(d, "else:")
+        w.emit(d + 1, f"_pb{u}.append(({ref}, {child}))")
+
+    def emit_new_leaf(
+        self, w: _Writer, d: int, ctx: dict[str, str], child: str
+    ) -> None:
+        """Inline ``IndexingTree._new_leaf`` (Leaf + optional RVSet)."""
+        u = self.uid()
+        w.emit(d, f"{child} = _LF_new(_Leaf)")
+        w.emit(d, f"{child}.own = None")
+        w.emit(d, f"if {ctx['trx']}:")
+        w.emit(d + 1, f"_xs{u} = _RS_new(_RVSet)")
+        w.emit(d + 1, f"_xs{u}._items = []")
+        w.emit(d + 1, f"_xs{u}._active = None")
+        w.emit(d + 1, f"{child}.extensions = _xs{u}")
+        w.emit(d, "else:")
+        w.emit(d + 1, f"{child}.extensions = None")
+        w.emit(d, f"{child}.touched = None")
+
+    def emit_new_map(
+        self,
+        w: _Writer,
+        d: int,
+        ctx: dict[str, str],
+        child: str,
+        child_holds_leaves: bool,
+    ) -> None:
+        """Inline interior-node construction (``_TreeBase._new_node``)."""
+        insp = ctx["il"] if child_holds_leaves else ctx["im"]
+        w.emit(d, f"{child} = _RM_new(_RVMap)")
+        w.emit(d, f"{child}._buckets = {{}}")
+        w.emit(d, f"{child}._scan_keys = []")
+        w.emit(d, f"{child}._scan_pos = 0")
+        w.emit(d, f"{child}.on_dead_value = {ctx['nsub']}")
+        w.emit(d, f"{child}.inspect_value = {insp}")
+        w.emit(d, f"{child}.scan_budget = _budget")
+
+    def emit_probe(
+        self, w: _Writer, d: int, buckets: str, val: str, child: str
+    ) -> None:
+        """Inline the identity probe of ``RVMap.get`` (post-scan half)."""
+        u = self.uid()
+        w.emit(d, f"_bb{u} = {buckets}.get({self.id_expr(val)})")
+        w.emit(d, f"{child} = None")
+        w.emit(d, f"if _bb{u}:")
+        w.emit(d + 1, f"for _r{u}, _c{u} in _bb{u}:")
+        w.emit(d + 2, f"_w{u} = _r{u}._weak")
+        w.emit(
+            d + 2,
+            f"if (_w{u}() if _w{u} is not None else _r{u}._strong) is {val}:",
+        )
+        w.emit(d + 3, f"{child} = _c{u}")
+        w.emit(d + 3, "break")
+
+    def emit_main_walk(self, w: _Writer, d: int) -> None:
+        """The event-domain walk of ``lookup_vals(vals, create=True)``."""
+        depth = self.depth
+        ctx = self.tree_ctx("tree")
+        node, buckets = "root", "buckets0"
+        for level in range(depth):
+            leaf_level = level + 1 == depth
+            child = "leaf" if leaf_level else f"node{level + 1}"
+            self.emit_scan(w, d, node, buckets, leaf_level, ctx)
+            self.emit_probe(w, d, buckets, f"v{level}", child)
+            w.emit(d, f"if {child} is None:")
+            if leaf_level:
+                self.emit_new_leaf(w, d + 1, ctx, child)
+            else:
+                self.emit_new_map(w, d + 1, ctx, child, level + 2 == depth)
+            self.emit_put_fresh(w, d + 1, buckets, f"v{level}", child)
+            if not leaf_level:
+                node = child
+                buckets = f"_bk{level + 1}"
+                w.emit(d, f"{buckets} = {node}._buckets")
+
+    def emit_aux_create_walk(
+        self,
+        w: _Writer,
+        d: int,
+        tree_path: str,
+        extract: tuple[int, ...],
+        out: str,
+    ) -> None:
+        """A ``lookup_vals(…, create=True)`` over an auxiliary tree.
+
+        Used by the inlined materialize to register the new monitor in
+        the extension sets of every strictly-smaller event domain; the
+        walk performs exactly the scan/probe/create sequence of
+        ``_TreeBase.lookup_vals`` on that tree.
+        """
+        n = self.uid()
+        root = self.bind(f"t{n}_root", f"{tree_path}._root")
+        depth = len(extract)
+        if depth == 0:
+            w.emit(d, f"{out} = {root}")
+            return
+        ctx = self.tree_ctx(tree_path)
+        node = root
+        buckets = self.bind(f"t{n}_buckets", f"{root}._buckets")
+        for i in range(depth):
+            leaf_level = i + 1 == depth
+            child = out if leaf_level else f"_n{n}_{i + 1}"
+            self.emit_scan(w, d, node, buckets, leaf_level, ctx)
+            self.emit_probe(w, d, buckets, f"v{extract[i]}", child)
+            w.emit(d, f"if {child} is None:")
+            if leaf_level:
+                self.emit_new_leaf(w, d + 1, ctx, child)
+            else:
+                self.emit_new_map(w, d + 1, ctx, child, i + 2 == depth)
+            self.emit_put_fresh(w, d + 1, buckets, f"v{extract[i]}", child)
+            if not leaf_level:
+                node = child
+                buckets = f"_nbk{n}_{i + 1}"
+                w.emit(d, f"{buckets} = {node}._buckets")
+
+    def emit_aux_walk(
+        self,
+        w: _Writer,
+        d: int,
+        tree_path: str,
+        extract: tuple[int, ...],
+        out: str,
+    ) -> None:
+        """A ``lookup_vals(…, create=False)`` over an auxiliary tree.
+
+        ``tree_path`` is the bind-time expression for the tree (e.g.
+        ``ed.self_sources[0].tree``); ``extract`` gives the event-slot
+        positions feeding each level.
+        """
+        n = self.uid()
+        root = self.bind(f"t{n}_root", f"{tree_path}._root")
+        depth = len(extract)
+        w.emit(d, f"{out} = None")
+        ctx = self.tree_ctx(tree_path) if depth else None
+
+        def level(d: int, node: str, buckets: str, i: int) -> None:
+            leaf_level = i + 1 == depth
+            child = out if leaf_level else f"_n{n}_{i + 1}"
+            self.emit_scan(w, d, node, buckets, leaf_level, ctx)
+            self.emit_probe(w, d, buckets, f"v{extract[i]}", child)
+            if not leaf_level:
+                w.emit(d, f"if {child} is not None:")
+                nb = f"_nb{n}_{i + 1}"
+                w.emit(d + 1, f"{nb} = {child}._buckets")
+                level(d + 1, child, nb, i + 1)
+
+        if depth == 0:
+            # Zero-parameter aux domains never occur (checks and sources
+            # are nonempty proper sub-domains), but stay defensive.
+            w.emit(d, f"{out} = {root}")
+        else:
+            buckets = self.bind(f"t{n}_buckets", f"{root}._buckets")
+            level(d, root, buckets, 0)
+
+    # -- kernel sections ----------------------------------------------------
+
+    def emit_header(self, w: _Writer, d: int, spec_name: str) -> None:
+        ep = self.ep
+        w.emit(d, "if record:")
+        w.emit(d + 1, "stats.events += 1")
+        w.emit(d, "serial = rt._event_serial + 1")
+        w.emit(d, "rt._event_serial = serial")
+        if self.depth:
+            w.emit(d, "try:")
+            for i, param in enumerate(ep.params):
+                w.emit(d + 1, f"v{i} = values[{param!r}]")
+            w.emit(d, "except KeyError as exc:")
+            prefix = (
+                f"event {ep.event!r} of {spec_name} requires parameter "
+            )
+            w.emit(
+                d + 1,
+                f"raise InconsistentEventError({prefix!r} + repr(exc.args[0])) "
+                "from None",
+            )
+            for i in range(self.depth):
+                w.emit(d, f"_id{i} = id(v{i})")
+                self._id_cache[f"v{i}"] = f"_id{i}"
+            if ep.has_creation:
+                # Creating kernels reference each parameter's ParamRef at
+                # several sites (walk inserts + the monitor's params table);
+                # share one lazily-built ref per parameter per invocation.
+                for i in range(self.depth):
+                    w.emit(d, f"_pr{i} = None")
+                    self._pr_cache[f"v{i}"] = f"_pr{i}"
+            self.emit_main_walk(w, d)
+        else:
+            w.emit(d, "leaf = root_leaf")
+        w.emit(d, "if leaf.touched is None:")
+        w.emit(d + 1, "leaf.touched = serial")
+
+    def emit_step(self, w: _Writer, d: int) -> None:
+        """Inlined ``RVSet.iter_active`` + the monitor-stepping loop."""
+        ep = self.ep
+        w.emit(d, "extensions = leaf.extensions")
+        w.emit(d, "if extensions is not None and extensions._items:")
+        d += 1
+        w.emit(d, "for _m in extensions._items:")
+        w.emit(d + 1, "if _m.flagged:")
+        w.emit(d + 2, "extensions.compact()")
+        w.emit(d + 2, "break")
+        w.emit(d, "active = extensions._active")
+        w.emit(d, "if active is None:")
+        w.emit(d + 1, "active = extensions._active = tuple(extensions._items)")
+        if self.has_fsm:
+            w.emit(d, "for monitor in active:")
+            w.emit(d + 1, "base = monitor.base")
+            w.emit(d + 1, "_sid = col[base._state_id]")
+            w.emit(d + 1, "base._state_id = _sid")
+            w.emit(d + 1, f"monitor.last_event = {ep.event!r}")
+            w.emit(d + 1, "_vd = fire_col[_sid]")
+            w.emit(d + 1, "if _vd is not None:")
+            w.emit(d + 2, "fire_goal(monitor, _vd)")
+        else:
+            w.emit(d, "for monitor in active:")
+            w.emit(d + 1, f"step(monitor, {ep.event!r})")
+
+    def emit_creation(self, w: _Writer, d: int) -> None:
+        ep = self.ep
+        vals = "(" + ", ".join(f"v{i}" for i in range(self.depth)) + (
+            ",)" if self.depth == 1 else ")"
+        )
+        if ep.joins:
+            # Join-bearing events keep the interpreted creation tail: the
+            # candidate iteration is data-dependent and rare, and sharing
+            # ``_create_compiled`` keeps the two paths trivially aligned.
+            self.bind("create_tail", "rt._create_compiled")
+            w.emit(d, f"create_tail(ed, {vals}, leaf, pretouched)")
+            return
+        self._bind_materialize()
+        guard = "(_own is None or _own.flagged)"
+        if ep.check_event_leaf:
+            self.bind("_domain", "ed.domain")
+            guard += (
+                " and leaf.touched == serial"
+                " and (pretouched is None or _domain not in pretouched)"
+            )
+        w.emit(d, "_own = leaf.own")
+        w.emit(d, f"if {guard}:")
+        d += 1
+
+        def emit_branch(d: int, checks_path: str, checks, source_expr: str) -> None:
+            # Unrolled ``_valid_compiled`` + the materialize call: the
+            # single-iteration ``while True`` gives the check chain an
+            # early exit without a helper call — any failing probe breaks
+            # out before the final materialize line.
+            w.emit(d, "while True:")
+            d += 1
+            for j, check in enumerate(checks):
+                u = self.uid()
+                dom = self.bind(f"c{u}_dom", f"{checks_path}[{j}].domain")
+                w.emit(d, f"if pretouched is not None and {dom} in pretouched:")
+                w.emit(d + 1, "break")
+                out = f"_cl{u}"
+                self.emit_aux_walk(
+                    w, d, f"{checks_path}[{j}].tree", check.extract, out
+                )
+                w.emit(d, f"if {out} is not None:")
+                w.emit(d + 1, f"_ct{u} = {out}.touched")
+                w.emit(d + 1, f"if _ct{u} is not None and _ct{u} < serial:")
+                w.emit(d + 2, "break")
+            self.emit_materialize(w, d, source_expr)
+            w.emit(d, "break")
+
+        def emit_sources(d: int, i: int) -> None:
+            if i == len(self.sources):
+                if ep.allows_fresh:
+                    emit_branch(d, "ed.fresh_checks", ep.fresh_checks, "None")
+                return
+            src = self.sources[i]
+            u = self.uid()
+            out = f"_sl{u}"
+            self.emit_aux_walk(
+                w, d, f"ed.self_sources[{i}].tree", src.extract, out
+            )
+            w.emit(d, f"_so{u} = {out}.own if {out} is not None else None")
+            w.emit(d, f"if _so{u} is not None and not _so{u}.flagged:")
+            emit_branch(
+                d + 1, f"ed.self_sources[{i}].checks", src.checks, f"_so{u}"
+            )
+            if i + 1 < len(self.sources) or ep.allows_fresh:
+                w.emit(d, "else:")
+                emit_sources(d + 1, i + 1)
+
+        emit_sources(d, 0)
+
+    def _bind_materialize(self) -> None:
+        """Bind-time closures for the inlined ``_materialize`` body."""
+        ep = self.ep
+        self.bind("_prop", "rt.prop")
+        self.bind("_template_create", "rt.prop.template.create")
+        self.bind("_live_refs", "rt._collection_refs")
+        names = ", ".join(repr(p) for p in ep.params)
+        if len(ep.params) == 1:
+            names += ","
+        self.bind("_mdomain", f"frozenset(({names}))")
+        # The cheap stand-in for ``weakref.finalize(monitor,
+        # stats.record_collection)``: a plain weak reference whose callback
+        # fires at the same point in the object's death (both are weakref
+        # callbacks on the monitor), without finalize's registry + atexit
+        # bookkeeping on every creation.
+        self.prelude += [
+            "def _on_collected(_ref, _discard=rt._collection_refs.discard,"
+            " _record=stats.record_collection):",
+            "    _discard(_ref)",
+            "    _record()",
+        ]
+        if self.has_fsm:
+            self.bind("_tpl", "rt.prop.template.create()")
+        if self.has_fsm and ep.allows_fresh:
+            # Every fresh monitor starts in the template's initial state,
+            # so its first transition — and whether it fires a verdict —
+            # is a bind-time constant.
+            self.bind(
+                "_fresh_sid", "col[rt.prop.template.create()._state_id]"
+            )
+            self.bind("_fresh_fire", "fire_col[_fresh_sid]")
+
+    def emit_materialize(self, w: _Writer, d: int, source_expr: str) -> None:
+        """Inline ``PropertyRuntime._materialize`` for ``ed.insert``.
+
+        Same operation order as the interpreted helper — base state,
+        refs, own-leaf registration, extension registrations (each an
+        inlined create-walk with its scans), join registrations, stats,
+        collection watch, parameter watch, first step — with the insert
+        schedule unrolled from the static :class:`InsertPlan`.
+        """
+        ep = self.ep
+        ip = self.plan.insert_plans[ep.domain]
+        if self.has_fsm:
+            # FSMMonitor.clone / FSMTemplate.create are four slot copies
+            # off a prototype (fresh monitors all start at the template's
+            # initial state) — inline them.
+            u = self.uid()
+            proto = "_tpl" if source_expr == "None" else f"_sb{u}"
+            if source_expr != "None":
+                w.emit(d, f"_sb{u} = {source_expr}.base")
+            w.emit(d, "base = _FM_new(_FSMMonitor)")
+            w.emit(d, f"base._fsm = {proto}._fsm")
+            w.emit(d, f"base._table = {proto}._table")
+            w.emit(d, f"base._state_id = {proto}._state_id")
+            w.emit(d, f"base._inert = {proto}._inert")
+        elif source_expr == "None":
+            w.emit(d, "base = _template_create()")
+        else:
+            w.emit(d, f"base = {source_expr}.base.clone()")
+        w.emit(d, "rt._serial = _mser = rt._serial + 1")
+        # Inlined MonitorInstance.__init__ (slot writes, no dict copy; the
+        # domain frozenset is a per-event constant).
+        refs = []
+        for i, _param in enumerate(ep.params):
+            refs.append(self.emit_paramref(w, d, f"v{i}", f"_mp{i}"))
+        pairs = ", ".join(
+            f"{param!r}: {ref}" for param, ref in zip(ep.params, refs)
+        )
+        w.emit(d, "monitor = _MI_new(_MonitorInstance)")
+        w.emit(d, "monitor.prop = _prop")
+        w.emit(d, "monitor.base = base")
+        w.emit(d, f"monitor.params = {{{pairs}}}")
+        w.emit(d, "monitor.domain = _mdomain")
+        w.emit(d, "monitor.last_event = None")
+        w.emit(d, "monitor.flagged = False")
+        w.emit(d, "monitor.serial = _mser")
+        w.emit(d, "monitor.provenance = None")
+        w.emit(d, "leaf.own = monitor")
+        if ip.own_is_event_domain:
+            w.emit(d, "_lx = leaf.extensions")
+            w.emit(d, "if _lx is not None:")
+            w.emit(d + 1, "_lx._items.append(monitor)")
+            w.emit(d + 1, "_lx._active = None")
+        for k, (_ext_domain, extract) in enumerate(ip.extension_entries):
+            u = self.uid()
+            out = f"_el{u}"
+            self.emit_aux_create_walk(
+                w, d, f"ed.insert.ext_entries[{k}][0]", extract, out
+            )
+            w.emit(d, f"_ex{u} = {out}.extensions")
+            w.emit(d, f"if _ex{u} is not None:")
+            w.emit(d + 1, f"_ex{u}._items.append(monitor)")
+            w.emit(d + 1, f"_ex{u}._active = None")
+        for k, (_key, extract) in enumerate(ip.join_entries):
+            u = self.uid()
+            idx = self.bind(f"_jix{u}", f"ed.insert.join_entries[{k}][0]")
+            jvals = "(" + ", ".join(f"v{i}" for i in extract) + (
+                ",)" if len(extract) == 1 else ")"
+            )
+            w.emit(d, f"{idx}.add_vals({jvals}, monitor)")
+        # Inlined MonitorStats.record_creation (counter + live peak).
+        w.emit(d, "stats.monitors_created = _mc = stats.monitors_created + 1")
+        w.emit(d, "_mlive = _mc - stats.monitors_collected")
+        w.emit(d, "if _mlive > stats.peak_live_monitors:")
+        w.emit(d + 1, "stats.peak_live_monitors = _mlive")
+        w.emit(d, "_live_refs.add(_wref(monitor, _on_collected))")
+        w.emit(d, "watch = rt._on_param_registered")
+        w.emit(d, "if watch is not None:")
+        for i, param in enumerate(ep.params):
+            w.emit(d + 1, f"watch({param!r}, v{i})")
+        if self.has_fsm:
+            if source_expr == "None":
+                w.emit(d, "base._state_id = _fresh_sid")
+                w.emit(d, f"monitor.last_event = {ep.event!r}")
+                w.emit(d, "if _fresh_fire is not None:")
+                w.emit(d + 1, "fire_goal(monitor, _fresh_fire)")
+            else:
+                w.emit(d, "_msid = col[base._state_id]")
+                w.emit(d, "base._state_id = _msid")
+                w.emit(d, f"monitor.last_event = {ep.event!r}")
+                w.emit(d, "_mvd = fire_col[_msid]")
+                w.emit(d, "if _mvd is not None:")
+                w.emit(d + 1, "fire_goal(monitor, _mvd)")
+        else:
+            w.emit(d, f"step(monitor, {ep.event!r})")
+
+    # -- factories ----------------------------------------------------------
+
+    def emit_factory(self, w: _Writer, name: str, spec_name: str) -> None:
+        body = _Writer()
+        body.emit(1, "def kernel(values, record=True, pretouched=None):")
+        self.emit_header(body, 2, spec_name)
+        self.emit_step(body, 2)
+        if self.ep.has_creation:
+            self.emit_creation(body, 2)
+        body.emit(1, "return kernel")
+        self._write_factory(w, name, body)
+
+    def emit_batch_factory(self, w: _Writer, name: str, spec_name: str) -> None:
+        """The grouped stepping kernel (creation-free FSM events only)."""
+        body = _Writer()
+        body.emit(1, "col = _array('i', col)")
+        body.emit(1, "def batch_kernel(group, record=True):")
+        body.emit(2, "serial = rt._event_serial")
+        body.emit(2, "for values in group:")
+        d = 3
+        body.emit(d, "if record:")
+        body.emit(d + 1, "stats.events += 1")
+        body.emit(d, "serial = serial + 1")
+        body.emit(d, "rt._event_serial = serial")
+        if self.depth:
+            body.emit(d, "try:")
+            for i, param in enumerate(self.ep.params):
+                body.emit(d + 1, f"v{i} = values[{param!r}]")
+            body.emit(d, "except KeyError as exc:")
+            prefix = (
+                f"event {self.ep.event!r} of {spec_name} requires parameter "
+            )
+            body.emit(
+                d + 1,
+                f"raise InconsistentEventError({prefix!r} + repr(exc.args[0])) "
+                "from None",
+            )
+            self.emit_main_walk(body, d)
+        else:
+            body.emit(d, "leaf = root_leaf")
+        body.emit(d, "if leaf.touched is None:")
+        body.emit(d + 1, "leaf.touched = serial")
+        self.emit_step(body, d)
+        body.emit(1, "return batch_kernel")
+        self._write_factory(w, name, body)
+
+    def _write_factory(self, w: _Writer, name: str, body: _Writer) -> None:
+        w.blank()
+        w.blank()
+        w.emit(0, f"def {name}(rt, ed):")
+        for line in self._common_prelude():
+            w.emit(1, line)
+        for line in self.prelude:
+            w.emit(1, line)
+        w.lines.extend(body.lines)
+        self.prelude = []
+
+    def _common_prelude(self) -> list[str]:
+        lines = [
+            "stats = rt.stats",
+            "tree = ed.tree",
+            "_budget = tree._scan_budget",
+            "_brange = range(_budget)",
+        ]
+        if self.depth:
+            lines += ["root = tree._root", "buckets0 = root._buckets"]
+        else:
+            lines.append("root_leaf = tree._root")
+        if self.has_fsm:
+            lines += [
+                "rows = rt._fsm_rows",
+                "goal = rt._fsm_goal",
+                "verdicts = rt._fsm_verdicts",
+                f"col = tuple([row[{self.ep.event_id}] for row in rows])",
+                # Goal test and verdict lookup fused into one column: a
+                # step pays one subscript, not two, on the common (no
+                # verdict) outcome.
+                "fire_col = tuple(["
+                "verdicts[_i] if goal[_i] else None for _i in range(len(goal))"
+                "])",
+                "fire_goal = rt._fire_goal",
+            ]
+        else:
+            lines.append("step = rt._step")
+        return lines
+
+
+def kernel_module_source(
+    plan: DispatchPlan, *, has_fsm: bool, spec_name: str, fingerprint: str = ""
+) -> str:
+    """Render the full generated-kernel module for one property.
+
+    A pure function of ``(plan, has_fsm, spec_name)`` — both of which the
+    property fingerprint covers — so equal fingerprints always yield
+    byte-identical source (the cache-correctness invariant the
+    invalidation tests pin down).
+    """
+    w = _Writer()
+    w.emit(0, f'"""Generated dispatch kernels for {spec_name}')
+    w.emit(0, f"(fingerprint {fingerprint or 'unkeyed'}).")
+    w.emit(0, "")
+    w.emit(0, "Auto-generated by repro.spec.codegen — do not edit; see")
+    w.emit(0, 'docs/dispatch-kernels.md for the shape of this code."""')
+    w.emit(0, "from array import array as _array")
+    w.emit(0, "from weakref import ref as _wref")
+    w.emit(0, "")
+    w.emit(0, "from repro.core.errors import InconsistentEventError")
+    w.emit(0, "from repro.formalism.fsm import FSMMonitor as _FSMMonitor")
+    w.emit(0, "from repro.runtime.indexing import Leaf as _Leaf")
+    w.emit(0, "from repro.runtime.instance import MonitorInstance as _MonitorInstance")
+    w.emit(0, "from repro.runtime.refs import ParamRef as _ParamRef")
+    w.emit(0, "from repro.runtime.rvmap import RVMap as _RVMap")
+    w.emit(0, "from repro.runtime.rvset import RVSet as _RVSet")
+    w.emit(0, "")
+    w.emit(0, "_FM_new = _FSMMonitor.__new__")
+    w.emit(0, "_LF_new = _Leaf.__new__")
+    w.emit(0, "_MI_new = _MonitorInstance.__new__")
+    w.emit(0, "_PR_new = _ParamRef.__new__")
+    w.emit(0, "_RM_new = _RVMap.__new__")
+    w.emit(0, "_RS_new = _RVSet.__new__")
+    factories: dict[str, str] = {}
+    batch_factories: dict[str, str] = {}
+    for index, event in enumerate(plan.events):
+        ep = plan.event_plans[event]
+        name = f"_make_{index}_{_sanitize(event)}"
+        emitter = _KernelEmitter(plan, ep, has_fsm)
+        emitter.emit_factory(w, name, spec_name)
+        factories[event] = name
+        if has_fsm and not ep.has_creation:
+            bname = f"_make_batch_{index}_{_sanitize(event)}"
+            batch_emitter = _KernelEmitter(plan, ep, has_fsm)
+            batch_emitter.emit_batch_factory(w, bname, spec_name)
+            batch_factories[event] = bname
+    w.blank()
+    w.blank()
+    w.emit(0, "FACTORIES = {")
+    for event, name in factories.items():
+        w.emit(1, f"{event!r}: {name},")
+    w.emit(0, "}")
+    w.emit(0, "BATCH_FACTORIES = {")
+    for event, name in batch_factories.items():
+        w.emit(1, f"{event!r}: {name},")
+    w.emit(0, "}")
+    return w.source()
+
+
+def kernel_source_for(prop: "CompiledProperty") -> str:
+    """The generated module source for one compiled property (diagnostics,
+    docs, and the CI artifact dumped when the codegen perf gate fails)."""
+    return kernel_module_source(
+        prop.dispatch_plan(),
+        has_fsm=prop.fsm_dispatch() is not None,
+        spec_name=prop.spec_name,
+        fingerprint=prop.fingerprint(),
+    )
+
+
+@dataclass
+class KernelModule:
+    """One compiled generated-kernel module (shared across runtimes)."""
+
+    fingerprint: str
+    spec_name: str
+    source: str
+    #: event -> ``factory(rt, ed) -> kernel(values, record, pretouched)``
+    factories: dict[str, Callable[..., Any]] = field(repr=False)
+    #: event -> ``factory(rt, ed) -> batch_kernel(group, record)``
+    batch_factories: dict[str, Callable[..., Any]] = field(repr=False)
+
+
+class KernelCache:
+    """Process-wide cache of compiled kernel modules, keyed by fingerprint.
+
+    The fingerprint covers everything the generated source depends on, so
+    a hit is always safe to reuse (hot re-load of an identical property,
+    a second shard hosting the same slot) and any semantic change misses
+    by construction.  ``invalidate``/``clear`` exist for tests and for
+    callers that want to bound memory; correctness never requires them.
+    """
+
+    def __init__(self) -> None:
+        self._modules: dict[str, KernelModule] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._modules
+
+    def module_for(self, prop: "CompiledProperty") -> KernelModule:
+        """The compiled kernel module for ``prop`` (generate on miss)."""
+        fingerprint = prop.fingerprint()
+        with self._lock:
+            module = self._modules.get(fingerprint)
+            if module is not None:
+                self.hits += 1
+                return module
+            self.misses += 1
+        source = kernel_module_source(
+            prop.dispatch_plan(),
+            has_fsm=prop.fsm_dispatch() is not None,
+            spec_name=prop.spec_name,
+            fingerprint=fingerprint,
+        )
+        namespace: dict[str, Any] = {}
+        code = compile(
+            source,
+            f"<repro-kernels:{prop.spec_name}:{fingerprint[:12]}>",
+            "exec",
+        )
+        exec(code, namespace)  # noqa: S102 - the source is generated above
+        module = KernelModule(
+            fingerprint=fingerprint,
+            spec_name=prop.spec_name,
+            source=source,
+            factories=namespace["FACTORIES"],
+            batch_factories=namespace["BATCH_FACTORIES"],
+        )
+        with self._lock:
+            # Two threads may have raced the generation; first one wins so
+            # every runtime binds factories from the same code objects.
+            return self._modules.setdefault(fingerprint, module)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one cached module; returns whether it was present."""
+        with self._lock:
+            return self._modules.pop(fingerprint, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._modules.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: The process-wide cache every runtime binds kernels from by default.
+shared_kernel_cache = KernelCache()
+
+
+def bind_kernels(
+    runtime: Any, cache: KernelCache | None = None
+) -> tuple[dict[str, Any], dict[str, Any], KernelModule]:
+    """Bind one runtime's kernels: ``(kernels, batch_kernels, module)``.
+
+    Fetches (or generates) the property's kernel module from ``cache``
+    and calls every factory with this runtime's resolved
+    ``_EventDispatch`` records, producing per-event closures over *its*
+    trees and statistics.  Distinct runtimes of the same property share
+    code objects but never state.
+    """
+    cache = shared_kernel_cache if cache is None else cache
+    module = cache.module_for(runtime.prop)
+    kernels = {
+        event: factory(runtime, runtime._dispatch[event])
+        for event, factory in module.factories.items()
+    }
+    batch_kernels = {
+        event: factory(runtime, runtime._dispatch[event])
+        for event, factory in module.batch_factories.items()
+    }
+    return kernels, batch_kernels, module

@@ -1,0 +1,54 @@
+"""The generated-source excerpts in docs/dispatch-kernels.md are real.
+
+Every python code fence in the page that shows generated kernel code
+(anything that is not the `import`-ing usage example) must appear
+*verbatim* — byte for byte, indentation included — in the module
+`repro.spec.codegen` actually generates for UNSAFEITER today.  A codegen
+change that reshapes the emitted source must update the documentation in
+the same commit, or this test points at the drifted excerpt.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.spec.codegen import kernel_source_for
+
+PAGE = Path(__file__).resolve().parents[2] / "docs" / "dispatch-kernels.md"
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def generated_source() -> str:
+    engine = MonitoringEngine(
+        ALL_PROPERTIES["unsafeiter"].make().silence(),
+        gc="coenable",
+        dispatch="codegen",
+    )
+    prop = next(p for p in engine.properties if p is not None)
+    return kernel_source_for(prop)
+
+
+def test_documented_excerpts_match_generated_source():
+    blocks = FENCE.findall(PAGE.read_text())
+    assert blocks, "dispatch-kernels.md has no python code fences"
+    excerpts = [block for block in blocks if "import" not in block]
+    assert len(excerpts) >= 4, "expected the four generated-source excerpts"
+    source = generated_source()
+    for excerpt in excerpts:
+        assert excerpt.rstrip("\n") in source, (
+            "doc excerpt drifted from the generated source:\n" + excerpt
+        )
+
+
+def test_doc_names_the_real_entry_points():
+    text = PAGE.read_text()
+    for needle in (
+        "kernel_source_for",
+        "shared_kernel_cache",
+        "dispatch=\"codegen\"",
+        "codegen_kernels_dump.py",
+    ):
+        assert needle in text, needle

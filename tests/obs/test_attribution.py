@@ -101,18 +101,20 @@ class TestStageAccounting:
     def test_attributed_sum_matches_emit_wall_time_on_bloat(self):
         entries = bloat_entries()
         engine, telemetry = attributed_engine(interval=1)
-        inner_emit = engine.emit
+        # Replay ingests through the attribution boundary's ``emit_values``
+        # (the repack-free instance rebinding) — time that exact entry.
+        inner_emit_values = engine.emit_values
         wall = 0.0
 
-        def timed_emit(event, _strict=True, **params):
+        def timed_emit_values(event, values, _strict=True):
             nonlocal wall
             started = perf_counter()
             try:
-                return inner_emit(event, _strict=_strict, **params)
+                return inner_emit_values(event, values, _strict)
             finally:
                 wall += perf_counter() - started
 
-        engine.emit = timed_emit
+        engine.emit_values = timed_emit_values
         replay_entries(entries, engine, retire_after_last_use=True)
         attributed = sum(
             value

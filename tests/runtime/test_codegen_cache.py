@@ -1,0 +1,213 @@
+"""Kernel-cache correctness across the hot property lifecycle.
+
+The codegen dispatch path compiles one generated module per property
+*fingerprint* and shares it process-wide
+(``repro.spec.codegen.shared_kernel_cache``).  The contract this suite
+pins down:
+
+* equal fingerprints yield byte-identical generated source, so a cache
+  hit is always safe — a second engine, a second shard, or a hot
+  re-attach reuses the compiled code objects while binding fresh
+  per-runtime state;
+* distinct fingerprints (different properties, changed semantics) miss by
+  construction and get distinct modules;
+* ``invalidate`` is purely a memory/perf event: the regenerated module is
+  byte-identical and verdicts are unaffected;
+* hot attach / detach / re-attach and disable / re-enable rebind kernels
+  against the *current* runtime's trees — a detached slot's kernels never
+  see another incarnation's state;
+* process-backend workers recompile kernels in their own interpreter and
+  still produce the inline verdict multiset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.properties import ALL_PROPERTIES
+from repro.runtime.engine import MonitoringEngine
+from repro.runtime.tracelog import replay_entries
+from repro.service import MonitorService, ingest_symbolic
+from repro.spec.codegen import kernel_source_for, shared_kernel_cache
+
+from ..conftest import Obj
+from ..persist.conftest import (
+    seed_for,
+    symbolic_record_key,
+    symbolic_verdict_key,
+    synth_entries,
+)
+
+
+def _codegen_engine(key: str, **kwargs) -> MonitoringEngine:
+    return MonitoringEngine(
+        ALL_PROPERTIES[key].make().silence(),
+        gc="coenable",
+        dispatch="codegen",
+        **kwargs,
+    )
+
+
+def _runtime(engine: MonitoringEngine):
+    return next(r for r in engine.runtimes if r is not None)
+
+
+def _prop(engine: MonitoringEngine):
+    return next(p for p in engine.properties if p is not None)
+
+
+def test_same_fingerprint_reuses_cached_module():
+    """A second engine hosting the same property is a pure cache hit:
+    shared code objects, private kernel closures."""
+    first = _codegen_engine("unsafeiter")
+    fingerprint = _prop(first).fingerprint()
+    assert fingerprint in shared_kernel_cache
+    size, hits = len(shared_kernel_cache), shared_kernel_cache.hits
+    second = _codegen_engine("unsafeiter")
+    assert shared_kernel_cache.hits == hits + 1
+    assert len(shared_kernel_cache) == size
+    rt_first, rt_second = _runtime(first), _runtime(second)
+    assert rt_first._kernel_module is rt_second._kernel_module
+    # Same code, never shared state: each runtime's closures are its own.
+    assert rt_first._kernels is not rt_second._kernels
+    for event, kernel in rt_first._kernels.items():
+        assert kernel is not rt_second._kernels[event]
+
+
+def test_distinct_fingerprints_get_distinct_modules():
+    unsafeiter = _prop(_codegen_engine("unsafeiter"))
+    hasnext = _prop(_codegen_engine("hasnext"))
+    assert unsafeiter.fingerprint() != hasnext.fingerprint()
+    assert kernel_source_for(unsafeiter) != kernel_source_for(hasnext)
+    # Two compilations of the same specification: same fingerprint,
+    # byte-identical source (the cache-safety invariant).
+    again = _prop(_codegen_engine("unsafeiter"))
+    assert again.fingerprint() == unsafeiter.fingerprint()
+    assert kernel_source_for(again) == kernel_source_for(unsafeiter)
+
+
+def test_invalidation_regenerates_byte_identical_module():
+    engine = _codegen_engine("unsafeiter")
+    fingerprint = _prop(engine).fingerprint()
+    module = _runtime(engine)._kernel_module
+    assert shared_kernel_cache.invalidate(fingerprint)
+    assert fingerprint not in shared_kernel_cache
+    assert not shared_kernel_cache.invalidate(fingerprint)
+    misses = shared_kernel_cache.misses
+    rebuilt_engine = _codegen_engine("unsafeiter")
+    assert shared_kernel_cache.misses == misses + 1
+    rebuilt = _runtime(rebuilt_engine)._kernel_module
+    assert rebuilt is not module
+    assert rebuilt.source == module.source
+    assert fingerprint in shared_kernel_cache
+
+
+def test_hot_reattach_hits_cache_and_matches_upfront_engine():
+    """Detach + re-attach: the second attach reuses the compiled module
+    (no regeneration) and the re-attached slot behaves exactly like a
+    fresh codegen engine fed only the suffix."""
+    hot_paper = ALL_PROPERTIES["hasnext"]
+    hot_probe = hot_paper.make().silence()
+    hot_names = {prop.spec_name for prop in hot_probe.properties}
+    entries = synth_entries(
+        hot_probe.properties[0].definition, seed_for("codegen-reattach"), events=240
+    )
+    k = len(entries) // 2
+
+    def collect():
+        verdicts: Counter = Counter()
+
+        def on_verdict(prop, category, monitor):
+            if prop.spec_name in hot_names:
+                verdicts[symbolic_verdict_key(prop, category, monitor)] += 1
+
+        return verdicts, on_verdict
+
+    got, on_verdict = collect()
+    engine = _codegen_engine("unsafeiter", on_verdict=on_verdict)
+    refs = engine.attach_property(hot_paper.make().silence())
+    # The hot property's modules are cached now; warm-up prefix runs on the
+    # first incarnation, which is then detached with its whole history.
+    tokens: dict = {}
+    replay_entries(entries, engine, retire_after_last_use=True, stop=k, tokens=tokens)
+    detached: dict[tuple[str, str], object] = {}
+    for ref in refs:
+        entry = engine.registry.entry(ref)
+        detached[(entry.spec_name, entry.formalism)] = engine.detach_property(ref)
+    got.clear()
+    misses = shared_kernel_cache.misses
+    engine.attach_property(hot_paper.make().silence())
+    assert shared_kernel_cache.misses == misses  # pure hit on re-attach
+    replay_entries(entries, engine, retire_after_last_use=True, start=k, tokens=tokens)
+
+    want, on_verdict = collect()
+    upfront = _codegen_engine("hasnext", on_verdict=on_verdict)
+    replay_entries(entries, upfront, retire_after_last_use=True, start=k)
+    assert got == want
+    for prop in hot_probe.properties:
+        # stats_for folds the detached first incarnation's totals in;
+        # subtract them to compare the re-attached slot's suffix run.
+        fresh = engine.stats_for(prop.spec_name, prop.formalism)
+        first = detached[(prop.spec_name, prop.formalism)]
+        reference = upfront.stats_for(prop.spec_name, prop.formalism)
+        assert fresh.events - first.events == reference.events, prop.formalism
+        assert (
+            fresh.monitors_created - first.monitors_created
+            == reference.monitors_created
+        ), prop.formalism
+
+
+def test_disable_reenable_keeps_kernels_live():
+    verdicts: Counter = Counter()
+    engine = _codegen_engine(
+        "unsafeiter", on_verdict=lambda prop, category, monitor: verdicts.update([category])
+    )
+
+    def violate():
+        c, i = Obj("c"), Obj("i")
+        engine.emit("create", c=c, i=i)
+        engine.emit("update", c=c)
+        engine.emit("next", i=i)
+
+    violate()
+    assert verdicts["match"] == 1
+    ref = "UnsafeIter/ere"
+    engine.set_property_enabled(ref, False)
+    events_paused = engine.stats_for("UnsafeIter").events
+    violate()  # dropped: the disabled slot sees nothing
+    assert engine.stats_for("UnsafeIter").events == events_paused
+    assert verdicts["match"] == 1
+    engine.set_property_enabled(ref, True)
+    violate()
+    assert verdicts["match"] == 2
+
+
+def test_process_backend_recompiles_and_matches_inline():
+    """Process-mode workers rebuild their engines (and therefore regenerate
+    kernels) in a separate interpreter; the verdict multiset must equal the
+    inline run's."""
+    spec = ALL_PROPERTIES["unsafeiter"].make().silence()
+    entries = synth_entries(
+        spec.properties[0].definition, seed_for("codegen-process"), events=300
+    )
+
+    def run(mode: str) -> Counter:
+        service = MonitorService(
+            ALL_PROPERTIES["unsafeiter"].make().silence(),
+            shards=2,
+            gc="coenable",
+            dispatch="codegen",
+            mode=mode,
+        )
+        try:
+            ingest_symbolic(service, entries, retire_after_last_use=True)
+            service.drain()
+            return Counter(
+                symbolic_record_key(record) for record in service.verdicts()
+            )
+        finally:
+            service.close()
+
+    inline = run("inline")
+    assert inline  # the trace does produce verdicts
+    assert run("process") == inline

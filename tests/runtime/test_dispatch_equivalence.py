@@ -74,8 +74,19 @@ def synth_ops(definition, seed: int):
     return ops
 
 
-def run_lockstep(spec_factory, ops, gc_kind: str):
-    """Run compiled and reference engines over the same objects/deaths."""
+#: Every dispatch implementation the lockstep oracle covers; ``reference``
+#: is the semantic anchor the other two must match exactly.
+DISPATCHES = ("reference", "compiled", "codegen")
+
+
+def run_lockstep(spec_factory, ops, gc_kind: str, dispatches=DISPATCHES):
+    """Run one engine per dispatch over the same objects/deaths.
+
+    Returns ``(engines, verdict_bags)`` keyed by dispatch name; each bag
+    counts verdicts keyed by property identity plus the *binding identity*
+    of the firing monitor, so a stale or duplicated monitor shows up even
+    when verdict totals happen to agree.
+    """
 
     def collector(bag: Counter):
         def on_verdict(prop, category, monitor):
@@ -95,16 +106,15 @@ def run_lockstep(spec_factory, ops, gc_kind: str):
 
         return on_verdict
 
-    compiled_verdicts: Counter = Counter()
-    reference_verdicts: Counter = Counter()
-    compiled = MonitoringEngine(
-        spec_factory(), gc=gc_kind, on_verdict=collector(compiled_verdicts),
-        dispatch="compiled",
-    )
-    reference = MonitoringEngine(
-        spec_factory(), gc=gc_kind, on_verdict=collector(reference_verdicts),
-        dispatch="reference",
-    )
+    engines: dict[str, MonitoringEngine] = {}
+    verdicts: dict[str, Counter] = {}
+    for dispatch in dispatches:
+        bag: Counter = Counter()
+        engines[dispatch] = MonitoringEngine(
+            spec_factory(), gc=gc_kind, on_verdict=collector(bag),
+            dispatch=dispatch,
+        )
+        verdicts[dispatch] = bag
     pools: dict[str, list[Obj]] = {}
     serial = 0
     for op in ops:
@@ -122,18 +132,19 @@ def run_lockstep(spec_factory, ops, gc_kind: str):
                 if pool is None:
                     pool = pools[param] = [Obj(f"{param}{n}") for n in range(POOL)]
                 values[param] = pool[slot]
-            compiled.emit(event, **values)
-            reference.emit(event, **values)
+            for engine in engines.values():
+                engine.emit(event, **values)
     pools.clear()
     gc.collect()
-    compiled.flush_gc()
-    reference.flush_gc()
-    return compiled, reference, compiled_verdicts, reference_verdicts
+    for engine in engines.values():
+        engine.flush_gc()
+    return engines, verdicts
 
 
 @pytest.mark.parametrize("gc_kind", GC_STRATEGIES)
 @pytest.mark.parametrize("key", sorted(ALL_PROPERTIES))
-def test_compiled_equals_reference(key, gc_kind):
+def test_dispatches_equal_reference(key, gc_kind):
+    """The lockstep oracle: compiled AND codegen match reference exactly."""
     paper_prop = ALL_PROPERTIES[key]
     spec = paper_prop.make().silence()
     try:
@@ -142,20 +153,26 @@ def test_compiled_equals_reference(key, gc_kind):
         pytest.skip(f"{key} does not support the {gc_kind} strategy (CFG)")
     for seed in SEEDS:
         ops = synth_ops(spec.definition, seed=zlib.crc32(f"{key}/{seed}".encode()))
-        compiled, reference, got, want = run_lockstep(
+        engines, verdicts = run_lockstep(
             lambda: paper_prop.make().silence(), ops, gc_kind
         )
-        assert got == want, (key, gc_kind, seed)
-        for (name, formalism), stats in compiled.stats().items():
-            other = reference.stats_for(name, formalism)
-            assert stats.events == other.events, (key, gc_kind, seed)
-            assert stats.monitors_created == other.monitors_created, (
-                key,
-                gc_kind,
-                seed,
-            )
-            assert stats.handler_fires == other.handler_fires, (key, gc_kind, seed)
-            assert stats.verdicts == other.verdicts, (key, gc_kind, seed)
+        want = verdicts["reference"]
+        reference = engines["reference"]
+        for dispatch in ("compiled", "codegen"):
+            assert verdicts[dispatch] == want, (key, gc_kind, seed, dispatch)
+            for (name, formalism), stats in engines[dispatch].stats().items():
+                other = reference.stats_for(name, formalism)
+                assert stats.events == other.events, (key, gc_kind, seed, dispatch)
+                assert stats.monitors_created == other.monitors_created, (
+                    key,
+                    gc_kind,
+                    seed,
+                    dispatch,
+                )
+                assert stats.handler_fires == other.handler_fires, (
+                    key, gc_kind, seed, dispatch,
+                )
+                assert stats.verdicts == other.verdicts, (key, gc_kind, seed, dispatch)
 
 
 def test_all_properties_together_compiled_vs_reference():
