@@ -80,8 +80,8 @@ RECORDED_COMPILED_LAZY_EVENTS_PER_SECOND = 77546.4
 CODEGEN_GATE_MULTIPLE = 1.8
 
 
-def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
-    profile = WORKLOADS["bloat"].scaled(scale)
+def build_trace(scale: float, seed: "int | None" = None) -> list[tuple[str, dict[str, str]]]:
+    profile = WORKLOADS["bloat"].scaled(scale).reseeded(seed)
     return record_workload_events(profile, [UNSAFEITER])
 
 
@@ -205,8 +205,8 @@ def read_recorded_baseline() -> dict:
     return baseline
 
 
-def run_matrix(scale: float) -> dict:
-    entries = build_trace(scale)
+def run_matrix(scale: float, seed: "int | None" = None) -> dict:
+    entries = build_trace(scale, seed)
     print(f"trace: {len(entries)} events (scale {scale})")
     configs = [
         ("reference lazy", lambda: run_engine(entries, "reference", "lazy")),
@@ -308,8 +308,10 @@ def main() -> None:
         "absorb shared-runner slowness — the compiled path's >3x headroom "
         "over the baseline is what actually catches regressions)",
     )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: profile's baked seed)")
     args = parser.parse_args()
-    report = run_matrix(args.scale)
+    report = run_matrix(args.scale, args.seed)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     headline = report["headline_speedup_vs_recorded_lazy_baseline"]

@@ -47,7 +47,7 @@ from repro.service import ingest_symbolic, supervise
 
 SHARDS = 2
 CRASHES = 3
-SEED = 20110604  # the paper's publication week; any fixed seed works
+DEFAULT_SEED = 20110604  # the paper's publication week; any fixed seed works
 
 
 def build_trace(scale: float):
@@ -81,7 +81,7 @@ def reference_multiset(entries) -> tuple[Counter, int]:
     return want, events
 
 
-def campaign(entries) -> FaultPlan:
+def campaign(entries, seed: int) -> FaultPlan:
     """A seeded ≤3-kill campaign whose ordinals every shard can reach.
 
     Campaign positions land in the middle 80% of the per-shard delivery
@@ -90,12 +90,13 @@ def campaign(entries) -> FaultPlan:
     """
     per_shard = max(50, len(entries) // (2 * SHARDS))
     return FaultPlan.crash_campaign(
-        seed=SEED, shards=SHARDS, deliveries=per_shard, crashes=CRASHES
+        seed=seed, shards=SHARDS, deliveries=per_shard, crashes=CRASHES
     )
 
 
-def run_mode(mode: str, entries, want: Counter, want_events: int) -> dict:
-    plan = campaign(entries)
+def run_mode(mode: str, entries, want: Counter, want_events: int,
+             seed: int) -> dict:
+    plan = campaign(entries, seed)
     armed = len(plan.armed())
     got: Counter = Counter()
     with tempfile.TemporaryDirectory(prefix=f"bench-faults-{mode}-") as scratch:
@@ -150,7 +151,7 @@ def run_mode(mode: str, entries, want: Counter, want_events: int) -> dict:
     return report
 
 
-def run(scale: float) -> dict:
+def run(scale: float, seed: int = DEFAULT_SEED) -> dict:
     entries = build_trace(scale)
     print(f"trace: {len(entries)} events (scale {scale})")
     want, want_events = reference_multiset(entries)
@@ -159,7 +160,7 @@ def run(scale: float) -> dict:
     modes = []
     failures = []
     for mode in ("thread", "process"):
-        row = run_mode(mode, entries, want, want_events)
+        row = run_mode(mode, entries, want, want_events, seed)
         modes.append(row)
         verdict_note = "exact" if row["equivalent"] else "DIVERGED"
         print(
@@ -184,7 +185,7 @@ def run(scale: float) -> dict:
         "benchmark": "faults",
         "workload": "bloat (unsafe-iterator)",
         "scale": scale,
-        "seed": SEED,
+        "seed": seed,
         "trace_events": len(entries),
         "modes": modes,
         "chaos_equivalence": not failures,
@@ -201,8 +202,10 @@ def main() -> None:
         help="workload scale factor (default: REPRO_BENCH_SCALE or 0.5)",
     )
     parser.add_argument("--out", default="BENCH_faults.json", help="JSON report path")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="crash-campaign seed (the repo-wide convention)")
     args = parser.parse_args()
-    report = run(args.scale)
+    report = run(args.scale, args.seed)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"-> {args.out}")

@@ -51,8 +51,8 @@ from repro.runtime.engine import MonitoringEngine
 from repro.runtime.tracelog import replay_entries
 
 
-def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
-    profile = WORKLOADS["bloat"].scaled(scale)
+def build_trace(scale: float, seed: "int | None" = None) -> list[tuple[str, dict[str, str]]]:
+    profile = WORKLOADS["bloat"].scaled(scale).reseeded(seed)
     return record_workload_events(profile, [UNSAFEITER])
 
 
@@ -85,8 +85,8 @@ def run_once(entries, label: str) -> tuple[float, tuple, dict]:
     return elapsed, identity, telemetry.snapshot() if telemetry else {}
 
 
-def run(scale: float, repeats: int) -> dict:
-    entries = build_trace(scale)
+def run(scale: float, repeats: int, seed: "int | None" = None) -> dict:
+    entries = build_trace(scale, seed)
     print(f"trace: {len(entries)} events (scale {scale})")
     # Interleave the configurations: alternating off/on repeats exposes
     # both to the same machine drift (shared-runner frequency scaling,
@@ -225,8 +225,10 @@ def main() -> None:
         help="maximum allowed attribution-on overhead percent (default: "
         "REPRO_OBS_ATTR_GATE_PCT or 8.0)",
     )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: profile's baked seed)")
     args = parser.parse_args()
-    report = run(args.scale, args.repeats)
+    report = run(args.scale, args.repeats, args.seed)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"report -> {args.out}")

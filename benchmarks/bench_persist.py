@@ -52,8 +52,9 @@ SHARDS = 4
 BATCH = 512
 
 
-def build_trace(scale: float):
-    return record_workload_events(WORKLOADS["bloat"].scaled(scale), [UNSAFEITER])
+def build_trace(scale: float, seed: "int | None" = None):
+    profile = WORKLOADS["bloat"].scaled(scale).reseeded(seed)
+    return record_workload_events(profile, [UNSAFEITER])
 
 
 # -- part 1: snapshot/restore round trip -------------------------------------
@@ -224,8 +225,8 @@ def bench_backend(entries, mode: str) -> dict:
     }
 
 
-def run(scale: float) -> dict:
-    entries = build_trace(scale)
+def run(scale: float, seed: "int | None" = None) -> dict:
+    entries = build_trace(scale, seed)
     print(f"workload: bloat x{scale} -> {len(entries)} events")
 
     snapshot_report = bench_snapshot(entries)
@@ -282,8 +283,10 @@ def main() -> None:
         help="workload scale factor (default: REPRO_BENCH_SCALE or 0.5)",
     )
     parser.add_argument("--out", default="BENCH_persist.json", help="JSON report path")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: profile's baked seed)")
     args = parser.parse_args()
-    report = run(args.scale)
+    report = run(args.scale, args.seed)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"-> {args.out}")

@@ -51,8 +51,8 @@ PROPAGATIONS = ("eager_full", "lazy")
 REPEATS = 2
 
 
-def build_trace(scale: float) -> list[tuple[str, dict[str, str]]]:
-    profile = WORKLOADS["bloat"].scaled(scale)
+def build_trace(scale: float, seed: "int | None" = None) -> list[tuple[str, dict[str, str]]]:
+    profile = WORKLOADS["bloat"].scaled(scale).reseeded(seed)
     return record_workload_events(profile, [UNSAFEITER])
 
 
@@ -96,8 +96,8 @@ def run_config(
     }
 
 
-def run_matrix(scale: float) -> dict:
-    entries = build_trace(scale)
+def run_matrix(scale: float, seed: "int | None" = None) -> dict:
+    entries = build_trace(scale, seed)
     results = []
     verdict_counts: set[int] = set()
     for propagation in PROPAGATIONS:
@@ -168,13 +168,15 @@ def main() -> None:
     parser.add_argument(
         "--out", default="BENCH_service.json", help="JSON report path"
     )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: profile's baked seed)")
     parser.add_argument(
         "--note", action="append", default=[],
         help="free-text note(s) recorded in the report (the free-threaded "
         "CI leg stamps its smoke result here)",
     )
     args = parser.parse_args()
-    report = run_matrix(args.scale)
+    report = run_matrix(args.scale, args.seed)
     if args.note:
         report["notes"] = args.note
     with open(args.out, "w", encoding="utf-8") as handle:

@@ -32,10 +32,12 @@ def main() -> int:
                         choices=sorted(WORKLOADS))
     parser.add_argument("--scale", type=float, default=0.2)
     parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: profile's baked seed)")
     args = parser.parse_args()
 
     # Record one symbolic event stream covering both properties' events.
-    profile = WORKLOADS[args.workload].scaled(args.scale)
+    profile = WORKLOADS[args.workload].scaled(args.scale).reseeded(args.seed)
     entries = record_workload_events(profile, ["unsafeiter", "hasnext"])
     third = len(entries) // 3
     print(f"{args.workload} stream: {len(entries)} events, "

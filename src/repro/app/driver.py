@@ -1,0 +1,360 @@
+"""Seeded load driver for the reference app: deterministic heavy traffic.
+
+The driver opens ``connections`` concurrent clients against an
+:class:`~repro.app.server.AppServer` and has each perform a fixed number
+of request *slots*.  What a slot does — a normal keep-alive request, a
+mid-request disconnect, a slowloris-style stall, a handler error
+(``/boom``), a response-interleave (``/push``), a task leak (``/leak``) —
+is drawn from a per-client ``random.Random`` seeded from ``(seed, client
+index)``, so the complete request mix (and therefore the server's verdict
+multiset) is a pure function of the configuration.  Slots that kill their
+connection (disconnect, stall, push) reconnect for the remaining slots,
+which is exactly the connection churn that exercises monitor GC: every
+retired connection and request object is a parameter death.
+
+The same ``--seed`` convention as the rest of the repo's benchmarks
+(default ``20110604``, the paper's publication date) threads through the
+CLI: ``python -m repro.app.driver --connections 50 --requests 20``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["DriverConfig", "DriverStats", "run_driver", "main"]
+
+
+#: The clean keep-alive routes, cycled per client when a slot is "normal".
+NORMAL_ROUTES: tuple[str, ...] = (
+    "/", "/items", "/items@post", "/work", "/scratch", "/stream", "/sleep",
+)
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """The load shape.  Every field is part of the deterministic seed.
+
+    The fractions are slot probabilities drawn in a fixed order
+    (disconnect, stall, error, push, leak); whatever is left is a normal
+    request from :data:`NORMAL_ROUTES`.  ``stall_seconds`` must exceed the
+    server's ``read_timeout`` for a stall to deterministically yield 408.
+    """
+
+    connections: int = 8
+    requests_per_connection: int = 10
+    seed: int = 20110604
+    disconnect_fraction: float = 0.0
+    stall_fraction: float = 0.0
+    error_fraction: float = 0.0
+    push_fraction: float = 0.0
+    leak_fraction: float = 0.0
+    stall_seconds: float = 0.3
+
+    def slot_kind(self, rng: random.Random) -> str:
+        """Draw one slot's behaviour (one rng.random() call, always)."""
+        draw = rng.random()
+        for kind, fraction in (
+            ("disconnect", self.disconnect_fraction),
+            ("stall", self.stall_fraction),
+            ("boom", self.error_fraction),
+            ("push", self.push_fraction),
+            ("leak", self.leak_fraction),
+        ):
+            if draw < fraction:
+                return kind
+            draw -= fraction
+        return "normal"
+
+    def plan(self, index: int) -> list[str]:
+        """Client ``index``'s slot sequence — the driver executes exactly
+        this, so tests and benchmarks can re-derive the full request mix
+        (and hence the expected verdict multiset) without running it."""
+        rng = random.Random(f"{self.seed}:{index}")
+        return [self.slot_kind(rng) for _ in range(self.requests_per_connection)]
+
+    def mix(self) -> "dict[str, int]":
+        """Slot-kind histogram over the whole run (a pure seed function)."""
+        kinds: dict[str, int] = {}
+        for index in range(self.connections):
+            for kind in self.plan(index):
+                kinds[kind] = kinds.get(kind, 0) + 1
+        return kinds
+
+
+@dataclass
+class DriverStats:
+    """What the load run measured, aggregated over every client."""
+
+    requests: int = 0          # slots that sent a complete request
+    responses: int = 0         # complete responses parsed
+    disconnects: int = 0       # deliberate mid-request hangups
+    stalls: int = 0            # slowloris slots
+    duration: float = 0.0      # wall-clock seconds for the whole run
+    status_counts: dict[int, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    def note_response(self, status: int, latency: float) -> None:
+        """Count one parsed response and its wall-clock latency."""
+        self.responses += 1
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        self.latencies.append(latency)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile in seconds (0.0 with no samples)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency in milliseconds."""
+        return self.percentile(0.50) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        """Tail (99th percentile) latency in milliseconds."""
+        return self.percentile(0.99) * 1e3
+
+    @property
+    def rps(self) -> float:
+        """Completed responses per second of wall time."""
+        return self.responses / self.duration if self.duration > 0 else 0.0
+
+    def summary(self) -> dict:
+        """The JSON-friendly projection (what bench_app publishes)."""
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "disconnects": self.disconnects,
+            "stalls": self.stalls,
+            "duration_s": round(self.duration, 6),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(self.status_counts.items())
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# One client.
+# ---------------------------------------------------------------------------
+
+
+class _Client:
+    """One logical client: a sequence of slots over (re)connections."""
+
+    def __init__(self, host: str, port: int, config: DriverConfig,
+                 index: int, stats: DriverStats):
+        self.host = host
+        self.port = port
+        self.config = config
+        self.index = index
+        #: Payload randomness is a separate str-seeded stream so consuming
+        #: it cannot shift the slot plan (str seeding hashes the seed text —
+        #: stable across runs and interpreter versions).
+        self.payload_rng = random.Random(f"{config.seed}:{index}:payload")
+        self.stats = stats
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.route_cycle = 0
+
+    async def run(self) -> None:
+        try:
+            for kind in self.config.plan(self.index):
+                await getattr(self, f"_slot_{kind}")()
+        finally:
+            await self._close()
+
+    # -- transport ---------------------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        if self.writer is None:
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def _close(self) -> None:
+        if self.writer is not None:
+            writer, self.writer, self.reader = self.writer, None, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_response(self) -> "tuple[int, bytes] | None":
+        """Parse one HTTP/1.1 response; None on connection loss."""
+        try:
+            status_line = await self.reader.readline()
+            if not status_line:
+                return None
+            status = int(status_line.split()[1])
+            length = 0
+            close_after = False
+            while True:
+                header = await self.reader.readline()
+                if not header:
+                    return None
+                if header == b"\r\n":
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                name = name.strip().lower()
+                if name == "content-length":
+                    length = int(value)
+                elif name == "connection" and value.strip() == "close":
+                    close_after = True
+            body = await self.reader.readexactly(length) if length else b""
+            if close_after:
+                await self._close()
+            return status, body
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError,
+                IndexError):
+            return None
+
+    async def _request(self, route: str, body: bytes = b"") -> "int | None":
+        """Send one complete request; returns the status (None if lost)."""
+        await self._ensure_connected()
+        path, _, method_tag = route.partition("@")
+        method = method_tag.upper() or "GET"
+        head = (
+            f"{method} {path} HTTP/1.1\r\nhost: app\r\n"
+            f"content-length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        started = time.perf_counter()
+        self.stats.requests += 1
+        try:
+            self.writer.write(head + body)
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            await self._close()
+            return None
+        outcome = await self._read_response()
+        if outcome is None:
+            await self._close()
+            return None
+        status, _payload = outcome
+        self.stats.note_response(status, time.perf_counter() - started)
+        return status
+
+    # -- slot behaviours ---------------------------------------------------
+
+    async def _slot_normal(self) -> None:
+        route = NORMAL_ROUTES[self.route_cycle % len(NORMAL_ROUTES)]
+        self.route_cycle += 1
+        body = b""
+        if route.endswith("@post"):
+            body = f"item-{self.payload_rng.randrange(1_000_000)}".encode()
+        await self._request(route, body)
+
+    async def _slot_boom(self) -> None:
+        await self._request("/boom")
+
+    async def _slot_leak(self) -> None:
+        await self._request("/leak")
+
+    async def _slot_push(self) -> None:
+        """/push interleaves a second response; close before reusing."""
+        status = await self._request("/push")
+        if status is not None:
+            await self._read_response()  # swallow the unsolicited push
+        await self._close()
+
+    async def _slot_disconnect(self) -> None:
+        """Send half a request, then vanish (mid-request hangup)."""
+        await self._ensure_connected()
+        self.stats.disconnects += 1
+        try:
+            self.writer.write(b"GET /items HTTP/1.1\r\nhost: app\r\n")
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        await self._close()
+
+    async def _slot_stall(self) -> None:
+        """Slowloris: send the request line, then hold the socket."""
+        await self._ensure_connected()
+        self.stats.stalls += 1
+        try:
+            self.writer.write(b"GET /sleep HTTP/1.1\r\nhost: app\r\n")
+            await self.writer.drain()
+            await asyncio.sleep(self.config.stall_seconds)
+            # The server has 408'd (or soon will); drain whatever arrived.
+            await self._read_response()
+        except (ConnectionError, OSError):
+            pass
+        await self._close()
+
+
+async def run_driver(host: str, port: int, config: DriverConfig) -> DriverStats:
+    """Drive one full load run; returns the aggregated stats."""
+    stats = DriverStats()
+    clients = [
+        _Client(host, port, config, index, stats)
+        for index in range(config.connections)
+    ]
+    started = time.perf_counter()
+    await asyncio.gather(*(client.run() for client in clients))
+    stats.duration = time.perf_counter() - started
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Drive an external server — or, with no ``--port``, a private one."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="target port (0: start a private AppServer)")
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="request slots per connection")
+    parser.add_argument("--seed", type=int, default=20110604)
+    parser.add_argument("--disconnect-fraction", type=float, default=0.0)
+    parser.add_argument("--stall-fraction", type=float, default=0.0)
+    parser.add_argument("--error-fraction", type=float, default=0.0)
+    parser.add_argument("--push-fraction", type=float, default=0.0)
+    parser.add_argument("--leak-fraction", type=float, default=0.0)
+    parser.add_argument("--stall-seconds", type=float, default=0.3)
+    options = parser.parse_args(argv)
+    config = DriverConfig(
+        connections=options.connections,
+        requests_per_connection=options.requests,
+        seed=options.seed,
+        disconnect_fraction=options.disconnect_fraction,
+        stall_fraction=options.stall_fraction,
+        error_fraction=options.error_fraction,
+        push_fraction=options.push_fraction,
+        leak_fraction=options.leak_fraction,
+        stall_seconds=options.stall_seconds,
+    )
+
+    async def _run() -> DriverStats:
+        if options.port:
+            return await run_driver(options.host, options.port, config)
+        from .server import AppServer
+
+        async with AppServer(host=options.host) as server:
+            return await run_driver(server.host, server.port, config)
+
+    stats = asyncio.run(_run())
+    print(json.dumps(stats.summary(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

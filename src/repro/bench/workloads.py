@@ -30,7 +30,7 @@ All randomness is seeded per run — workloads are deterministic.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..instrument.collections_shim import (
     MonitoredCollection,
@@ -98,6 +98,16 @@ class WorkloadProfile:
             shared_sweeps=s(self.shared_sweeps),
             seed=self.seed,
         )
+
+    def reseeded(self, seed: "int | None") -> "WorkloadProfile":
+        """A copy with a different RNG seed (``None`` keeps the baked one).
+
+        Benchmark CLIs thread ``--seed`` through here so a run can be
+        reproduced — or deliberately varied — without editing profiles.
+        """
+        if seed is None:
+            return self
+        return replace(self, seed=seed)
 
 
 @dataclass

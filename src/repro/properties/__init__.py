@@ -25,6 +25,7 @@ from .live_resources import (
     LiveProperty,
 )
 from .locks_files import HASHSET, SAFEENUM, SAFEFILE, SAFEFILEWRITER, SAFELOCK
+from .protocol import CONNREUSE, HANDLERLEAK, PROTOCOL_PROPERTIES, REQLIFE
 
 #: The properties of Figures 9 and 10, in table order.
 EVALUATED_PROPERTIES: tuple[PaperProperty, ...] = (
@@ -53,10 +54,12 @@ ALL_PROPERTIES: dict[str, PaperProperty] = {
 }
 
 #: The complete property catalogue — the single source of truth for every
-#: shipped property key (paper substrate properties + live-resource ones).
+#: shipped property key (paper substrate properties + live-resource ones +
+#: the protocol-level properties of the app scenario suite).
 CATALOGUE: "dict[str, PaperProperty | LiveProperty]" = {
     **ALL_PROPERTIES,
     **LIVE_PROPERTIES,
+    **PROTOCOL_PROPERTIES,
 }
 
 def property_registry(keys: "tuple[str, ...] | list[str] | None" = None):
@@ -112,8 +115,12 @@ __all__ = [
     "CURSORSAFE",
     "TEMPDIR",
     "EXECUTOR",
+    "REQLIFE",
+    "CONNREUSE",
+    "HANDLERLEAK",
     "EVALUATED_PROPERTIES",
     "ALL_PROPERTIES",
     "LIVE_PROPERTIES",
+    "PROTOCOL_PROPERTIES",
     "CATALOGUE",
 ]

@@ -1,0 +1,143 @@
+"""Protocol-level parametric properties over a live HTTP server.
+
+Where :mod:`repro.properties.live_resources` monitors generic interpreter
+resources (sockets, tasks, cursors, tempdirs, executors), the properties
+here monitor *application protocol discipline* — the invariants an HTTP
+server must keep per request and per connection.  They are the
+specification side of the heavy-traffic scenario suite: the reference
+application in :mod:`repro.app` is woven **unmodified** (function
+pointcuts on its parsing/response seams, see ``src/repro/app/weave.py``)
+and these properties are checked online while a seeded load driver holds
+thousands of concurrent connections open.
+
+The parameter objects are real interpreter objects of the running server
+(`repro.app.server.Request` / `Connection` instances and the handler
+``asyncio.Task`` objects), so the monitor-GC story is exactly the paper's:
+a request object dying at the end of its exchange is what retires its
+lifecycle monitor.
+
+Event names are prefixed per family (``req_*``, ``resp_*``, ``task_*`` /
+``conn_end``) so any subset of these properties co-monitors with the
+resource catalogue without binding conflicts (the live-resource
+``conn_close`` of CURSORSAFE names a *database* connection and stays
+distinct from ``conn_end`` here).
+
+None of the three carries default weaving: the events come from
+:func:`repro.app.weave.app_pointcuts`, or from any other program that
+chooses to emit the same protocol alphabet.
+"""
+
+from __future__ import annotations
+
+from .live_resources import LiveProperty
+
+__all__ = [
+    "REQLIFE",
+    "CONNREUSE",
+    "HANDLERLEAK",
+    "PROTOCOL_PROPERTIES",
+]
+
+
+# ---------------------------------------------------------------------------
+# REQLIFE — request lifecycle ordering per request id.
+# ---------------------------------------------------------------------------
+
+_REQLIFE_SPEC = """
+ReqLife(r) {
+  event req_start(r)
+  event req_headers(r)
+  event req_body(r)
+  event req_close(r)
+
+  fsm:
+    fresh   [ req_start -> started ]
+    started [ req_headers -> headed  req_close -> closed
+              req_start -> error  req_body -> error ]
+    headed  [ req_body -> headed  req_close -> closed
+              req_start -> error  req_headers -> error ]
+    closed  [ req_start -> error  req_headers -> error
+              req_body -> error  req_close -> error ]
+    error   [ ]
+  @error "request lifecycle order violated (or request finished twice)!"
+}
+"""
+
+
+REQLIFE = LiveProperty(
+    key="reqlife",
+    title="REQLIFE",
+    spec_text=_REQLIFE_SPEC,
+    description=(
+        "Every request advances start -> headers -> body* -> close, once: "
+        "no body before headers, no events after close, no double close.  "
+        "Aborting after start or headers (client disconnect, read timeout) "
+        "is a legal early close."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# CONNREUSE — keep-alive reuse discipline: one response at a time.
+# ---------------------------------------------------------------------------
+
+_CONNREUSE_SPEC = """
+ConnReuse(c) {
+  event resp_start(c)
+  event resp_end(c)
+
+  fsm:
+    fresh [ resp_start -> busy  resp_end -> error ]
+    busy  [ resp_end -> idle  resp_start -> error ]
+    idle  [ resp_start -> busy  resp_end -> error ]
+    error [ ]
+  @error "interleaved or unmatched responses on one connection!"
+}
+"""
+
+
+CONNREUSE = LiveProperty(
+    key="connreuse",
+    title="CONNREUSE",
+    spec_text=_CONNREUSE_SPEC,
+    description=(
+        "On a keep-alive connection responses must strictly alternate "
+        "start/end: starting a second response before the previous one "
+        "ended interleaves bytes of two exchanges on one socket."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# HANDLERLEAK — every tracked handler task retired before its connection ends.
+# ---------------------------------------------------------------------------
+
+_HANDLERLEAK_SPEC = """
+HandlerLeak(c, t) {
+  event task_track(c, t)
+  event task_retire(t)
+  event conn_end(c)
+
+  ere: task_track conn_end
+  @match "connection closed with a handler task still running!"
+}
+"""
+
+
+HANDLERLEAK = LiveProperty(
+    key="handlerleak",
+    title="HANDLERLEAK",
+    spec_text=_HANDLERLEAK_SPEC,
+    description=(
+        "A task spawned on behalf of a connection must complete "
+        "(task_retire) before that connection ends; a connection closing "
+        "with the pair still in its tracked state is a leaked handler — "
+        "the TASKLOOP shape, at per-connection granularity."
+    ),
+)
+
+
+#: The protocol-level properties, keyed by short name (catalogue order).
+PROTOCOL_PROPERTIES: dict[str, LiveProperty] = {
+    prop.key: prop for prop in (REQLIFE, CONNREUSE, HANDLERLEAK)
+}

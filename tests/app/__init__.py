@@ -1,0 +1,1 @@
+"""The heavy-traffic app scenario suite (ISSUE 10's headline test tier)."""

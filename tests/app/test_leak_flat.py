@@ -1,0 +1,89 @@
+"""Tentpole (c): flat RSS and monitor counts across a monitored churn soak.
+
+Several waves of the full scenario mix run against one monitored server.
+Every wave churns hundreds of parameter objects (requests, connections,
+cursors, scratch dirs, handler tasks); after each wave the engine's GC is
+flushed and the live-monitor population must return to the same small
+baseline — monitor growth across waves would be exactly the leak the
+paper's GC exists to prevent.  RSS is asserted flat within a generous
+tolerance on top (the PR 4 leak machinery's assertion style).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+from collections import Counter
+
+from repro.app import AppServer, DriverConfig, run_driver, weave_app
+from repro.instrument.live import LiveSession
+
+from .conftest import build_engine
+
+WAVES = 4
+
+#: Quick churn mix: no stalls (time-based) so waves stay sub-second.
+WAVE_CONFIG = DriverConfig(
+    connections=6,
+    requests_per_connection=10,
+    seed=20110604,
+    disconnect_fraction=0.1,
+    error_fraction=0.1,
+    push_fraction=0.1,
+    leak_fraction=0.1,
+)
+
+#: RSS headroom over the post-first-wave baseline.  Generous: the
+#: assertion is about unbounded growth, not allocator jitter.
+RSS_TOLERANCE_KB = 30_000
+
+
+def rss_kb() -> int:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmRSS not found")
+
+
+def test_monitor_population_and_rss_stay_flat():
+    verdicts: Counter = Counter()
+    engine = build_engine(verdicts, gc_kind="statebased")
+    session = LiveSession(engine)
+
+    async def soak() -> list[tuple[int, int]]:
+        checkpoints = []
+        async with AppServer(read_timeout=1.0) as server:
+            for _wave in range(WAVES):
+                await run_driver(server.host, server.port, WAVE_CONFIG)
+                # Let cancelled leak-task callbacks and closed transports
+                # finish dying before measuring.
+                await asyncio.sleep(0.05)
+                for _ in range(2):
+                    engine.flush_gc()
+                    gc.collect()
+                checkpoints.append((engine.total_live_monitors(), rss_kb()))
+        return checkpoints
+
+    with session:
+        weave_app(session)
+        checkpoints = asyncio.run(soak())
+
+    monitors = [m for m, _rss in checkpoints]
+    rss = [r for _m, r in checkpoints]
+    # Monitors: every wave settles back to the first wave's baseline (the
+    # long-lived slices: db connection, executor, server-lifetime dirs).
+    baseline = monitors[0]
+    assert baseline < 50, f"baseline suspiciously large: {checkpoints}"
+    for wave, count in enumerate(monitors[1:], start=2):
+        assert count <= baseline + 5, (
+            f"monitor population grew across waves: {monitors}"
+        )
+    # RSS: flat within tolerance of the post-first-wave baseline.
+    assert max(rss) - rss[0] < RSS_TOLERANCE_KB, f"RSS grew: {rss}"
+    # The soak still monitored for real: verdicts arrived every wave.
+    expected_per_wave = sum(
+        count for kind, count in WAVE_CONFIG.mix().items()
+        if kind in ("boom", "push", "leak")
+    )
+    assert sum(verdicts.values()) == WAVES * expected_per_wave

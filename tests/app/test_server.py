@@ -1,0 +1,163 @@
+"""The reference app itself: routes, keep-alive, stalls, disconnects.
+
+These tests run the server *unmonitored* — they pin down the behaviour
+the equivalence tests then monitor, so a failure here means the workload
+changed, not the monitoring stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.app import AppServer, DriverConfig, ROUTES, run_driver
+from repro.properties import CATALOGUE
+
+from .conftest import APP_CONFIG, READ_TIMEOUT, drive
+
+
+async def _raw_request(host, port, payload: bytes, *, reader=None, writer=None,
+                       read_body: bool = True):
+    """Send raw bytes, parse one response; returns (status, body, r, w)."""
+    if writer is None:
+        reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header == b"\r\n":
+            break
+        name, _, value = header.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length) if read_body and length else b""
+    return status, body, reader, writer
+
+
+def _get(path: str) -> bytes:
+    return f"GET {path} HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n".encode()
+
+
+def test_route_table_matches_handlers():
+    """ROUTES (the docs' source of truth) covers exactly the handlers, and
+    every property it names exists in the CATALOGUE."""
+    server = AppServer()
+    assert [spec.path for spec in ROUTES] == sorted(
+        server._handlers(), key=lambda p: [s.path for s in ROUTES].index(p)
+    )
+    assert {spec.path for spec in ROUTES} == set(server._handlers())
+    for spec in ROUTES:
+        for key in spec.properties:
+            assert key in CATALOGUE, (spec.path, key)
+
+
+def test_routes_respond_over_one_keepalive_connection():
+    async def scenario():
+        async with AppServer(read_timeout=READ_TIMEOUT) as server:
+            reader = writer = None
+            expected = {"/": 200, "/items": 200, "/work": 200, "/scratch": 200,
+                        "/stream": 200, "/sleep": 200, "/leak": 200,
+                        "/boom": 500, "/nope": 404}
+            for path, want in expected.items():
+                status, body, reader, writer = await _raw_request(
+                    server.host, server.port, _get(path),
+                    reader=reader, writer=writer,
+                )
+                assert status == want, path
+                assert body, path
+            writer.close()
+            # Every request above rode one server-side connection.
+            assert server.connections_handled == 1
+            assert server.requests_handled == len(expected)
+
+    asyncio.run(scenario())
+
+
+def test_items_post_then_get_roundtrip():
+    async def scenario():
+        async with AppServer(read_timeout=READ_TIMEOUT) as server:
+            post = (b"POST /items HTTP/1.1\r\nhost: t\r\n"
+                    b"content-length: 7\r\n\r\nwidget7")
+            status, body, reader, writer = await _raw_request(
+                server.host, server.port, post
+            )
+            assert status == 200 and b"stored" in body
+            status, body, _r, writer = await _raw_request(
+                server.host, server.port, _get("/items"),
+                reader=reader, writer=writer,
+            )
+            assert status == 200 and b"widget7" in body
+            writer.close()
+
+    asyncio.run(scenario())
+
+
+def test_stalled_client_gets_408_and_connection_close():
+    async def scenario():
+        async with AppServer(read_timeout=0.1) as server:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"GET /sleep HTTP/1.1\r\nhost: t\r\n")  # ...and stall
+            await writer.drain()
+            status_line = await asyncio.wait_for(reader.readline(), timeout=5)
+            assert b"408" in status_line
+            rest = await asyncio.wait_for(reader.read(), timeout=5)
+            assert b"timeout" in rest
+            writer.close()
+
+    asyncio.run(scenario())
+
+
+def test_mid_request_disconnect_leaves_server_healthy():
+    async def scenario():
+        async with AppServer(read_timeout=READ_TIMEOUT) as server:
+            _reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"GET /items HTTP/1.1\r\nhost: t\r\n")
+            await writer.drain()
+            writer.close()
+            # The aborted exchange must not take the server down.
+            status, body, _r, writer2 = await _raw_request(
+                server.host, server.port, _get("/")
+            )
+            assert status == 200 and body == b"hello\n"
+            writer2.close()
+
+    asyncio.run(scenario())
+
+
+def test_driver_mix_is_a_pure_seed_function():
+    mix = APP_CONFIG.mix()
+    assert mix == APP_CONFIG.mix()
+    assert sum(mix.values()) == (
+        APP_CONFIG.connections * APP_CONFIG.requests_per_connection
+    )
+    # All misbehaviour classes are present in the standard scenario...
+    for kind in ("normal", "disconnect", "stall", "boom", "push", "leak"):
+        assert mix.get(kind, 0) > 0, kind
+    # ...and a different seed reshuffles the plan.
+    other = DriverConfig(**{**APP_CONFIG.__dict__, "seed": 7})
+    assert [other.plan(i) for i in range(other.connections)] != [
+        APP_CONFIG.plan(i) for i in range(APP_CONFIG.connections)
+    ]
+
+
+def test_driver_outcomes_match_the_plan():
+    """The driven run's observable outcomes equal the derived plan: the
+    response statuses are a pure function of the seed."""
+    stats = drive()
+    mix = APP_CONFIG.mix()
+    assert stats.requests == sum(
+        count for kind, count in mix.items()
+        if kind not in ("disconnect", "stall")
+    )
+    assert stats.responses == stats.requests  # nothing lost or duplicated
+    assert stats.disconnects == mix.get("disconnect", 0)
+    assert stats.stalls == mix.get("stall", 0)
+    assert stats.status_counts.get(500, 0) == mix.get("boom", 0)
+    assert stats.status_counts.get(200, 0) == stats.requests - mix.get("boom", 0)
+    assert stats.p99_ms >= stats.p50_ms > 0

@@ -1,0 +1,71 @@
+"""docs/app-scenario.md must mirror the live route and knob tables.
+
+`repro.app.server.ROUTES` is the single source of truth for the route
+map; `DriverConfig` for the driver knobs.  The doc's tables are parsed
+and asserted against both, so the scenario documentation can never
+drift from the code the way hand-maintained route lists do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.app import DriverConfig
+from repro.app.server import ROUTES
+from repro.properties import CATALOGUE
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "app-scenario.md"
+
+ROUTE_ROW = re.compile(
+    r"^\|\s*`(?P<path>/[a-z]*)`\s*\|\s*`(?P<properties>[a-z, ]+)`\s*\|"
+)
+KNOB_ROW = re.compile(
+    r"^\|\s*`(?P<name>[a-z_]+)`\s*\|\s*(?P<default>[0-9.]+)\s*\|"
+)
+
+
+def parse_route_table() -> dict[str, tuple[str, ...]]:
+    rows = {}
+    for line in DOC.read_text().splitlines():
+        match = ROUTE_ROW.match(line.strip())
+        if match:
+            rows[match["path"]] = tuple(
+                key.strip() for key in match["properties"].split(",")
+            )
+    return rows
+
+
+def test_route_table_matches_server_routes():
+    documented = parse_route_table()
+    assert documented == {
+        route.path: route.properties for route in ROUTES
+    }
+
+
+def test_route_table_keys_are_catalogue_keys():
+    for path, keys in parse_route_table().items():
+        for key in keys:
+            assert key in CATALOGUE, (path, key)
+
+
+def test_knob_table_matches_driver_config():
+    documented = {}
+    for line in DOC.read_text().splitlines():
+        match = KNOB_ROW.match(line.strip())
+        if match:
+            documented[match["name"]] = float(match["default"])
+    fields = {
+        field.name: field.default for field in dataclasses.fields(DriverConfig)
+    }
+    assert documented == {
+        name: float(default) for name, default in fields.items()
+    }
+
+
+def test_doc_mentions_the_bench_artifact():
+    text = DOC.read_text()
+    assert "BENCH_app.json" in text
+    assert "overhead_x" in text
+    assert "live_vs_replay" in text

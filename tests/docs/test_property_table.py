@@ -18,6 +18,7 @@ from repro.properties import (
     CATALOGUE,
     EVALUATED_PROPERTIES,
     LIVE_PROPERTIES,
+    PROTOCOL_PROPERTIES,
 )
 
 DOCS = Path(__file__).resolve().parents[2] / "docs"
@@ -25,7 +26,7 @@ DOCS = Path(__file__).resolve().parents[2] / "docs"
 ROW = re.compile(
     r"^\|\s*`(?P<key>[a-z_]+)`\s*\|\s*(?P<title>[A-Z]+)\s*\|\s*"
     r"`(?P<params>[a-z, ]+)`\s*\|\s*(?P<formalisms>[a-z+]+)\s*\|\s*"
-    r"(?P<family>evaluated|paper|live)\s*\|$"
+    r"(?P<family>evaluated|paper|live|protocol)\s*\|$"
 )
 
 
@@ -58,11 +59,17 @@ def test_table_rows_match_compiled_properties():
             expected_family = "evaluated"
         elif key in ALL_PROPERTIES:
             expected_family = "paper"
-        else:
+        elif key in LIVE_PROPERTIES:
             expected_family = "live"
+        else:
+            expected_family = "protocol"
         assert row["family"] == expected_family, key
 
 
 def test_families_partition_catalogue():
-    assert set(ALL_PROPERTIES) | set(LIVE_PROPERTIES) == set(CATALOGUE)
-    assert not set(ALL_PROPERTIES) & set(LIVE_PROPERTIES)
+    families = (set(ALL_PROPERTIES), set(LIVE_PROPERTIES),
+                set(PROTOCOL_PROPERTIES))
+    assert set().union(*families) == set(CATALOGUE)
+    for index, family in enumerate(families):
+        for other in families[index + 1:]:
+            assert not family & other

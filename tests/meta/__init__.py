@@ -1,0 +1,1 @@
+"""Meta-tests: suite hygiene policies (markers, flake quarantine)."""

@@ -17,6 +17,7 @@ from repro.properties import (
     ALL_PROPERTIES,
     CATALOGUE,
     LIVE_PROPERTIES,
+    PROTOCOL_PROPERTIES,
     property_registry,
 )
 from repro.runtime.engine import MonitoringEngine
@@ -226,10 +227,15 @@ class TestLiveWeaving:
 
 
 class TestCatalogue:
-    def test_catalogue_is_paper_plus_live(self):
-        assert set(CATALOGUE) == set(ALL_PROPERTIES) | set(LIVE_PROPERTIES)
+    def test_catalogue_is_paper_plus_live_plus_protocol(self):
+        assert set(CATALOGUE) == (
+            set(ALL_PROPERTIES) | set(LIVE_PROPERTIES) | set(PROTOCOL_PROPERTIES)
+        )
         assert len(LIVE_PROPERTIES) >= 5
+        assert len(PROTOCOL_PROPERTIES) >= 3
         assert not (set(ALL_PROPERTIES) & set(LIVE_PROPERTIES))
+        assert not (set(ALL_PROPERTIES) & set(PROTOCOL_PROPERTIES))
+        assert not (set(LIVE_PROPERTIES) & set(PROTOCOL_PROPERTIES))
 
     def test_every_live_property_compiles(self):
         for key, prop in LIVE_PROPERTIES.items():

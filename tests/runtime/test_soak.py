@@ -1,0 +1,165 @@
+"""Soak/leak regression: long monitored churn must stay flat.
+
+Two tiers over the same churn kernel (random emissions over a mixed
+paper + protocol property set with per-round parameter-object death,
+plus a hot attach/detach cycle every round):
+
+* a quick ungated smoke (a dozen rounds) that runs in every tier-1
+  invocation, and
+* a bounded-minutes soak marked ``slow`` and gated behind ``REPRO_SOAK``
+  (the nightly CI job sets it) that additionally asserts RSS flatness.
+
+The invariant in both: after each round settles (GC flush + collect),
+the engine's live-monitor population returns to the empty-ish baseline —
+growth across rounds is precisely the monitor leak the paper's GC
+strategies exist to prevent, and the attach/detach cycle checks the
+registry's release path doesn't strand slices either.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import random
+import time
+
+import pytest
+
+from repro.properties import CATALOGUE
+from repro.runtime.engine import MonitoringEngine
+
+from ..conftest import Obj
+
+#: Static residents: paper FSM + LTL, paper ERE, two protocol FSMs.
+#: (No CFG resident: SafeLock's unbounded state space rejects the
+#: state-based GC strategy by design — the soak pins the GC'd path.)
+RESIDENT_KEYS = ("hasnext", "safeenum", "reqlife", "connreuse")
+#: Hot-cycled guest, attached and detached every round.
+GUEST_KEY = "safefile"
+
+EMITS_PER_PROPERTY = 40
+POOL = 3
+
+#: Soak knobs (env-tunable so the nightly job can stretch the budget).
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "45"))
+SOAK_RSS_TOLERANCE_KB = 40_000
+
+
+def rss_kb() -> int:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmRSS not found")
+
+
+def build_engine() -> MonitoringEngine:
+    return MonitoringEngine(
+        [CATALOGUE[key].make().silence() for key in RESIDENT_KEYS],
+        gc="statebased",
+    )
+
+
+def churn_round(engine: MonitoringEngine, definitions, rng: random.Random):
+    """One wave: emit over every property with round-local objects, plus
+    a full hot attach/emit/detach cycle of the guest property."""
+    for definition in definitions:
+        alphabet = sorted(definition.alphabet)
+        pools = {
+            param: [Obj(param) for _ in range(POOL)]
+            for param in definition.parameters
+        }
+        for _ in range(EMITS_PER_PROPERTY):
+            event = rng.choice(alphabet)
+            engine.emit(event, **{
+                param: rng.choice(pools[param])
+                for param in definition.params_of(event)
+            })
+        del pools  # the round's parameter objects die here
+
+    guest = CATALOGUE[GUEST_KEY].make().silence()
+    (index,) = engine.attach_property(guest)
+    alphabet = sorted(guest.definition.alphabet)
+    pools = {
+        param: [Obj(param) for _ in range(POOL)]
+        for param in guest.definition.parameters
+    }
+    for _ in range(EMITS_PER_PROPERTY // 2):
+        event = rng.choice(alphabet)
+        engine.emit(event, **{
+            param: rng.choice(pools[param])
+            for param in guest.definition.params_of(event)
+        })
+    del pools
+    engine.detach_property(index)
+
+
+def settle(engine: MonitoringEngine) -> int:
+    for _ in range(2):
+        gc.collect()
+        engine.flush_gc()
+    return engine.total_live_monitors()
+
+
+def run_soak(*, rounds: int | None = None, seconds: float | None = None,
+             sample_rss: bool = False):
+    """Drive churn rounds until the round or time budget runs out.
+
+    Returns ``(monitor_counts, rss_samples)`` — one entry per settled
+    round.  Exactly one of ``rounds``/``seconds`` bounds the run.
+    """
+    engine = build_engine()
+    definitions = [
+        CATALOGUE[key].make().definition for key in RESIDENT_KEYS
+    ]
+    rng = random.Random(20110604)
+    monitors: list[int] = []
+    rss: list[int] = []
+    deadline = time.monotonic() + seconds if seconds is not None else None
+    count = 0
+    while True:
+        churn_round(engine, definitions, rng)
+        monitors.append(settle(engine))
+        if sample_rss:
+            rss.append(rss_kb())
+        count += 1
+        if rounds is not None and count >= rounds:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+    assert engine.stats_for(
+        "HasNext", "fsm"
+    ).events >= count * EMITS_PER_PROPERTY // len(
+        CATALOGUE["hasnext"].make().definition.alphabet
+    ) // 2, "the soak must actually monitor events"
+    return monitors, rss
+
+
+def assert_flat(monitors: list[int]) -> None:
+    baseline = monitors[0]
+    assert baseline < 40, f"baseline suspiciously large: {baseline}"
+    for count in monitors[1:]:
+        assert count <= baseline + 5, (
+            f"monitor population grew across rounds: {monitors}"
+        )
+
+
+def test_churn_smoke_population_returns_to_baseline():
+    """Ungated tier-1 smoke: a dozen rounds, flat monitor population."""
+    monitors, _rss = run_soak(rounds=12)
+    assert_flat(monitors)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SOAK"),
+    reason="bounded-minutes soak: set REPRO_SOAK=1 (nightly CI does)",
+)
+def test_soak_monitors_and_rss_stay_flat():
+    """The nightly soak: churn for REPRO_SOAK_SECONDS, flat RSS on top."""
+    monitors, rss = run_soak(seconds=SOAK_SECONDS, sample_rss=True)
+    assert len(monitors) >= 20, f"soak too short to be meaningful: {monitors}"
+    assert_flat(monitors)
+    # Compare steady state (later samples) against the early baseline so
+    # allocator warm-up doesn't count as growth.
+    assert max(rss) - rss[0] < SOAK_RSS_TOLERANCE_KB, f"RSS grew: {rss}"

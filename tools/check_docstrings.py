@@ -47,6 +47,10 @@ DEFAULT_TARGETS = (
     "src/repro/instrument/aspects.py",
     "src/repro/properties/__init__.py",
     "src/repro/properties/live_resources.py",
+    "src/repro/properties/protocol.py",
+    "src/repro/app/server.py",
+    "src/repro/app/driver.py",
+    "src/repro/app/weave.py",
 )
 
 

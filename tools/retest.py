@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Rerun a (failing) test repeatedly and report its pass rate.
+
+The repo's flake policy is zero tolerance: the ``flaky`` marker must have
+no members (``tests/meta/test_flake_policy.py`` enforces it), so a test
+that fails intermittently has to be diagnosed, not quarantined.  This
+tool is the diagnosis step — it answers "how flaky is it?" with data::
+
+    python tools/retest.py tests/app/test_leak_flat.py -n 20
+    python tools/retest.py "tests/x.py::test_y" -n 50 -- -q -x
+
+Everything after ``--`` is forwarded to pytest verbatim.  Each run is a
+fresh interpreter (a fresh event loop, fresh import state, fresh RNG
+default state), so cross-run contamination cannot mask the flake.  Exit
+status is 0 only for a 100% pass rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+
+def run_once(test_id: str, pytest_args: list[str]) -> bool:
+    """One fresh-interpreter pytest run; True when it passed."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", test_id, *pytest_args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if "--" in raw:
+        split = raw.index("--")
+        raw, forwarded = raw[:split], raw[split + 1:]
+    else:
+        forwarded = []
+    parser = argparse.ArgumentParser(
+        description="Rerun a test N times and report its pass rate "
+        "(args after -- are forwarded to pytest).",
+    )
+    parser.add_argument("test", help="pytest node id or file to rerun")
+    parser.add_argument("-n", "--runs", type=int, default=10,
+                        help="number of fresh-interpreter runs (default 10)")
+    args = parser.parse_args(raw)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+
+    pytest_args = forwarded or ["-q"]
+    passes = 0
+    started = time.monotonic()
+    for attempt in range(1, args.runs + 1):
+        ok = run_once(args.test, pytest_args)
+        passes += ok
+        print(f"run {attempt:>3}/{args.runs}: {'pass' if ok else 'FAIL'}",
+              flush=True)
+    elapsed = time.monotonic() - started
+    rate = passes / args.runs
+    print(f"\npass rate: {passes}/{args.runs} ({rate:.0%}) "
+          f"in {elapsed:.1f}s")
+    if passes < args.runs:
+        print("verdict: FLAKY — fix the test or the code; the flaky marker "
+              "is not an option (zero-member policy)")
+        return 1
+    print("verdict: stable across all runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
